@@ -1,0 +1,31 @@
+//! Criterion bench regenerating Figure C (thread scaling): wall-clock cost
+//! of backward pipelining at 1-4 threads on the power grid, plus the rmax
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavepipe_circuit::generators;
+use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_scaling");
+    group.sample_size(10);
+    let b = generators::power_grid(6, 6);
+    for threads in 1..=4 {
+        group.bench_function(format!("backward_x{threads}"), |bch| {
+            let opts = WavePipeOptions::new(Scheme::Backward, threads);
+            bch.iter(|| run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap())
+        });
+    }
+    // rmax ablation: the growth cap BP compounds across threads.
+    for rmax in [1.5f64, 2.0, 3.0] {
+        group.bench_function(format!("backward_x2_rmax{rmax}"), |bch| {
+            let mut opts = WavePipeOptions::new(Scheme::Backward, 2);
+            opts.sim.rmax = rmax;
+            bch.iter(|| run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Table 2 (backward pipelining): wall-clock
+//! cost of the serial engine vs backward pipelining at 2 threads on
+//! representative circuits. On a single-core host the wall numbers mainly
+//! document per-round overhead; the modelled speedups live in the `tables`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavepipe_circuit::generators;
+use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe_engine::{run_transient, SimOptions};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_backward");
+    group.sample_size(10);
+    for b in [generators::rc_ladder(40), generators::power_grid(6, 6)] {
+        group.bench_function(format!("{}/serial", b.name), |bch| {
+            bch.iter(|| run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap())
+        });
+        group.bench_function(format!("{}/backward_x2", b.name), |bch| {
+            let opts = WavePipeOptions::new(Scheme::Backward, 2);
+            bch.iter(|| run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Table 3 (forward pipelining): wall-clock
+//! cost of serial vs forward pipelining at 2 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavepipe_circuit::generators;
+use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe_engine::{run_transient, SimOptions};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_forward");
+    group.sample_size(10);
+    for b in [generators::amp_chain(2), generators::diode_rectifier()] {
+        group.bench_function(format!("{}/serial", b.name), |bch| {
+            bch.iter(|| run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap())
+        });
+        group.bench_function(format!("{}/forward_x2", b.name), |bch| {
+            let opts = WavePipeOptions::new(Scheme::Forward, 2);
+            bch.iter(|| run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Table 4 (combined scheme): wall-clock cost
+//! of serial vs the combined backward+forward scheme at 4 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavepipe_circuit::generators;
+use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe_engine::{run_transient, SimOptions};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_combined");
+    group.sample_size(10);
+    for b in [generators::power_grid(6, 6), generators::inverter_chain(8)] {
+        group.bench_function(format!("{}/serial", b.name), |bch| {
+            bch.iter(|| run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap())
+        });
+        group.bench_function(format!("{}/combined_x4", b.name), |bch| {
+            let opts = WavePipeOptions::new(Scheme::Combined, 4);
+            bch.iter(|| run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

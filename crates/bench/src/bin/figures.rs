@@ -1,0 +1,34 @@
+//! Prints the figure data of the WavePipe evaluation (accuracy, step-size
+//! profiles, thread scaling, and the scheduling ablations).
+//!
+//! Usage: `cargo run --release -p wavepipe-bench --bin figures [-- --small]`
+
+use wavepipe_bench::{
+    fig_accuracy, fig_bp_ablation, fig_fp_ablation, fig_scaling, fig_step_profile, suite, Scale,
+};
+use wavepipe_circuit::generators;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--small") { Scale::Small } else { Scale::Full };
+    println!("{}", fig_accuracy(scale));
+
+    // Figure B on the two circuits whose step profiles differ the most.
+    let all = suite(scale);
+    for name_fragment in ["ring_oscillator", "power_grid"] {
+        if let Some(b) = all.iter().find(|b| b.name.contains(name_fragment)) {
+            println!("{}", fig_step_profile(b));
+        }
+    }
+
+    // Figure C on a mixed and a digital workload.
+    for name_fragment in ["power_grid", "inverter_chain"] {
+        if let Some(b) = all.iter().find(|b| b.name.contains(name_fragment)) {
+            let (txt, _) = fig_scaling(b);
+            println!("{txt}");
+        }
+    }
+
+    // Figure D ablations.
+    println!("{}", fig_fp_ablation(&generators::amp_chain(2)));
+    println!("{}", fig_bp_ablation(&generators::power_grid(6, 6)));
+}

@@ -1,0 +1,21 @@
+//! Prints Tables 1–4 of the WavePipe evaluation.
+//!
+//! Usage: `cargo run --release -p wavepipe-bench --bin tables [-- --small]`
+
+use wavepipe_bench::{table1, table2, table3, table4, table5, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--small") { Scale::Small } else { Scale::Full };
+    println!("{}", table1(scale));
+    let (t2, _) = table2(scale);
+    println!("{t2}");
+    let (t3, _) = table3(scale);
+    println!("{t3}");
+    let (t4, _) = table4(scale);
+    println!("{t4}");
+    let (t5, _) = table5(scale);
+    println!("{t5}");
+    println!("Speedups are modeled critical-path speedups (see DESIGN.md: this container");
+    println!("has one core, so wall-clock parallel gains cannot manifest; the critical");
+    println!("path is what an otherwise-idle multi-core machine realises).");
+}

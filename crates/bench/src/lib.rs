@@ -1,0 +1,383 @@
+//! Experiment harness for the WavePipe evaluation: one function per table
+//! and figure (experiments E1–E8 of `DESIGN.md`), shared by the `tables` /
+//! `figures` binaries and the Criterion benches.
+//!
+//! Every function returns both structured data and a formatted text block,
+//! so the binaries print paper-style rows and the tests can assert on the
+//! numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use wavepipe_circuit::generators::{self, Benchmark};
+use wavepipe_core::{run_wavepipe, verify, Scheme, WavePipeOptions, WavePipeReport};
+use wavepipe_engine::{run_transient, Method, SimOptions, TransientResult};
+
+/// Experiment scale: the full paper-style suite or a reduced suite for CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Paper-scale circuits (Table 1 sizes).
+    #[default]
+    Full,
+    /// Reduced sizes for fast runs and tests.
+    Small,
+}
+
+/// The benchmark suite at the requested scale.
+pub fn suite(scale: Scale) -> Vec<Benchmark> {
+    match scale {
+        Scale::Full => generators::table_suite(),
+        Scale::Small => generators::small_suite(),
+    }
+}
+
+/// Serial baseline run of a benchmark.
+pub fn run_serial(b: &Benchmark) -> TransientResult {
+    run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: serial run failed: {e}", b.name))
+}
+
+/// One WavePipe run of a benchmark.
+pub fn run_scheme(b: &Benchmark, scheme: Scheme, threads: usize) -> WavePipeReport {
+    let opts = WavePipeOptions::new(scheme, threads);
+    run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts)
+        .unwrap_or_else(|e| panic!("{}: {scheme} x{threads} failed: {e}", b.name))
+}
+
+/// A measured (serial, wavepipe) pair with derived metrics.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Scheme measured.
+    pub scheme: Scheme,
+    /// Threads used.
+    pub threads: usize,
+    /// Serial accepted points.
+    pub serial_points: usize,
+    /// Serial Newton iterations.
+    pub serial_iters: usize,
+    /// WavePipe accepted points.
+    pub wp_points: usize,
+    /// Modelled (critical-path) speedup.
+    pub speedup: f64,
+    /// Wall-clock-based speedup (serial wall / critical-path wall; the
+    /// per-task wall times are measured individually, so their round maxima
+    /// approximate a parallel machine even on a single-core host).
+    pub wall_speedup: f64,
+    /// Lead / speculation accept rate.
+    pub accept_rate: f64,
+    /// Max waveform deviation relative to serial peak.
+    pub max_rel_dev: f64,
+    /// RMS waveform deviation relative to serial peak.
+    pub rms_rel_dev: f64,
+}
+
+/// Runs a benchmark under one scheme and collects the outcome.
+pub fn measure(b: &Benchmark, scheme: Scheme, threads: usize) -> CaseOutcome {
+    let serial = run_serial(b);
+    measure_against(b, &serial, scheme, threads)
+}
+
+/// Like [`measure`] but reuses an already-computed serial reference.
+pub fn measure_against(
+    b: &Benchmark,
+    serial: &TransientResult,
+    scheme: Scheme,
+    threads: usize,
+) -> CaseOutcome {
+    let rep = run_scheme(b, scheme, threads);
+    let eq = verify::compare(serial, &rep.result);
+    CaseOutcome {
+        name: b.name.clone(),
+        scheme,
+        threads,
+        serial_points: serial.len(),
+        serial_iters: serial.stats().newton_iterations,
+        wp_points: rep.result.len(),
+        speedup: rep.modeled_speedup(serial.stats()),
+        wall_speedup: rep.wall_speedup(serial.stats()),
+        accept_rate: rep.accept_rate(),
+        max_rel_dev: eq.max_rel(),
+        rms_rel_dev: eq.rms_rel(),
+    }
+}
+
+/// **Table 1 (E1)** — benchmark circuit characteristics.
+pub fn table1(scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: benchmark circuits");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>7} {:>9} {:>10} {:>10} {:>10}",
+        "circuit", "class", "nodes", "unknowns", "elements", "nonlinear", "tstop"
+    );
+    for b in suite(scale) {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>7} {:>9} {:>10} {:>10} {:>9.1e}",
+            b.name,
+            b.class.to_string(),
+            b.circuit.node_count(),
+            b.circuit.unknown_count(),
+            b.circuit.element_count(),
+            b.circuit.nonlinear_count(),
+            b.tstop
+        );
+    }
+    out
+}
+
+fn scheme_table(
+    title: &str,
+    scale: Scale,
+    runs: &[(Scheme, usize)],
+) -> (String, Vec<CaseOutcome>) {
+    let mut out = String::new();
+    let mut cases = Vec::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<22} {:>8} {:>8}", "circuit", "ser.pts", "ser.itr");
+    for (s, t) in runs {
+        header.push_str(&format!(" {:>12}", format!("{s}x{t}")));
+    }
+    header.push_str(&format!(" {:>8} {:>8} {:>9}", "wall", "accept", "rms.dev"));
+    let _ = writeln!(out, "{header}");
+    for b in suite(scale) {
+        let serial = run_serial(&b);
+        let mut row = format!(
+            "{:<22} {:>8} {:>8}",
+            b.name,
+            serial.len(),
+            serial.stats().newton_iterations
+        );
+        let mut last: Option<CaseOutcome> = None;
+        for &(s, t) in runs {
+            let c = measure_against(&b, &serial, s, t);
+            row.push_str(&format!(" {:>11.2}x", c.speedup));
+            last = Some(c.clone());
+            cases.push(c);
+        }
+        if let Some(c) = last {
+            row.push_str(&format!(
+                " {:>7.2}x {:>7.0}% {:>9.1e}",
+                c.wall_speedup,
+                c.accept_rate * 100.0,
+                c.rms_rel_dev
+            ));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    (out, cases)
+}
+
+/// **Table 2 (E2)** — backward pipelining speedups at 2 and 3 threads.
+pub fn table2(scale: Scale) -> (String, Vec<CaseOutcome>) {
+    scheme_table(
+        "Table 2: backward pipelining (modeled critical-path speedup over serial)",
+        scale,
+        &[(Scheme::Backward, 2), (Scheme::Backward, 3)],
+    )
+}
+
+/// **Table 3 (E3)** — forward pipelining speedups at 2 and 3 threads.
+pub fn table3(scale: Scale) -> (String, Vec<CaseOutcome>) {
+    scheme_table(
+        "Table 3: forward pipelining (modeled critical-path speedup over serial)",
+        scale,
+        &[(Scheme::Forward, 2), (Scheme::Forward, 3)],
+    )
+}
+
+/// **Table 4 (E4)** — combined scheme at 4 threads.
+pub fn table4(scale: Scale) -> (String, Vec<CaseOutcome>) {
+    scheme_table(
+        "Table 4: combined backward+forward pipelining",
+        scale,
+        &[(Scheme::Combined, 4)],
+    )
+}
+
+/// **Table 5 (extension)** — the adaptive scheduler (not in the paper; its
+/// conclusion's "new avenues"): per-round selection between backward and
+/// forward pipelining by measured efficiency.
+pub fn table5(scale: Scale) -> (String, Vec<CaseOutcome>) {
+    scheme_table(
+        "Table 5 (extension): adaptive per-round scheme selection",
+        scale,
+        &[(Scheme::Adaptive, 2), (Scheme::Adaptive, 4)],
+    )
+}
+
+/// **Figure A (E5)** — waveform accuracy: deviation of every scheme from the
+/// serial reference, alongside the serial trap-vs-gear2 "noise floor".
+pub fn fig_accuracy(scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure A: waveform accuracy vs serial (rms, relative to signal peak)");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>13} {:>13} {:>13} {:>13}",
+        "circuit", "noise-floor", "backward", "forward", "combined"
+    );
+    for b in suite(scale) {
+        let serial = run_serial(&b);
+        let gear =
+            run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::with_method(Method::Gear2))
+                .unwrap_or_else(|e| panic!("{}: gear2 run failed: {e}", b.name));
+        let floor = verify::compare(&serial, &gear).rms_rel();
+        let devs: Vec<f64> = [(Scheme::Backward, 2), (Scheme::Forward, 2), (Scheme::Combined, 4)]
+            .iter()
+            .map(|&(s, t)| measure_against(&b, &serial, s, t).rms_rel_dev)
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>13.2e} {:>13.2e} {:>13.2e} {:>13.2e}",
+            b.name, floor, devs[0], devs[1], devs[2]
+        );
+    }
+    out
+}
+
+/// **Figure B (E6)** — step-size profile over time, serial vs backward.
+///
+/// Returns CSV: `t,h_serial` rows then a blank line then `t,h_backward`.
+pub fn fig_step_profile(b: &Benchmark) -> String {
+    let serial = run_serial(b);
+    let rep = run_scheme(b, Scheme::Backward, 2);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure B: step size vs time — {}", b.name);
+    let _ = writeln!(out, "t,h_serial");
+    for w in serial.times().windows(2) {
+        let _ = writeln!(out, "{:.6e},{:.6e}", w[1], w[1] - w[0]);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "t,h_backward");
+    for w in rep.result.times().windows(2) {
+        let _ = writeln!(out, "{:.6e},{:.6e}", w[1], w[1] - w[0]);
+    }
+    out
+}
+
+/// One point of the thread-scaling figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Thread count.
+    pub threads: usize,
+    /// Modelled speedup.
+    pub speedup: f64,
+}
+
+/// **Figure C (E7)** — speedup vs thread count (1–4) for each scheme.
+pub fn fig_scaling(b: &Benchmark) -> (String, Vec<(Scheme, Vec<ScalingPoint>)>) {
+    let serial = run_serial(b);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure C: speedup vs threads — {}", b.name);
+    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8} {:>8}", "scheme", "x1", "x2", "x3", "x4");
+    let mut series = Vec::new();
+    for scheme in [Scheme::Backward, Scheme::Forward, Scheme::Combined, Scheme::Adaptive] {
+        let mut pts = Vec::new();
+        let mut row = format!("{:<10}", scheme.to_string());
+        for threads in 1..=4 {
+            let c = measure_against(b, &serial, scheme, threads);
+            row.push_str(&format!(" {:>7.2}x", c.speedup));
+            pts.push(ScalingPoint { threads, speedup: c.speedup });
+        }
+        let _ = writeln!(out, "{row}");
+        series.push((scheme, pts));
+    }
+    (out, series)
+}
+
+/// **Figure D (E8)** — forward-pipelining ablation: speculation accept rate
+/// and speedup vs the refinement iteration budget and stride factor.
+pub fn fig_fp_ablation(b: &Benchmark) -> String {
+    let serial = run_serial(b);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure D: forward-pipelining ablation — {}", b.name);
+    let _ = writeln!(
+        out,
+        "{:<14} {:<14} {:>10} {:>10}",
+        "refine-iters", "stride-factor", "accept", "speedup"
+    );
+    for refine in [2usize, 4, 8] {
+        for stride in [0.5f64, 1.0, 2.0] {
+            let mut opts = WavePipeOptions::new(Scheme::Forward, 2);
+            opts.fp_refine_iters = refine;
+            opts.fp_stride_factor = stride;
+            let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts)
+                .unwrap_or_else(|e| panic!("{}: ablation failed: {e}", b.name));
+            let _ = writeln!(
+                out,
+                "{:<14} {:<14} {:>9.0}% {:>9.2}x",
+                refine,
+                stride,
+                rep.accept_rate() * 100.0,
+                rep.modeled_speedup(serial.stats())
+            );
+        }
+    }
+    out
+}
+
+/// **Figure D2 (E8)** — backward-pipelining ablation: lead budget slack.
+pub fn fig_bp_ablation(b: &Benchmark) -> String {
+    let serial = run_serial(b);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure D2: backward-pipelining lead-budget ablation — {}", b.name);
+    let _ = writeln!(out, "{:<14} {:>10} {:>10}", "budget-slack", "accept", "speedup");
+    for slack in [1.0f64, 2.0, 4.0, f64::INFINITY] {
+        let mut opts = WavePipeOptions::new(Scheme::Backward, 2);
+        opts.bp_budget_slack = slack;
+        let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts)
+            .unwrap_or_else(|e| panic!("{}: ablation failed: {e}", b.name));
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9.0}% {:>9.2}x",
+            if slack.is_finite() { format!("{slack}") } else { "unlimited".to_string() },
+            rep.accept_rate() * 100.0,
+            rep.modeled_speedup(serial.stats())
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_benchmarks() {
+        let t = table1(Scale::Small);
+        for b in suite(Scale::Small) {
+            assert!(t.contains(&b.name), "missing {}", b.name);
+        }
+    }
+
+    #[test]
+    fn measure_produces_finite_metrics() {
+        let b = generators::rc_ladder(6);
+        let c = measure(&b, Scheme::Backward, 2);
+        assert!(c.speedup.is_finite() && c.speedup > 0.0);
+        assert!(c.max_rel_dev.is_finite());
+        assert!(c.wp_points > 5);
+    }
+
+    #[test]
+    fn step_profile_has_both_series() {
+        let b = generators::rc_ladder(5);
+        let csv = fig_step_profile(&b);
+        assert!(csv.contains("h_serial"));
+        assert!(csv.contains("h_backward"));
+    }
+
+    #[test]
+    fn scaling_covers_thread_range() {
+        let b = generators::rc_ladder(5);
+        let (_, series) = fig_scaling(&b);
+        assert_eq!(series.len(), 4); // backward, forward, combined, adaptive
+        for (_, pts) in &series {
+            assert_eq!(pts.len(), 4);
+            assert_eq!(pts[0].threads, 1);
+        }
+    }
+}

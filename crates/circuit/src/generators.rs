@@ -1,0 +1,549 @@
+//! Parameterised benchmark-circuit generators.
+//!
+//! These span the analog and digital circuit classes of the WavePipe
+//! evaluation: linear interconnect (RC ladder, RLC line), a nonlinear power
+//! grid, digital CMOS (inverter chain, ring oscillator), and analog blocks
+//! (diode rectifier, common-source amplifier chain). Every generator returns
+//! a [`Benchmark`] carrying the circuit plus its native transient window, so
+//! the experiment harness can regenerate every table row at any scale.
+
+use crate::circuit::Circuit;
+use crate::element::{BjtModel, DiodeModel, MosModel};
+use crate::waveform::Waveform;
+
+/// Coarse class of a benchmark circuit, reported in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitClass {
+    /// Linear or weakly nonlinear analog network.
+    Analog,
+    /// CMOS switching logic.
+    Digital,
+    /// Both kinds of behaviour.
+    Mixed,
+}
+
+impl std::fmt::Display for CircuitClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitClass::Analog => write!(f, "analog"),
+            CircuitClass::Digital => write!(f, "digital"),
+            CircuitClass::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// A generated benchmark: circuit plus its native transient window.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short identifier used in tables (e.g. `rc_ladder(200)`).
+    pub name: String,
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Suggested initial/reporting step.
+    pub tstep: f64,
+    /// Simulation stop time.
+    pub tstop: f64,
+    /// Circuit class for Table 1.
+    pub class: CircuitClass,
+    /// Names of the most interesting nodes to probe.
+    pub probes: Vec<String>,
+}
+
+/// Supply voltage used by the digital benchmarks.
+pub const VDD: f64 = 3.3;
+
+/// A stronger-than-default switching MOSFET used by the digital benchmarks.
+fn logic_nmos() -> MosModel {
+    MosModel { kp: 1e-4, w: 20e-6, l: 1e-6, cgs: 5e-15, cgd: 5e-15, lambda: 0.02, ..MosModel::nmos() }
+}
+
+fn logic_pmos() -> MosModel {
+    MosModel {
+        kp: 5e-5,
+        w: 40e-6,
+        l: 1e-6,
+        cgs: 5e-15,
+        cgd: 5e-15,
+        lambda: 0.02,
+        ..MosModel::pmos()
+    }
+}
+
+/// Panics with a clear message on builder errors — generators construct
+/// well-formed circuits by design, so any failure is an internal bug.
+macro_rules! ok {
+    ($e:expr) => {
+        $e.expect("generator produced an invalid element")
+    };
+}
+
+/// RC ladder (interconnect line): `n` identical R–C sections driven by a
+/// periodic pulse through the first resistor.
+///
+/// Purely linear; exercises the step-control path without Newton iteration
+/// noise. One node per section plus the input node.
+pub fn rc_ladder(n: usize) -> Benchmark {
+    assert!(n >= 1, "rc_ladder needs at least one section");
+    let mut ckt = Circuit::new(format!("rc ladder x{n}"));
+    let inp = ckt.node("in");
+    ok!(ckt.add_vsource(
+        "Vin",
+        inp,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, 1.0, 0.0, 0.5e-9, 0.5e-9, 9e-9, 20e-9),
+    ));
+    let mut prev = inp;
+    for i in 0..n {
+        let node = ckt.node(&format!("l{i}"));
+        ok!(ckt.add_resistor(&format!("R{i}"), prev, node, 100.0));
+        ok!(ckt.add_capacitor(&format!("C{i}"), node, Circuit::GROUND, 1e-12));
+        prev = node;
+    }
+    Benchmark {
+        name: format!("rc_ladder({n})"),
+        circuit: ckt,
+        tstep: 0.1e-9,
+        tstop: 60e-9,
+        class: CircuitClass::Analog,
+        probes: vec![format!("l{}", n - 1)],
+    }
+}
+
+/// Power-distribution grid: a `rows x cols` resistive mesh with node
+/// decoupling capacitance, VDD taps at the four corners, diode clamps and
+/// pulsed current loads at interior nodes.
+///
+/// The classic "large weakly-nonlinear network" workload: thousands of
+/// linear elements with localised nonlinearity.
+pub fn power_grid(rows: usize, cols: usize) -> Benchmark {
+    assert!(rows >= 2 && cols >= 2, "power_grid needs at least a 2x2 mesh");
+    let mut ckt = Circuit::new(format!("power grid {rows}x{cols}"));
+    let name = |r: usize, c: usize| format!("g{r}_{c}");
+    // Mesh resistors and node capacitors.
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = ckt.node(&name(r, c));
+            ok!(ckt.add_capacitor(&format!("C{r}_{c}"), here, Circuit::GROUND, 5e-13));
+            if c + 1 < cols {
+                let right = ckt.node(&name(r, c + 1));
+                ok!(ckt.add_resistor(&format!("Rh{r}_{c}"), here, right, 1.0));
+            }
+            if r + 1 < rows {
+                let down = ckt.node(&name(r + 1, c));
+                ok!(ckt.add_resistor(&format!("Rv{r}_{c}"), here, down, 1.0));
+            }
+        }
+    }
+    // Supply taps at the corners through small series resistance.
+    for (k, (r, c)) in [(0, 0), (0, cols - 1), (rows - 1, 0), (rows - 1, cols - 1)]
+        .into_iter()
+        .enumerate()
+    {
+        let pad = ckt.node(&format!("pad{k}"));
+        let corner = ckt.node(&name(r, c));
+        ok!(ckt.add_vsource(&format!("Vdd{k}"), pad, Circuit::GROUND, Waveform::dc(1.8)));
+        ok!(ckt.add_resistor(&format!("Rpad{k}"), pad, corner, 0.1));
+    }
+    // Pulsed switching loads + clamp diodes on a diagonal band of nodes.
+    for (load_idx, r) in (1..rows - 1).enumerate() {
+        let c = (r * (cols - 2)) / rows.max(1) + 1;
+        let node = ckt.node(&name(r, c));
+        let phase = (load_idx as f64) * 1.3e-9;
+        ok!(ckt.add_isource(
+            &format!("Iload{load_idx}"),
+            node,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 0.02, phase, 0.2e-9, 0.2e-9, 2e-9, 8e-9),
+        ));
+        // Clamp: conducts only if the node droops below ground.
+        ok!(ckt.add_diode(
+            &format!("Dclamp{load_idx}"),
+            Circuit::GROUND,
+            node,
+            DiodeModel { is: 1e-14, n: 1.0, cj0: 1e-13, ..DiodeModel::default() },
+        ));
+    }
+    let probe = name(rows / 2, cols / 2);
+    Benchmark {
+        name: format!("power_grid({rows}x{cols})"),
+        circuit: ckt,
+        tstep: 0.05e-9,
+        tstop: 24e-9,
+        class: CircuitClass::Mixed,
+        probes: vec![probe],
+    }
+}
+
+/// Adds one CMOS inverter driving `out` from `in`, returns nothing; helper
+/// for the digital generators.
+fn add_inverter(ckt: &mut Circuit, tag: &str, inp: crate::element::Node, out: crate::element::Node, vdd: crate::element::Node) {
+    ok!(ckt.add_mosfet(&format!("Mp{tag}"), out, inp, vdd, logic_pmos()));
+    ok!(ckt.add_mosfet(&format!("Mn{tag}"), out, inp, Circuit::GROUND, logic_nmos()));
+    ok!(ckt.add_capacitor(&format!("Cl{tag}"), out, Circuit::GROUND, 20e-15));
+}
+
+/// CMOS inverter chain of `stages` inverters driven by a pulse.
+///
+/// Sharp rail-to-rail switching: the canonical digital workload with strong
+/// step-size variation (tiny steps at edges, large steps between).
+pub fn inverter_chain(stages: usize) -> Benchmark {
+    assert!(stages >= 1);
+    let mut ckt = Circuit::new(format!("inverter chain x{stages}"));
+    let vdd = ckt.node("vdd");
+    ok!(ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(VDD)));
+    let inp = ckt.node("in");
+    ok!(ckt.add_vsource(
+        "Vin",
+        inp,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, VDD, 1e-9, 0.2e-9, 0.2e-9, 6e-9, 14e-9),
+    ));
+    let mut prev = inp;
+    for i in 0..stages {
+        let out = ckt.node(&format!("s{i}"));
+        add_inverter(&mut ckt, &format!("{i}"), prev, out, vdd);
+        prev = out;
+    }
+    Benchmark {
+        name: format!("inverter_chain({stages})"),
+        circuit: ckt,
+        tstep: 0.02e-9,
+        tstop: 30e-9,
+        class: CircuitClass::Digital,
+        probes: vec![format!("s{}", stages - 1)],
+    }
+}
+
+/// CMOS ring oscillator with an odd number of `stages`.
+///
+/// Autonomous (no input): a brief startup current kick pushes the ring out
+/// of its metastable DC point, after which it oscillates indefinitely —
+/// the hardest workload for step control because activity never stops.
+pub fn ring_oscillator(stages: usize) -> Benchmark {
+    assert!(stages >= 3 && stages % 2 == 1, "ring oscillator needs an odd stage count >= 3");
+    let mut ckt = Circuit::new(format!("ring oscillator x{stages}"));
+    let vdd = ckt.node("vdd");
+    ok!(ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(VDD)));
+    let nodes: Vec<_> = (0..stages).map(|i| ckt.node(&format!("r{i}"))).collect();
+    for i in 0..stages {
+        let inp = nodes[i];
+        let out = nodes[(i + 1) % stages];
+        add_inverter(&mut ckt, &format!("{i}"), inp, out, vdd);
+    }
+    // Startup kick: one-shot current pulse into stage 0.
+    ok!(ckt.add_isource(
+        "Ikick",
+        nodes[0],
+        Circuit::GROUND,
+        Waveform::pulse(0.0, 2e-3, 0.1e-9, 0.1e-9, 0.1e-9, 0.5e-9, 0.0),
+    ));
+    Benchmark {
+        name: format!("ring_oscillator({stages})"),
+        circuit: ckt,
+        tstep: 0.02e-9,
+        tstop: 20e-9,
+        class: CircuitClass::Digital,
+        probes: vec!["r0".to_string()],
+    }
+}
+
+/// Half-wave diode rectifier with RC smoothing, driven by a sine.
+///
+/// Strongly nonlinear analog behaviour with two sharply different regimes
+/// (diode on / diode off) per input cycle.
+pub fn diode_rectifier() -> Benchmark {
+    let mut ckt = Circuit::new("diode rectifier");
+    let ac = ckt.node("ac");
+    ok!(ckt.add_vsource("Vac", ac, Circuit::GROUND, Waveform::sin(0.0, 5.0, 1e6)));
+    let rect = ckt.node("rect");
+    ok!(ckt.add_diode(
+        "D1",
+        ac,
+        rect,
+        DiodeModel { is: 1e-12, n: 1.5, cj0: 5e-12, ..DiodeModel::default() },
+    ));
+    ok!(ckt.add_capacitor("Cf", rect, Circuit::GROUND, 2e-9));
+    ok!(ckt.add_resistor("Rl", rect, Circuit::GROUND, 2e3));
+    Benchmark {
+        name: "diode_rectifier".to_string(),
+        circuit: ckt,
+        tstep: 5e-9,
+        tstop: 6e-6,
+        class: CircuitClass::Analog,
+        probes: vec!["rect".to_string()],
+    }
+}
+
+/// Lumped RLC transmission line of `sections` L–C segments with matched
+/// termination, driven by a fast pulse through the source impedance.
+///
+/// Oscillatory linear dynamics (wave propagation and reflection) that punish
+/// low-order integration — the classic accuracy stress test.
+pub fn rlc_line(sections: usize) -> Benchmark {
+    assert!(sections >= 1);
+    let mut ckt = Circuit::new(format!("rlc line x{sections}"));
+    let src = ckt.node("src");
+    ok!(ckt.add_vsource(
+        "Vin",
+        src,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, 2.0, 0.2e-9, 0.1e-9, 0.1e-9, 3e-9, 0.0),
+    ));
+    // Source impedance ~ line impedance sqrt(L/C) ~= 31.6 ohm.
+    let z0 = (1e-9_f64 / 1e-12).sqrt();
+    let inp = ckt.node("t0");
+    ok!(ckt.add_resistor("Rs", src, inp, z0));
+    let mut prev = inp;
+    for i in 0..sections {
+        let node = ckt.node(&format!("t{}", i + 1));
+        ok!(ckt.add_inductor(&format!("L{i}"), prev, node, 1e-9));
+        ok!(ckt.add_capacitor(&format!("C{i}"), node, Circuit::GROUND, 1e-12));
+        prev = node;
+    }
+    ok!(ckt.add_resistor("Rt", prev, Circuit::GROUND, z0));
+    Benchmark {
+        name: format!("rlc_line({sections})"),
+        circuit: ckt,
+        tstep: 0.02e-9,
+        tstop: 12e-9,
+        class: CircuitClass::Analog,
+        probes: vec![format!("t{sections}")],
+    }
+}
+
+/// Chain of resistively loaded common-source NMOS amplifier stages with AC
+/// coupling, driven by a small sine — a smooth analog workload where the
+/// step size is limited by signal curvature rather than switching events.
+pub fn amp_chain(stages: usize) -> Benchmark {
+    assert!(stages >= 1);
+    let mut ckt = Circuit::new(format!("cs amplifier chain x{stages}"));
+    let vdd = ckt.node("vdd");
+    ok!(ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(VDD)));
+    let sig = ckt.node("sig");
+    ok!(ckt.add_vsource("Vsig", sig, Circuit::GROUND, Waveform::sin(0.0, 0.05, 20e6)));
+    let mut prev_out = sig;
+    for i in 0..stages {
+        let gate = ckt.node(&format!("gate{i}"));
+        let drain = ckt.node(&format!("out{i}"));
+        // AC coupling into a resistive bias divider.
+        ok!(ckt.add_capacitor(&format!("Cc{i}"), prev_out, gate, 1e-9));
+        ok!(ckt.add_resistor(&format!("Rb1_{i}"), vdd, gate, 200e3));
+        ok!(ckt.add_resistor(&format!("Rb2_{i}"), gate, Circuit::GROUND, 100e3));
+        // Common-source stage with drain resistor and source degeneration.
+        let src = ckt.node(&format!("src{i}"));
+        ok!(ckt.add_mosfet(
+            &format!("M{i}"),
+            drain,
+            gate,
+            src,
+            MosModel { kp: 2e-4, w: 50e-6, l: 1e-6, lambda: 0.01, cgs: 20e-15, cgd: 10e-15, ..MosModel::nmos() },
+        ));
+        ok!(ckt.add_resistor(&format!("Rd{i}"), vdd, drain, 5e3));
+        ok!(ckt.add_resistor(&format!("Rsrc{i}"), src, Circuit::GROUND, 500.0));
+        ok!(ckt.add_capacitor(&format!("Cs{i}"), src, Circuit::GROUND, 1e-10));
+        prev_out = drain;
+    }
+    Benchmark {
+        name: format!("amp_chain({stages})"),
+        circuit: ckt,
+        tstep: 0.2e-9,
+        tstop: 300e-9,
+        class: CircuitClass::Analog,
+        probes: vec![format!("out{}", stages - 1)],
+    }
+}
+
+/// Chain of AC-coupled common-emitter BJT amplifier stages with resistive
+/// bias — the bipolar analog workload (exponential device nonlinearity with
+/// smooth large-signal behaviour).
+pub fn bjt_amp_chain(stages: usize) -> Benchmark {
+    assert!(stages >= 1);
+    let mut ckt = Circuit::new(format!("bjt ce chain x{stages}"));
+    let vcc = ckt.node("vcc");
+    ok!(ckt.add_vsource("Vcc", vcc, Circuit::GROUND, Waveform::dc(9.0)));
+    let sig = ckt.node("sig");
+    ok!(ckt.add_vsource("Vsig", sig, Circuit::GROUND, Waveform::sin(0.0, 0.01, 5e6)));
+    let mut prev_out = sig;
+    for i in 0..stages {
+        let base = ckt.node(&format!("b{i}"));
+        let coll = ckt.node(&format!("c{i}"));
+        let emit = ckt.node(&format!("e{i}"));
+        ok!(ckt.add_capacitor(&format!("Cc{i}"), prev_out, base, 1e-8));
+        ok!(ckt.add_resistor(&format!("Rb1_{i}"), vcc, base, 47e3));
+        ok!(ckt.add_resistor(&format!("Rb2_{i}"), base, Circuit::GROUND, 10e3));
+        ok!(ckt.add_bjt(&format!("Q{i}"), coll, base, emit, BjtModel::default()));
+        ok!(ckt.add_resistor(&format!("Rc{i}"), vcc, coll, 2.2e3));
+        ok!(ckt.add_resistor(&format!("Re{i}"), emit, Circuit::GROUND, 1e3));
+        ok!(ckt.add_capacitor(&format!("Ce{i}"), emit, Circuit::GROUND, 1e-7));
+        ok!(ckt.add_capacitor(&format!("Cp{i}"), coll, Circuit::GROUND, 5e-12));
+        prev_out = coll;
+    }
+    Benchmark {
+        name: format!("bjt_amp_chain({stages})"),
+        circuit: ckt,
+        tstep: 1e-9,
+        tstop: 1.2e-6,
+        class: CircuitClass::Analog,
+        probes: vec![format!("c{}", stages - 1)],
+    }
+}
+
+/// Chain of 2-input CMOS NAND gates (second input tied high, so the chain
+/// inverts) — exercises stacked series NMOS devices, where the internal
+/// stack node has no DC path except through the transistors.
+pub fn nand_chain(stages: usize) -> Benchmark {
+    assert!(stages >= 1);
+    let mut ckt = Circuit::new(format!("nand chain x{stages}"));
+    let vdd = ckt.node("vdd");
+    ok!(ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(VDD)));
+    let inp = ckt.node("in");
+    ok!(ckt.add_vsource(
+        "Vin",
+        inp,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, VDD, 1e-9, 0.2e-9, 0.2e-9, 6e-9, 14e-9),
+    ));
+    let mut prev = inp;
+    for i in 0..stages {
+        let out = ckt.node(&format!("n{i}"));
+        let stack = ckt.node(&format!("x{i}"));
+        // Pull-up pair in parallel: gate A = signal, gate B = vdd (off).
+        ok!(ckt.add_mosfet(&format!("MpA{i}"), out, prev, vdd, logic_pmos()));
+        ok!(ckt.add_mosfet(&format!("MpB{i}"), out, vdd, vdd, logic_pmos()));
+        // Pull-down stack in series: signal on top, tied-high below. The
+        // bulk of the upper device stays at ground (body effect when
+        // gamma > 0 in the model).
+        ok!(ckt.add_mosfet4(&format!("MnA{i}"), out, prev, stack, Circuit::GROUND, logic_nmos()));
+        ok!(ckt.add_mosfet(&format!("MnB{i}"), stack, vdd, Circuit::GROUND, logic_nmos()));
+        ok!(ckt.add_capacitor(&format!("Cl{i}"), out, Circuit::GROUND, 20e-15));
+        prev = out;
+    }
+    Benchmark {
+        name: format!("nand_chain({stages})"),
+        circuit: ckt,
+        tstep: 0.02e-9,
+        tstop: 30e-9,
+        class: CircuitClass::Digital,
+        probes: vec![format!("n{}", stages - 1)],
+    }
+}
+
+/// The benchmark suite at the scale used by the paper-style tables.
+pub fn table_suite() -> Vec<Benchmark> {
+    vec![
+        rc_ladder(200),
+        power_grid(12, 12),
+        inverter_chain(40),
+        ring_oscillator(9),
+        diode_rectifier(),
+        rlc_line(60),
+        amp_chain(5),
+        bjt_amp_chain(4),
+        nand_chain(20),
+    ]
+}
+
+/// A reduced-size suite for fast tests and CI.
+pub fn small_suite() -> Vec<Benchmark> {
+    vec![
+        rc_ladder(12),
+        power_grid(4, 4),
+        inverter_chain(4),
+        ring_oscillator(3),
+        diode_rectifier(),
+        rlc_line(8),
+        amp_chain(1),
+        bjt_amp_chain(1),
+        nand_chain(3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_small_benchmarks_validate() {
+        for b in small_suite() {
+            b.circuit.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", b.name));
+            assert!(b.tstop > 0.0 && b.tstep > 0.0 && b.tstep < b.tstop);
+            for p in &b.probes {
+                assert!(b.circuit.find_node(p).is_some(), "{}: probe {p} missing", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_table_benchmarks_validate() {
+        for b in table_suite() {
+            b.circuit.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn rc_ladder_counts() {
+        let b = rc_ladder(10);
+        // 10 R + 10 C + 1 V.
+        assert_eq!(b.circuit.element_count(), 21);
+        assert_eq!(b.circuit.node_count(), 11);
+        assert_eq!(b.circuit.unknown_count(), 12);
+    }
+
+    #[test]
+    fn power_grid_scales_quadratically() {
+        let b = power_grid(6, 6);
+        assert!(b.circuit.node_count() >= 36);
+        assert!(b.circuit.nonlinear_count() >= 4, "wants clamp diodes");
+    }
+
+    #[test]
+    fn inverter_chain_is_digital_and_nonlinear() {
+        let b = inverter_chain(5);
+        assert_eq!(b.class, CircuitClass::Digital);
+        assert_eq!(b.circuit.nonlinear_count(), 10); // 2 FETs per stage
+    }
+
+    #[test]
+    fn ring_oscillator_rejects_even_stages() {
+        let r = std::panic::catch_unwind(|| ring_oscillator(4));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ring_oscillator_structure() {
+        let b = ring_oscillator(5);
+        assert_eq!(b.circuit.nonlinear_count(), 10);
+        b.circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn rlc_line_has_branch_unknowns() {
+        let b = rlc_line(10);
+        // 10 inductors + 1 vsource = 11 branch unknowns.
+        assert_eq!(b.circuit.unknown_count(), b.circuit.node_count() + 11);
+    }
+
+    #[test]
+    fn bjt_amp_chain_structure() {
+        let b = bjt_amp_chain(3);
+        b.circuit.validate().unwrap();
+        assert_eq!(b.circuit.nonlinear_count(), 3);
+        assert!(b.circuit.unknown_count() > 9);
+    }
+
+    #[test]
+    fn nand_chain_has_stack_nodes() {
+        let b = nand_chain(4);
+        b.circuit.validate().unwrap();
+        // 4 FETs per stage.
+        assert_eq!(b.circuit.nonlinear_count(), 16);
+        assert!(b.circuit.find_node("x0").is_some(), "stack node exists");
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(CircuitClass::Analog.to_string(), "analog");
+        assert_eq!(CircuitClass::Digital.to_string(), "digital");
+        assert_eq!(CircuitClass::Mixed.to_string(), "mixed");
+    }
+}

@@ -1,0 +1,228 @@
+//! Combined backward + forward pipelining.
+//!
+//! With `p` threads, `p - 1` solve a backward ladder (base point plus
+//! enlarged-stride lead points, all from the shared accepted history) and
+//! the last thread speculates *forward* past the ladder's lead using a
+//! predicted lead solution as history. Backward points commit exactly as in
+//! [`crate::backward`]; the forward point is refined against the true
+//! history and committed only if the lead prediction held up.
+
+use crate::forward::{prediction_close, speculate_next};
+use crate::options::{Scheme, WavePipeOptions};
+use crate::pipeline::{Commit, Driver, Task};
+use crate::report::WavePipeReport;
+use wavepipe_circuit::Circuit;
+use wavepipe_engine::{Result, SimStats};
+
+/// Runs the combined backward+forward pipelined transient analysis.
+///
+/// With fewer than 3 threads this degenerates to pure backward pipelining
+/// (there is no spare thread to speculate with).
+///
+/// # Errors
+///
+/// Same failure modes as the serial engine
+/// ([`wavepipe_engine::run_transient`]).
+pub fn run_combined(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    wp: &WavePipeOptions,
+) -> Result<WavePipeReport> {
+    if wp.width() < 3 {
+        let mut rep = crate::backward::run_backward(circuit, tstep, tstop, wp)?;
+        rep.scheme = Scheme::Combined;
+        return Ok(rep);
+    }
+    let mut drv = Driver::new(circuit, tstep, tstop, wp)?;
+    let bp_width = wp.width() - 1;
+
+    while !drv.done() {
+        drv.h = drv.h.clamp(drv.hmin, drv.hmax);
+        // Backward ladder (LTE-budget-limited) plus one forward target —
+        // but only when the ladder actually has leads: on base-only
+        // (error-bound) rounds, speculating ahead commits sub-optimal
+        // strides and pays a sequential refinement for each, a measured
+        // net loss. Combined therefore degrades to plain backward rounds
+        // outside growth phases.
+        let mut targets = drv.backward_ladder(bp_width);
+        let ladder_len = targets.len();
+        // Speculate past the lead only while leads themselves are paying
+        // (growth phases, tracked by the lead accept-rate EMA): in
+        // error-bound operation the speculation commits sub-optimal strides
+        // and pays a sequential refinement each round — a measured net loss.
+        let speculate = drv.deep_mode();
+        if speculate && ladder_len >= 2 {
+            let last = *targets.last().expect("non-empty ladder");
+            let prev = targets[ladder_len - 2];
+            let fwd_gap = ((last - prev) * wp.fp_stride_factor).clamp(drv.hmin, drv.hmax);
+            targets.push(last + fwd_gap);
+        }
+        let (targets, hit) = drv.clip_targets(&targets);
+        let n_bp_targets = targets.len().min(ladder_len);
+        let has_fwd = targets.len() > ladder_len;
+
+        // Backward tasks share the true history; the forward task runs on a
+        // lead-speculated window.
+        let mut tasks: Vec<Task> = targets[..n_bp_targets]
+            .iter()
+            .map(|&tt| Task { hw: drv.hw.clone(), t: tt, guess: None })
+            .collect();
+        let mut lead_prediction: Option<Vec<f64>> = None;
+        if has_fwd {
+            let lead_t = targets[n_bp_targets - 1];
+            let (spec_hw, pred) = speculate_next(&drv, &drv.hw, lead_t);
+            lead_prediction = Some(pred);
+            tasks.push(Task { hw: spec_hw, t: targets[n_bp_targets], guess: None });
+        }
+
+        let sols = drv.solve_round(tasks, wp.sim.max_newton_iters);
+        let mut costs: Vec<SimStats> = Vec::with_capacity(sols.len());
+        let mut solutions = Vec::with_capacity(sols.len());
+        for s in sols {
+            let s = s?;
+            costs.push(s.stats);
+            solutions.push(s);
+        }
+        drv.account_parallel(&costs);
+
+        // Commit the backward ladder left to right.
+        let mut committed = 0usize;
+        for (i, sol) in solutions[..n_bp_targets].iter().enumerate() {
+            let h_attempt = sol.coeffs.h;
+            match drv.try_commit(sol) {
+                Commit::Accepted { h_next } => {
+                    committed += 1;
+                    if i > 0 {
+                        drv.lead_accepted += 1;
+                    }
+                    drv.h = h_next;
+                }
+                Commit::RejectedLte { h_retry } => {
+                    if i == 0 {
+                        drv.base_lte_reject(h_attempt, h_retry.max(drv.hmin));
+                    } else {
+                        drv.lead_rejected += 1;
+                        drv.note_lead(false);
+                        drv.h = drv.h.min(h_retry).max(drv.hmin);
+                    }
+                    break;
+                }
+                Commit::RejectedNewton => {
+                    if i == 0 {
+                        drv.newton_backoff(h_attempt)?;
+                    } else {
+                        drv.lead_rejected += 1;
+                        drv.note_lead(false);
+                    }
+                    break;
+                }
+            }
+        }
+        let ladder_complete = committed == n_bp_targets;
+
+        // Forward point: valid only if the whole ladder committed and the
+        // lead prediction was close to the true lead solution.
+        let mut committed_all = ladder_complete;
+        if has_fwd {
+            let spec = &solutions[n_bp_targets];
+            let lead_true = &solutions[n_bp_targets - 1].x;
+            let pred_ok = ladder_complete
+                && spec.converged
+                && lead_prediction
+                    .as_deref()
+                    .is_some_and(|p| prediction_close(&drv, p, lead_true));
+            if pred_ok {
+                let refined = drv.lead.solve_point(
+                    &drv.hw,
+                    spec.t,
+                    Some(&spec.x),
+                    wp.fp_refine_iters,
+                )?;
+                drv.account_sequential(&refined.stats);
+                match drv.try_commit(&refined) {
+                    Commit::Accepted { h_next } => {
+                        drv.spec_accepted += 1;
+                        drv.h = h_next;
+                    }
+                    Commit::RejectedLte { h_retry } => {
+                        drv.total.steps_rejected_lte += 1;
+                        drv.spec_rejected += 1;
+                        drv.h = h_retry;
+                        committed_all = false;
+                    }
+                    Commit::RejectedNewton => {
+                        drv.spec_rejected += 1;
+                        committed_all = false;
+                    }
+                }
+            } else {
+                drv.spec_rejected += 1;
+                committed_all = false;
+            }
+        }
+
+        if hit && committed_all {
+            drv.handle_breakpoint_landing();
+        }
+    }
+
+    Ok(drv.finish(Scheme::Combined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_circuit::generators;
+    use wavepipe_engine::{run_transient, SimOptions};
+
+    #[test]
+    fn combined_matches_serial_on_rc_ladder() {
+        let b = generators::rc_ladder(8);
+        let serial = run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap();
+        let wp = WavePipeOptions::new(Scheme::Combined, 4);
+        let rep = run_combined(&b.circuit, b.tstep, b.tstop, &wp).unwrap();
+        let probe = serial.unknown_of(&b.probes[0]).unwrap();
+        let dev = serial.max_deviation(&rep.result, probe);
+        assert!(dev < 0.02, "deviation vs serial = {dev}");
+    }
+
+    #[test]
+    fn combined_tracks_backward_on_growth_heavy_circuit() {
+        // Combined = backward ladder + one speculative point: on a workload
+        // where backward pays (pulsed grid), combined must stay in its
+        // neighbourhood — the speculation may add or cost a little.
+        let b = generators::power_grid(4, 4);
+        let serial = run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap();
+        let bwd = crate::backward::run_backward(
+            &b.circuit,
+            b.tstep,
+            b.tstop,
+            &WavePipeOptions::new(Scheme::Backward, 2),
+        )
+        .unwrap();
+        let cmb = run_combined(
+            &b.circuit,
+            b.tstep,
+            b.tstop,
+            &WavePipeOptions::new(Scheme::Combined, 4),
+        )
+        .unwrap();
+        let s_bwd = bwd.modeled_speedup(serial.stats());
+        let s_cmb = cmb.modeled_speedup(serial.stats());
+        assert!(s_bwd > 1.15, "backward should pay here, got {s_bwd:.2}");
+        assert!(
+            s_cmb > s_bwd * 0.75,
+            "combined ({s_cmb:.2}) should track backward ({s_bwd:.2})"
+        );
+    }
+
+    #[test]
+    fn two_thread_combined_falls_back_to_backward() {
+        let b = generators::rc_ladder(5);
+        let wp = WavePipeOptions::new(Scheme::Combined, 2);
+        let rep = run_combined(&b.circuit, b.tstep, b.tstop, &wp).unwrap();
+        assert_eq!(rep.scheme, Scheme::Combined);
+        assert_eq!(rep.speculation_accepted + rep.speculation_rejected, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! **WavePipe** — coarse-grained parallel transient circuit simulation via
+//! waveform pipelining, after Dong, Li & Ye, *"WavePipe: parallel transient
+//! simulation of analog and digital circuits on multi-core shared-memory
+//! machines"*, DAC 2008.
+//!
+//! A SPICE transient loop is sequential: each time point's integration
+//! history is the previous points. WavePipe extracts parallelism *across
+//! adjacent time points* without relaxation-style accuracy loss:
+//!
+//! * [`Scheme::Backward`] — concurrent solves at the leading point and the
+//!   backward intermediate points behind it, all integrating from the shared
+//!   accepted history; the round advances simulated time further than a
+//!   serial step while its critical path is a single solve.
+//! * [`Scheme::Forward`] — speculative Newton at future points using
+//!   *predicted* history, refined in a couple of warm-start iterations once
+//!   the true history lands.
+//! * [`Scheme::Combined`] — a backward ladder plus one forward speculative
+//!   point.
+//! * [`Scheme::Adaptive`] — per-round selection between backward and
+//!   forward based on measured efficiency (an extension beyond the paper).
+//!
+//! Every accepted point passes the **same** Newton tolerance and
+//! local-truncation-error test as the serial engine (the code is literally
+//! shared), so convergence and accuracy are never compromised — misprediction
+//! and over-ambitious leads only cost discarded work.
+//!
+//! # Example
+//!
+//! ```
+//! use wavepipe_circuit::generators;
+//! use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+//!
+//! # fn main() -> Result<(), wavepipe_engine::EngineError> {
+//! let bench = generators::rc_ladder(8);
+//! let opts = WavePipeOptions::new(Scheme::Backward, 2);
+//! let report = run_wavepipe(&bench.circuit, bench.tstep, bench.tstop, &opts)?;
+//! assert!(report.result.len() > 10);
+//! println!("{}", report.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod backward;
+pub mod combined;
+pub mod forward;
+mod options;
+mod pipeline;
+mod report;
+pub mod verify;
+
+pub use options::{Scheme, WavePipeOptions};
+pub use report::WavePipeReport;
+
+use wavepipe_circuit::Circuit;
+use wavepipe_engine::{run_transient, Result};
+
+/// Runs a transient analysis with the configured pipelining scheme.
+///
+/// For [`Scheme::Serial`] this wraps the plain serial engine (the critical
+/// path then equals the total work).
+///
+/// # Errors
+///
+/// Same failure modes as [`wavepipe_engine::run_transient`].
+pub fn run_wavepipe(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    opts: &WavePipeOptions,
+) -> Result<WavePipeReport> {
+    match opts.scheme {
+        Scheme::Serial => {
+            let result = run_transient(circuit, tstep, tstop, &opts.sim)?;
+            let total = *result.stats();
+            Ok(WavePipeReport {
+                scheme: Scheme::Serial,
+                threads: 1,
+                rounds: total.steps_accepted + total.steps_rejected(),
+                critical_work: total.work_units(),
+                critical_ns: total.wall_ns,
+                total,
+                result,
+                lead_accepted: 0,
+                lead_rejected: 0,
+                speculation_accepted: 0,
+                speculation_rejected: 0,
+            })
+        }
+        Scheme::Backward => backward::run_backward(circuit, tstep, tstop, opts),
+        Scheme::Forward => forward::run_forward(circuit, tstep, tstop, opts),
+        Scheme::Combined => combined::run_combined(circuit, tstep, tstop, opts),
+        Scheme::Adaptive => adaptive::run_adaptive(circuit, tstep, tstop, opts),
+    }
+}

@@ -1,0 +1,148 @@
+//! WavePipe configuration.
+
+use wavepipe_engine::SimOptions;
+
+/// Which waveform-pipelining scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Plain serial simulation (the baseline; single thread).
+    Serial,
+    /// Backward pipelining: concurrent solves at the leading point and the
+    /// backward intermediate points, enlarging the per-round time stride.
+    #[default]
+    Backward,
+    /// Forward pipelining: speculative Newton at future points from
+    /// predicted history, refined once the true history lands.
+    Forward,
+    /// Backward pipelining plus one forward speculative point.
+    Combined,
+    /// Per-round choice between backward and forward pipelining, driven by
+    /// their measured efficiency (extension beyond the paper's fixed
+    /// schemes).
+    Adaptive,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::Serial => write!(f, "serial"),
+            Scheme::Backward => write!(f, "backward"),
+            Scheme::Forward => write!(f, "forward"),
+            Scheme::Combined => write!(f, "combined"),
+            Scheme::Adaptive => write!(f, "adaptive"),
+        }
+    }
+}
+
+/// Options controlling a WavePipe run.
+///
+/// The embedded [`SimOptions`] are shared verbatim with the serial baseline,
+/// which is what makes the accuracy-equivalence property meaningful: every
+/// scheme applies the same Newton tolerances and LTE test to every accepted
+/// point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavePipeOptions {
+    /// Pipelining scheme.
+    pub scheme: Scheme,
+    /// Worker threads (including the coordinating thread). Clamped to at
+    /// least 1; `Serial` ignores it.
+    pub threads: usize,
+    /// Forward pipelining: pre-filter — multiplier on the Newton tolerance
+    /// (node voltages only) above which a prediction is considered hopeless
+    /// and the speculative solve is discarded without a refinement attempt.
+    /// Predictions at LTE-chosen steps are routinely 10–50x the Newton
+    /// tolerance, so this is deliberately loose; the *real* gate is
+    /// [`WavePipeOptions::fp_refine_iters`]. Default `200.0`.
+    pub fp_accept_factor: f64,
+    /// Forward pipelining: Newton iteration budget for refining a
+    /// speculative solve against the true history. If the warm start cannot
+    /// converge within this budget it was not close enough to pay off, and
+    /// the speculation is discarded. Default `4`.
+    pub fp_refine_iters: usize,
+    /// Forward pipelining: ratio of the speculative stride to the current
+    /// stride. `1.0` (default) speculates at the same step size; values up
+    /// to `rmax` speculate more aggressively.
+    pub fp_stride_factor: f64,
+    /// Backward pipelining: use the recent LTE growth prediction to place
+    /// the leading point (`true`, default) instead of always stretching by
+    /// the full `rmax`.
+    pub bp_adaptive_lead: bool,
+    /// Backward pipelining: minimum predicted growth factor below which
+    /// lead points are not launched. The default `0.0` disables the gate:
+    /// measured across the benchmark suite, launching leads even at low
+    /// accept rates is a net win (a rejected lead only stretches the round's
+    /// critical path by the lead/base cost difference, while an accepted one
+    /// saves a whole serial step). Kept as an ablation knob — see Figure D2.
+    pub bp_growth_gate: f64,
+    /// Backward pipelining: slack multiplier on the LTE stride budget when
+    /// deciding how many lead tasks to launch. `1.0` launches only leads
+    /// predicted to pass; larger values also buy "lottery" leads whose
+    /// rejection costs nothing but critical-path stretch. Default
+    /// `infinity` (always launch the full ladder) — see Figure D2 for the
+    /// measured trade-off.
+    pub bp_budget_slack: f64,
+    /// Engine options (tolerances, method, step limits).
+    pub sim: SimOptions,
+}
+
+impl Default for WavePipeOptions {
+    fn default() -> Self {
+        WavePipeOptions {
+            scheme: Scheme::default(),
+            threads: 2,
+            fp_accept_factor: 200.0,
+            fp_refine_iters: 4,
+            fp_stride_factor: 1.0,
+            bp_adaptive_lead: true,
+            bp_growth_gate: 0.0,
+            bp_budget_slack: f64::INFINITY,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+impl WavePipeOptions {
+    /// Convenience constructor for a scheme at a thread count.
+    pub fn new(scheme: Scheme, threads: usize) -> Self {
+        WavePipeOptions { scheme, threads: threads.max(1), ..WavePipeOptions::default() }
+    }
+
+    /// Number of concurrent point-solves a round may issue.
+    pub fn width(&self) -> usize {
+        match self.scheme {
+            Scheme::Serial => 1,
+            _ => self.threads.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_backward_two_threads() {
+        let o = WavePipeOptions::default();
+        assert_eq!(o.scheme, Scheme::Backward);
+        assert_eq!(o.threads, 2);
+    }
+
+    #[test]
+    fn new_clamps_threads() {
+        let o = WavePipeOptions::new(Scheme::Forward, 0);
+        assert_eq!(o.threads, 1);
+    }
+
+    #[test]
+    fn width_is_one_for_serial() {
+        let o = WavePipeOptions::new(Scheme::Serial, 8);
+        assert_eq!(o.width(), 1);
+        assert_eq!(WavePipeOptions::new(Scheme::Backward, 3).width(), 3);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::Backward.to_string(), "backward");
+        assert_eq!(Scheme::Combined.to_string(), "combined");
+    }
+}

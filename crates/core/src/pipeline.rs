@@ -1,0 +1,501 @@
+//! Shared machinery for the pipelining schemes: the run driver (history,
+//! breakpoints, step control, commit logic identical to the serial engine)
+//! and the concurrent round executor.
+
+use crate::options::{Scheme, WavePipeOptions};
+use crate::report::WavePipeReport;
+use wavepipe_circuit::Circuit;
+use wavepipe_engine::lte::lte_step_control;
+use wavepipe_engine::{
+    EngineError, HistoryWindow, MnaSystem, PointSolution, PointSolver, Result, SimStats,
+    TransientResult,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One concurrent point-solve request.
+pub(crate) struct Task {
+    /// History window the solve integrates from (true or speculative).
+    pub hw: HistoryWindow,
+    /// Target time.
+    pub t: f64,
+    /// Optional Newton initial guess (defaults to the window's predictor).
+    pub guess: Option<Vec<f64>>,
+}
+
+/// A solve request shipped to a pool worker.
+struct Job {
+    task: Task,
+    max_iters: usize,
+    /// Position in the round's result vector.
+    slot: usize,
+}
+
+/// A pool of persistent worker threads, each owning its own [`PointSolver`]
+/// (matrix values, LU factors, junction state survive across rounds, so the
+/// refactorization fast path stays warm). Compared to spawning scoped
+/// threads per round, this removes thread-creation latency from every
+/// round's wall time.
+pub(crate) struct WorkerPool {
+    senders: Vec<std::sync::mpsc::Sender<Job>>,
+    results: std::sync::mpsc::Receiver<(usize, Result<PointSolution>)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers for the given compiled system.
+    fn new(sys: &Arc<MnaSystem>, sim: &wavepipe_engine::SimOptions, n: usize) -> Self {
+        let (result_tx, results) = std::sync::mpsc::channel();
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let out = result_tx.clone();
+            let mut solver = PointSolver::new(Arc::clone(sys), sim.clone());
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let r = solver.solve_point(
+                        &job.task.hw,
+                        job.task.t,
+                        job.task.guess.as_deref(),
+                        job.max_iters,
+                    );
+                    if out.send((job.slot, r)).is_err() {
+                        break;
+                    }
+                }
+            }));
+            senders.push(tx);
+        }
+        WorkerPool { senders, results, handles }
+    }
+
+    fn len(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lets every worker's recv() fail and the
+        // thread exit; join to avoid leaking threads across runs.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Outcome of attempting to commit one candidate point.
+pub(crate) enum Commit {
+    /// Point accepted; `h_next` is the LTE-proposed next step.
+    Accepted {
+        /// Proposed next step size.
+        h_next: f64,
+    },
+    /// Rejected by the LTE test; retry with `h_retry`.
+    RejectedLte {
+        /// Suggested retry step.
+        h_retry: f64,
+    },
+    /// Newton did not converge (or produced non-finite values).
+    RejectedNewton,
+}
+
+/// The per-run driver: everything the scheme loops share.
+pub(crate) struct Driver {
+    pub sys: Arc<MnaSystem>,
+    /// Solver used by the coordinating thread (round base points,
+    /// speculative refinements).
+    pub lead: PointSolver,
+    pool: WorkerPool,
+    pub wp: WavePipeOptions,
+    pub tstep: f64,
+    pub tstop: f64,
+    pub hmin: f64,
+    pub hmax: f64,
+    bps: Vec<f64>,
+    next_bp: usize,
+    pub hw: HistoryWindow,
+    /// Current base step proposal.
+    pub h: f64,
+    /// LTE growth factor observed at the last accepted point (used by the
+    /// adaptive backward-lead placement).
+    pub last_growth: f64,
+    /// LTE error ratio observed at the last accepted point (<= 1).
+    pub last_ratio: f64,
+    /// Exponential moving average of the lead-point accept rate; drives the
+    /// self-tuning backward budget slack.
+    pub lead_ema: f64,
+    /// Hysteresis state: whether deep ladders / speculation are currently
+    /// enabled (flips at lead-EMA 0.45 up / 0.25 down).
+    deep_mode: bool,
+    /// Consecutive base-point LTE rejections (escape hatch for error floors,
+    /// mirroring the serial engine's backward-Euler restart).
+    lte_reject_streak: usize,
+    pub result: TransientResult,
+    pub total: SimStats,
+    pub critical_work: u64,
+    pub critical_ns: u128,
+    pub rounds: usize,
+    pub lead_accepted: usize,
+    pub lead_rejected: usize,
+    pub spec_accepted: usize,
+    pub spec_rejected: usize,
+    run_start: Instant,
+}
+
+impl Driver {
+    /// Compiles the circuit, solves the operating point (counted on the
+    /// critical path — it is inherently sequential), and prepares the run.
+    pub fn new(
+        circuit: &Circuit,
+        tstep: f64,
+        tstop: f64,
+        wp: &WavePipeOptions,
+    ) -> Result<Self> {
+        if !(tstop > 0.0 && tstop.is_finite()) {
+            return Err(EngineError::BadParameter { name: "tstop", value: tstop });
+        }
+        if !(tstep > 0.0 && tstep.is_finite()) {
+            return Err(EngineError::BadParameter { name: "tstep", value: tstep });
+        }
+        let run_start = Instant::now();
+        let sys = Arc::new(MnaSystem::compile(circuit)?);
+        let width = wp.width();
+        let mut lead = PointSolver::new(Arc::clone(&sys), wp.sim.clone());
+        let pool = WorkerPool::new(&sys, &wp.sim, width.saturating_sub(1));
+        let node_names: Vec<String> = sys.node_names().to_vec();
+        let mut result = TransientResult::new(sys.n_unknowns(), node_names);
+        result.set_branch_names(sys.branch_names().to_vec());
+
+        let mut dc_stats = SimStats::new();
+        let dc_start = Instant::now();
+        let x0 = lead.initial_state(&mut dc_stats)?;
+        dc_stats.wall_ns = dc_start.elapsed().as_nanos();
+        result.push(0.0, &x0);
+        let hw = HistoryWindow::start(x0, sys.cap_state_count());
+
+        let bps = sys.breakpoints(tstop);
+        let hmin = wp.sim.hmin(tstop);
+        let hmax = wp.sim.hmax(tstop);
+        let h = tstep.min(hmax).min(tstop / 100.0).max(hmin);
+        let critical_work = dc_stats.work_units();
+        let critical_ns = dc_stats.wall_ns;
+
+        Ok(Driver {
+            sys,
+            lead,
+            pool,
+            wp: wp.clone(),
+            tstep,
+            tstop,
+            hmin,
+            hmax,
+            bps,
+            next_bp: 0,
+            hw,
+            h,
+            last_growth: 1.0,
+            last_ratio: 0.5,
+            lead_ema: 0.5,
+            deep_mode: true,
+            lte_reject_streak: 0,
+            result,
+            total: dc_stats,
+            critical_work,
+            critical_ns,
+            rounds: 0,
+            lead_accepted: 0,
+            lead_rejected: 0,
+            spec_accepted: 0,
+            spec_rejected: 0,
+            run_start,
+        })
+    }
+
+    /// Solves up to `1 + pool_size` tasks concurrently: task 0 on the
+    /// coordinating thread, the rest on the persistent workers. Results are
+    /// returned in task order.
+    pub fn solve_round(
+        &mut self,
+        tasks: Vec<Task>,
+        max_iters: usize,
+    ) -> Vec<Result<PointSolution>> {
+        assert!(tasks.len() <= 1 + self.pool.len(), "more tasks than solvers");
+        let n = tasks.len();
+        let mut out: Vec<Option<Result<PointSolution>>> = (0..n).map(|_| None).collect();
+        let mut iter = tasks.into_iter().enumerate();
+        let first = iter.next();
+        let mut dispatched = 0usize;
+        for ((slot, task), tx) in iter.zip(&self.pool.senders) {
+            tx.send(Job { task, max_iters, slot }).expect("worker alive");
+            dispatched += 1;
+        }
+        if let Some((slot, task)) = first {
+            out[slot] =
+                Some(self.lead.solve_point(&task.hw, task.t, task.guess.as_deref(), max_iters));
+        }
+        for _ in 0..dispatched {
+            let (slot, r) = self.pool.results.recv().expect("worker alive");
+            out[slot] = Some(r);
+        }
+        out.into_iter().map(|o| o.expect("every task produced a result")).collect()
+    }
+
+    /// `true` once the simulation reached `tstop`.
+    pub fn done(&self) -> bool {
+        self.hw.t() >= self.tstop - 0.5 * self.hmin
+    }
+
+    /// The next un-passed breakpoint (or `tstop`). Also advances past any
+    /// breakpoints the history has already crossed.
+    pub fn horizon(&mut self) -> f64 {
+        while self.next_bp < self.bps.len() && self.bps[self.next_bp] <= self.hw.t() + 0.5 * self.hmin
+        {
+            self.next_bp += 1;
+        }
+        self.bps.get(self.next_bp).copied().unwrap_or(self.tstop).min(self.tstop)
+    }
+
+    /// Clips an ascending target list at the horizon: targets beyond it are
+    /// dropped and the last kept target snaps onto it. Returns the clipped
+    /// list and whether the final target sits on the horizon (a breakpoint
+    /// or `tstop`).
+    pub fn clip_targets(&mut self, raw: &[f64]) -> (Vec<f64>, bool) {
+        let limit = self.horizon();
+        let mut out = Vec::with_capacity(raw.len());
+        let mut hit = false;
+        for &t in raw {
+            if t >= limit - 0.5 * self.hmin {
+                out.push(limit);
+                hit = true;
+                break;
+            }
+            out.push(t);
+        }
+        (out, hit)
+    }
+
+    /// Serial-identical commit test for a candidate: Newton convergence,
+    /// finiteness, and the LTE accept/reject with the *actual* integration
+    /// stride the candidate used.
+    pub fn try_commit(&mut self, sol: &PointSolution) -> Commit {
+        if !sol.converged || !wavepipe_sparse::vector::all_finite(&sol.x) {
+            return Commit::RejectedNewton;
+        }
+        let needed = sol.method.order() + 1;
+        let h_used = sol.coeffs.h;
+        if self.hw.usable_for_lte() >= needed {
+            let refs: Vec<&[f64]> =
+                self.hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
+            let d = lte_step_control(
+                sol.method,
+                sol.t,
+                &sol.x,
+                h_used,
+                &self.hw.times()[..needed],
+                &refs,
+                &self.wp.sim,
+            );
+            if !d.accept && h_used > self.hmin * 1.01 {
+                return Commit::RejectedLte { h_retry: d.h_new };
+            }
+            self.lte_reject_streak = 0;
+            self.last_growth = (d.h_new / h_used).max(0.1);
+            self.last_ratio = d.ratio.max(1e-9);
+            self.accept(sol);
+            Commit::Accepted { h_next: d.h_new }
+        } else {
+            self.last_growth = self.wp.sim.rmax;
+            self.last_ratio = 1e-9;
+            self.accept(sol);
+            Commit::Accepted { h_next: h_used * self.wp.sim.rmax }
+        }
+    }
+
+    fn accept(&mut self, sol: &PointSolution) {
+        self.hw.accept(sol);
+        self.result.push(sol.t, &sol.x);
+        self.total.steps_accepted += 1;
+    }
+
+    /// Handles landing on the horizon: if it was a real breakpoint, restart
+    /// integration and shrink the step for the corner.
+    pub fn handle_breakpoint_landing(&mut self) {
+        let t = self.hw.t();
+        if self.next_bp < self.bps.len() && (self.bps[self.next_bp] - t).abs() <= 0.5 * self.hmin {
+            self.next_bp += 1;
+            self.hw.mark_discontinuity();
+            let to_next =
+                self.bps.get(self.next_bp).map_or(self.tstop - t, |&b| b - t).max(self.hmin);
+            self.h = self.h.min(self.tstep * 0.25).min((to_next * 0.25).max(self.hmin));
+        }
+    }
+
+    /// Adds a round's concurrent task costs: everything into `total`, the
+    /// maximum into the critical path.
+    pub fn account_parallel(&mut self, task_stats: &[SimStats]) {
+        let mut max_work = 0u64;
+        let mut max_ns = 0u128;
+        for s in task_stats {
+            self.total += *s;
+            max_work = max_work.max(s.work_units());
+            max_ns = max_ns.max(s.wall_ns);
+        }
+        self.critical_work += max_work;
+        self.critical_ns += max_ns;
+        self.rounds += 1;
+    }
+
+    /// Adds inherently sequential work (speculation refinement, serial
+    /// fix-up solves) to both totals and the critical path.
+    pub fn account_sequential(&mut self, s: &SimStats) {
+        self.total += *s;
+        self.critical_work += s.work_units();
+        self.critical_ns += s.wall_ns;
+    }
+
+    /// Lead-placement growth factor: aim the backward lead at the *LTE
+    /// boundary* predicted by the last accepted point's error ratio (a step
+    /// grown by `f` scales the ratio by `f^(order+1)`; target 0.9), rather
+    /// than at the deliberately conservative base-step proposal. In rapid
+    /// growth phases (ratio ~ 0) this saturates at `rmax`.
+    pub fn lead_growth(&self) -> f64 {
+        if !self.wp.bp_adaptive_lead {
+            return self.wp.sim.rmax;
+        }
+        let order = self.wp.sim.method.order() as f64;
+        (0.9 / self.last_ratio).powf(1.0 / (order + 1.0)).clamp(1.0, self.wp.sim.rmax)
+    }
+
+    /// Builds the backward target ladder from the current time: gaps start
+    /// at the base step and stretch by [`Driver::lead_growth`], but any lead
+    /// whose *total integration stride* would exceed the LTE-boundary budget
+    /// is not launched at all — in error-bound phases it would fail its LTE
+    /// test with certainty, and an un-launched task keeps the round's
+    /// critical path at the base solve. In growth phases (tiny error ratio)
+    /// the budget is huge and the full ladder width is used.
+    pub fn backward_ladder(&self, width: usize) -> Vec<f64> {
+        let growth = self.lead_growth();
+        let order = self.wp.sim.method.order() as f64;
+        // Total stride budget from the last accepted point. Not clamped to
+        // rmax: the budget is about error, not about per-gap stretching.
+        // The slack is self-tuning: on circuits where launched leads keep
+        // failing (LTE-bound operation), a failed lead still stretches the
+        // round's critical path — its solve is the most expensive concurrent
+        // task — so the budget contracts toward "only near-certain leads";
+        // where leads keep paying, the full configured slack applies.
+        let budget = if self.wp.bp_adaptive_lead && self.wp.bp_budget_slack.is_finite() {
+            let slack = 1.0
+                + (self.wp.bp_budget_slack - 1.0) * (self.lead_ema / 0.3).min(1.0);
+            self.h * (0.95 / self.last_ratio).powf(1.0 / (order + 1.0)) * slack
+        } else {
+            f64::INFINITY
+        };
+        // Optional gating (ablation knobs, both off by default — measured
+        // across the suite, launching leads even at low accept rates is a
+        // net win): a growth-phase gate on the predicted stretch factor,
+        // with periodic probing so a regime change re-enables leads.
+        let leads_enabled = !self.wp.bp_adaptive_lead
+            || self.lead_growth() >= self.wp.bp_growth_gate
+            || self.rounds % 16 == 15;
+        let width = if leads_enabled { width } else { 1 };
+        // Ladder depth scales with how well leads have been paying: one
+        // lottery lead is near-free on the critical path, but deep ladders
+        // only earn their keep in sustained growth phases (hysteresis on
+        // the lead-EMA avoids flapping at the threshold).
+        let width = if self.wp.bp_adaptive_lead && !self.deep_mode() {
+            width.min(2)
+        } else {
+            width
+        };
+        let mut targets = Vec::with_capacity(width);
+        let t0 = self.hw.t();
+        let mut t = t0;
+        let mut gap = self.h;
+        for i in 0..width {
+            t += gap;
+            if i > 0 && t - t0 > budget {
+                break;
+            }
+            targets.push(t);
+            gap = (gap * growth).min(self.hmax);
+        }
+        targets
+    }
+
+    /// Handles an LTE rejection of the round's *base* point: mirrors the
+    /// serial engine exactly, including the backward-Euler restart escape
+    /// when the error estimate stops responding to step shrinks
+    /// (trapezoidal ringing / noise-dominated divided differences).
+    pub fn base_lte_reject(&mut self, h_attempt: f64, h_retry: f64) {
+        self.total.steps_rejected_lte += 1;
+        self.lte_reject_streak += 1;
+        let crawling = h_attempt < self.hmin * 1e3;
+        if self.lte_reject_streak >= 3 || crawling {
+            self.hw.mark_discontinuity();
+            self.lte_reject_streak = 0;
+            self.h = h_attempt;
+        } else {
+            self.h = h_retry;
+        }
+    }
+
+    /// Records a lead-point outcome in the accept-rate EMA.
+    pub fn note_lead(&mut self, accepted: bool) {
+        const ALPHA: f64 = 0.08;
+        let x = if accepted { 1.0 } else { 0.0 };
+        self.lead_ema = (1.0 - ALPHA) * self.lead_ema + ALPHA * x;
+        if self.lead_ema > 0.45 {
+            self.deep_mode = true;
+        } else if self.lead_ema < 0.25 {
+            self.deep_mode = false;
+        }
+    }
+
+    /// Whether sustained lead success currently justifies deep ladders and
+    /// forward speculation past the lead.
+    pub fn deep_mode(&self) -> bool {
+        self.deep_mode
+    }
+
+    /// Newton failure on the base point: shrink and retry.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TimestepTooSmall`] when the retry step would go below
+    /// `hmin`.
+    pub fn newton_backoff(&mut self, h_attempt: f64) -> Result<()> {
+        self.total.steps_rejected_newton += 1;
+        self.h = h_attempt * self.wp.sim.nr_shrink;
+        if self.h < self.hmin {
+            return Err(EngineError::TimestepTooSmall {
+                time: self.hw.t(),
+                step: self.h,
+                hmin: self.hmin,
+            });
+        }
+        Ok(())
+    }
+
+    /// Packages the run into a report.
+    pub fn finish(mut self, scheme: Scheme) -> WavePipeReport {
+        self.total.wall_ns = self.run_start.elapsed().as_nanos();
+        let mut result = self.result;
+        result.set_stats(self.total);
+        WavePipeReport {
+            result,
+            scheme,
+            threads: self.wp.threads,
+            rounds: self.rounds,
+            total: self.total,
+            critical_work: self.critical_work,
+            critical_ns: self.critical_ns,
+            lead_accepted: self.lead_accepted,
+            lead_rejected: self.lead_rejected,
+            speculation_accepted: self.spec_accepted,
+            speculation_rejected: self.spec_rejected,
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Run reports: work accounting and speedup computation.
+
+use crate::options::Scheme;
+use wavepipe_engine::{SimStats, TransientResult};
+
+/// Outcome of a WavePipe run: the waveform plus parallel work accounting.
+///
+/// Two cost views are reported:
+///
+/// * **total** — work summed over every thread (what the machine did);
+/// * **critical path** — per round, only the *maximum* concurrent task cost
+///   counts, plus any sequential commit/refinement work. On an
+///   otherwise-idle machine with at least `threads` cores, wall-clock time
+///   is proportional to the critical path; reporting it makes the speedup
+///   measurement hardware-independent (this container has one core).
+#[derive(Debug, Clone)]
+pub struct WavePipeReport {
+    /// The simulated waveform (accepted points only).
+    pub result: TransientResult,
+    /// The scheme that produced it.
+    pub scheme: Scheme,
+    /// Threads configured.
+    pub threads: usize,
+    /// Parallel rounds executed.
+    pub rounds: usize,
+    /// Work summed across all threads.
+    pub total: SimStats,
+    /// Critical-path work in abstract units (see [`SimStats::work_units`]).
+    pub critical_work: u64,
+    /// Critical-path wall time in nanoseconds.
+    pub critical_ns: u128,
+    /// Backward pipelining: leading points accepted / rejected.
+    pub lead_accepted: usize,
+    /// Backward pipelining: leading points discarded (LTE or Newton).
+    pub lead_rejected: usize,
+    /// Forward pipelining: speculative solves whose prediction was accepted
+    /// and refined.
+    pub speculation_accepted: usize,
+    /// Forward pipelining: speculative solves discarded.
+    pub speculation_rejected: usize,
+}
+
+impl WavePipeReport {
+    /// Modelled speedup over a serial run: serial work divided by this run's
+    /// critical-path work.
+    pub fn modeled_speedup(&self, serial: &SimStats) -> f64 {
+        if self.critical_work == 0 {
+            return 1.0;
+        }
+        serial.work_units() as f64 / self.critical_work as f64
+    }
+
+    /// Wall-clock-modelled speedup: serial wall time over critical-path time.
+    pub fn wall_speedup(&self, serial: &SimStats) -> f64 {
+        if self.critical_ns == 0 {
+            return 1.0;
+        }
+        serial.wall_ns as f64 / self.critical_ns as f64
+    }
+
+    /// Fraction of speculative / leading solves that paid off.
+    pub fn accept_rate(&self) -> f64 {
+        let total = self.lead_accepted
+            + self.lead_rejected
+            + self.speculation_accepted
+            + self.speculation_rejected;
+        if total == 0 {
+            return 1.0;
+        }
+        (self.lead_accepted + self.speculation_accepted) as f64 / total as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} x{}: {} pts, {} rounds, cp {} units / {:.2} ms, accept {:.0}%",
+            self.scheme,
+            self.threads,
+            self.result.len(),
+            self.rounds,
+            self.critical_work,
+            self.critical_ns as f64 / 1e6,
+            self.accept_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report(critical_work: u64) -> WavePipeReport {
+        WavePipeReport {
+            result: TransientResult::new(1, vec!["a".into()]),
+            scheme: Scheme::Backward,
+            threads: 2,
+            rounds: 10,
+            total: SimStats::new(),
+            critical_work,
+            critical_ns: 1_000_000,
+            lead_accepted: 8,
+            lead_rejected: 2,
+            speculation_accepted: 0,
+            speculation_rejected: 0,
+        }
+    }
+
+    #[test]
+    fn modeled_speedup_ratio() {
+        let r = dummy_report(50);
+        let serial = SimStats { device_evals: 100, ..SimStats::new() };
+        assert!((r.modeled_speedup(&serial) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_critical_work_degrades_gracefully() {
+        let r = dummy_report(0);
+        assert_eq!(r.modeled_speedup(&SimStats::new()), 1.0);
+    }
+
+    #[test]
+    fn accept_rate_counts_both_kinds() {
+        let mut r = dummy_report(10);
+        r.speculation_accepted = 5;
+        r.speculation_rejected = 5;
+        assert!((r.accept_rate() - 13.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_contains_scheme() {
+        assert!(dummy_report(1).summary().contains("backward"));
+    }
+}

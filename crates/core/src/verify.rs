@@ -1,0 +1,154 @@
+//! Serial-equivalence verification: the paper's claim is that WavePipe
+//! parallelises "without jeopardising convergence and accuracy". This module
+//! quantifies that: every scheme's waveform is compared against the serial
+//! reference on the union of both time grids.
+
+use wavepipe_engine::TransientResult;
+
+/// Waveform agreement metrics between a reference and a candidate result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Equivalence {
+    /// Maximum absolute deviation over all node voltages and union times.
+    pub max_abs: f64,
+    /// Root-mean-square deviation over the same set.
+    pub rms: f64,
+    /// Peak absolute node voltage of the reference (for relative bands).
+    pub ref_peak: f64,
+}
+
+impl Equivalence {
+    /// Maximum deviation relative to the reference peak.
+    pub fn max_rel(&self) -> f64 {
+        if self.ref_peak == 0.0 {
+            self.max_abs
+        } else {
+            self.max_abs / self.ref_peak
+        }
+    }
+
+    /// RMS deviation relative to the reference peak.
+    pub fn rms_rel(&self) -> f64 {
+        if self.ref_peak == 0.0 {
+            self.rms
+        } else {
+            self.rms / self.ref_peak
+        }
+    }
+}
+
+/// Compares two transient results over all node-voltage unknowns on the
+/// union of their time grids (linear interpolation between points).
+///
+/// # Panics
+///
+/// Panics if either result is empty or the unknown layouts differ.
+pub fn compare(reference: &TransientResult, candidate: &TransientResult) -> Equivalence {
+    assert_eq!(reference.n_unknowns(), candidate.n_unknowns(), "layouts differ");
+    assert!(!reference.is_empty() && !candidate.is_empty());
+    let n_nodes = reference.node_count();
+    // Union grid.
+    let mut grid: Vec<f64> = reference.times().iter().chain(candidate.times()).copied().collect();
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    grid.dedup();
+
+    let mut max_abs = 0.0_f64;
+    let mut sumsq = 0.0_f64;
+    let mut count = 0usize;
+    let mut ref_peak = 0.0_f64;
+    for u in 0..n_nodes {
+        for &t in &grid {
+            let r = reference.sample(u, t);
+            let c = candidate.sample(u, t);
+            let d = (r - c).abs();
+            max_abs = max_abs.max(d);
+            sumsq += d * d;
+            count += 1;
+            ref_peak = ref_peak.max(r.abs());
+        }
+    }
+    Equivalence { max_abs, rms: (sumsq / count.max(1) as f64).sqrt(), ref_peak }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_of(f: impl Fn(f64) -> f64, ts: &[f64]) -> TransientResult {
+        let mut r = TransientResult::new(1, vec!["a".into()]);
+        for &t in ts {
+            r.push(t, &[f(t)]);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_results_are_equivalent() {
+        let ts: Vec<f64> = (0..20).map(|k| k as f64 * 0.1).collect();
+        let a = result_of(|t| t.sin(), &ts);
+        let e = compare(&a, &a.clone());
+        assert_eq!(e.max_abs, 0.0);
+        assert_eq!(e.rms, 0.0);
+    }
+
+    #[test]
+    fn different_grids_same_linear_waveform_agree() {
+        let ta: Vec<f64> = (0..=10).map(|k| k as f64 * 0.1).collect();
+        let tb: Vec<f64> = (0..=7).map(|k| k as f64 / 7.0).collect();
+        let a = result_of(|t| 3.0 * t, &ta);
+        let b = result_of(|t| 3.0 * t, &tb);
+        let e = compare(&a, &b);
+        assert!(e.max_abs < 1e-12);
+    }
+
+    #[test]
+    fn offset_is_measured() {
+        let ts: Vec<f64> = (0..=10).map(|k| k as f64 * 0.1).collect();
+        let a = result_of(|t| t, &ts);
+        let b = result_of(|t| t + 0.1, &ts);
+        let e = compare(&a, &b);
+        assert!((e.max_abs - 0.1).abs() < 1e-12);
+        assert!((e.rms - 0.1).abs() < 1e-12);
+        assert!((e.ref_peak - 1.0).abs() < 1e-12);
+        assert!((e.max_rel() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_uses_absolute() {
+        let ts: Vec<f64> = (0..=3).map(|k| k as f64).collect();
+        let a = result_of(|_| 0.0, &ts);
+        let b = result_of(|_| 0.5, &ts);
+        let e = compare(&a, &b);
+        assert_eq!(e.max_rel(), 0.5);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use wavepipe_engine::TransientResult;
+
+    #[test]
+    fn rms_is_below_max() {
+        let ts: Vec<f64> = (0..=20).map(|k| k as f64 * 0.05).collect();
+        let mut a = TransientResult::new(1, vec!["n".into()]);
+        let mut b = TransientResult::new(1, vec!["n".into()]);
+        for &t in &ts {
+            a.push(t, &[t.sin()]);
+            b.push(t, &[t.sin() + if t > 0.5 { 0.3 } else { 0.0 }]);
+        }
+        let e = compare(&a, &b);
+        assert!(e.rms <= e.max_abs + 1e-15);
+        assert!(e.max_abs >= 0.3 - 1e-12);
+        assert!(e.rms < 0.3, "localized error must average down");
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts differ")]
+    fn mismatched_layouts_panic() {
+        let mut a = TransientResult::new(1, vec!["n".into()]);
+        let mut b = TransientResult::new(2, vec!["n".into(), "m".into()]);
+        a.push(0.0, &[0.0]);
+        b.push(0.0, &[0.0, 0.0]);
+        let _ = compare(&a, &b);
+    }
+}

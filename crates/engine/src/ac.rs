@@ -1,0 +1,454 @@
+//! Small-signal AC analysis.
+//!
+//! The circuit is linearised at its DC operating point and the complex
+//! phasor system `(G + jB(ω)) x = b` is solved per frequency. Rather than a
+//! complex solver, the real-equivalent form is used so the existing sparse
+//! LU applies unchanged:
+//!
+//! ```text
+//! [ G  -B ] [x_re]   [b_re]
+//! [ B   G ] [x_im] = [b_im]
+//! ```
+//!
+//! Sources contribute their [`ac_magnitude`] (zero-phase); nonlinear devices
+//! contribute their operating-point conductances; capacitors (including the
+//! diode depletion capacitance, evaluated at the OP voltage) contribute
+//! `ωC` susceptance and inductors `-ωL` on their branch equations.
+//!
+//! [`ac_magnitude`]: wavepipe_circuit::Element::VoltageSource
+
+use crate::devices::{bjt_eval, depletion_charge, diode_eval, mos_eval};
+use crate::error::{EngineError, Result};
+use crate::mna::{Dev, MnaSystem};
+use crate::newton::LinearCache;
+use crate::options::SimOptions;
+use crate::stats::SimStats;
+use wavepipe_circuit::Circuit;
+use wavepipe_sparse::{CooMatrix, LuOptions, SparseLu};
+
+/// A complex phasor value.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Phasor {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Phasor {
+    /// Magnitude `|z|`.
+    pub fn magnitude(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Magnitude in decibels, `20 log10 |z|` (`-inf` for zero).
+    pub fn db(self) -> f64 {
+        20.0 * self.magnitude().log10()
+    }
+
+    /// Phase in degrees.
+    pub fn phase_deg(self) -> f64 {
+        self.im.atan2(self.re).to_degrees()
+    }
+}
+
+/// Result of an AC sweep: one phasor per unknown per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    data: Vec<Phasor>,
+    n_unknowns: usize,
+    node_names: Vec<String>,
+}
+
+impl AcResult {
+    /// The swept frequencies (Hz).
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Unknown index of a node name, if present.
+    pub fn unknown_of(&self, node_name: &str) -> Option<usize> {
+        self.node_names.iter().position(|n| n == node_name)
+    }
+
+    /// Number of unknowns per frequency point.
+    pub fn n_unknowns(&self) -> usize {
+        self.n_unknowns
+    }
+
+    /// Iterates the node names in unknown order.
+    pub fn node_names_iter(&self) -> impl Iterator<Item = &str> {
+        self.node_names.iter().map(String::as_str)
+    }
+
+    /// The phasor of unknown `u` at frequency point `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn phasor(&self, u: usize, k: usize) -> Phasor {
+        assert!(u < self.n_unknowns);
+        self.data[k * self.n_unknowns + u]
+    }
+
+    /// `(frequency, magnitude)` trace of one unknown.
+    pub fn magnitude_trace(&self, u: usize) -> Vec<(f64, f64)> {
+        self.freqs
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| (f, self.phasor(u, k).magnitude()))
+            .collect()
+    }
+
+    /// `(frequency, phase-degrees)` trace of one unknown.
+    pub fn phase_trace(&self, u: usize) -> Vec<(f64, f64)> {
+        self.freqs
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| (f, self.phasor(u, k).phase_deg()))
+            .collect()
+    }
+
+    /// The -3 dB corner frequency of an unknown relative to its value at the
+    /// first sweep point, if the magnitude crosses it within the sweep.
+    pub fn corner_frequency(&self, u: usize) -> Option<f64> {
+        let m0 = self.phasor(u, 0).magnitude();
+        let target = m0 / std::f64::consts::SQRT_2;
+        let mut prev = (self.freqs[0], m0);
+        for k in 1..self.freqs.len() {
+            let cur = (self.freqs[k], self.phasor(u, k).magnitude());
+            if (prev.1 - target) * (cur.1 - target) <= 0.0 && prev.1 != cur.1 {
+                // Log-linear interpolation of the crossing.
+                let t = (target - prev.1) / (cur.1 - prev.1);
+                return Some(prev.0 * (cur.0 / prev.0).powf(t));
+            }
+            prev = cur;
+        }
+        None
+    }
+}
+
+/// Runs an AC sweep over the given frequencies.
+///
+/// ```
+/// use wavepipe_circuit::{Circuit, Waveform};
+/// use wavepipe_engine::{run_ac, SimOptions};
+///
+/// # fn main() -> Result<(), wavepipe_engine::EngineError> {
+/// let mut ckt = Circuit::new("rc");
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// ckt.add_vsource_ac("V1", a, Circuit::GROUND, Waveform::dc(0.0), 1.0)?;
+/// ckt.add_resistor("R1", a, b, 1e3)?;
+/// ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9)?;
+/// let res = run_ac(&ckt, &[1e3, 1e6], &SimOptions::default())?;
+/// let out = res.unknown_of("b").expect("node");
+/// // Well below the 159 kHz corner the filter passes ~unity.
+/// assert!(res.phasor(out, 0).magnitude() > 0.99);
+/// // Well above it, strongly attenuated.
+/// assert!(res.phasor(out, 1).magnitude() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates compilation, operating-point, and linear-solver failures;
+/// returns [`EngineError::BadParameter`] for an empty or non-positive
+/// frequency list.
+pub fn run_ac(circuit: &Circuit, freqs: &[f64], opts: &SimOptions) -> Result<AcResult> {
+    let sys = MnaSystem::compile(circuit)?;
+    let mut ws = sys.new_workspace();
+    let mut cache = LinearCache::new();
+    let mut stats = SimStats::new();
+    let x_op = crate::dcop::dc_operating_point(&sys, &mut ws, &mut cache, opts, &mut stats)?;
+    run_ac_at_op(&sys, &x_op, freqs, opts)
+}
+
+/// AC sweep of an already-compiled system at a known operating point.
+///
+/// # Errors
+///
+/// Same as [`run_ac`].
+pub fn run_ac_at_op(
+    sys: &MnaSystem,
+    x_op: &[f64],
+    freqs: &[f64],
+    opts: &SimOptions,
+) -> Result<AcResult> {
+    if freqs.is_empty() {
+        return Err(EngineError::BadParameter { name: "freqs", value: 0.0 });
+    }
+    let n = sys.n_unknowns();
+    let mut data = Vec::with_capacity(freqs.len() * n);
+    for &f in freqs {
+        if !(f > 0.0 && f.is_finite()) {
+            return Err(EngineError::BadParameter { name: "frequency", value: f });
+        }
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let (a, b) = assemble(sys, x_op, omega, opts);
+        let lu = SparseLu::factor(&a.to_csc(), &LuOptions::default())?;
+        let x = lu.solve(&b)?;
+        for u in 0..n {
+            data.push(Phasor { re: x[u], im: x[u + n] });
+        }
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        data,
+        n_unknowns: n,
+        node_names: sys.node_names().to_vec(),
+    })
+}
+
+/// Assembles the real-equivalent 2n x 2n system at angular frequency `omega`.
+fn assemble(sys: &MnaSystem, x: &[f64], omega: f64, opts: &SimOptions) -> (CooMatrix, Vec<f64>) {
+    let n = sys.n_unknowns();
+    let mut a = CooMatrix::with_capacity(2 * n, 2 * n, 16 * n);
+    let mut rhs = vec![0.0; 2 * n];
+    const GND: usize = usize::MAX;
+    let volt = |u: usize| if u == GND { 0.0 } else { x[u] };
+    // Real (conductance) entry: appears in both diagonal blocks.
+    let g = |a: &mut CooMatrix, r: usize, c: usize, v: f64| {
+        if r != GND && c != GND {
+            a.push(r, c, v).expect("in range");
+            a.push(r + n, c + n, v).expect("in range");
+        }
+    };
+    // Imaginary (susceptance) entry: off-diagonal blocks.
+    let s = |a: &mut CooMatrix, r: usize, c: usize, v: f64| {
+        if r != GND && c != GND {
+            a.push(r, c + n, -v).expect("in range");
+            a.push(r + n, c, v).expect("in range");
+        }
+    };
+    let re = |rhs: &mut Vec<f64>, u: usize, v: f64| {
+        if u != GND {
+            rhs[u] += v;
+        }
+    };
+
+    // Structural node shunts keep the pattern nonsingular.
+    for i in 0..sys.n_nodes() {
+        g(&mut a, i, i, opts.gmin);
+    }
+
+    for dev in sys.devices() {
+        match *dev {
+            Dev::Conductance { p, n: q, g: gv } => {
+                g(&mut a, p, p, gv);
+                g(&mut a, p, q, -gv);
+                g(&mut a, q, p, -gv);
+                g(&mut a, q, q, gv);
+            }
+            Dev::Cap { p, n: q, c, .. } => {
+                let b = omega * c;
+                s(&mut a, p, p, b);
+                s(&mut a, p, q, -b);
+                s(&mut a, q, p, -b);
+                s(&mut a, q, q, b);
+            }
+            Dev::Jcap { p, n: q, cj0, vj, m, fc, .. } => {
+                let u_op = volt(p) - volt(q);
+                let (_, c_op) = depletion_charge(u_op, cj0, vj, m, fc);
+                let b = omega * c_op;
+                s(&mut a, p, p, b);
+                s(&mut a, p, q, -b);
+                s(&mut a, q, p, -b);
+                s(&mut a, q, q, b);
+            }
+            Dev::Ind { p, n: q, l, branch, .. } => {
+                g(&mut a, p, branch, 1.0);
+                g(&mut a, q, branch, -1.0);
+                g(&mut a, branch, p, 1.0);
+                g(&mut a, branch, q, -1.0);
+                s(&mut a, branch, branch, -omega * l);
+            }
+            Dev::Vsrc { p, n: q, branch, ac_mag, .. } => {
+                g(&mut a, p, branch, 1.0);
+                g(&mut a, q, branch, -1.0);
+                g(&mut a, branch, p, 1.0);
+                g(&mut a, branch, q, -1.0);
+                rhs[branch] += ac_mag;
+            }
+            Dev::Isrc { p, n: q, ac_mag, .. } => {
+                re(&mut rhs, p, -ac_mag);
+                re(&mut rhs, q, ac_mag);
+            }
+            Dev::Diode { p, n: q, is, nvt, .. } => {
+                let u_op = volt(p) - volt(q);
+                let (_, gd) = diode_eval(u_op, is, nvt);
+                let gv = gd + opts.gmin;
+                g(&mut a, p, p, gv);
+                g(&mut a, p, q, -gv);
+                g(&mut a, q, p, -gv);
+                g(&mut a, q, q, gv);
+            }
+            Dev::Mos { d, g: gt, s: st, b: bt, ref params } => {
+                let e = mos_eval(volt(d), volt(gt), volt(st), volt(bt), params);
+                g(&mut a, d, d, e.g_dd + opts.gmin);
+                g(&mut a, d, gt, e.g_dg);
+                g(&mut a, d, st, e.g_ds - opts.gmin);
+                g(&mut a, d, bt, e.g_db);
+                g(&mut a, st, d, -e.g_dd - opts.gmin);
+                g(&mut a, st, gt, -e.g_dg);
+                g(&mut a, st, st, -e.g_ds + opts.gmin);
+                g(&mut a, st, bt, -e.g_db);
+            }
+            Dev::Bjt { c, b, e, sign, is, bf, br, .. } => {
+                let vbe = sign * (volt(b) - volt(e));
+                let vbc = sign * (volt(b) - volt(c));
+                let ev = bjt_eval(vbe, vbc, sign, is, bf, br);
+                g(&mut a, c, c, ev.g_cc + opts.gmin);
+                g(&mut a, c, b, ev.g_cb - opts.gmin);
+                g(&mut a, c, e, ev.g_ce);
+                g(&mut a, b, c, ev.g_bc - opts.gmin);
+                g(&mut a, b, b, ev.g_bb + 2.0 * opts.gmin);
+                g(&mut a, b, e, ev.g_be - opts.gmin);
+                g(&mut a, e, c, -(ev.g_cc + ev.g_bc));
+                g(&mut a, e, b, -(ev.g_cb + ev.g_bb) - opts.gmin);
+                g(&mut a, e, e, -(ev.g_ce + ev.g_be) + opts.gmin);
+            }
+            Dev::Vcvs { p, n: q, cp, cn, gain, branch } => {
+                g(&mut a, p, branch, 1.0);
+                g(&mut a, q, branch, -1.0);
+                g(&mut a, branch, p, 1.0);
+                g(&mut a, branch, q, -1.0);
+                g(&mut a, branch, cp, -gain);
+                g(&mut a, branch, cn, gain);
+            }
+            Dev::Vccs { p, n: q, cp, cn, gm } => {
+                g(&mut a, p, cp, gm);
+                g(&mut a, p, cn, -gm);
+                g(&mut a, q, cp, -gm);
+                g(&mut a, q, cn, gm);
+            }
+        }
+    }
+    (a, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_circuit::{Circuit, MosModel, Waveform};
+
+    fn log_freqs(fstart: f64, fstop: f64, per_decade: usize) -> Vec<f64> {
+        let decades = (fstop / fstart).log10();
+        let n = (decades * per_decade as f64).ceil() as usize;
+        (0..=n).map(|k| fstart * 10f64.powf(decades * k as f64 / n as f64)).collect()
+    }
+
+    #[test]
+    fn rc_lowpass_matches_analytic_transfer() {
+        let mut ckt = Circuit::new("rc");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource_ac("V1", a, Circuit::GROUND, Waveform::dc(0.0), 1.0).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+        let freqs = log_freqs(1e3, 1e8, 5);
+        let res = run_ac(&ckt, &freqs, &SimOptions::default()).unwrap();
+        let out = res.unknown_of("b").unwrap();
+        let rc = 1e-6;
+        for (k, &f) in freqs.iter().enumerate() {
+            let w = 2.0 * std::f64::consts::PI * f;
+            let mag_exact = 1.0 / (1.0 + (w * rc).powi(2)).sqrt();
+            let ph_exact = -(w * rc).atan().to_degrees();
+            let p = res.phasor(out, k);
+            assert!((p.magnitude() - mag_exact).abs() < 1e-3, "f={f:e}: {} vs {mag_exact}", p.magnitude());
+            assert!((p.phase_deg() - ph_exact).abs() < 0.5, "f={f:e}: {} vs {ph_exact}", p.phase_deg());
+        }
+        // Corner at 1/(2 pi RC) ~ 159 kHz.
+        let fc = res.corner_frequency(out).expect("corner in range");
+        assert!((fc - 159.15e3).abs() / 159.15e3 < 0.05, "fc = {fc:e}");
+    }
+
+    #[test]
+    fn rlc_series_resonance_peak() {
+        // Series RLC driven by AC source; current peaks at f0 = 1/(2 pi sqrt(LC)).
+        let mut ckt = Circuit::new("rlc");
+        let a = ckt.node("a");
+        let m = ckt.node("m");
+        ckt.add_vsource_ac("V1", a, Circuit::GROUND, Waveform::dc(0.0), 1.0).unwrap();
+        ckt.add_resistor("R1", a, m, 10.0).unwrap();
+        let b = ckt.node("b");
+        ckt.add_inductor("L1", m, b, 1e-6).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let freqs = log_freqs(f0 / 30.0, f0 * 30.0, 40);
+        let res = run_ac(&ckt, &freqs, &SimOptions::default()).unwrap();
+        let br = res.unknown_of("a"); // not the branch; use source branch current
+        assert!(br.is_some());
+        // Branch current of V1 is the unknown after the nodes.
+        let ibr = 3; // nodes a,m,b then V1 branch
+        let trace = res.magnitude_trace(ibr);
+        let (f_peak, i_peak) = trace
+            .iter()
+            .copied()
+            .fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
+        assert!((f_peak - f0).abs() / f0 < 0.1, "peak at {f_peak:e}, f0 = {f0:e}");
+        // At resonance |I| ~ V/R = 0.1 A.
+        assert!((i_peak - 0.1).abs() < 0.01, "i_peak = {i_peak}");
+    }
+
+    #[test]
+    fn cs_amplifier_gain_and_rolloff() {
+        // Common-source NMOS amp: |gain| ~ gm*Rd at low f, rolls off through
+        // the output-node capacitance.
+        let mut ckt = Circuit::new("cs");
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("g");
+        let drain = ckt.node("d");
+        ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3)).unwrap();
+        // Bias in saturation: vov = 0.2 -> id = 200 uA -> 1 V across Rd.
+        ckt.add_vsource_ac("Vg", gate, Circuit::GROUND, Waveform::dc(0.9), 1.0).unwrap();
+        let model = MosModel { kp: 2e-4, w: 50e-6, l: 1e-6, ..MosModel::nmos() };
+        let beta = model.beta();
+        ckt.add_mosfet("M1", drain, gate, Circuit::GROUND, model).unwrap();
+        ckt.add_resistor("Rd", vdd, drain, 5e3).unwrap();
+        ckt.add_capacitor("CL", drain, Circuit::GROUND, 10e-12).unwrap();
+        let freqs = log_freqs(1e3, 1e9, 4);
+        let res = run_ac(&ckt, &freqs, &SimOptions::default()).unwrap();
+        let out = res.unknown_of("d").unwrap();
+        // gm at OP: vgs = 0.9, vov = 0.2 (saturation) -> gm = beta*vov.
+        let gm = beta * 0.2;
+        let gain_exact = gm * 5e3;
+        let p0 = res.phasor(out, 0);
+        assert!(
+            (p0.magnitude() - gain_exact).abs() / gain_exact < 0.05,
+            "low-f gain {} vs {gain_exact}",
+            p0.magnitude()
+        );
+        // Inverting stage: phase near 180 degrees at low frequency.
+        assert!((p0.phase_deg().abs() - 180.0).abs() < 2.0, "phase {}", p0.phase_deg());
+        // Rolls off: highest-frequency magnitude well below low-f gain.
+        let plast = res.phasor(out, freqs.len() - 1);
+        assert!(plast.magnitude() < 0.2 * p0.magnitude());
+        // Corner ~ 1/(2 pi Rd CL) ~ 3.18 MHz.
+        let fc = res.corner_frequency(out).expect("corner");
+        assert!((fc - 3.18e6).abs() / 3.18e6 < 0.1, "fc = {fc:e}");
+    }
+
+    #[test]
+    fn quiet_sources_give_zero_response() {
+        let mut ckt = Circuit::new("quiet");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let res = run_ac(&ckt, &[1e6], &SimOptions::default()).unwrap();
+        let ai = res.unknown_of("a").unwrap();
+        assert!(res.phasor(ai, 0).magnitude() < 1e-12);
+    }
+
+    #[test]
+    fn bad_frequency_rejected() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        assert!(run_ac(&ckt, &[], &SimOptions::default()).is_err());
+        assert!(run_ac(&ckt, &[-5.0], &SimOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Engine error types.
+
+use std::fmt;
+use wavepipe_sparse::SparseError;
+
+/// Error produced by DC or transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The linear solver failed (singular matrix, dimension bug, ...).
+    Linear(SparseError),
+    /// Newton–Raphson did not converge within the iteration limit even after
+    /// every continuation strategy (gmin stepping, source stepping).
+    NoConvergence {
+        /// Analysis time at which convergence failed (0 for DC).
+        time: f64,
+        /// Iterations spent in the final attempt.
+        iterations: usize,
+    },
+    /// The transient step size collapsed below the minimum: the local
+    /// truncation error could not be controlled.
+    TimestepTooSmall {
+        /// Time at which the step collapsed.
+        time: f64,
+        /// The step that was rejected.
+        step: f64,
+        /// The minimum allowed step.
+        hmin: f64,
+    },
+    /// The circuit failed structural validation.
+    Circuit(wavepipe_circuit::CircuitError),
+    /// An invalid analysis parameter (e.g. `tstop <= 0`).
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A non-finite value appeared in the solution vector.
+    NumericalBlowup {
+        /// Time at which the blowup occurred.
+        time: f64,
+    },
+    /// An analysis referenced an independent source that does not exist.
+    UnknownSource {
+        /// The missing source name.
+        name: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Linear(e) => write!(f, "linear solve failed: {e}"),
+            EngineError::NoConvergence { time, iterations } => {
+                write!(f, "newton failed to converge at t={time:.3e} after {iterations} iterations")
+            }
+            EngineError::TimestepTooSmall { time, step, hmin } => write!(
+                f,
+                "timestep {step:.3e} below minimum {hmin:.3e} at t={time:.3e}"
+            ),
+            EngineError::Circuit(e) => write!(f, "invalid circuit: {e}"),
+            EngineError::BadParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            EngineError::NumericalBlowup { time } => {
+                write!(f, "non-finite solution at t={time:.3e}")
+            }
+            EngineError::UnknownSource { name } => {
+                write!(f, "no independent source named {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Linear(e) => Some(e),
+            EngineError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for EngineError {
+    fn from(e: SparseError) -> Self {
+        EngineError::Linear(e)
+    }
+}
+
+impl From<wavepipe_circuit::CircuitError> for EngineError {
+    fn from(e: wavepipe_circuit::CircuitError) -> Self {
+        EngineError::Circuit(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_time() {
+        let e = EngineError::NoConvergence { time: 1e-9, iterations: 50 };
+        assert!(e.to_string().contains("1.000e-9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<EngineError>();
+    }
+
+    #[test]
+    fn from_sparse_error() {
+        let e: EngineError = SparseError::Singular { column: 2 }.into();
+        assert!(matches!(e, EngineError::Linear(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,77 @@
+//! Serial SPICE-style simulation engine for WavePipe.
+//!
+//! The engine implements the full classic transient-analysis stack from
+//! scratch:
+//!
+//! * [`MnaSystem`] — circuit compilation to modified nodal analysis with a
+//!   frozen sparse pattern and slot-table restamping ([`mna`]).
+//! * Device linearisation with SPICE-grade numerical guards ([`devices`]):
+//!   diode/BJT junction limiting, `limexp`, channel-symmetric level-1 MOSFET.
+//! * Newton–Raphson with cached LU refactorization ([`newton`]) and DC
+//!   operating point with gmin/source-stepping continuation ([`dcop`]).
+//! * Variable-step integration (backward Euler, trapezoidal, Gear2/BDF2
+//!   with true variable-step coefficients, [`integrate`]), divided-difference
+//!   LTE control ([`lte`]), and source-breakpoint handling ([`transient`]).
+//!
+//! Beyond transient analysis the engine provides the surrounding toolbox:
+//! AC small-signal sweeps ([`ac`]), DC transfer sweeps ([`dcsweep`]),
+//! adjoint DC sensitivities ([`sensitivity`]), `.measure`-style waveform
+//! post-processing ([`measure`]), FFT/THD spectral analysis ([`spectrum`]),
+//! `.op` reports ([`dcop::format_dc_op`]), and SPICE rawfile export
+//! ([`rawfile`]).
+//!
+//! The transient loop is deliberately factored into [`HistoryWindow`] +
+//! [`PointSolver`] so that `wavepipe-core` can solve *multiple adjacent time
+//! points concurrently* with exactly the same numerics as the serial loop.
+//!
+//! # Example
+//!
+//! ```
+//! use wavepipe_circuit::{Circuit, Waveform};
+//! use wavepipe_engine::{run_transient, SimOptions};
+//!
+//! # fn main() -> Result<(), wavepipe_engine::EngineError> {
+//! let mut ckt = Circuit::new("rc");
+//! let a = ckt.node("a");
+//! let b = ckt.node("b");
+//! ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 0.0))?;
+//! ckt.add_resistor("R1", a, b, 1e3)?;
+//! ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9)?;
+//! let result = run_transient(&ckt, 1e-8, 5e-6, &SimOptions::default())?;
+//! let vb = result.unknown_of("b").expect("node exists");
+//! assert!(result.sample(vb, 5e-6) > 0.98); // fully charged
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ac;
+pub mod dcop;
+pub mod dcsweep;
+pub mod devices;
+mod error;
+pub mod integrate;
+pub mod lte;
+pub mod measure;
+pub mod mna;
+pub mod newton;
+mod options;
+pub mod rawfile;
+pub mod sensitivity;
+pub mod spectrum;
+mod result;
+mod stats;
+pub mod transient;
+
+pub use ac::{run_ac, AcResult, Phasor};
+pub use dcsweep::{run_dc_sweep, DcSweepResult};
+pub use sensitivity::{run_dc_sensitivity, SensitivityResult};
+pub use error::{EngineError, Result};
+pub use integrate::{IntegCoeffs, Method};
+pub use mna::{MnaSystem, MnaWorkspace, StampInput};
+pub use options::SimOptions;
+pub use result::TransientResult;
+pub use stats::SimStats;
+pub use transient::{run_transient, run_transient_compiled, HistoryWindow, PointSolution, PointSolver};

@@ -1,0 +1,886 @@
+//! Modified nodal analysis: circuit compilation, pattern construction, and
+//! per-iteration stamping.
+//!
+//! A [`Circuit`] is compiled once into an [`MnaSystem`]: a flat device list,
+//! the fixed sparse matrix pattern, and a *slot table* mapping every stamp
+//! emission to its position in the CSC value array. Each Newton iteration
+//! then restamps values with zero symbolic work. The system itself is
+//! immutable and shareable across threads; each solver owns an
+//! [`MnaWorkspace`] (matrix values, RHS, junction-limiting state).
+
+use crate::devices::{
+    bjt_eval, depletion_charge, diode_eval, junction_vcrit, mos_eval, pnjlim, MosParams, VT,
+};
+use crate::error::Result;
+use crate::integrate::IntegCoeffs;
+use wavepipe_circuit::{Circuit, Element, MosPolarity, Node, Waveform};
+use wavepipe_sparse::{CooMatrix, CscMatrix};
+
+/// Sentinel unknown index for the ground node.
+const GND: usize = usize::MAX;
+
+/// Stiff conductance used to enforce capacitor initial conditions in `UIC`
+/// solves (1 MS: a forced node reaches its IC to within microvolts against
+/// any realistic surrounding network).
+const GIC: f64 = 1e6;
+
+fn unknown_of(node: Node) -> usize {
+    if node.is_ground() {
+        GND
+    } else {
+        node.index() - 1
+    }
+}
+
+/// A device compiled to unknown indices and pre-derived model constants.
+///
+/// `pub(crate)` so the small-signal (AC) assembler can reuse the compiled
+/// form.
+#[derive(Debug, Clone)]
+pub(crate) enum Dev {
+    Conductance { p: usize, n: usize, g: f64 },
+    Cap { p: usize, n: usize, c: f64, state: usize, ic: Option<f64> },
+    /// Nonlinear depletion capacitance (pn-junction): `q(v)` companion.
+    Jcap { p: usize, n: usize, cj0: f64, vj: f64, m: f64, fc: f64, state: usize },
+    Ind { p: usize, n: usize, l: f64, branch: usize, ic: Option<f64> },
+    Vsrc { p: usize, n: usize, branch: usize, wave: Waveform, ac_mag: f64 },
+    Isrc { p: usize, n: usize, wave: Waveform, ac_mag: f64 },
+    Diode { p: usize, n: usize, is: f64, nvt: f64, vcrit: f64, jct: usize },
+    Mos { d: usize, g: usize, s: usize, b: usize, params: MosParams },
+    Bjt { c: usize, b: usize, e: usize, sign: f64, is: f64, bf: f64, br: f64, jct_be: usize, jct_bc: usize },
+    Vcvs { p: usize, n: usize, cp: usize, cn: usize, gain: f64, branch: usize },
+    Vccs { p: usize, n: usize, cp: usize, cn: usize, gm: f64 },
+}
+
+/// Inputs to a stamping pass: the time point, discretisation, history, and
+/// continuation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StampInput<'a> {
+    /// Time of the point being solved (0 for DC).
+    pub time: f64,
+    /// Integration coefficients, or `None` for DC (capacitors open,
+    /// inductors short).
+    pub coeffs: Option<IntegCoeffs>,
+    /// Solution at the previous accepted time point.
+    pub x_prev: &'a [f64],
+    /// Solution two accepted points back (used by Gear2).
+    pub x_prev2: &'a [f64],
+    /// Capacitor currents at the previous accepted point (used by TRAP).
+    pub cap_currents: &'a [f64],
+    /// Junction minimum conductance.
+    pub gmin: f64,
+    /// Extra conductance from every node to ground (gmin-stepping
+    /// continuation; 0 in normal operation).
+    pub gshunt: f64,
+    /// Scale factor on independent sources (source-stepping continuation;
+    /// 1 in normal operation).
+    pub source_scale: f64,
+    /// Initial-condition (`UIC`) solve: capacitors with an `IC=` are forced
+    /// to their initial voltage through a stiff Norton source, capacitors
+    /// without are open, and inductor branch currents are pinned to their
+    /// initial values. Only meaningful together with `coeffs: None`.
+    pub ic_mode: bool,
+}
+
+/// Mutable per-solver state: matrix values, right-hand side, junction
+/// voltage memory for `pnjlim`.
+#[derive(Debug, Clone)]
+pub struct MnaWorkspace {
+    /// The MNA matrix (fixed pattern, values restamped each call).
+    pub matrix: CscMatrix,
+    /// Right-hand side vector.
+    pub rhs: Vec<f64>,
+    /// Last-used junction voltages (NPN/diode-equivalent frame).
+    pub junction_state: Vec<f64>,
+    /// Whether the last stamp had to limit any junction voltage. While
+    /// limiting is active the linearisation point differs from the iterate,
+    /// so Newton must NOT declare convergence — otherwise bias circuits
+    /// falsely converge with dead junctions (tiny currents below the delta
+    /// tolerance while the limiter is still climbing).
+    pub limited: bool,
+}
+
+/// A compiled circuit: fixed MNA structure ready for repeated stamping.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    devices: Vec<Dev>,
+    n_nodes: usize,
+    n_unknowns: usize,
+    n_cap_states: usize,
+    n_junctions: usize,
+    pattern: CscMatrix,
+    slots: Vec<usize>,
+    node_names: Vec<String>,
+    branch_names: Vec<(String, usize)>,
+    /// Independent source name -> index into `devices`.
+    source_names: Vec<(String, usize)>,
+    source_waves: Vec<Waveform>,
+}
+
+enum Sink<'a> {
+    Record(&'a mut Vec<(usize, usize)>),
+    Write { values: &'a mut [f64], slots: &'a [usize], cursor: usize },
+}
+
+impl Sink<'_> {
+    #[inline]
+    fn mat(&mut self, r: usize, c: usize, v: f64) {
+        if r == GND || c == GND {
+            return;
+        }
+        match self {
+            Sink::Record(entries) => entries.push((r, c)),
+            Sink::Write { values, slots, cursor } => {
+                values[slots[*cursor]] += v;
+                *cursor += 1;
+            }
+        }
+    }
+}
+
+#[inline]
+fn rhs_add(rhs: &mut [f64], u: usize, v: f64) {
+    if u != GND {
+        rhs[u] += v;
+    }
+}
+
+#[inline]
+fn volt(x: &[f64], u: usize) -> f64 {
+    if u == GND {
+        0.0
+    } else {
+        x[u]
+    }
+}
+
+impl MnaSystem {
+    /// Compiles a circuit into a stamping-ready MNA system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::Circuit`] if the netlist fails validation.
+    pub fn compile(circuit: &Circuit) -> Result<Self> {
+        circuit.validate()?;
+        let n_nodes = circuit.node_count();
+        let mut devices = Vec::new();
+        let mut branch_names = Vec::new();
+        let mut source_names: Vec<(String, usize)> = Vec::new();
+        let mut source_waves = Vec::new();
+        let mut next_branch = n_nodes;
+        let mut next_cap = 0usize;
+        let mut next_jct = 0usize;
+
+        for el in circuit.elements() {
+            match el {
+                Element::Resistor { p, n, resistance, .. } => {
+                    devices.push(Dev::Conductance {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        g: 1.0 / resistance,
+                    });
+                }
+                Element::Capacitor { p, n, capacitance, initial_voltage, .. } => {
+                    devices.push(Dev::Cap {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        c: *capacitance,
+                        state: next_cap,
+                        ic: *initial_voltage,
+                    });
+                    next_cap += 1;
+                }
+                Element::Inductor { name, p, n, inductance, initial_current, .. } => {
+                    branch_names.push((name.clone(), next_branch));
+                    devices.push(Dev::Ind {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        l: *inductance,
+                        branch: next_branch,
+                        ic: *initial_current,
+                    });
+                    next_branch += 1;
+                }
+                Element::VoltageSource { name, p, n, waveform, ac_magnitude } => {
+                    branch_names.push((name.clone(), next_branch));
+                    source_names.push((name.clone(), devices.len()));
+                    source_waves.push(waveform.clone());
+                    devices.push(Dev::Vsrc {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        branch: next_branch,
+                        wave: waveform.clone(),
+                        ac_mag: *ac_magnitude,
+                    });
+                    next_branch += 1;
+                }
+                Element::CurrentSource { name, p, n, waveform, ac_magnitude } => {
+                    source_names.push((name.clone(), devices.len()));
+                    source_waves.push(waveform.clone());
+                    devices.push(Dev::Isrc {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        wave: waveform.clone(),
+                        ac_mag: *ac_magnitude,
+                    });
+                }
+                Element::Diode { p, n, model, .. } => {
+                    let nvt = model.n * VT;
+                    devices.push(Dev::Diode {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        is: model.is,
+                        nvt,
+                        vcrit: junction_vcrit(model.is, nvt),
+                        jct: next_jct,
+                    });
+                    next_jct += 1;
+                    if model.cj0 > 0.0 {
+                        devices.push(Dev::Jcap {
+                            p: unknown_of(*p),
+                            n: unknown_of(*n),
+                            cj0: model.cj0,
+                            vj: model.vj,
+                            m: model.m,
+                            fc: model.fc,
+                            state: next_cap,
+                        });
+                        next_cap += 1;
+                    }
+                }
+                Element::Mosfet { d, g, s, b, model, .. } => {
+                    let sign = match model.polarity {
+                        MosPolarity::Nmos => 1.0,
+                        MosPolarity::Pmos => -1.0,
+                    };
+                    devices.push(Dev::Mos {
+                        d: unknown_of(*d),
+                        g: unknown_of(*g),
+                        s: unknown_of(*s),
+                        b: unknown_of(*b),
+                        params: MosParams {
+                            sign,
+                            vt0_eq: sign * model.vt0,
+                            beta: model.beta(),
+                            lambda: model.lambda,
+                            gamma: model.gamma,
+                            phi: model.phi,
+                        },
+                    });
+                    for (a, b, c) in [(*g, *s, model.cgs), (*g, *d, model.cgd)] {
+                        if c > 0.0 {
+                            devices.push(Dev::Cap {
+                                p: unknown_of(a),
+                                n: unknown_of(b),
+                                c,
+                                state: next_cap,
+                                ic: None,
+                            });
+                            next_cap += 1;
+                        }
+                    }
+                }
+                Element::Bjt { c, b, e, model, .. } => {
+                    devices.push(Dev::Bjt {
+                        c: unknown_of(*c),
+                        b: unknown_of(*b),
+                        e: unknown_of(*e),
+                        sign: if model.npn { 1.0 } else { -1.0 },
+                        is: model.is,
+                        bf: model.bf,
+                        br: model.br,
+                        jct_be: next_jct,
+                        jct_bc: next_jct + 1,
+                    });
+                    next_jct += 2;
+                }
+                Element::Vcvs { name, p, n, cp, cn, gain } => {
+                    branch_names.push((name.clone(), next_branch));
+                    devices.push(Dev::Vcvs {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        cp: unknown_of(*cp),
+                        cn: unknown_of(*cn),
+                        gain: *gain,
+                        branch: next_branch,
+                    });
+                    next_branch += 1;
+                }
+                Element::Vccs { p, n, cp, cn, gm, .. } => {
+                    devices.push(Dev::Vccs {
+                        p: unknown_of(*p),
+                        n: unknown_of(*n),
+                        cp: unknown_of(*cp),
+                        cn: unknown_of(*cn),
+                        gm: *gm,
+                    });
+                }
+            }
+        }
+        let n_unknowns = next_branch;
+        let node_names: Vec<String> =
+            circuit.signal_node_names().map(str::to_string).collect();
+
+        let mut sys = MnaSystem {
+            devices,
+            n_nodes,
+            n_unknowns,
+            n_cap_states: next_cap,
+            n_junctions: next_jct,
+            pattern: CscMatrix::zeros(0, 0),
+            slots: Vec::new(),
+            node_names,
+            branch_names,
+            source_names,
+            source_waves,
+        };
+        sys.build_pattern();
+        Ok(sys)
+    }
+
+    /// Emission pass that records every matrix position a stamp can touch,
+    /// then freezes the CSC pattern and the per-emission slot table.
+    fn build_pattern(&mut self) {
+        let mut entries = Vec::new();
+        let zeros = vec![0.0_f64; self.n_unknowns];
+        let caps = vec![0.0_f64; self.n_cap_states];
+        let mut junction = vec![0.0_f64; self.n_junctions];
+        let mut rhs = vec![0.0_f64; self.n_unknowns];
+        let mut limited = false;
+        let input = StampInput {
+            time: 0.0,
+            coeffs: None,
+            x_prev: &zeros,
+            x_prev2: &zeros,
+            cap_currents: &caps,
+            gmin: 0.0,
+            gshunt: 0.0,
+            source_scale: 1.0,
+            ic_mode: false,
+        };
+        {
+            let mut sink = Sink::Record(&mut entries);
+            self.emit(&input, &zeros, &mut junction, &mut limited, &mut rhs, &mut sink);
+        }
+        let n = self.n_unknowns;
+        let mut coo = CooMatrix::with_capacity(n, n, entries.len());
+        for &(r, c) in &entries {
+            coo.push(r, c, 0.0).expect("pattern entry in range");
+        }
+        let pattern = coo.to_csc();
+        self.slots = entries
+            .iter()
+            .map(|&(r, c)| pattern.find_index(r, c).expect("entry present in pattern"))
+            .collect();
+        self.pattern = pattern;
+    }
+
+    /// Number of MNA unknowns (node voltages + branch currents).
+    pub fn n_unknowns(&self) -> usize {
+        self.n_unknowns
+    }
+
+    /// Number of signal nodes (unknowns `0..n_nodes` are node voltages).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of capacitor state slots (one per physical or model capacitor).
+    pub fn cap_state_count(&self) -> usize {
+        self.n_cap_states
+    }
+
+    /// The frozen matrix pattern with zero values (clone into a workspace).
+    pub fn pattern(&self) -> &CscMatrix {
+        &self.pattern
+    }
+
+    /// Creates a fresh workspace for this system.
+    pub fn new_workspace(&self) -> MnaWorkspace {
+        MnaWorkspace {
+            matrix: self.pattern.clone(),
+            rhs: vec![0.0; self.n_unknowns],
+            junction_state: vec![0.0; self.n_junctions],
+            limited: false,
+        }
+    }
+
+    /// Unknown index of the named node, if it exists and is not ground.
+    pub fn node_unknown(&self, name: &str) -> Option<usize> {
+        self.node_names.iter().position(|n| n == name)
+    }
+
+    /// Name of the node whose voltage is unknown `unknown`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unknown >= n_nodes()`.
+    pub fn node_name_of(&self, unknown: usize) -> &str {
+        &self.node_names[unknown]
+    }
+
+    /// All signal-node names in unknown order.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Compiled device list (crate-internal: used by the AC assembler and
+    /// the DC-sweep source override).
+    pub(crate) fn devices(&self) -> &[Dev] {
+        &self.devices
+    }
+
+    /// Replaces the named independent source's waveform with a DC value
+    /// (the DC-sweep hot path — pattern and slot table are untouched).
+    /// Returns `false` if no independent source with that name exists.
+    pub fn override_source(&mut self, name: &str, value: f64) -> bool {
+        let Some(&(_, idx)) = self
+            .source_names
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        else {
+            return false;
+        };
+        match &mut self.devices[idx] {
+            Dev::Vsrc { wave, .. } | Dev::Isrc { wave, .. } => {
+                *wave = Waveform::Dc(value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All branch-current element names with their unknown indices.
+    pub fn branch_names(&self) -> &[(String, usize)] {
+        &self.branch_names
+    }
+
+    /// Unknown index of the named branch-current element (V source, inductor,
+    /// VCVS), if present.
+    pub fn branch_unknown(&self, element_name: &str) -> Option<usize> {
+        self.branch_names
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(element_name))
+            .map(|&(_, i)| i)
+    }
+
+    /// Union of all source-waveform breakpoints in `[0, tstop]`, sorted and
+    /// deduplicated.
+    pub fn breakpoints(&self, tstop: f64) -> Vec<f64> {
+        let mut bp: Vec<f64> = self
+            .source_waves
+            .iter()
+            .flat_map(|w| w.breakpoints(tstop))
+            .collect();
+        bp.push(tstop);
+        bp.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        bp.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+        bp.retain(|&t| t > 0.0);
+        bp
+    }
+
+    /// Stamps the linearised system at iterate `x_iter` into `ws`.
+    ///
+    /// Returns the number of device evaluations performed (for work
+    /// accounting).
+    pub fn stamp(&self, ws: &mut MnaWorkspace, input: &StampInput<'_>, x_iter: &[f64]) -> usize {
+        ws.matrix.set_values_zero();
+        ws.rhs.fill(0.0);
+        ws.limited = false;
+        let MnaWorkspace { matrix, rhs, junction_state, limited } = ws;
+        let mut sink = Sink::Write { values: matrix.values_mut(), slots: &self.slots, cursor: 0 };
+        self.emit(input, x_iter, junction_state, limited, rhs, &mut sink)
+    }
+
+    /// Capacitor currents at the newly accepted point, for the next step's
+    /// TRAP companion.
+    pub fn cap_currents_after(
+        &self,
+        coeffs: &IntegCoeffs,
+        x_new: &[f64],
+        x_prev: &[f64],
+        x_prev2: &[f64],
+        cap_prev: &[f64],
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_cap_states];
+        for dev in &self.devices {
+            match *dev {
+                Dev::Cap { p, n, c, state, .. } => {
+                    let u_new = volt(x_new, p) - volt(x_new, n);
+                    let u_prev = volt(x_prev, p) - volt(x_prev, n);
+                    let u_prev2 = volt(x_prev2, p) - volt(x_prev2, n);
+                    let dq = coeffs.derivative(u_new, u_prev, u_prev2, cap_prev[state] / c);
+                    out[state] = c * dq;
+                }
+                Dev::Jcap { p, n, cj0, vj, m, fc, state } => {
+                    let q_at = |xx: &[f64]| {
+                        depletion_charge(volt(xx, p) - volt(xx, n), cj0, vj, m, fc).0
+                    };
+                    out[state] =
+                        coeffs.derivative(q_at(x_new), q_at(x_prev), q_at(x_prev2), cap_prev[state]);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The single emission routine shared by the pattern pass and every
+    /// numeric stamp. Emission order and count are value-independent, which
+    /// is what keeps the slot table valid.
+    fn emit(
+        &self,
+        input: &StampInput<'_>,
+        x: &[f64],
+        junction: &mut [f64],
+        limited: &mut bool,
+        rhs: &mut [f64],
+        sink: &mut Sink<'_>,
+    ) -> usize {
+        let mut evals = 0usize;
+        // Node shunts: structural diagonal for every node row.
+        for i in 0..self.n_nodes {
+            sink.mat(i, i, input.gshunt);
+        }
+        let (a0, a1, a2, b1) = match input.coeffs {
+            Some(c) => (c.a0, c.a1, c.a2, c.b1),
+            None => (0.0, 0.0, 0.0, 0.0),
+        };
+        let dc = input.coeffs.is_none();
+
+        for dev in &self.devices {
+            evals += 1;
+            match *dev {
+                Dev::Conductance { p, n, g } => {
+                    sink.mat(p, p, g);
+                    sink.mat(p, n, -g);
+                    sink.mat(n, p, -g);
+                    sink.mat(n, n, g);
+                }
+                Dev::Cap { p, n, c, state, ic } => {
+                    let (geq, ieq) = if input.ic_mode {
+                        match ic {
+                            // Stiff Norton source forcing u = v0.
+                            Some(v0) => (GIC, -GIC * v0),
+                            None => (0.0, 0.0),
+                        }
+                    } else if dc {
+                        (0.0, 0.0)
+                    } else {
+                        let u_prev = volt(input.x_prev, p) - volt(input.x_prev, n);
+                        let u_prev2 = volt(input.x_prev2, p) - volt(input.x_prev2, n);
+                        let geq = c * a0;
+                        let ieq = c * (a1 * u_prev + a2 * u_prev2) + b1 * input.cap_currents[state];
+                        (geq, ieq)
+                    };
+                    sink.mat(p, p, geq);
+                    sink.mat(p, n, -geq);
+                    sink.mat(n, p, -geq);
+                    sink.mat(n, n, geq);
+                    rhs_add(rhs, p, -ieq);
+                    rhs_add(rhs, n, ieq);
+                }
+                Dev::Jcap { p, n, cj0, vj, m, fc, state } => {
+                    // Nonlinear charge companion: i = dq/dt with
+                    // q = q_dep(u). Newton-linearised at the iterate:
+                    // geq = a0*c(u_k), ieq = a0*(q(u_k) - c(u_k)*u_k)
+                    //       + a1*q(u_prev) + a2*q(u_prev2) + b1*i_prev.
+                    let (geq, ieq) = if dc {
+                        (0.0, 0.0)
+                    } else {
+                        let u_k = volt(x, p) - volt(x, n);
+                        let u_prev = volt(input.x_prev, p) - volt(input.x_prev, n);
+                        let u_prev2 = volt(input.x_prev2, p) - volt(input.x_prev2, n);
+                        let (q_k, c_k) = depletion_charge(u_k, cj0, vj, m, fc);
+                        let (q_prev, _) = depletion_charge(u_prev, cj0, vj, m, fc);
+                        let (q_prev2, _) = depletion_charge(u_prev2, cj0, vj, m, fc);
+                        let geq = a0 * c_k;
+                        let ieq = a0 * (q_k - c_k * u_k)
+                            + a1 * q_prev
+                            + a2 * q_prev2
+                            + b1 * input.cap_currents[state];
+                        (geq, ieq)
+                    };
+                    sink.mat(p, p, geq);
+                    sink.mat(p, n, -geq);
+                    sink.mat(n, p, -geq);
+                    sink.mat(n, n, geq);
+                    rhs_add(rhs, p, -ieq);
+                    rhs_add(rhs, n, ieq);
+                }
+                Dev::Ind { p, n, l, branch, ic } => {
+                    // KCL contributions of the branch current.
+                    sink.mat(p, branch, 1.0);
+                    sink.mat(n, branch, -1.0);
+                    if input.ic_mode {
+                        // Branch equation replaced by i = i0.
+                        sink.mat(branch, p, 0.0);
+                        sink.mat(branch, n, 0.0);
+                        sink.mat(branch, branch, -1.0);
+                        rhs_add(rhs, branch, -ic.unwrap_or(0.0));
+                        continue;
+                    }
+                    // Branch equation: v_p - v_n - L*di/dt = 0.
+                    sink.mat(branch, p, 1.0);
+                    sink.mat(branch, n, -1.0);
+                    let (leq, rhs_b) = if dc {
+                        (0.0, 0.0)
+                    } else {
+                        let i_prev = volt(input.x_prev, branch);
+                        let i_prev2 = volt(input.x_prev2, branch);
+                        let u_prev = volt(input.x_prev, p) - volt(input.x_prev, n);
+                        (l * a0, l * (a1 * i_prev + a2 * i_prev2) + b1 * u_prev)
+                    };
+                    sink.mat(branch, branch, -leq);
+                    rhs_add(rhs, branch, rhs_b);
+                }
+                Dev::Vsrc { p, n, branch, ref wave, .. } => {
+                    sink.mat(p, branch, 1.0);
+                    sink.mat(n, branch, -1.0);
+                    sink.mat(branch, p, 1.0);
+                    sink.mat(branch, n, -1.0);
+                    rhs_add(rhs, branch, wave.value(input.time) * input.source_scale);
+                }
+                Dev::Isrc { p, n, ref wave, .. } => {
+                    let i = wave.value(input.time) * input.source_scale;
+                    rhs_add(rhs, p, -i);
+                    rhs_add(rhs, n, i);
+                }
+                Dev::Diode { p, n, is, nvt, vcrit, jct } => {
+                    let u_raw = volt(x, p) - volt(x, n);
+                    let u = pnjlim(u_raw, junction[jct], nvt, vcrit);
+                    if (u - u_raw).abs() > 1e-10 {
+                        *limited = true;
+                    }
+                    junction[jct] = u;
+                    let (i_d, g_d) = diode_eval(u, is, nvt);
+                    let g = g_d + input.gmin;
+                    sink.mat(p, p, g);
+                    sink.mat(p, n, -g);
+                    sink.mat(n, p, -g);
+                    sink.mat(n, n, g);
+                    let ieq = i_d - g_d * u;
+                    rhs_add(rhs, p, -ieq);
+                    rhs_add(rhs, n, ieq);
+                }
+                Dev::Mos { d, g, s, b, ref params } => {
+                    let (vd, vg, vs, vb) = (volt(x, d), volt(x, g), volt(x, s), volt(x, b));
+                    let e = mos_eval(vd, vg, vs, vb, params);
+                    // Drain row.
+                    sink.mat(d, d, e.g_dd);
+                    sink.mat(d, g, e.g_dg);
+                    sink.mat(d, s, e.g_ds);
+                    sink.mat(d, b, e.g_db);
+                    // Source row (current conservation: i_s = -i_d; the bulk
+                    // carries no current in this model).
+                    sink.mat(s, d, -e.g_dd);
+                    sink.mat(s, g, -e.g_dg);
+                    sink.mat(s, s, -e.g_ds);
+                    sink.mat(s, b, -e.g_db);
+                    // Convergence aid: gmin across the channel.
+                    sink.mat(d, d, input.gmin);
+                    sink.mat(d, s, -input.gmin);
+                    sink.mat(s, d, -input.gmin);
+                    sink.mat(s, s, input.gmin);
+                    let ieq = e.id - (e.g_dd * vd + e.g_dg * vg + e.g_ds * vs + e.g_db * vb);
+                    rhs_add(rhs, d, -ieq);
+                    rhs_add(rhs, s, ieq);
+                }
+                Dev::Bjt { c, b, e, sign, is, bf, br, jct_be, jct_bc } => {
+                    let (vc, vb, ve) = (volt(x, c), volt(x, b), volt(x, e));
+                    let nvt = VT;
+                    let vcrit = junction_vcrit(is, nvt);
+                    let vbe_raw = sign * (vb - ve);
+                    let vbc_raw = sign * (vb - vc);
+                    let vbe = pnjlim(vbe_raw, junction[jct_be], nvt, vcrit);
+                    let vbc = pnjlim(vbc_raw, junction[jct_bc], nvt, vcrit);
+                    if (vbe - vbe_raw).abs() > 1e-10 || (vbc - vbc_raw).abs() > 1e-10 {
+                        *limited = true;
+                    }
+                    junction[jct_be] = vbe;
+                    junction[jct_bc] = vbc;
+                    let ev = bjt_eval(vbe, vbc, sign, is, bf, br);
+                    // Reconstruct limited node voltages for the equivalent
+                    // currents: the linearisation point is (vbe, vbc) in the
+                    // device frame; express ieq via raw voltages consistent
+                    // with the derivatives.
+                    let vb_l = vb;
+                    let ve_l = vb - sign * vbe;
+                    let vc_l = vb - sign * vbc;
+                    // Collector row.
+                    sink.mat(c, c, ev.g_cc);
+                    sink.mat(c, b, ev.g_cb);
+                    sink.mat(c, e, ev.g_ce);
+                    // Base row.
+                    sink.mat(b, c, ev.g_bc);
+                    sink.mat(b, b, ev.g_bb);
+                    sink.mat(b, e, ev.g_be);
+                    // Emitter row: i_e = -(i_c + i_b).
+                    sink.mat(e, c, -(ev.g_cc + ev.g_bc));
+                    sink.mat(e, b, -(ev.g_cb + ev.g_bb));
+                    sink.mat(e, e, -(ev.g_ce + ev.g_be));
+                    // gmin across both junctions.
+                    sink.mat(b, b, 2.0 * input.gmin);
+                    sink.mat(b, e, -input.gmin);
+                    sink.mat(e, b, -input.gmin);
+                    sink.mat(e, e, input.gmin);
+                    sink.mat(b, c, -input.gmin);
+                    sink.mat(c, b, -input.gmin);
+                    sink.mat(c, c, input.gmin);
+                    let ieq_c = ev.ic - (ev.g_cc * vc_l + ev.g_cb * vb_l + ev.g_ce * ve_l);
+                    let ieq_b = ev.ib - (ev.g_bc * vc_l + ev.g_bb * vb_l + ev.g_be * ve_l);
+                    rhs_add(rhs, c, -ieq_c);
+                    rhs_add(rhs, b, -ieq_b);
+                    rhs_add(rhs, e, ieq_c + ieq_b);
+                }
+                Dev::Vcvs { p, n, cp, cn, gain, branch } => {
+                    sink.mat(p, branch, 1.0);
+                    sink.mat(n, branch, -1.0);
+                    sink.mat(branch, p, 1.0);
+                    sink.mat(branch, n, -1.0);
+                    sink.mat(branch, cp, -gain);
+                    sink.mat(branch, cn, gain);
+                }
+                Dev::Vccs { p, n, cp, cn, gm } => {
+                    sink.mat(p, cp, gm);
+                    sink.mat(p, cn, -gm);
+                    sink.mat(n, cp, -gm);
+                    sink.mat(n, cn, gm);
+                }
+            }
+        }
+        evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::Method;
+    use wavepipe_circuit::Waveform as W;
+
+    fn dc_input<'a>(x_prev: &'a [f64], caps: &'a [f64]) -> StampInput<'a> {
+        StampInput {
+            time: 0.0,
+            coeffs: None,
+            x_prev,
+            x_prev2: x_prev,
+            cap_currents: caps,
+            gmin: 1e-12,
+            gshunt: 0.0,
+            source_scale: 1.0,
+            ic_mode: false,
+        }
+    }
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new("divider");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, W::dc(10.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 1000.0).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1000.0).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn compile_counts() {
+        let sys = MnaSystem::compile(&divider()).unwrap();
+        assert_eq!(sys.n_nodes(), 2);
+        assert_eq!(sys.n_unknowns(), 3);
+        assert_eq!(sys.cap_state_count(), 0);
+        assert!(sys.pattern().nnz() > 0);
+    }
+
+    #[test]
+    fn stamp_and_solve_divider_dc() {
+        let sys = MnaSystem::compile(&divider()).unwrap();
+        let mut ws = sys.new_workspace();
+        let x = vec![0.0; 3];
+        let caps: Vec<f64> = vec![];
+        sys.stamp(&mut ws, &dc_input(&x, &caps), &x);
+        let lu = wavepipe_sparse::SparseLu::factor(&ws.matrix, &Default::default()).unwrap();
+        let sol = lu.solve(&ws.rhs).unwrap();
+        let a = sys.node_unknown("a").unwrap();
+        let b = sys.node_unknown("b").unwrap();
+        assert!((sol[a] - 10.0).abs() < 1e-9, "v(a) = {}", sol[a]);
+        assert!((sol[b] - 5.0).abs() < 1e-9, "v(b) = {}", sol[b]);
+        // Source current = -10/2k (flows out of the + terminal).
+        let br = sys.branch_unknown("V1").unwrap();
+        assert!((sol[br] + 0.005).abs() < 1e-9, "i(V1) = {}", sol[br]);
+    }
+
+    #[test]
+    fn stamping_twice_gives_same_values() {
+        let sys = MnaSystem::compile(&divider()).unwrap();
+        let mut ws = sys.new_workspace();
+        let x = vec![0.0; 3];
+        let caps: Vec<f64> = vec![];
+        sys.stamp(&mut ws, &dc_input(&x, &caps), &x);
+        let v1 = ws.matrix.values().to_vec();
+        let r1 = ws.rhs.clone();
+        sys.stamp(&mut ws, &dc_input(&x, &caps), &x);
+        assert_eq!(ws.matrix.values(), &v1[..]);
+        assert_eq!(ws.rhs, r1);
+    }
+
+    #[test]
+    fn capacitor_open_in_dc_shorted_dynamically() {
+        let mut ckt = Circuit::new("rc");
+        let a = ckt.node("a");
+        ckt.add_isource("I1", Circuit::GROUND, a, W::dc(1e-3)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-9).unwrap();
+        let sys = MnaSystem::compile(&ckt).unwrap();
+        let mut ws = sys.new_workspace();
+        let x = vec![0.0; 1];
+        let caps = vec![0.0; 1];
+        // DC: only R matters -> v = 1 V.
+        sys.stamp(&mut ws, &dc_input(&x, &caps), &x);
+        let lu = wavepipe_sparse::SparseLu::factor(&ws.matrix, &Default::default()).unwrap();
+        let sol = lu.solve(&ws.rhs).unwrap();
+        assert!((sol[0] - 1.0).abs() < 1e-9);
+        // Transient with huge geq (tiny step): cap holds its previous 0 V.
+        let coeffs = IntegCoeffs::new(Method::BackwardEuler, 1e-15, 1e-15);
+        let tr = StampInput { coeffs: Some(coeffs), time: 1e-15, ..dc_input(&x, &caps) };
+        sys.stamp(&mut ws, &tr, &x);
+        let lu = wavepipe_sparse::SparseLu::factor(&ws.matrix, &Default::default()).unwrap();
+        let sol = lu.solve(&ws.rhs).unwrap();
+        assert!(sol[0].abs() < 1e-4, "cap pins the node, v = {}", sol[0]);
+    }
+
+    #[test]
+    fn breakpoints_include_sources_and_tstop() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, W::pulse(0.0, 1.0, 1e-9, 1e-9, 1e-9, 2e-9, 0.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 50.0).unwrap();
+        let sys = MnaSystem::compile(&ckt).unwrap();
+        let bp = sys.breakpoints(10e-9);
+        assert!(bp.iter().any(|&t| (t - 1e-9).abs() < 1e-18));
+        assert_eq!(*bp.last().unwrap(), 10e-9);
+        assert!(bp.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn vccs_stamp_produces_transconductance() {
+        let mut ckt = Circuit::new("g");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", inp, Circuit::GROUND, W::dc(2.0)).unwrap();
+        ckt.add_vccs("G1", out, Circuit::GROUND, inp, Circuit::GROUND, 1e-3).unwrap();
+        ckt.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_resistor("Rb", inp, out, 1e9).unwrap(); // connectivity bond
+        let sys = MnaSystem::compile(&ckt).unwrap();
+        let mut ws = sys.new_workspace();
+        let x = vec![0.0; sys.n_unknowns()];
+        let caps: Vec<f64> = vec![];
+        sys.stamp(&mut ws, &dc_input(&x, &caps), &x);
+        let lu = wavepipe_sparse::SparseLu::factor(&ws.matrix, &Default::default()).unwrap();
+        let sol = lu.solve(&ws.rhs).unwrap();
+        // i = gm*vin = 2 mA out of `out` node -> v(out) = -2 V across 1k.
+        let out_i = sys.node_unknown("out").unwrap();
+        assert!((sol[out_i] + 2.0).abs() < 1e-4, "v(out) = {}", sol[out_i]);
+    }
+}

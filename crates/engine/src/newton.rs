@@ -1,0 +1,279 @@
+//! Newton–Raphson solution of the stamped MNA system.
+
+use crate::error::Result;
+use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
+use crate::options::SimOptions;
+use crate::stats::SimStats;
+use wavepipe_sparse::{LuOptions, SparseError, SparseLu};
+
+/// Cached linear-solver state: the LU factors (reused across stamps with the
+/// fixed pattern) and solve scratch buffers.
+#[derive(Debug, Default, Clone)]
+pub struct LinearCache {
+    lu: Option<SparseLu>,
+    x_new: Vec<f64>,
+    scratch: Vec<f64>,
+    resid: Vec<f64>,
+}
+
+impl LinearCache {
+    /// Fresh cache with no factors.
+    pub fn new() -> Self {
+        LinearCache::default()
+    }
+
+    /// Drops the cached factorization (forces a fresh pivot search next time).
+    pub fn invalidate(&mut self) {
+        self.lu = None;
+    }
+
+    /// Factors or refactors for the current workspace matrix, then solves
+    /// `A x = rhs` into `x_new`. The solution is *verified* against the
+    /// residual `rhs - A x`; if the backward error is large (degraded frozen
+    /// pivots, severe ill-conditioning) the matrix is re-factored from
+    /// scratch with full pivoting and solved again. Returns `None` if even
+    /// the fresh factorization cannot produce a trustworthy solution — the
+    /// caller should treat the iterate as non-convergent.
+    fn factor_and_solve(
+        &mut self,
+        ws: &MnaWorkspace,
+        stats: &mut SimStats,
+    ) -> Result<Option<&[f64]>> {
+        let n = ws.rhs.len();
+        self.x_new.resize(n, 0.0);
+        self.scratch.resize(n, 0.0);
+        self.resid.resize(n, 0.0);
+        for attempt in 0..2 {
+            let fresh = self.lu.is_none() || attempt > 0;
+            if fresh {
+                self.lu = Some(SparseLu::factor(&ws.matrix, &LuOptions::default())?);
+                stats.factorizations += 1;
+            } else {
+                let lu = self.lu.as_mut().expect("checked above");
+                match lu.refactor(&ws.matrix) {
+                    Ok(()) => stats.refactorizations += 1,
+                    Err(SparseError::PivotDegraded { .. }) => {
+                        // Frozen pivot order went bad: re-pivot from scratch.
+                        self.lu = Some(SparseLu::factor(&ws.matrix, &LuOptions::default())?);
+                        stats.factorizations += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let lu = self.lu.as_ref().expect("factorization present");
+            lu.solve_with_scratch(&ws.rhs, &mut self.x_new, &mut self.scratch)?;
+            stats.solves += 1;
+            // Backward-error verification.
+            ws.matrix.residual_into(&self.x_new, &ws.rhs, &mut self.resid)?;
+            let scale = ws.matrix.norm_inf() * wavepipe_sparse::vector::norm_inf(&self.x_new)
+                + wavepipe_sparse::vector::norm_inf(&ws.rhs);
+            let r = wavepipe_sparse::vector::norm_inf(&self.resid);
+            if r.is_finite() && r <= 1e-8 * scale.max(f64::MIN_POSITIVE) {
+                return Ok(Some(&self.x_new));
+            }
+            if fresh {
+                // Even full pivoting cannot solve this system reliably.
+                return Ok(None);
+            }
+            // Fall through: retry with a fresh factorization.
+        }
+        Ok(None)
+    }
+}
+
+/// Outcome of a Newton solve.
+#[derive(Debug, Clone)]
+pub struct NewtonOutcome {
+    /// The converged (or last) iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the per-unknown delta test passed.
+    pub converged: bool,
+}
+
+/// Runs Newton–Raphson from initial guess `x0`.
+///
+/// Each iteration stamps the linearised system at the current iterate,
+/// (re)factors, and solves for the next iterate; convergence is the classic
+/// SPICE per-unknown delta test (`vntol`/`reltol` on node voltages,
+/// `abstol`/`reltol` on branch currents).
+///
+/// # Errors
+///
+/// Returns [`crate::EngineError::Linear`] if the matrix is singular beyond repair.
+/// Non-convergence is reported in the outcome, not as an error, so callers
+/// can retry with continuation or a smaller step.
+#[allow(clippy::too_many_arguments)] // analysis context is deliberately explicit
+pub fn newton_solve(
+    sys: &MnaSystem,
+    ws: &mut MnaWorkspace,
+    cache: &mut LinearCache,
+    input: &StampInput<'_>,
+    x0: &[f64],
+    max_iters: usize,
+    opts: &SimOptions,
+    stats: &mut SimStats,
+) -> Result<NewtonOutcome> {
+    let n_nodes = sys.n_nodes();
+    let mut x = x0.to_vec();
+    for it in 1..=max_iters {
+        stats.newton_iterations += 1;
+        stats.device_evals += sys.stamp(ws, input, &x);
+        if !wavepipe_sparse::vector::all_finite(&ws.rhs) {
+            // Companion history produced a non-finite excitation: give up on
+            // this point so the step controller backs off.
+            return Ok(NewtonOutcome { x, iterations: it, converged: false });
+        }
+        let Some(x_new) = cache.factor_and_solve(ws, stats)? else {
+            // Linear solve could not be verified: back off the step.
+            return Ok(NewtonOutcome { x, iterations: it, converged: false });
+        };
+        if !wavepipe_sparse::vector::all_finite(x_new) {
+            // Blowup: report as non-convergence so the step controller backs off.
+            return Ok(NewtonOutcome { x, iterations: it, converged: false });
+        }
+        // Junction limiting active means the device linearisation point is
+        // not the iterate itself: keep iterating regardless of deltas.
+        let mut converged = !ws.limited;
+        for (k, (&xn, &xo)) in x_new.iter().zip(&x).enumerate() {
+            if !converged {
+                break;
+            }
+            let tol = if k < n_nodes {
+                opts.vntol + opts.reltol * xn.abs().max(xo.abs())
+            } else {
+                opts.abstol + opts.reltol * xn.abs().max(xo.abs())
+            };
+            if (xn - xo).abs() > tol {
+                converged = false;
+                break;
+            }
+        }
+        x.copy_from_slice(x_new);
+        if converged {
+            return Ok(NewtonOutcome { x, iterations: it, converged: true });
+        }
+    }
+    Ok(NewtonOutcome { x, iterations: max_iters, converged: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_circuit::{Circuit, DiodeModel, Waveform};
+
+    fn dc_input<'a>(zeros: &'a [f64], caps: &'a [f64], opts: &SimOptions) -> StampInput<'a> {
+        StampInput {
+            time: 0.0,
+            coeffs: None,
+            x_prev: zeros,
+            x_prev2: zeros,
+            cap_currents: caps,
+            gmin: opts.gmin,
+            gshunt: 0.0,
+            source_scale: 1.0,
+            ic_mode: false,
+        }
+    }
+
+    #[test]
+    fn linear_circuit_converges_in_one_iteration_pair() {
+        let mut ckt = Circuit::new("lin");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        let b = ckt.node("b");
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 4e3).unwrap();
+        let sys = MnaSystem::compile(&ckt).unwrap();
+        let mut ws = sys.new_workspace();
+        let mut cache = LinearCache::new();
+        let opts = SimOptions::default();
+        let mut stats = SimStats::new();
+        let zeros = vec![0.0; sys.n_unknowns()];
+        let caps = vec![0.0; sys.cap_state_count()];
+        let out = newton_solve(
+            &sys,
+            &mut ws,
+            &mut cache,
+            &dc_input(&zeros, &caps, &opts),
+            &zeros,
+            20,
+            &opts,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.iterations <= 2, "linear should converge immediately, took {}", out.iterations);
+        let b_idx = sys.node_unknown("b").unwrap();
+        assert!((out.x[b_idx] - 4.0).abs() < 1e-9);
+        assert_eq!(stats.factorizations, 1);
+        assert!(stats.refactorizations >= out.iterations - 1);
+    }
+
+    #[test]
+    fn diode_resistor_converges_to_forward_drop() {
+        // 5V -> 1k -> diode to ground: v_diode ~ 0.6-0.75 V.
+        let mut ckt = Circuit::new("dio");
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        ckt.add_resistor("R1", a, d, 1e3).unwrap();
+        ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel::default()).unwrap();
+        let sys = MnaSystem::compile(&ckt).unwrap();
+        let mut ws = sys.new_workspace();
+        let mut cache = LinearCache::new();
+        let opts = SimOptions::default();
+        let mut stats = SimStats::new();
+        let zeros = vec![0.0; sys.n_unknowns()];
+        let caps = vec![0.0; sys.cap_state_count()];
+        let out = newton_solve(
+            &sys,
+            &mut ws,
+            &mut cache,
+            &dc_input(&zeros, &caps, &opts),
+            &zeros,
+            100,
+            &opts,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(out.converged, "diode NR should converge");
+        let vd = out.x[sys.node_unknown("d").unwrap()];
+        assert!(vd > 0.55 && vd < 0.8, "v_diode = {vd}");
+        // KCL: current through R equals diode current.
+        let ir = (5.0 - vd) / 1e3;
+        let (id, _) = crate::devices::diode_eval(vd, 1e-14, crate::devices::VT);
+        assert!((ir - id).abs() / ir < 1e-3, "ir {ir} vs id {id}");
+    }
+
+    #[test]
+    fn nonconvergence_reported_not_error() {
+        // A diode circuit given 1 iteration cannot converge from zero.
+        let mut ckt = Circuit::new("dio");
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+        ckt.add_resistor("R1", a, d, 1e3).unwrap();
+        ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel::default()).unwrap();
+        let sys = MnaSystem::compile(&ckt).unwrap();
+        let mut ws = sys.new_workspace();
+        let mut cache = LinearCache::new();
+        let opts = SimOptions::default();
+        let mut stats = SimStats::new();
+        let zeros = vec![0.0; sys.n_unknowns()];
+        let caps = vec![0.0; sys.cap_state_count()];
+        let out = newton_solve(
+            &sys,
+            &mut ws,
+            &mut cache,
+            &dc_input(&zeros, &caps, &opts),
+            &zeros,
+            1,
+            &opts,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(!out.converged);
+    }
+}

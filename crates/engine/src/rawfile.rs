@@ -1,0 +1,185 @@
+//! SPICE rawfile export (ASCII), compatible with ngspice's viewers and the
+//! usual waveform tooling (`gwave`, `gaw`, Python's `spicelib`, ...).
+
+use crate::ac::AcResult;
+use crate::result::TransientResult;
+use std::io::{self, Write};
+
+/// Writes a transient result as an ASCII SPICE rawfile.
+///
+/// Node voltages are exported as `v(<node>)` and branch currents (when the
+/// result carries branch names) as `i(<element>)`; the first variable is
+/// `time` per rawfile convention.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer (a `&mut` reference can be passed).
+pub fn write_transient<W: Write>(
+    result: &TransientResult,
+    title: &str,
+    mut w: W,
+) -> io::Result<()> {
+    let n_nodes = result.node_count();
+    // Variables: time, node voltages, named branch currents.
+    let mut vars: Vec<(String, &str, Option<usize>)> = vec![("time".to_string(), "time", None)];
+    for u in 0..n_nodes {
+        let name = node_name_of(result, u);
+        vars.push((format!("v({name})"), "voltage", Some(u)));
+    }
+    for u in n_nodes..result.n_unknowns() {
+        if let Some(name) = branch_name_of(result, u) {
+            vars.push((format!("i({name})"), "current", Some(u)));
+        }
+    }
+
+    writeln!(w, "Title: {title}")?;
+    writeln!(w, "Date: (unrecorded)")?;
+    writeln!(w, "Plotname: Transient Analysis")?;
+    writeln!(w, "Flags: real")?;
+    writeln!(w, "No. Variables: {}", vars.len())?;
+    writeln!(w, "No. Points: {}", result.len())?;
+    writeln!(w, "Variables:")?;
+    for (i, (name, kind, _)) in vars.iter().enumerate() {
+        writeln!(w, "\t{i}\t{name}\t{kind}")?;
+    }
+    writeln!(w, "Values:")?;
+    for k in 0..result.len() {
+        let t = result.times()[k];
+        writeln!(w, " {k}\t{t:.15e}")?;
+        let x = result.solution(k);
+        for (_, _, idx) in vars.iter().skip(1) {
+            let u = idx.expect("data variables carry an index");
+            writeln!(w, "\t{:.15e}", x[u])?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes an AC sweep result as an ASCII SPICE rawfile (complex values).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ac<W: Write>(result: &AcResult, title: &str, mut w: W) -> io::Result<()> {
+    let freqs = result.frequencies();
+    let n = result_unknowns(result);
+    writeln!(w, "Title: {title}")?;
+    writeln!(w, "Date: (unrecorded)")?;
+    writeln!(w, "Plotname: AC Analysis")?;
+    writeln!(w, "Flags: complex")?;
+    writeln!(w, "No. Variables: {}", n + 1)?;
+    writeln!(w, "No. Points: {}", freqs.len())?;
+    writeln!(w, "Variables:")?;
+    writeln!(w, "\t0\tfrequency\tfrequency")?;
+    for u in 0..n {
+        writeln!(w, "\t{}\tv({})\tvoltage", u + 1, ac_name_of(result, u))?;
+    }
+    writeln!(w, "Values:")?;
+    for (k, &f) in freqs.iter().enumerate() {
+        writeln!(w, " {k}\t{f:.15e},0.0")?;
+        for u in 0..n {
+            let p = result.phasor(u, k);
+            writeln!(w, "\t{:.15e},{:.15e}", p.re, p.im)?;
+        }
+    }
+    Ok(())
+}
+
+// The result types expose name lookup by name->index; the rawfile needs the
+// reverse. Small linear scans are fine at export time.
+fn node_name_of(result: &TransientResult, u: usize) -> String {
+    // unknown_of is injective over node names.
+    result
+        .node_names_iter()
+        .enumerate()
+        .find(|&(i, _)| i == u)
+        .map(|(_, n)| n.to_string())
+        .unwrap_or_else(|| format!("n{u}"))
+}
+
+fn branch_name_of(result: &TransientResult, u: usize) -> Option<String> {
+    result.branch_names_iter().find(|(_, idx)| *idx == u).map(|(n, _)| n)
+}
+
+fn ac_name_of(result: &AcResult, u: usize) -> String {
+    result
+        .node_names_iter()
+        .enumerate()
+        .find(|&(i, _)| i == u)
+        .map(|(_, n)| n.to_string())
+        .unwrap_or_else(|| format!("u{u}"))
+}
+
+fn result_unknowns(result: &AcResult) -> usize {
+    result.n_unknowns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_ac, run_transient, SimOptions};
+    use wavepipe_circuit::{Circuit, Waveform};
+
+    fn rc() -> Circuit {
+        let mut ckt = Circuit::new("raw rc");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource_ac("V1", a, Circuit::GROUND, Waveform::dc(1.0), 1.0).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn transient_rawfile_structure() {
+        let res = run_transient(&rc(), 1e-7, 5e-6, &SimOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        write_transient(&res, "raw rc", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Plotname: Transient Analysis"));
+        assert!(text.contains("Flags: real"));
+        assert!(text.contains("\tv(a)\tvoltage"));
+        assert!(text.contains("\tv(b)\tvoltage"));
+        assert!(text.contains("\ti(V1)\tcurrent"));
+        assert!(text.contains(&format!("No. Points: {}", res.len())));
+        // Point blocks: one ` k\t` marker per point.
+        let markers = text.lines().filter(|l| l.starts_with(' ')).count();
+        assert_eq!(markers, res.len());
+        // Each point block carries one line per variable.
+        let value_lines = text
+            .lines()
+            .skip_while(|l| *l != "Values:")
+            .skip(1)
+            .count();
+        assert_eq!(value_lines, res.len() * 4); // time + v(a) + v(b) + i(V1)
+    }
+
+    #[test]
+    fn ac_rawfile_is_complex() {
+        let res = run_ac(&rc(), &[1e3, 1e5, 1e7], &SimOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        write_ac(&res, "raw rc", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Flags: complex"));
+        assert!(text.contains("frequency"));
+        assert!(text.contains("No. Points: 3"));
+        // Complex values are comma-separated pairs.
+        assert!(text.lines().any(|l| l.trim_start().matches(',').count() == 1
+            && l.contains('e')
+            && l.starts_with('\t')));
+    }
+
+    #[test]
+    fn rawfile_values_round_trip_first_point() {
+        let res = run_transient(&rc(), 1e-7, 2e-6, &SimOptions::default()).unwrap();
+        let mut buf = Vec::new();
+        write_transient(&res, "t", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // First point block: time then v(a) = 1.0 at t=0 (DC source).
+        let mut lines = text.lines().skip_while(|l| *l != "Values:").skip(1);
+        let t0: f64 = lines.next().unwrap().split('\t').nth(1).unwrap().parse().unwrap();
+        let va: f64 = lines.next().unwrap().trim().parse().unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((va - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,297 @@
+//! Transient simulation results: waveform storage, probing, and comparison.
+
+use crate::stats::SimStats;
+
+/// The recorded outcome of a transient analysis: every accepted time point
+/// with its full solution vector, plus run statistics.
+///
+/// Storage is a flat row-major array (`n_points x n_unknowns`), with node
+/// names carried along so results are self-describing.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    data: Vec<f64>,
+    n_unknowns: usize,
+    node_names: Vec<String>,
+    branch_names: Vec<(String, usize)>,
+    stats: SimStats,
+}
+
+impl TransientResult {
+    /// Creates an empty result for a system with the given unknown layout.
+    pub fn new(n_unknowns: usize, node_names: Vec<String>) -> Self {
+        TransientResult {
+            times: Vec::new(),
+            data: Vec::new(),
+            n_unknowns,
+            node_names,
+            branch_names: Vec::new(),
+            stats: SimStats::new(),
+        }
+    }
+
+    /// Attaches the branch-current name map (element name -> unknown index)
+    /// so currents are addressable by element name.
+    pub fn set_branch_names(&mut self, branch_names: Vec<(String, usize)>) {
+        self.branch_names = branch_names;
+    }
+
+    /// Iterates the node names in unknown order.
+    pub fn node_names_iter(&self) -> impl Iterator<Item = &str> {
+        self.node_names.iter().map(String::as_str)
+    }
+
+    /// Iterates the branch-current `(element name, unknown index)` pairs.
+    pub fn branch_names_iter(&self) -> impl Iterator<Item = (String, usize)> + '_ {
+        self.branch_names.iter().cloned()
+    }
+
+    /// Unknown index of the branch current of a named element (voltage
+    /// source, inductor, or VCVS), if present.
+    pub fn branch_of(&self, element_name: &str) -> Option<usize> {
+        self.branch_names
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(element_name))
+            .map(|&(_, u)| u)
+    }
+
+    /// Appends an accepted point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the unknown count, or `t` does not
+    /// increase.
+    pub fn push(&mut self, t: f64, x: &[f64]) {
+        assert_eq!(x.len(), self.n_unknowns);
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "time must increase: {t} after {last}");
+        }
+        self.times.push(t);
+        self.data.extend_from_slice(x);
+    }
+
+    /// Replaces the run statistics.
+    pub fn set_stats(&mut self, stats: SimStats) {
+        self.stats = stats;
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Number of stored time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of unknowns per point.
+    pub fn n_unknowns(&self) -> usize {
+        self.n_unknowns
+    }
+
+    /// Number of node-voltage unknowns (indices `0..node_count()`); the
+    /// remaining unknowns are branch currents.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The accepted time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Full solution vector at point `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn solution(&self, k: usize) -> &[f64] {
+        &self.data[k * self.n_unknowns..(k + 1) * self.n_unknowns]
+    }
+
+    /// Unknown index of a node name, if present.
+    pub fn unknown_of(&self, node_name: &str) -> Option<usize> {
+        self.node_names.iter().position(|n| n == node_name)
+    }
+
+    /// Step sizes between consecutive accepted points.
+    pub fn step_sizes(&self) -> Vec<f64> {
+        self.times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// The `(time, value)` trace of one unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unknown` is out of range.
+    pub fn trace(&self, unknown: usize) -> Vec<(f64, f64)> {
+        assert!(unknown < self.n_unknowns);
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| (t, self.data[k * self.n_unknowns + unknown]))
+            .collect()
+    }
+
+    /// Linearly interpolated value of an unknown at time `t` (clamped to the
+    /// stored range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty or `unknown` out of range.
+    pub fn sample(&self, unknown: usize, t: f64) -> f64 {
+        assert!(!self.is_empty());
+        assert!(unknown < self.n_unknowns);
+        let at = |k: usize| self.data[k * self.n_unknowns + unknown];
+        if t <= self.times[0] {
+            return at(0);
+        }
+        let last = self.times.len() - 1;
+        if t >= self.times[last] {
+            return at(last);
+        }
+        let k = self.times.partition_point(|&tt| tt <= t);
+        let (t0, t1) = (self.times[k - 1], self.times[k]);
+        let (v0, v1) = (at(k - 1), at(k));
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Maximum absolute deviation of one unknown between two results,
+    /// evaluated on the union of both time grids (linear interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either result is empty.
+    pub fn max_deviation(&self, other: &TransientResult, unknown: usize) -> f64 {
+        let mut worst = 0.0_f64;
+        for &t in self.times.iter().chain(other.times.iter()) {
+            let d = (self.sample(unknown, t) - other.sample(unknown, t)).abs();
+            worst = worst.max(d);
+        }
+        worst
+    }
+
+    /// Maximum deviation across all *node voltage* unknowns (indices
+    /// `0..node_names.len()`), the waveform-accuracy metric of experiment E5.
+    pub fn max_deviation_all_nodes(&self, other: &TransientResult) -> f64 {
+        (0..self.node_names.len())
+            .map(|u| self.max_deviation(other, u))
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak absolute value of one unknown over the run.
+    pub fn peak(&self, unknown: usize) -> f64 {
+        self.trace(unknown).iter().fold(0.0_f64, |m, &(_, v)| m.max(v.abs()))
+    }
+
+    /// Writes the traces of the named unknowns as CSV (`t,name1,name2,...`).
+    pub fn to_csv(&self, unknowns: &[(String, usize)]) -> String {
+        let mut out = String::from("t");
+        for (name, _) in unknowns {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (k, &t) in self.times.iter().enumerate() {
+            out.push_str(&format!("{t:.6e}"));
+            for &(_, u) in unknowns {
+                out.push_str(&format!(",{:.6e}", self.data[k * self.n_unknowns + u]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_result() -> TransientResult {
+        let mut r = TransientResult::new(2, vec!["a".into(), "b".into()]);
+        for k in 0..=10 {
+            let t = k as f64 * 0.1;
+            r.push(t, &[t, 2.0 * t]);
+        }
+        r
+    }
+
+    #[test]
+    fn push_and_probe() {
+        let r = ramp_result();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.unknown_of("b"), Some(1));
+        assert_eq!(r.solution(5), &[0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must increase")]
+    fn non_monotone_time_rejected() {
+        let mut r = TransientResult::new(1, vec!["a".into()]);
+        r.push(1.0, &[0.0]);
+        r.push(0.5, &[0.0]);
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let r = ramp_result();
+        assert!((r.sample(0, 0.55) - 0.55).abs() < 1e-12);
+        assert_eq!(r.sample(0, -1.0), 0.0);
+        assert_eq!(r.sample(0, 99.0), 1.0);
+    }
+
+    #[test]
+    fn deviation_of_identical_is_zero() {
+        let r = ramp_result();
+        assert_eq!(r.max_deviation(&r.clone(), 0), 0.0);
+        assert_eq!(r.max_deviation_all_nodes(&r.clone()), 0.0);
+    }
+
+    #[test]
+    fn deviation_detects_offset() {
+        let a = ramp_result();
+        let mut b = TransientResult::new(2, vec!["a".into(), "b".into()]);
+        for k in 0..=10 {
+            let t = k as f64 * 0.1;
+            b.push(t, &[t + 0.25, 2.0 * t]);
+        }
+        assert!((a.max_deviation(&b, 0) - 0.25).abs() < 1e-12);
+        assert_eq!(a.max_deviation(&b, 1), 0.0);
+    }
+
+    #[test]
+    fn deviation_handles_different_grids() {
+        // Same linear waveform sampled on different grids: deviation ~ 0.
+        let a = ramp_result();
+        let mut b = TransientResult::new(2, vec!["a".into(), "b".into()]);
+        for k in 0..=7 {
+            let t = k as f64 * 1.0 / 7.0;
+            b.push(t, &[t, 2.0 * t]);
+        }
+        assert!(a.max_deviation(&b, 0) < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = ramp_result();
+        let csv = r.to_csv(&[("a".into(), 0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,a");
+        assert_eq!(lines.len(), 12);
+    }
+
+    #[test]
+    fn step_sizes_and_peak() {
+        let r = ramp_result();
+        let hs = r.step_sizes();
+        assert_eq!(hs.len(), 10);
+        assert!((hs[0] - 0.1).abs() < 1e-12);
+        assert!((r.peak(1) - 2.0).abs() < 1e-12);
+    }
+}

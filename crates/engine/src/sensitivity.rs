@@ -1,0 +1,344 @@
+//! DC sensitivity analysis by the adjoint method (`.sens`).
+//!
+//! For an output node voltage `V_out`, one *adjoint* solve
+//! `A^T λ = e_out` at the operating point yields the sensitivity of `V_out`
+//! to **every** circuit parameter simultaneously:
+//!
+//! * resistor `R` between `p`,`n` (conductance `g = 1/R`):
+//!   `dV/dg = -(λ_p - λ_n)(x_p - x_n)`, so `dV/dR = (λ_p - λ_n)(x_p - x_n)/R²`;
+//! * voltage source value: `dV/dE = λ_branch`;
+//! * current source value: `dV/dI = -(λ_p - λ_n)`.
+//!
+//! Nonlinear devices are handled exactly by linearising at the operating
+//! point: the adjoint system uses the same Jacobian Newton converged with.
+
+use crate::error::{EngineError, Result};
+use crate::mna::{Dev, MnaSystem, StampInput};
+use crate::newton::LinearCache;
+use crate::options::SimOptions;
+use crate::stats::SimStats;
+use wavepipe_circuit::Circuit;
+use wavepipe_sparse::{LuOptions, SparseLu};
+
+/// Sensitivity of the output to one circuit parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Element name.
+    pub element: String,
+    /// Parameter kind (`"resistance"`, `"voltage"`, `"current"`).
+    pub parameter: &'static str,
+    /// Absolute sensitivity `dV_out / dp` (V per parameter unit).
+    pub absolute: f64,
+    /// Normalised sensitivity `dV_out / d(ln p)` = `p * dV/dp`
+    /// (volts per relative parameter change); 0 when `p = 0`.
+    pub normalized: f64,
+}
+
+/// Result of a DC sensitivity analysis at one output node.
+#[derive(Debug, Clone)]
+pub struct SensitivityResult {
+    /// Output node name.
+    pub output: String,
+    /// Output's DC value.
+    pub value: f64,
+    /// Per-parameter sensitivities, in netlist order.
+    pub entries: Vec<Sensitivity>,
+}
+
+impl SensitivityResult {
+    /// Looks up the sensitivity entry of a named element.
+    pub fn of(&self, element: &str) -> Option<&Sensitivity> {
+        self.entries.iter().find(|e| e.element.eq_ignore_ascii_case(element))
+    }
+
+    /// Entries sorted by descending |normalized| — the "what matters most"
+    /// view.
+    pub fn ranked(&self) -> Vec<&Sensitivity> {
+        let mut v: Vec<&Sensitivity> = self.entries.iter().collect();
+        v.sort_by(|a, b| {
+            b.normalized
+                .abs()
+                .partial_cmp(&a.normalized.abs())
+                .expect("finite sensitivities")
+        });
+        v
+    }
+}
+
+/// Computes the DC sensitivity of `output_node`'s voltage to every
+/// resistor and independent-source value in the circuit.
+///
+/// ```
+/// use wavepipe_circuit::{Circuit, Waveform};
+/// use wavepipe_engine::{run_dc_sensitivity, SimOptions};
+///
+/// # fn main() -> Result<(), wavepipe_engine::EngineError> {
+/// let mut ckt = Circuit::new("divider");
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(10.0))?;
+/// ckt.add_resistor("R1", a, b, 2e3)?;
+/// ckt.add_resistor("R2", b, Circuit::GROUND, 3e3)?;
+/// let sens = run_dc_sensitivity(&ckt, "b", &SimOptions::default())?;
+/// // V_b = 6 V; dV/dE = R2/(R1+R2) = 0.6.
+/// assert!((sens.of("V1").expect("entry").absolute - 0.6).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`EngineError::UnknownSource`] if `output_node` does not exist.
+/// * Operating-point and linear-solver failures.
+pub fn run_dc_sensitivity(
+    circuit: &Circuit,
+    output_node: &str,
+    opts: &SimOptions,
+) -> Result<SensitivityResult> {
+    let sys = MnaSystem::compile(circuit)?;
+    let Some(out_idx) = sys.node_unknown(output_node) else {
+        return Err(EngineError::UnknownSource { name: output_node.to_string() });
+    };
+    let mut ws = sys.new_workspace();
+    let mut cache = LinearCache::new();
+    let mut stats = SimStats::new();
+    let x = crate::dcop::dc_operating_point(&sys, &mut ws, &mut cache, opts, &mut stats)?;
+
+    // Re-stamp the Jacobian at the converged operating point and factor it.
+    let n = sys.n_unknowns();
+    let zeros = vec![0.0; n];
+    let caps = vec![0.0; sys.cap_state_count()];
+    let input = StampInput {
+        time: 0.0,
+        coeffs: None,
+        x_prev: &zeros,
+        x_prev2: &zeros,
+        cap_currents: &caps,
+        gmin: opts.gmin,
+        gshunt: 0.0,
+        source_scale: 1.0,
+        ic_mode: false,
+    };
+    sys.stamp(&mut ws, &input, &x);
+    let lu = SparseLu::factor(&ws.matrix, &LuOptions::default())?;
+
+    // Adjoint solve: A^T lambda = e_out.
+    let mut e = vec![0.0; n];
+    e[out_idx] = 1.0;
+    let lambda = lu.solve_transpose(&e)?;
+
+    const GND: usize = usize::MAX;
+    let at = |v: &[f64], u: usize| if u == GND { 0.0 } else { v[u] };
+
+    // Walk the circuit elements in netlist order, pairing them with the
+    // compiled devices for index information.
+    let mut entries = Vec::new();
+    let mut dev_iter = sys.devices().iter();
+    for el in circuit.elements() {
+        // Each element consumed one or more compiled devices; the first one
+        // carries the primary parameter.
+        let dev = dev_iter.next().expect("device per element");
+        // Skip the extra compiled devices (model capacitances).
+        let extra = match el {
+            wavepipe_circuit::Element::Mosfet { model, .. } => {
+                usize::from(model.cgs > 0.0) + usize::from(model.cgd > 0.0)
+            }
+            wavepipe_circuit::Element::Diode { model, .. } => usize::from(model.cj0 > 0.0),
+            _ => 0,
+        };
+        for _ in 0..extra {
+            dev_iter.next();
+        }
+        match (el, dev) {
+            (
+                wavepipe_circuit::Element::Resistor { name, resistance, .. },
+                Dev::Conductance { p, n, .. },
+            ) => {
+                let dl = at(&lambda, *p) - at(&lambda, *n);
+                let dx = at(&x, *p) - at(&x, *n);
+                let d_dg = -dl * dx;
+                let d_dr = -d_dg / (resistance * resistance);
+                entries.push(Sensitivity {
+                    element: name.clone(),
+                    parameter: "resistance",
+                    absolute: d_dr,
+                    normalized: d_dr * resistance,
+                });
+            }
+            (wavepipe_circuit::Element::VoltageSource { name, .. }, Dev::Vsrc { branch, .. }) => {
+                let d = lambda[*branch];
+                let v0 = match el {
+                    wavepipe_circuit::Element::VoltageSource { waveform, .. } => {
+                        waveform.dc_value()
+                    }
+                    _ => unreachable!(),
+                };
+                entries.push(Sensitivity {
+                    element: name.clone(),
+                    parameter: "voltage",
+                    absolute: d,
+                    normalized: d * v0,
+                });
+            }
+            (wavepipe_circuit::Element::CurrentSource { name, .. }, Dev::Isrc { p, n, .. }) => {
+                // RHS contribution of I: -I at p, +I at n, so
+                // dV/dI = -(lambda_p - lambda_n).
+                let d = -(at(&lambda, *p) - at(&lambda, *n));
+                let i0 = match el {
+                    wavepipe_circuit::Element::CurrentSource { waveform, .. } => {
+                        waveform.dc_value()
+                    }
+                    _ => unreachable!(),
+                };
+                entries.push(Sensitivity {
+                    element: name.clone(),
+                    parameter: "current",
+                    absolute: d,
+                    normalized: d * i0,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    Ok(SensitivityResult {
+        output: output_node.to_string(),
+        value: x[out_idx],
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_circuit::{DiodeModel, Waveform};
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new("div");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(10.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 2e3).unwrap();
+        ckt.add_resistor("R2", b, Circuit::GROUND, 3e3).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn divider_sensitivities_match_closed_form() {
+        // V_b = E * R2/(R1+R2) = 6 V.
+        // dV/dR1 = -E*R2/(R1+R2)^2 = -10*3k/25e6 = -1.2e-3
+        // dV/dR2 = +E*R1/(R1+R2)^2 = +0.8e-3
+        // dV/dE  = R2/(R1+R2) = 0.6
+        let res = run_dc_sensitivity(&divider(), "b", &SimOptions::default()).unwrap();
+        assert!((res.value - 6.0).abs() < 1e-6);
+        let r1 = res.of("R1").unwrap();
+        let r2 = res.of("R2").unwrap();
+        let v1 = res.of("V1").unwrap();
+        assert!((r1.absolute + 1.2e-3).abs() < 1e-8, "dV/dR1 {}", r1.absolute);
+        assert!((r2.absolute - 0.8e-3).abs() < 1e-8, "dV/dR2 {}", r2.absolute);
+        assert!((v1.absolute - 0.6).abs() < 1e-8, "dV/dE {}", v1.absolute);
+        // Normalised: R1 -2.4 V per 100%, R2 +2.4 V per 100%.
+        assert!((r1.normalized + 2.4).abs() < 1e-6);
+        assert!((r2.normalized - 2.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjoint_matches_finite_difference_on_nonlinear_circuit() {
+        // Diode-loaded divider: sensitivities through the linearised OP must
+        // match brute-force finite differences.
+        let build = |r1: f64| {
+            let mut ckt = Circuit::new("dio");
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(5.0)).unwrap();
+            ckt.add_resistor("R1", a, b, r1).unwrap();
+            ckt.add_diode("D1", b, Circuit::GROUND, DiodeModel::default()).unwrap();
+            ckt
+        };
+        let opts = SimOptions::default();
+        let res = run_dc_sensitivity(&build(1e3), "b", &opts).unwrap();
+        let s_adj = res.of("R1").unwrap().absolute;
+        // Finite difference.
+        let vb = |r1: f64| {
+            let ckt = build(r1);
+            let res = run_dc_sensitivity(&ckt, "b", &opts).unwrap();
+            res.value
+        };
+        let h = 0.1;
+        let fd = (vb(1e3 + h) - vb(1e3 - h)) / (2.0 * h);
+        assert!(
+            (s_adj - fd).abs() < 1e-3 * fd.abs().max(1e-9),
+            "adjoint {s_adj} vs fd {fd}"
+        );
+    }
+
+    #[test]
+    fn current_source_sensitivity() {
+        // I into R: V = I*R, dV/dI = R.
+        let mut ckt = Circuit::new("ir");
+        let a = ckt.node("a");
+        ckt.add_isource("I1", Circuit::GROUND, a, Waveform::dc(1e-3)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 4e3).unwrap();
+        let res = run_dc_sensitivity(&ckt, "a", &SimOptions::default()).unwrap();
+        let i1 = res.of("I1").unwrap();
+        assert!((i1.absolute - 4e3).abs() < 1.0, "dV/dI {}", i1.absolute);
+        let r1 = res.of("R1").unwrap();
+        assert!((r1.absolute - 1e-3).abs() < 1e-9, "dV/dR {}", r1.absolute);
+    }
+
+    #[test]
+    fn ranked_orders_by_impact() {
+        let res = run_dc_sensitivity(&divider(), "b", &SimOptions::default()).unwrap();
+        let ranked = res.ranked();
+        // The source dominates (6 V per 100%), then the resistors (2.4).
+        assert_eq!(ranked[0].element, "V1");
+        assert!(ranked[0].normalized.abs() > ranked[1].normalized.abs() - 1e-12);
+    }
+
+    #[test]
+    fn device_pairing_survives_multi_device_elements() {
+        // A MOSFET compiles to 3 devices (channel + 2 caps); the element/
+        // device walk must stay aligned so the resistor AFTER it still gets
+        // the right sensitivity.
+        use wavepipe_circuit::MosModel;
+        let mut ckt = Circuit::new("pair");
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3)).unwrap();
+        ckt.add_vsource("Vg", g, Circuit::GROUND, Waveform::dc(0.9)).unwrap();
+        ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosModel { kp: 2e-4, w: 50e-6, ..MosModel::nmos() })
+            .unwrap();
+        ckt.add_resistor("Rd", vdd, d, 5e3).unwrap();
+        let opts = SimOptions::default();
+        let res = run_dc_sensitivity(&ckt, "d", &opts).unwrap();
+        let rd = res.of("Rd").unwrap().absolute;
+        // Finite difference on Rd.
+        let vb = |r: f64| {
+            let mut ckt = Circuit::new("pair");
+            let vdd = ckt.node("vdd");
+            let g = ckt.node("g");
+            let d = ckt.node("d");
+            ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3)).unwrap();
+            ckt.add_vsource("Vg", g, Circuit::GROUND, Waveform::dc(0.9)).unwrap();
+            ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosModel { kp: 2e-4, w: 50e-6, ..MosModel::nmos() })
+                .unwrap();
+            ckt.add_resistor("Rd", vdd, d, r).unwrap();
+            run_dc_sensitivity(&ckt, "d", &opts).unwrap().value
+        };
+        let h = 0.5;
+        let fd = (vb(5e3 + h) - vb(5e3 - h)) / (2.0 * h);
+        assert!((rd - fd).abs() < 1e-3 * fd.abs().max(1e-9), "adjoint {rd} vs fd {fd}");
+        // Gate-source sensitivity reflects -gm*Rd/(1+...) ~ -10.
+        let vgs = res.of("Vg").unwrap().absolute;
+        assert!(vgs < -5.0 && vgs > -20.0, "dVd/dVg = {vgs}");
+    }
+
+    #[test]
+    fn unknown_output_node_is_an_error() {
+        assert!(matches!(
+            run_dc_sensitivity(&divider(), "nope", &SimOptions::default()),
+            Err(EngineError::UnknownSource { .. })
+        ));
+    }
+}

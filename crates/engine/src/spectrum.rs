@@ -1,0 +1,261 @@
+//! Spectral analysis of transient waveforms: windowed FFT over resampled
+//! traces, harmonic extraction, and total harmonic distortion — the `.four`
+//! analysis of classic SPICE.
+
+/// A single spectral line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralLine {
+    /// Frequency (Hz).
+    pub frequency: f64,
+    /// Amplitude (peak, same units as the waveform).
+    pub amplitude: f64,
+    /// Phase (degrees).
+    pub phase_deg: f64,
+}
+
+/// Result of a Fourier analysis at a fundamental frequency.
+#[derive(Debug, Clone)]
+pub struct FourierAnalysis {
+    /// DC component.
+    pub dc: f64,
+    /// Harmonics 1..=n of the fundamental (index 0 = fundamental).
+    pub harmonics: Vec<SpectralLine>,
+    /// Total harmonic distortion as a fraction of the fundamental
+    /// (`sqrt(sum A_k^2, k>=2) / A_1`).
+    pub thd: f64,
+}
+
+/// In-place radix-2 decimation-in-time FFT on interleaved complex data.
+///
+/// `data` holds `(re, im)` pairs; its length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [(f64, f64)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0_f64, 0.0_f64);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2];
+                let tr = b.0 * cr - b.1 * ci;
+                let ti = b.0 * ci + b.1 * cr;
+                data[start + k] = (a.0 + tr, a.1 + ti);
+                data[start + k + len / 2] = (a.0 - tr, a.1 - ti);
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Resamples a `(time, value)` trace onto `n` uniform points over
+/// `[t0, t1)` by linear interpolation.
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than 2 points or the window is empty.
+pub fn resample(trace: &[(f64, f64)], t0: f64, t1: f64, n: usize) -> Vec<f64> {
+    assert!(trace.len() >= 2, "resample needs at least two points");
+    assert!(t1 > t0, "empty resample window");
+    let sample = |t: f64| -> f64 {
+        let k = trace.partition_point(|&(tt, _)| tt <= t);
+        if k == 0 {
+            return trace[0].1;
+        }
+        if k >= trace.len() {
+            return trace[trace.len() - 1].1;
+        }
+        let (ta, va) = trace[k - 1];
+        let (tb, vb) = trace[k];
+        va + (vb - va) * (t - ta) / (tb - ta)
+    };
+    (0..n).map(|k| sample(t0 + (t1 - t0) * k as f64 / n as f64)).collect()
+}
+
+/// Fourier analysis of a trace at the given fundamental, over the last
+/// `cycles` full periods before the trace's end (skipping the startup
+/// transient), with `n_harmonics` harmonics reported.
+///
+/// Mirrors SPICE's `.four`: the window is an exact number of periods so no
+/// spectral window function is needed.
+///
+/// ```
+/// use wavepipe_engine::spectrum::fourier;
+///
+/// // Two cycles of a clean 1 MHz sine.
+/// let trace: Vec<(f64, f64)> = (0..=400)
+///     .map(|k| {
+///         let t = 2e-6 * k as f64 / 400.0;
+///         (t, (std::f64::consts::TAU * 1e6 * t).sin())
+///     })
+///     .collect();
+/// let fa = fourier(&trace, 1e6, 2, 3);
+/// assert!((fa.harmonics[0].amplitude - 1.0).abs() < 1e-2);
+/// assert!(fa.thd < 1e-2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than the requested window.
+pub fn fourier(
+    trace: &[(f64, f64)],
+    fundamental: f64,
+    cycles: usize,
+    n_harmonics: usize,
+) -> FourierAnalysis {
+    assert!(fundamental > 0.0 && cycles >= 1 && n_harmonics >= 1);
+    let period = 1.0 / fundamental;
+    let t_end = trace.last().expect("non-empty trace").0;
+    let t0 = t_end - cycles as f64 * period;
+    assert!(
+        t0 >= trace[0].0 - 1e-15,
+        "trace too short: needs {} cycles of {}s",
+        cycles,
+        period
+    );
+    // Power-of-two length with >= 32 samples per cycle and enough bins.
+    let mut n = 32usize * cycles;
+    while n < 4 * n_harmonics * cycles {
+        n <<= 1;
+    }
+    let n = n.next_power_of_two();
+    let samples = resample(trace, t0, t_end, n);
+    let mut data: Vec<(f64, f64)> = samples.iter().map(|&v| (v, 0.0)).collect();
+    fft(&mut data);
+
+    let scale = 2.0 / n as f64;
+    let dc = data[0].0 / n as f64;
+    let mut harmonics = Vec::with_capacity(n_harmonics);
+    for h in 1..=n_harmonics {
+        // Bin of the h-th harmonic: h * cycles (window = `cycles` periods).
+        let bin = h * cycles;
+        let (re, im) = data[bin];
+        harmonics.push(SpectralLine {
+            frequency: h as f64 * fundamental,
+            amplitude: scale * re.hypot(im),
+            phase_deg: im.atan2(re).to_degrees(),
+        });
+    }
+    let a1 = harmonics[0].amplitude;
+    let distortion: f64 = harmonics[1..].iter().map(|l| l.amplitude * l.amplitude).sum();
+    let thd = if a1 > 0.0 { distortion.sqrt() / a1 } else { 0.0 };
+    FourierAnalysis { dc, harmonics, thd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_trace(freq: f64, amp: f64, offset: f64, tstop: f64, n: usize) -> Vec<(f64, f64)> {
+        (0..=n)
+            .map(|k| {
+                let t = tstop * k as f64 / n as f64;
+                (t, offset + amp * (std::f64::consts::TAU * freq * t).sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![(0.0, 0.0); 8];
+        d[0] = (1.0, 0.0);
+        fft(&mut d);
+        for &(re, im) in &d {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let mut d: Vec<(f64, f64)> = (0..n)
+            .map(|k| ((std::f64::consts::TAU * 5.0 * k as f64 / n as f64).cos(), 0.0))
+            .collect();
+        fft(&mut d);
+        let mags: Vec<f64> = d.iter().map(|&(r, i)| r.hypot(i)).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .unwrap()
+            .0;
+        assert_eq!(peak.min(n - peak), 5, "peak at bin {peak}");
+        assert!((mags[5] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut d = vec![(0.0, 0.0); 6];
+        fft(&mut d);
+    }
+
+    #[test]
+    fn resample_reproduces_linear_ramps() {
+        let tr = vec![(0.0, 0.0), (1.0, 2.0)];
+        let s = resample(&tr, 0.0, 1.0, 4);
+        assert_eq!(s, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn fourier_of_pure_sine() {
+        let tr = sine_trace(1e6, 2.5, 0.3, 10e-6, 5000);
+        let fa = fourier(&tr, 1e6, 4, 5);
+        assert!((fa.dc - 0.3).abs() < 1e-3, "dc {}", fa.dc);
+        assert!((fa.harmonics[0].amplitude - 2.5).abs() < 5e-3, "a1 {}", fa.harmonics[0].amplitude);
+        assert!(fa.thd < 1e-3, "thd {}", fa.thd);
+        assert_eq!(fa.harmonics[0].frequency, 1e6);
+        assert_eq!(fa.harmonics[2].frequency, 3e6);
+    }
+
+    #[test]
+    fn fourier_detects_harmonic_distortion() {
+        // Fundamental + 10% third harmonic.
+        let n = 8000;
+        let tr: Vec<(f64, f64)> = (0..=n)
+            .map(|k| {
+                let t = 10e-6 * k as f64 / n as f64;
+                let w = std::f64::consts::TAU * 1e6 * t;
+                (t, w.sin() + 0.1 * (3.0 * w).sin())
+            })
+            .collect();
+        let fa = fourier(&tr, 1e6, 4, 5);
+        assert!((fa.thd - 0.1).abs() < 2e-3, "thd {}", fa.thd);
+        assert!((fa.harmonics[2].amplitude - 0.1).abs() < 2e-3);
+        assert!(fa.harmonics[1].amplitude < 1e-3, "no 2nd harmonic");
+    }
+
+    #[test]
+    fn clipped_sine_has_high_thd() {
+        let tr: Vec<(f64, f64)> = (0..=8000)
+            .map(|k| {
+                let t = 10e-6 * k as f64 / 8000.0;
+                let v: f64 = 2.0 * (std::f64::consts::TAU * 1e6 * t).sin();
+                (t, v.clamp(-1.0, 1.0))
+            })
+            .collect();
+        let fa = fourier(&tr, 1e6, 4, 9);
+        assert!(fa.thd > 0.05, "clipping must distort: thd {}", fa.thd);
+    }
+}

@@ -1,0 +1,129 @@
+//! Work accounting for simulations.
+//!
+//! Besides the usual SPICE counters (steps, Newton iterations, rejections),
+//! the stats carry a *work* measure in abstract cost units and in measured
+//! nanoseconds. WavePipe's speedup reports are computed from these: on a
+//! p-thread round, the critical-path cost is the maximum of the concurrent
+//! tasks' costs, which is what an otherwise-idle p-core machine realises.
+
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+/// Counters accumulated during an analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Accepted time points.
+    pub steps_accepted: usize,
+    /// Time points rejected by the LTE test.
+    pub steps_rejected_lte: usize,
+    /// Time points abandoned because Newton failed to converge.
+    pub steps_rejected_newton: usize,
+    /// Total Newton iterations (each is one stamp + refactor + solve).
+    pub newton_iterations: usize,
+    /// Full factorizations (with pivot search).
+    pub factorizations: usize,
+    /// Fast refactorizations.
+    pub refactorizations: usize,
+    /// Triangular solves.
+    pub solves: usize,
+    /// Individual device evaluations.
+    pub device_evals: usize,
+    /// Wall-clock time spent, nanoseconds.
+    pub wall_ns: u128,
+}
+
+impl SimStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Abstract work units: one unit per device evaluation plus a fixed
+    /// charge per matrix operation. This is the hardware-independent cost
+    /// model used for critical-path speedups.
+    pub fn work_units(&self) -> u64 {
+        const FACTOR_COST: u64 = 40;
+        const REFACTOR_COST: u64 = 12;
+        const SOLVE_COST: u64 = 4;
+        self.device_evals as u64
+            + FACTOR_COST * self.factorizations as u64
+            + REFACTOR_COST * self.refactorizations as u64
+            + SOLVE_COST * self.solves as u64
+    }
+
+    /// Wall time as a [`Duration`].
+    pub fn wall_time(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns as u64)
+    }
+
+    /// Total rejected points.
+    pub fn steps_rejected(&self) -> usize {
+        self.steps_rejected_lte + self.steps_rejected_newton
+    }
+
+    /// Mean Newton iterations per accepted point.
+    pub fn newton_per_step(&self) -> f64 {
+        if self.steps_accepted == 0 {
+            0.0
+        } else {
+            self.newton_iterations as f64 / self.steps_accepted as f64
+        }
+    }
+}
+
+impl Add for SimStats {
+    type Output = SimStats;
+
+    fn add(self, rhs: SimStats) -> SimStats {
+        SimStats {
+            steps_accepted: self.steps_accepted + rhs.steps_accepted,
+            steps_rejected_lte: self.steps_rejected_lte + rhs.steps_rejected_lte,
+            steps_rejected_newton: self.steps_rejected_newton + rhs.steps_rejected_newton,
+            newton_iterations: self.newton_iterations + rhs.newton_iterations,
+            factorizations: self.factorizations + rhs.factorizations,
+            refactorizations: self.refactorizations + rhs.refactorizations,
+            solves: self.solves + rhs.solves,
+            device_evals: self.device_evals + rhs.device_evals,
+            wall_ns: self.wall_ns + rhs.wall_ns,
+        }
+    }
+}
+
+impl AddAssign for SimStats {
+    fn add_assign(&mut self, rhs: SimStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_units_monotone_in_counters() {
+        let a = SimStats { device_evals: 10, solves: 1, ..SimStats::new() };
+        let b = SimStats { device_evals: 10, solves: 2, ..SimStats::new() };
+        assert!(b.work_units() > a.work_units());
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = SimStats { steps_accepted: 3, newton_iterations: 9, ..SimStats::new() };
+        let b = SimStats { steps_accepted: 2, newton_iterations: 4, ..SimStats::new() };
+        let c = a + b;
+        assert_eq!(c.steps_accepted, 5);
+        assert_eq!(c.newton_iterations, 13);
+        assert!((c.newton_per_step() - 13.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_per_step_handles_zero() {
+        assert_eq!(SimStats::new().newton_per_step(), 0.0);
+    }
+
+    #[test]
+    fn rejected_sums_both_kinds() {
+        let s = SimStats { steps_rejected_lte: 2, steps_rejected_newton: 3, ..SimStats::new() };
+        assert_eq!(s.steps_rejected(), 5);
+    }
+}

@@ -1,0 +1,726 @@
+//! Variable-step transient analysis.
+//!
+//! The module is split the way WavePipe needs it:
+//!
+//! * [`HistoryWindow`] — the few most recent accepted points plus capacitor
+//!   state: everything required to solve the *next* point. Cloneable, so
+//!   concurrent WavePipe tasks can each take a consistent snapshot.
+//! * [`PointSolver`] — solves one time point from a history window
+//!   (companion stamping + Newton). Cloneable: one per thread.
+//! * [`run_transient`] — the serial reference loop: breakpoint handling,
+//!   LTE accept/reject, step-size control. WavePipe reuses all the same
+//!   pieces, so its accepted points satisfy identical accuracy tests.
+
+use crate::dcop::dc_operating_point;
+use crate::error::{EngineError, Result};
+use crate::integrate::{IntegCoeffs, Method};
+use crate::lte::lte_step_control;
+use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
+use crate::newton::{newton_solve, LinearCache};
+use crate::options::SimOptions;
+use crate::result::TransientResult;
+use crate::stats::SimStats;
+use std::sync::Arc;
+use std::time::Instant;
+use wavepipe_circuit::Circuit;
+
+/// Number of past points retained for companions, prediction, and LTE.
+const WINDOW: usize = 4;
+
+/// Coefficients for updating capacitor-current *state* at an accepted point.
+///
+/// The natural trapezoidal state recursion `i_n = 2C/h (u_n - u_(n-1)) -
+/// i_(n-1)` is unstable to solver noise (the alternating term compounds), so
+/// states are instead estimated by a variable-step BDF2 divided-difference
+/// derivative of the node voltages — O(h^2) accurate, hence consistent with
+/// every second-order companion, and free of recursion.
+fn state_coeffs(hw: &HistoryWindow, t_new: f64) -> IntegCoeffs {
+    let h = t_new - hw.times[0];
+    if hw.times.len() >= 2 && hw.points_since_restart >= 1 {
+        let h_prev = hw.times[0] - hw.times[1];
+        IntegCoeffs::new(Method::Gear2, h, h_prev)
+    } else {
+        IntegCoeffs::new(Method::BackwardEuler, h, h)
+    }
+}
+
+/// The recent accepted-solution window: the complete state needed to take
+/// the next step.
+#[derive(Debug, Clone)]
+pub struct HistoryWindow {
+    /// Accepted times, newest first (at most [`WINDOW`]).
+    times: Vec<f64>,
+    /// Solutions parallel to `times`.
+    xs: Vec<Vec<f64>>,
+    /// Capacitor currents at `times[0]`.
+    cap_currents: Vec<f64>,
+    /// Accepted points since the last discontinuity (integration restart).
+    points_since_restart: usize,
+}
+
+impl HistoryWindow {
+    /// Starts a history at `t = 0` from the DC operating point.
+    pub fn start(x0: Vec<f64>, n_cap_states: usize) -> Self {
+        HistoryWindow {
+            times: vec![0.0],
+            xs: vec![x0],
+            cap_currents: vec![0.0; n_cap_states],
+            points_since_restart: 0,
+        }
+    }
+
+    /// Current (latest accepted) time.
+    pub fn t(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Latest accepted solution.
+    pub fn x(&self) -> &[f64] {
+        &self.xs[0]
+    }
+
+    /// Times, newest first.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Solutions, newest first.
+    pub fn solutions(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Capacitor currents at the latest point.
+    pub fn cap_currents(&self) -> &[f64] {
+        &self.cap_currents
+    }
+
+    /// Accepted points since the last integration restart.
+    pub fn points_since_restart(&self) -> usize {
+        self.points_since_restart
+    }
+
+    /// The previous accepted step size, if two points exist.
+    pub fn h_prev(&self) -> Option<f64> {
+        (self.times.len() >= 2).then(|| self.times[0] - self.times[1])
+    }
+
+    /// Marks an integration restart (source slope discontinuity): the next
+    /// step will use backward Euler and LTE restarts its window.
+    pub fn mark_discontinuity(&mut self) {
+        self.points_since_restart = 0;
+    }
+
+    /// The method actually usable for the next step, given the requested one
+    /// and the available smooth history.
+    pub fn effective_method(&self, requested: Method) -> Method {
+        match requested {
+            Method::BackwardEuler => Method::BackwardEuler,
+            Method::Trapezoidal => {
+                if self.points_since_restart < 1 {
+                    Method::BackwardEuler
+                } else {
+                    Method::Trapezoidal
+                }
+            }
+            Method::Gear2 => {
+                if self.points_since_restart < 2 || self.times.len() < 2 {
+                    Method::BackwardEuler
+                } else {
+                    Method::Gear2
+                }
+            }
+        }
+    }
+
+    /// Polynomial (linear) prediction of the solution at `t_new`, used as the
+    /// Newton initial guess — and by WavePipe's forward pipelining as the
+    /// speculative history value.
+    pub fn predict(&self, t_new: f64) -> Vec<f64> {
+        if self.times.len() < 2 || self.points_since_restart == 0 {
+            return self.xs[0].clone();
+        }
+        if self.times.len() >= 3 && self.points_since_restart >= 2 {
+            // Quadratic Lagrange extrapolation through the last three points
+            // (matches the second-order integration methods).
+            let (t0, t1, t2) = (self.times[0], self.times[1], self.times[2]);
+            let l0 = (t_new - t1) * (t_new - t2) / ((t0 - t1) * (t0 - t2));
+            let l1 = (t_new - t0) * (t_new - t2) / ((t1 - t0) * (t1 - t2));
+            let l2 = (t_new - t0) * (t_new - t1) / ((t2 - t0) * (t2 - t1));
+            return self.xs[0]
+                .iter()
+                .zip(&self.xs[1])
+                .zip(&self.xs[2])
+                .map(|((&x0, &x1), &x2)| l0 * x0 + l1 * x1 + l2 * x2)
+                .collect();
+        }
+        let dt = self.times[0] - self.times[1];
+        let scale = (t_new - self.times[0]) / dt;
+        self.xs[0]
+            .iter()
+            .zip(&self.xs[1])
+            .map(|(&x0, &x1)| x0 + (x0 - x1) * scale)
+            .collect()
+    }
+
+    /// Accepts a solved point, rolling the window forward. The capacitor
+    /// currents were computed by [`PointSolver::solve_point`] against the
+    /// *same history the companion integration used* — important for
+    /// WavePipe, where the committing window may already contain trailing
+    /// points the solve never saw.
+    pub fn accept(&mut self, sol: &PointSolution) {
+        self.times.insert(0, sol.t);
+        self.xs.insert(0, sol.x.clone());
+        self.times.truncate(WINDOW);
+        self.xs.truncate(WINDOW);
+        self.cap_currents = sol.cap_currents.clone();
+        self.points_since_restart += 1;
+    }
+
+    /// Number of history points usable for LTE (within the smooth region).
+    pub fn usable_for_lte(&self) -> usize {
+        (self.points_since_restart + 1).min(self.times.len())
+    }
+
+    /// Returns a copy of this window advanced by a *hypothetical* point —
+    /// WavePipe's forward pipelining speculates on the next solution and
+    /// builds the pipelined task's history from the prediction.
+    ///
+    /// Capacitor currents are updated through the same state-derivative
+    /// formula an actual accept would use, so the speculative window is
+    /// internally consistent.
+    pub fn speculate(&self, sys: &MnaSystem, t_new: f64, x_new: Vec<f64>) -> HistoryWindow {
+        let mut next = self.clone();
+        let coeffs = state_coeffs(self, t_new);
+        let x_prev2 = if self.xs.len() >= 2 { &self.xs[1] } else { &self.xs[0] };
+        let caps =
+            sys.cap_currents_after(&coeffs, &x_new, &self.xs[0], x_prev2, &self.cap_currents);
+        next.times.insert(0, t_new);
+        next.xs.insert(0, x_new);
+        next.times.truncate(WINDOW);
+        next.xs.truncate(WINDOW);
+        next.cap_currents = caps;
+        next.points_since_restart += 1;
+        next
+    }
+}
+
+/// A solved candidate time point.
+#[derive(Debug, Clone)]
+pub struct PointSolution {
+    /// The time of the point.
+    pub t: f64,
+    /// The converged solution.
+    pub x: Vec<f64>,
+    /// Method actually used.
+    pub method: Method,
+    /// Discretisation coefficients used (needed to update capacitor state).
+    pub coeffs: IntegCoeffs,
+    /// Whether Newton converged.
+    pub converged: bool,
+    /// Newton iterations spent.
+    pub iterations: usize,
+    /// Capacitor currents at this point, computed against the history the
+    /// companion integration actually used (empty if Newton failed).
+    pub cap_currents: Vec<f64>,
+    /// Work performed for this point alone.
+    pub stats: SimStats,
+}
+
+/// Solves individual time points against a history window.
+///
+/// Owns the per-thread mutable state (matrix values, RHS, LU factors), while
+/// the compiled [`MnaSystem`] is shared. Clone one per WavePipe thread.
+#[derive(Debug, Clone)]
+pub struct PointSolver {
+    sys: Arc<MnaSystem>,
+    opts: SimOptions,
+    ws: MnaWorkspace,
+    cache: LinearCache,
+}
+
+impl PointSolver {
+    /// Creates a solver for a compiled system.
+    pub fn new(sys: Arc<MnaSystem>, opts: SimOptions) -> Self {
+        let ws = sys.new_workspace();
+        PointSolver { sys, opts, ws, cache: LinearCache::new() }
+    }
+
+    /// The compiled system.
+    pub fn system(&self) -> &MnaSystem {
+        &self.sys
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Computes the DC operating point (the `t = 0` state).
+    ///
+    /// # Errors
+    ///
+    /// See [`dc_operating_point`].
+    pub fn dc_op(&mut self, stats: &mut SimStats) -> Result<Vec<f64>> {
+        dc_operating_point(&self.sys, &mut self.ws, &mut self.cache, &self.opts, stats)
+    }
+
+    /// Computes the transient starting state: the DC operating point, or —
+    /// when [`SimOptions::use_ic`] is set — a `UIC` solve that forces
+    /// capacitors to their declared initial voltages (discharged when
+    /// unspecified) and inductors to their initial currents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operating-point / Newton failures.
+    pub fn initial_state(&mut self, stats: &mut SimStats) -> Result<Vec<f64>> {
+        if !self.opts.use_ic {
+            return self.dc_op(stats);
+        }
+        let n = self.sys.n_unknowns();
+        let zeros = vec![0.0; n];
+        let caps = vec![0.0; self.sys.cap_state_count()];
+        let input = StampInput {
+            time: 0.0,
+            coeffs: None,
+            x_prev: &zeros,
+            x_prev2: &zeros,
+            cap_currents: &caps,
+            gmin: self.opts.gmin,
+            gshunt: self.opts.gmin,
+            source_scale: 1.0,
+            ic_mode: true,
+        };
+        let out = newton_solve(
+            &self.sys,
+            &mut self.ws,
+            &mut self.cache,
+            &input,
+            &zeros,
+            self.opts.max_dc_iters,
+            &self.opts,
+            stats,
+        )?;
+        if !out.converged {
+            return Err(crate::error::EngineError::NoConvergence {
+                time: 0.0,
+                iterations: out.iterations,
+            });
+        }
+        // The IC stamp pattern differs numerically from the transient one;
+        // drop the pivot order so the first real step re-factors cleanly.
+        self.cache.invalidate();
+        Ok(out.x)
+    }
+
+    /// Solves the circuit at `t_new` from the history window `hw`.
+    ///
+    /// `x_guess` overrides the default predictor as the Newton start;
+    /// `history_override` substitutes the previous-point solution (WavePipe
+    /// forward pipelining passes the *predicted* previous point here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Linear`] only for unrecoverable matrix
+    /// failures; Newton non-convergence is reported via
+    /// [`PointSolution::converged`].
+    pub fn solve_point(
+        &mut self,
+        hw: &HistoryWindow,
+        t_new: f64,
+        x_guess: Option<&[f64]>,
+        max_iters: usize,
+    ) -> Result<PointSolution> {
+        let start = Instant::now();
+        let t0 = hw.t();
+        assert!(t_new > t0, "time must advance: {t_new} <= {t0}");
+        let h = t_new - t0;
+        let method = hw.effective_method(self.opts.method);
+        let h_prev = hw.h_prev().unwrap_or(h);
+        let coeffs = IntegCoeffs::new(method, h, h_prev);
+        let x_prev2 = if hw.xs.len() >= 2 { &hw.xs[1] } else { &hw.xs[0] };
+        let input = StampInput {
+            time: t_new,
+            coeffs: Some(coeffs),
+            x_prev: &hw.xs[0],
+            x_prev2,
+            cap_currents: &hw.cap_currents,
+            gmin: self.opts.gmin,
+            gshunt: 0.0,
+            source_scale: 1.0,
+            ic_mode: false,
+        };
+        let guess = match x_guess {
+            Some(g) => g.to_vec(),
+            None => hw.predict(t_new),
+        };
+        let mut stats = SimStats::new();
+        let outcome = match newton_solve(
+            &self.sys,
+            &mut self.ws,
+            &mut self.cache,
+            &input,
+            &guess,
+            max_iters,
+            &self.opts,
+            &mut stats,
+        ) {
+            Ok(o) => o,
+            Err(EngineError::Linear(_)) => {
+                // A singular companion matrix at this step size: report as
+                // non-convergence so the controller backs off; drop the
+                // (possibly poisoned) factorization.
+                self.cache.invalidate();
+                stats.wall_ns += start.elapsed().as_nanos();
+                return Ok(PointSolution {
+                    t: t_new,
+                    x: hw.xs[0].clone(),
+                    method,
+                    coeffs,
+                    converged: false,
+                    iterations: max_iters,
+                    cap_currents: Vec::new(),
+                    stats,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        let cap_currents = if outcome.converged {
+            let sc = state_coeffs(hw, t_new);
+            self.sys.cap_currents_after(&sc, &outcome.x, &hw.xs[0], x_prev2, &hw.cap_currents)
+        } else {
+            Vec::new()
+        };
+        stats.wall_ns += start.elapsed().as_nanos();
+        Ok(PointSolution {
+            t: t_new,
+            x: outcome.x,
+            method,
+            coeffs,
+            converged: outcome.converged,
+            iterations: outcome.iterations,
+            cap_currents,
+            stats,
+        })
+    }
+}
+
+/// Runs a serial variable-step transient analysis of `circuit` from 0 to
+/// `tstop`.
+///
+/// `tstep` is the suggested initial/reporting step (as in `.tran`), not a
+/// fixed step: the controller adapts freely between `hmin` and `hmax`.
+///
+/// # Errors
+///
+/// * [`EngineError::BadParameter`] for non-positive `tstep`/`tstop`.
+/// * [`EngineError::Circuit`] for invalid netlists.
+/// * [`EngineError::NoConvergence`] if the DC operating point fails.
+/// * [`EngineError::TimestepTooSmall`] if error control collapses the step.
+pub fn run_transient(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    opts: &SimOptions,
+) -> Result<TransientResult> {
+    let sys = Arc::new(MnaSystem::compile(circuit)?);
+    run_transient_compiled(&sys, tstep, tstop, opts)
+}
+
+/// [`run_transient`] on an already-compiled system (avoids recompilation
+/// when the same circuit is simulated repeatedly).
+///
+/// # Errors
+///
+/// Same as [`run_transient`].
+pub fn run_transient_compiled(
+    sys: &Arc<MnaSystem>,
+    tstep: f64,
+    tstop: f64,
+    opts: &SimOptions,
+) -> Result<TransientResult> {
+    if !(tstop > 0.0 && tstop.is_finite()) {
+        return Err(EngineError::BadParameter { name: "tstop", value: tstop });
+    }
+    if !(tstep > 0.0 && tstep.is_finite()) {
+        return Err(EngineError::BadParameter { name: "tstep", value: tstep });
+    }
+    let run_start = Instant::now();
+    let mut stats = SimStats::new();
+    let mut solver = PointSolver::new(Arc::clone(sys), opts.clone());
+    let node_names: Vec<String> =
+        (0..sys.n_nodes()).map(|i| nth_node_name(sys, i)).collect();
+    let mut result = TransientResult::new(sys.n_unknowns(), node_names);
+    result.set_branch_names(sys.branch_names().to_vec());
+
+    // t = 0: DC operating point (or the UIC initial-condition solve).
+    let x0 = solver.initial_state(&mut stats)?;
+    result.push(0.0, &x0);
+    let mut hw = HistoryWindow::start(x0, sys.cap_state_count());
+
+    let bps = sys.breakpoints(tstop);
+    let mut next_bp = 0usize;
+    let hmin = opts.hmin(tstop);
+    let hmax = opts.hmax(tstop);
+    let mut h = tstep.min(hmax).min(tstop / 100.0).max(hmin);
+
+    // Consecutive LTE rejections at the same position: the signature of an
+    // h-independent error floor (trapezoidal ringing, solver-noise-dominated
+    // divided differences). Escape by restarting integration with the
+    // damped order-1 method instead of shrinking the step forever.
+    let mut lte_reject_streak = 0usize;
+    while hw.t() < tstop - 0.5 * hmin {
+        if !h.is_finite() {
+            return Err(EngineError::NumericalBlowup { time: hw.t() });
+        }
+        h = h.clamp(hmin, hmax);
+        // Propose the next time, snapping onto breakpoints.
+        let mut t_new = hw.t() + h;
+        let mut hit_bp = false;
+        while next_bp < bps.len() && bps[next_bp] <= hw.t() + 0.5 * hmin {
+            next_bp += 1; // skip already-passed breakpoints
+        }
+        if next_bp < bps.len() && t_new >= bps[next_bp] - 0.5 * hmin {
+            t_new = bps[next_bp];
+            hit_bp = true;
+        }
+        if t_new > tstop {
+            t_new = tstop;
+        }
+
+        let sol = solver.solve_point(&hw, t_new, None, opts.max_newton_iters)?;
+        stats += sol.stats;
+        let h_attempt = t_new - hw.t();
+        if !sol.converged {
+            stats.steps_rejected_newton += 1;
+            h = h_attempt * opts.nr_shrink;
+            if h < hmin {
+                return Err(EngineError::TimestepTooSmall { time: hw.t(), step: h, hmin });
+            }
+            continue;
+        }
+        if !wavepipe_sparse::vector::all_finite(&sol.x) {
+            return Err(EngineError::NumericalBlowup { time: t_new });
+        }
+
+        // LTE accept/reject when enough smooth history exists.
+        let needed = sol.method.order() + 1;
+        if hw.usable_for_lte() >= needed {
+            let refs: Vec<&[f64]> =
+                hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
+            let d = lte_step_control(sol.method, t_new, &sol.x, h_attempt, &hw.times()[..needed], &refs, opts);
+            if !d.accept && h_attempt > hmin * 1.01 {
+                stats.steps_rejected_lte += 1;
+                lte_reject_streak += 1;
+                // Two signatures of an error floor the step cannot buy out
+                // of: several rejections in a row, or a rejection while
+                // already crawling far below the natural step scale. Either
+                // way the estimate is dominated by point-to-point artifacts
+                // (trapezoidal ringing / solver noise), which shrinking h
+                // cannot fix — damp them with a backward-Euler restart.
+                let crawling = h_attempt < hmin * 1e3;
+                if lte_reject_streak >= 3 || crawling {
+                    hw.mark_discontinuity();
+                    lte_reject_streak = 0;
+                    h = h_attempt;
+                } else {
+                    h = d.h_new;
+                }
+                continue;
+            }
+            lte_reject_streak = 0;
+            h = d.h_new;
+        } else {
+            h = h_attempt * opts.rmax;
+        }
+
+        hw.accept(&sol);
+        result.push(t_new, &sol.x);
+        stats.steps_accepted += 1;
+
+        if hit_bp {
+            next_bp += 1;
+            hw.mark_discontinuity();
+            // Restart cautiously after the corner.
+            let to_next = bps.get(next_bp).map_or(tstop - hw.t(), |&b| b - hw.t());
+            h = h.min(tstep * 0.25).min((to_next * 0.25).max(hmin));
+        }
+    }
+
+    stats.wall_ns = run_start.elapsed().as_nanos();
+    result.set_stats(stats);
+    Ok(result)
+}
+
+fn nth_node_name(sys: &MnaSystem, unknown: usize) -> String {
+    sys.node_name_of(unknown).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_circuit::Waveform;
+
+    fn rc_circuit(tau_r: f64, tau_c: f64) -> Circuit {
+        let mut ckt = Circuit::new("rc step");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 0.0),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, tau_r).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, tau_c).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // tau = 1k * 1n = 1 us. Simulate 5 tau; compare against 1-exp(-t/tau).
+        let ckt = rc_circuit(1e3, 1e-9);
+        let opts = SimOptions::default();
+        let res = run_transient(&ckt, 1e-8, 5e-6, &opts).unwrap();
+        let b = res.unknown_of("b").unwrap();
+        let tau = 1e-6;
+        let mut worst = 0.0_f64;
+        for &t in res.times() {
+            if t < 5e-12 {
+                continue;
+            }
+            let exact = 1.0 - (-t / tau).exp();
+            worst = worst.max((res.sample(b, t) - exact).abs());
+        }
+        assert!(worst < 5e-3, "max error vs analytic = {worst}");
+        assert!(res.stats().steps_accepted > 20);
+    }
+
+    #[test]
+    fn all_methods_agree_on_rc() {
+        let ckt = rc_circuit(1e3, 1e-9);
+        let mut results = Vec::new();
+        for m in [Method::BackwardEuler, Method::Trapezoidal, Method::Gear2] {
+            let opts = SimOptions::with_method(m);
+            results.push(run_transient(&ckt, 1e-8, 3e-6, &opts).unwrap());
+        }
+        let b = results[0].unknown_of("b").unwrap();
+        for r in &results[1..] {
+            let dev = results[0].max_deviation(r, b);
+            assert!(dev < 2e-2, "method disagreement {dev}");
+        }
+    }
+
+    #[test]
+    fn step_grows_on_smooth_waveforms() {
+        let ckt = rc_circuit(1e3, 1e-9);
+        let res = run_transient(&ckt, 1e-9, 5e-6, &SimOptions::default()).unwrap();
+        let hs = res.step_sizes();
+        let early: f64 = hs[1];
+        let late = hs[hs.len() - 2];
+        assert!(late > 4.0 * early, "steps should grow: early {early:.2e}, late {late:.2e}");
+    }
+
+    #[test]
+    fn breakpoints_are_hit_exactly() {
+        let mut ckt = Circuit::new("pulse");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, 2e-6, 1e-7, 1e-7, 1e-6, 0.0),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-10).unwrap();
+        let res = run_transient(&ckt, 1e-8, 5e-6, &SimOptions::default()).unwrap();
+        for bp in [2e-6, 2.1e-6, 3.1e-6, 3.2e-6] {
+            assert!(
+                res.times().iter().any(|&t| (t - bp).abs() < 1e-15),
+                "breakpoint {bp:e} missed"
+            );
+        }
+    }
+
+    #[test]
+    fn lc_oscillator_conserves_frequency() {
+        // Series RLC with tiny R: ringing frequency ~ 1/(2 pi sqrt(LC)).
+        let mut ckt = Circuit::new("rlc");
+        let a = ckt.node("a");
+        let m = ckt.node("m");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 0.0),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, m, 1.0).unwrap();
+        ckt.add_inductor("L1", m, b, 1e-6).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+        let opts = SimOptions { reltol: 1e-4, ..SimOptions::default() };
+        let res = run_transient(&ckt, 1e-9, 2e-6, &opts).unwrap();
+        let bidx = res.unknown_of("b").unwrap();
+        // Count zero crossings of (v_b - 1): period = 2 pi sqrt(LC) ~ 198.7 ns.
+        let trace = res.trace(bidx);
+        let mut crossings = 0;
+        for w in trace.windows(2) {
+            if (w[0].1 - 1.0) * (w[1].1 - 1.0) < 0.0 {
+                crossings += 1;
+            }
+        }
+        // 2e-6 / 198.7e-9 ~ 10 periods ~ 20 crossings.
+        assert!((crossings as i64 - 20).abs() <= 3, "crossings = {crossings}");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let ckt = rc_circuit(1e3, 1e-9);
+        assert!(matches!(
+            run_transient(&ckt, 0.0, 1e-6, &SimOptions::default()),
+            Err(EngineError::BadParameter { name: "tstep", .. })
+        ));
+        assert!(matches!(
+            run_transient(&ckt, 1e-9, -1.0, &SimOptions::default()),
+            Err(EngineError::BadParameter { name: "tstop", .. })
+        ));
+    }
+
+    #[test]
+    fn history_window_effective_method() {
+        let mut hw = HistoryWindow::start(vec![0.0], 0);
+        assert_eq!(hw.effective_method(Method::Trapezoidal), Method::BackwardEuler);
+        assert_eq!(hw.effective_method(Method::Gear2), Method::BackwardEuler);
+        let sol = PointSolution {
+            t: 1.0,
+            x: vec![1.0],
+            method: Method::BackwardEuler,
+            coeffs: IntegCoeffs::new(Method::BackwardEuler, 1.0, 1.0),
+            converged: true,
+            iterations: 1,
+            cap_currents: Vec::new(),
+            stats: SimStats::new(),
+        };
+        // Accept without a real system: emulate by direct field updates.
+        hw.times.insert(0, sol.t);
+        hw.xs.insert(0, sol.x.clone());
+        hw.points_since_restart += 1;
+        assert_eq!(hw.effective_method(Method::Trapezoidal), Method::Trapezoidal);
+        assert_eq!(hw.effective_method(Method::Gear2), Method::BackwardEuler);
+        hw.mark_discontinuity();
+        assert_eq!(hw.effective_method(Method::Trapezoidal), Method::BackwardEuler);
+    }
+
+    #[test]
+    fn predictor_extrapolates_linearly() {
+        let mut hw = HistoryWindow::start(vec![2.0], 0);
+        hw.times.insert(0, 1.0);
+        hw.xs.insert(0, vec![4.0]);
+        hw.points_since_restart = 1;
+        let p = hw.predict(2.0);
+        assert!((p[0] - 6.0).abs() < 1e-12, "p = {}", p[0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Integration tests for the richer device models in transient operation:
+//! BJT dynamics, MOSFET body effect, and the nonlinear depletion
+//! capacitance.
+
+use wavepipe_circuit::{BjtModel, Circuit, DiodeModel, MosModel, Waveform};
+use wavepipe_engine::{measure, run_transient, SimOptions};
+
+#[test]
+fn bjt_emitter_follower_tracks_input() {
+    // Follower: output = input - vbe, gain ~ 1.
+    let mut ckt = Circuit::new("follower");
+    let vcc = ckt.node("vcc");
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource("Vcc", vcc, Circuit::GROUND, Waveform::dc(9.0)).unwrap();
+    ckt.add_vsource(
+        "Vin",
+        inp,
+        Circuit::GROUND,
+        Waveform::Sin { vo: 3.0, va: 1.0, freq: 1e6, td: 0.0, theta: 0.0 },
+    )
+    .unwrap();
+    ckt.add_bjt("Q1", vcc, inp, out, BjtModel::default()).unwrap();
+    ckt.add_resistor("Re", out, Circuit::GROUND, 1e3).unwrap();
+    let res = run_transient(&ckt, 1e-9, 3e-6, &SimOptions::default()).unwrap();
+    let o = res.unknown_of("out").unwrap();
+    let tr = res.trace(o);
+    // After startup, output swings ~2 Vpp around ~2.3 V (3.0 - vbe).
+    let late: Vec<f64> = tr.iter().filter(|&&(t, _)| t > 1e-6).map(|&(_, v)| v).collect();
+    let hi = late.iter().copied().fold(f64::MIN, f64::max);
+    let lo = late.iter().copied().fold(f64::MAX, f64::min);
+    assert!((hi - lo) > 1.7 && (hi - lo) < 2.2, "swing {}", hi - lo);
+    let mid = 0.5 * (hi + lo);
+    assert!(mid > 1.9 && mid < 2.7, "follower level {mid} (one vbe below 3 V)");
+}
+
+#[test]
+fn bjt_ce_stage_inverts_and_amplifies() {
+    let mut ckt = Circuit::new("ce");
+    let vcc = ckt.node("vcc");
+    let b = ckt.node("b");
+    let c = ckt.node("c");
+    ckt.add_vsource("Vcc", vcc, Circuit::GROUND, Waveform::dc(9.0)).unwrap();
+    ckt.add_resistor("Rb1", vcc, b, 47e3).unwrap();
+    ckt.add_resistor("Rb2", b, Circuit::GROUND, 10e3).unwrap();
+    let sig = ckt.node("sig");
+    ckt.add_vsource("Vsig", sig, Circuit::GROUND, Waveform::sin(0.0, 0.005, 1e6)).unwrap();
+    ckt.add_capacitor("Cc", sig, b, 1e-7).unwrap();
+    let e = ckt.node("e");
+    ckt.add_bjt("Q1", c, b, e, BjtModel::default()).unwrap();
+    ckt.add_resistor("Rc", vcc, c, 2.2e3).unwrap();
+    ckt.add_resistor("Re", e, Circuit::GROUND, 1e3).unwrap();
+    ckt.add_capacitor("Ce", e, Circuit::GROUND, 1e-6).unwrap();
+    let res = run_transient(&ckt, 2e-9, 4e-6, &SimOptions::default()).unwrap();
+    let ci = res.unknown_of("c").unwrap();
+    let late: Vec<(f64, f64)> =
+        res.trace(ci).into_iter().filter(|&(t, _)| t > 2e-6).collect();
+    let hi = late.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+    let lo = late.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
+    let gain = (hi - lo) / (2.0 * 0.005);
+    // gm*Rc with re' degeneration ... bypassed emitter: gm ~ Ic/VT,
+    // Ic ~ (1.5-0.7)/1k ~ 0.8 mA -> gm ~ 31 mS -> gain ~ 68. Accept wide.
+    assert!(gain > 25.0 && gain < 120.0, "gain {gain}");
+}
+
+#[test]
+fn body_effect_slows_the_stacked_nand_pulldown() {
+    // Same NAND pull-down stack with gamma 0 vs gamma 0.6: the body effect
+    // raises the stacked device's threshold, weakening the pull-down and
+    // slowing the falling output edge.
+    let fall = |gamma: f64| -> f64 {
+        let mut ckt = Circuit::new("nand pd");
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3)).unwrap();
+        let inp = ckt.node("in");
+        ckt.add_vsource(
+            "Vin",
+            inp,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 3.3, 1e-9, 0.1e-9, 0.1e-9, 20e-9, 0.0),
+        )
+        .unwrap();
+        let out = ckt.node("out");
+        let stack = ckt.node("x");
+        let nmos = MosModel { kp: 1e-4, w: 20e-6, l: 1e-6, gamma, phi: 0.65, ..MosModel::nmos() };
+        // Pull-up: resistor load for simplicity.
+        ckt.add_resistor("Rl", vdd, out, 10e3).unwrap();
+        // Stack: upper device's bulk at ground (sees body effect as `x` rises).
+        ckt.add_mosfet4("MnA", out, inp, stack, Circuit::GROUND, nmos.clone()).unwrap();
+        ckt.add_mosfet("MnB", stack, vdd, Circuit::GROUND, nmos).unwrap();
+        ckt.add_capacitor("Cl", out, Circuit::GROUND, 100e-15).unwrap();
+        let res = run_transient(&ckt, 0.02e-9, 15e-9, &SimOptions::default()).unwrap();
+        let o = res.unknown_of("out").unwrap();
+        measure::fall_time(&res.trace(o), 0.0, 3.3, 0).expect("output falls")
+    };
+    let no_body = fall(0.0);
+    let with_body = fall(0.6);
+    assert!(
+        with_body > no_body * 1.02,
+        "body effect must slow the edge: {with_body:e} vs {no_body:e}"
+    );
+}
+
+#[test]
+fn depletion_capacitance_slows_reverse_recovery_vs_linear() {
+    // A pulsed diode with CJ0: the nonlinear depletion capacitance is larger
+    // near zero bias than at reverse bias, so the response differs from a
+    // fixed linear capacitor of the same CJ0.
+    let run = |cj0: f64| {
+        let mut ckt = Circuit::new("jcap");
+        let a = ckt.node("a");
+        let d = ckt.node("d");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(-5.0, 0.5, 1e-9, 0.2e-9, 0.2e-9, 10e-9, 0.0),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", a, d, 10e3).unwrap();
+        ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel { cj0, ..DiodeModel::default() })
+            .unwrap();
+        run_transient(&ckt, 0.05e-9, 20e-9, &SimOptions::default()).unwrap()
+    };
+    let with_cap = run(2e-12);
+    let no_cap = run(0.0);
+    let di = with_cap.unknown_of("d").unwrap();
+    // With junction capacitance the node moves through a visible RC ramp;
+    // without it the (reverse-biased) node jumps with the source.
+    let t_probe = 1.6e-9; // right after the rising edge
+    let v_with = with_cap.sample(di, t_probe);
+    let v_without = no_cap.sample(no_cap.unknown_of("d").unwrap(), t_probe);
+    assert!(
+        v_with < v_without - 0.2,
+        "depletion cap must slow the node: {v_with} vs {v_without}"
+    );
+}
+
+#[test]
+fn depletion_capacitance_charge_is_conservative() {
+    // Drive a diode junction with a symmetric triangle below turn-on; the
+    // charge-based companion must bring the node back with no spurious
+    // drift (charge conservation of the q(v) formulation).
+    let mut ckt = Circuit::new("qcons");
+    let a = ckt.node("a");
+    let d = ckt.node("d");
+    ckt.add_vsource(
+        "V1",
+        a,
+        Circuit::GROUND,
+        Waveform::pwl(vec![
+            (0.0, -3.0),
+            (10e-9, -0.5),
+            (20e-9, -3.0),
+            (30e-9, -0.5),
+            (40e-9, -3.0),
+            (70e-9, -3.0),
+        ]),
+    )
+    .unwrap();
+    ckt.add_resistor("R1", a, d, 1e3).unwrap();
+    ckt.add_diode(
+        "D1",
+        d,
+        Circuit::GROUND,
+        DiodeModel { cj0: 5e-12, ..DiodeModel::default() },
+    )
+    .unwrap();
+    let res = run_transient(&ckt, 0.1e-9, 70e-9, &SimOptions::default()).unwrap();
+    let di = res.unknown_of("d").unwrap();
+    // The source returned to -3 V at 40 ns and held; after several RC time
+    // constants the junction must settle there with no spurious drift.
+    let v_end = res.sample(di, 70e-9);
+    assert!((v_end + 3.0).abs() < 0.05, "junction did not return: {v_end}");
+}
+
+#[test]
+fn measure_functions_compose_with_results() {
+    // Inverter-chain propagation delay via the measure module.
+    let b = wavepipe_circuit::generators::inverter_chain(4);
+    let res = run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap();
+    let vin = res.unknown_of("in").unwrap();
+    let vout = res.unknown_of("s3").unwrap();
+    let vdd = wavepipe_circuit::generators::VDD;
+    // Even chain: output follows input polarity after 4 inversions.
+    let d = measure::delay(
+        &res.trace(vin),
+        vdd / 2.0,
+        measure::Edge::Rising,
+        &res.trace(vout),
+        vdd / 2.0,
+        measure::Edge::Rising,
+        0,
+    )
+    .expect("propagation delay");
+    assert!(d > 0.0 && d < 5e-9, "chain delay {d:e}");
+    let rt = measure::rise_time(&res.trace(vout), 0.0, vdd, 0).expect("rise time");
+    assert!(rt > 1e-12 && rt < 2e-9, "rise time {rt:e}");
+}
+
+#[test]
+fn uic_starts_from_declared_initial_conditions() {
+    // A charged capacitor discharging through a resistor: with UIC the run
+    // starts at v0 and decays exponentially; with the DC operating point it
+    // would start (and stay) at 0.
+    let mut ckt = Circuit::new("uic rc");
+    let a = ckt.node("a");
+    ckt.add_capacitor_ic("C1", a, Circuit::GROUND, 1e-9, 5.0).unwrap();
+    ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+
+    let opts = SimOptions { use_ic: true, ..SimOptions::default() };
+    let res = run_transient(&ckt, 1e-8, 5e-6, &opts).unwrap();
+    let ai = res.unknown_of("a").unwrap();
+    let tau = 1e-6;
+    assert!((res.sample(ai, 0.0) - 5.0).abs() < 1e-3, "starts at the IC");
+    for &t in &[0.5e-6_f64, 1e-6, 2e-6] {
+        let exact = 5.0 * (-t / tau).exp();
+        let got = res.sample(ai, t);
+        assert!((got - exact).abs() < 0.03, "t={t:e}: {got} vs {exact}");
+    }
+
+    // Without UIC, the DC operating point discharges the capacitor.
+    let res_dc = run_transient(&ckt, 1e-8, 1e-6, &SimOptions::default()).unwrap();
+    assert!(res_dc.sample(res_dc.unknown_of("a").unwrap(), 0.0).abs() < 1e-6);
+}
+
+#[test]
+fn uic_rings_an_lc_tank_from_a_charged_capacitor() {
+    // Charged cap in parallel with an RL loop: with UIC the tank starts at
+    // the capacitor's voltage and rings, driving current through the
+    // inductor branch.
+    let mut ckt = Circuit::new("uic rl kick");
+    let a = ckt.node("a");
+    ckt.add_capacitor_ic("Ck", a, Circuit::GROUND, 1e-9, 2.0).unwrap();
+    ckt.add_inductor("L1", a, Circuit::GROUND, 1e-6).unwrap();
+    ckt.add_resistor("R1", a, Circuit::GROUND, 100.0).unwrap();
+    let opts = SimOptions { use_ic: true, ..SimOptions::default() };
+    let res = run_transient(&ckt, 1e-9, 1e-6, &opts).unwrap();
+    let ai = res.unknown_of("a").unwrap();
+    assert!((res.sample(ai, 0.0) - 2.0).abs() < 1e-2, "cap IC applied");
+    // LC ringing at f0 = 1/(2 pi sqrt(LC)) ~ 5.03 MHz must appear.
+    let il = res.branch_of("L1").expect("inductor branch");
+    assert!(res.peak(il) > 1e-3, "inductor current rings up");
+}

@@ -1,0 +1,121 @@
+//! Error types for sparse linear algebra operations.
+
+use std::fmt;
+
+/// Error produced by sparse-matrix construction and factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A row or column index was outside the matrix dimensions.
+    ///
+    /// Carries the offending `(row, col)` pair and the matrix `(nrows, ncols)`.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Dimensions of two operands do not agree (e.g. matvec with a wrong-length vector).
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// The matrix is structurally or numerically singular.
+    ///
+    /// `column` is the factorization step at which no acceptable pivot was found.
+    Singular {
+        /// Column (factorization step) where the failure occurred.
+        column: usize,
+    },
+    /// A refactorization with a frozen pivot order encountered a pivot whose
+    /// magnitude collapsed below the stability floor; the caller should run a
+    /// fresh factorization with pivoting re-enabled.
+    PivotDegraded {
+        /// Column whose pivot degraded.
+        column: usize,
+        /// Magnitude of the degraded pivot.
+        magnitude: f64,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// A non-finite (NaN or infinite) value was produced or supplied.
+    NotFinite {
+        /// Human-readable location of the offending value.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SparseError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            SparseError::PivotDegraded { column, magnitude } => write!(
+                f,
+                "pivot at column {column} degraded to magnitude {magnitude:.3e}; refactor with pivoting"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::NotFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SparseError::Singular { column: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("singular"));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn display_pivot_degraded() {
+        let e = SparseError::PivotDegraded { column: 7, magnitude: 1e-20 };
+        assert!(e.to_string().contains("degraded"));
+    }
+
+    #[test]
+    fn display_out_of_bounds_mentions_both_shapes() {
+        let e = SparseError::IndexOutOfBounds { row: 9, col: 1, nrows: 4, ncols: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("(9, 1)"));
+        assert!(msg.contains("4x4"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Sparse linear algebra substrate for the WavePipe circuit simulator.
+//!
+//! A SPICE-class transient simulator spends most of its time assembling and
+//! solving the sparse modified-nodal-analysis (MNA) system, so this crate
+//! provides exactly the kernels that loop needs — written from scratch, with
+//! the split that matters for Newton iteration:
+//!
+//! * [`CooMatrix`] — triplet assembly with MNA "stamping" semantics
+//!   (duplicates are summed, cancelled entries stay in the pattern).
+//! * [`CscMatrix`] — compressed sparse column storage, matvec/residual
+//!   kernels, pattern queries.
+//! * [`SparseLu`] — Gilbert–Peierls LU with threshold partial pivoting and a
+//!   KLU-style numeric-only [`SparseLu::refactor`] fast path that replays the
+//!   recorded pivot order and elimination pattern.
+//! * [`ordering`] — minimum-degree and reverse Cuthill–McKee fill-reducing
+//!   orderings.
+//! * [`DenseMatrix`] — dense LU used as a correctness oracle and for tiny
+//!   systems.
+//! * [`vector`] — dense vector kernels including the weighted-RMS error norm
+//!   used by local-truncation-error control.
+//!
+//! # Example
+//!
+//! ```
+//! use wavepipe_sparse::{CooMatrix, LuOptions, SparseLu};
+//!
+//! # fn main() -> Result<(), wavepipe_sparse::SparseError> {
+//! // Assemble a small conductance matrix by stamping.
+//! let mut g = CooMatrix::new(3, 3);
+//! for i in 0..3 {
+//!     g.push(i, i, 2.0)?;
+//! }
+//! g.push(0, 1, -1.0)?;
+//! g.push(1, 0, -1.0)?;
+//! g.push(1, 2, -1.0)?;
+//! g.push(2, 1, -1.0)?;
+//! let a = g.to_csc();
+//!
+//! // Factor once, then solve (and refactor cheaply when values change).
+//! let lu = SparseLu::factor(&a, &LuOptions::default())?;
+//! let x = lu.solve(&[1.0, 0.0, 0.0])?;
+//! assert!((a.matvec(&x)?[0] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coo;
+mod csc;
+mod dense;
+mod error;
+mod lu;
+pub mod ordering;
+pub mod vector;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use dense::DenseMatrix;
+pub use error::{Result, SparseError};
+pub use lu::{LuOptions, SparseLu};
+pub use ordering::{OrderingKind, Permutation};

@@ -1,0 +1,856 @@
+//! Sparse LU factorization (Gilbert–Peierls, left-looking, threshold partial
+//! pivoting) with a KLU-style fast *refactorization* path.
+//!
+//! The factorization is split the way circuit simulators need it:
+//!
+//! * [`SparseLu::factor`] — full factorization with pivot search; run once
+//!   when the matrix pattern is created (and whenever a pivot degrades).
+//! * [`SparseLu::refactor`] — numeric-only refactorization that replays the
+//!   recorded pivot sequence and elimination pattern. This is the per-Newton-
+//!   iteration hot path: no graph traversal, no pivot search.
+//! * [`SparseLu::solve`] / [`SparseLu::solve_with_scratch`] — triangular
+//!   solves.
+
+use crate::csc::CscMatrix;
+use crate::error::{Result, SparseError};
+use crate::ordering::{order, OrderingKind, Permutation};
+
+/// Options controlling the sparse LU factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuOptions {
+    /// Fill-reducing column ordering (default: minimum degree).
+    pub ordering: OrderingKind,
+    /// Threshold partial-pivoting parameter `tau` in `(0, 1]`.
+    ///
+    /// The natural (diagonal) candidate is accepted when its magnitude is at
+    /// least `tau` times the largest candidate in the column; otherwise the
+    /// largest candidate is chosen. `tau = 1.0` is strict partial pivoting;
+    /// smaller values preserve the diagonal (and hence sparsity and pattern
+    /// stability across refactorizations). Default `0.1`.
+    pub pivot_threshold: f64,
+    /// Absolute magnitude below which a pivot is considered numerically zero.
+    /// Default `1e-13`.
+    pub pivot_floor: f64,
+}
+
+impl Default for LuOptions {
+    fn default() -> Self {
+        LuOptions { ordering: OrderingKind::default(), pivot_threshold: 0.1, pivot_floor: 1e-13 }
+    }
+}
+
+/// A computed sparse LU factorization `P * A * Q = L * U`.
+///
+/// `L` is unit lower triangular (unit diagonal implicit), `U` upper
+/// triangular; `P` is the row permutation found by pivoting and `Q` the
+/// fill-reducing column permutation chosen up front.
+///
+/// ```
+/// use wavepipe_sparse::{CooMatrix, LuOptions, SparseLu};
+///
+/// # fn main() -> Result<(), wavepipe_sparse::SparseError> {
+/// let mut t = CooMatrix::new(2, 2);
+/// t.push(0, 0, 4.0)?;
+/// t.push(0, 1, 1.0)?;
+/// t.push(1, 0, 1.0)?;
+/// t.push(1, 1, 3.0)?;
+/// let a = t.to_csc();
+/// let lu = SparseLu::factor(&a, &LuOptions::default())?;
+/// let x = lu.solve(&[1.0, 2.0])?;
+/// let b = a.matvec(&x)?;
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    opts: LuOptions,
+    /// Column permutation (fill ordering), new-to-old.
+    q: Permutation,
+    /// Pivot-position -> original-row.
+    p: Vec<usize>,
+    /// Original-row -> pivot-position.
+    pinv: Vec<usize>,
+    // L: unit lower triangular, stored by factorization column; row indices
+    // are ORIGINAL row ids (mapped through pinv when solving).
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    // U: strictly upper part stored by column; row indices are PIVOT
+    // POSITIONS (< column index), recorded in elimination (topological)
+    // order so refactorization can replay updates directly.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    /// U diagonal (the pivots) by column.
+    u_diag: Vec<f64>,
+    /// nnz of the matrix this factorization was computed from (cheap pattern
+    /// compatibility check for `refactor`).
+    a_nnz: usize,
+}
+
+const UNASSIGNED: usize = usize::MAX;
+
+impl SparseLu {
+    /// Factors the square matrix `a`, choosing the column ordering and the
+    /// pivot sequence.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::NotSquare`] if `a` is not square.
+    /// * [`SparseError::Singular`] if no acceptable pivot exists at some step.
+    /// * [`SparseError::NotFinite`] if `a` contains NaN/inf.
+    pub fn factor(a: &CscMatrix, opts: &LuOptions) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let q = order(a, opts.ordering)?;
+        Self::factor_with_ordering(a, opts, q)
+    }
+
+    /// Factors `a` using a caller-supplied column permutation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::factor`], plus
+    /// [`SparseError::DimensionMismatch`] if `q.len() != a.ncols()`.
+    pub fn factor_with_ordering(a: &CscMatrix, opts: &LuOptions, q: Permutation) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        if q.len() != a.ncols() {
+            return Err(SparseError::DimensionMismatch { expected: a.ncols(), found: q.len() });
+        }
+        let n = a.ncols();
+        let mut lu = SparseLu {
+            n,
+            opts: opts.clone(),
+            q,
+            p: vec![UNASSIGNED; n],
+            pinv: vec![UNASSIGNED; n],
+            l_colptr: vec![0; n + 1],
+            l_rows: Vec::with_capacity(a.nnz() * 2),
+            l_vals: Vec::with_capacity(a.nnz() * 2),
+            u_colptr: vec![0; n + 1],
+            u_rows: Vec::with_capacity(a.nnz() * 2),
+            u_vals: Vec::with_capacity(a.nnz() * 2),
+            u_diag: vec![0.0; n],
+            a_nnz: a.nnz(),
+        };
+        lu.factor_numeric_with_pivoting(a)?;
+        Ok(lu)
+    }
+
+    /// Gilbert–Peierls left-looking factorization with pivot search.
+    fn factor_numeric_with_pivoting(&mut self, a: &CscMatrix) -> Result<()> {
+        let n = self.n;
+        // Dense workspace indexed by ORIGINAL row id.
+        let mut x = vec![0.0_f64; n];
+        // Visit marks for the reachability DFS: mark[i] == k+1 means row i
+        // was reached while processing column k.
+        let mut mark = vec![0usize; n];
+        // Topologically ordered reach set (original row ids).
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        // Explicit DFS stack of (row, next-child-position).
+        let mut dfs: Vec<(usize, usize)> = Vec::new();
+
+        for k in 0..n {
+            let j = self.q.perm()[k];
+            let stamp = k + 1;
+            topo.clear();
+
+            // --- Symbolic: compute Reach(pattern(A(:,j))) over L's graph. ---
+            let (a_rows, a_vals) = a.col(j);
+            for &r0 in a_rows {
+                if mark[r0] == stamp {
+                    continue;
+                }
+                // Iterative DFS from r0.
+                dfs.push((r0, 0));
+                mark[r0] = stamp;
+                while let Some(&(r, child_pos)) = dfs.last() {
+                    let t = self.pinv[r];
+                    if t == UNASSIGNED {
+                        // Not yet pivoted: leaf node.
+                        dfs.pop();
+                        topo.push(r);
+                        continue;
+                    }
+                    let (ls, le) = (self.l_colptr[t], self.l_colptr[t + 1]);
+                    let mut c = child_pos;
+                    let mut next_child = None;
+                    while c < le - ls {
+                        let rr = self.l_rows[ls + c];
+                        c += 1;
+                        if mark[rr] != stamp {
+                            next_child = Some(rr);
+                            break;
+                        }
+                    }
+                    dfs.last_mut().expect("stack verified non-empty").1 = c;
+                    if let Some(rr) = next_child {
+                        mark[rr] = stamp;
+                        dfs.push((rr, 0));
+                    } else {
+                        dfs.pop();
+                        topo.push(r);
+                    }
+                }
+            }
+            // topo now holds the reach set with each node after its
+            // dependencies' dependents... DFS post-order gives reverse
+            // topological order; reverse it so parents come first.
+            topo.reverse();
+
+            // --- Numeric: scatter A(:,j) then apply updates in topo order. ---
+            for &r in topo.iter() {
+                x[r] = 0.0;
+            }
+            for (&r, &v) in a_rows.iter().zip(a_vals) {
+                if !v.is_finite() {
+                    return Err(SparseError::NotFinite { context: "matrix entry during factorization" });
+                }
+                x[r] = v;
+            }
+            for &r in topo.iter() {
+                let t = self.pinv[r];
+                if t == UNASSIGNED {
+                    continue;
+                }
+                let xr = x[r];
+                for pp in self.l_colptr[t]..self.l_colptr[t + 1] {
+                    x[self.l_rows[pp]] -= self.l_vals[pp] * xr;
+                }
+            }
+
+            // --- Pivot search among the not-yet-pivoted reach entries. ---
+            let mut max_mag = 0.0_f64;
+            let mut max_row = UNASSIGNED;
+            let mut diag_mag = 0.0_f64;
+            let diag_row = j; // natural diagonal of the permuted matrix
+            for &r in topo.iter() {
+                if self.pinv[r] == UNASSIGNED {
+                    let m = x[r].abs();
+                    if m > max_mag {
+                        max_mag = m;
+                        max_row = r;
+                    }
+                    if r == diag_row {
+                        diag_mag = m;
+                    }
+                }
+            }
+            if max_row == UNASSIGNED || max_mag < self.opts.pivot_floor {
+                return Err(SparseError::Singular { column: k });
+            }
+            let piv_row = if diag_mag >= self.opts.pivot_threshold * max_mag && diag_mag > 0.0 {
+                diag_row
+            } else {
+                max_row
+            };
+            let pivot = x[piv_row];
+            self.p[k] = piv_row;
+            self.pinv[piv_row] = k;
+            self.u_diag[k] = pivot;
+
+            // --- Gather U column k (pivot positions, topo order) and L column k. ---
+            for &r in topo.iter() {
+                let t = self.pinv[r];
+                if t != UNASSIGNED && t != k {
+                    self.u_rows.push(t);
+                    self.u_vals.push(x[r]);
+                }
+            }
+            self.u_colptr[k + 1] = self.u_rows.len();
+            for &r in topo.iter() {
+                if self.pinv[r] == UNASSIGNED {
+                    self.l_rows.push(r);
+                    self.l_vals.push(x[r] / pivot);
+                }
+            }
+            self.l_colptr[k + 1] = self.l_rows.len();
+        }
+        Ok(())
+    }
+
+    /// Recomputes the numeric factors for a matrix with the *same pattern*
+    /// as the one originally factored, reusing the recorded pivot order and
+    /// elimination pattern (no pivot search, no graph traversal).
+    ///
+    /// This is the per-Newton-iteration fast path.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::DimensionMismatch`] if `a`'s shape or nnz differs
+    ///   from the originally factored matrix.
+    /// * [`SparseError::PivotDegraded`] if a frozen pivot's magnitude falls
+    ///   below the stability floor — the caller should run a fresh
+    ///   [`SparseLu::factor`].
+    /// * [`SparseError::NotFinite`] if `a` contains NaN/inf.
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<()> {
+        if a.nrows() != self.n || a.ncols() != self.n {
+            return Err(SparseError::DimensionMismatch { expected: self.n, found: a.nrows() });
+        }
+        if a.nnz() != self.a_nnz {
+            return Err(SparseError::DimensionMismatch { expected: self.a_nnz, found: a.nnz() });
+        }
+        let n = self.n;
+        let mut x = vec![0.0_f64; n];
+        for k in 0..n {
+            let j = self.q.perm()[k];
+            let (us, ue) = (self.u_colptr[k], self.u_colptr[k + 1]);
+            let (ls, le) = (self.l_colptr[k], self.l_colptr[k + 1]);
+
+            // Scatter A(:,j). All pattern positions of this column's reach
+            // were zeroed after the previous column (gather loop below), so
+            // the workspace is clean.
+            let (a_rows, a_vals) = a.col(j);
+            for (&r, &v) in a_rows.iter().zip(a_vals) {
+                if !v.is_finite() {
+                    return Err(SparseError::NotFinite { context: "matrix entry during refactorization" });
+                }
+                x[r] = v;
+            }
+            // Replay updates: U rows are stored in elimination (topological)
+            // order, so applying them front-to-back is exactly the original
+            // update sequence.
+            for up in us..ue {
+                let t = self.u_rows[up];
+                let xr = x[self.p[t]];
+                self.u_vals[up] = xr;
+                if xr != 0.0 {
+                    for pp in self.l_colptr[t]..self.l_colptr[t + 1] {
+                        x[self.l_rows[pp]] -= self.l_vals[pp] * xr;
+                    }
+                }
+            }
+            let piv_row = self.p[k];
+            let pivot = x[piv_row];
+            // Degradation check: the frozen pivot must not be tiny either
+            // absolutely or RELATIVE to its column — values restamped with
+            // very different magnitudes (e.g. a companion model at a much
+            // smaller time step) can make a once-good pivot numerically
+            // meaningless while still above any absolute floor, which would
+            // silently produce garbage solutions.
+            let mut col_max = pivot.abs();
+            for up in us..ue {
+                col_max = col_max.max(self.u_vals[up].abs());
+            }
+            for lp in ls..le {
+                col_max = col_max.max(x[self.l_rows[lp]].abs());
+            }
+            if pivot.abs() < self.opts.pivot_floor
+                || pivot.abs() < 1e-10 * col_max
+            {
+                // Clean the workspace before bailing so the factor object
+                // can be refactored again after a fresh stamp.
+                for up in us..ue {
+                    x[self.p[self.u_rows[up]]] = 0.0;
+                }
+                for lp in ls..le {
+                    x[self.l_rows[lp]] = 0.0;
+                }
+                x[piv_row] = 0.0;
+                return Err(SparseError::PivotDegraded { column: k, magnitude: pivot.abs() });
+            }
+            self.u_diag[k] = pivot;
+            // Gather (and zero) the L part.
+            for lp in ls..le {
+                let r = self.l_rows[lp];
+                self.l_vals[lp] = x[r] / pivot;
+                x[r] = 0.0;
+            }
+            // Zero the U part and the pivot.
+            for up in us..ue {
+                x[self.p[self.u_rows[up]]] = 0.0;
+            }
+            x[piv_row] = 0.0;
+        }
+        Ok(())
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored off-diagonal entries in `L`.
+    pub fn nnz_l(&self) -> usize {
+        self.l_rows.len()
+    }
+
+    /// Number of stored entries in `U` (including the diagonal).
+    pub fn nnz_u(&self) -> usize {
+        self.u_rows.len() + self.n
+    }
+
+    /// Fill ratio: `(nnz(L) + nnz(U)) / nnz(A)`.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.a_nnz == 0 {
+            return 0.0;
+        }
+        (self.nnz_l() + self.nnz_u()) as f64 / self.a_nnz as f64
+    }
+
+    /// Crude reciprocal condition estimate: `min |u_kk| / max |u_kk|`.
+    ///
+    /// Cheap and good enough to flag ill-conditioning in step-size control.
+    pub fn rcond_estimate(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0_f64;
+        for &d in &self.u_diag {
+            let m = d.abs();
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+        if hi == 0.0 {
+            0.0
+        } else {
+            lo / hi
+        }
+    }
+
+    /// Solves `A x = b`, allocating the result and scratch space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.n];
+        let mut scratch = vec![0.0; self.n];
+        self.solve_with_scratch(b, &mut x, &mut scratch)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` using caller-provided buffers (no allocation) —
+    /// the Newton-loop hot path. `scratch` is clobbered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if any buffer length
+    /// differs from `dim()`.
+    pub fn solve_with_scratch(&self, b: &[f64], x: &mut [f64], scratch: &mut [f64]) -> Result<()> {
+        if b.len() != self.n || x.len() != self.n || scratch.len() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.n,
+                found: b.len().min(x.len()).min(scratch.len()),
+            });
+        }
+        let y = scratch;
+        // Forward solve L y = P b (unit diagonal), in pivot coordinates.
+        for k in 0..self.n {
+            y[k] = b[self.p[k]];
+        }
+        for k in 0..self.n {
+            let yk = y[k];
+            if yk != 0.0 {
+                for pp in self.l_colptr[k]..self.l_colptr[k + 1] {
+                    y[self.pinv[self.l_rows[pp]]] -= self.l_vals[pp] * yk;
+                }
+            }
+        }
+        // Backward solve U w = y, in pivot coordinates (columns right-to-left).
+        for k in (0..self.n).rev() {
+            let wk = y[k] / self.u_diag[k];
+            y[k] = wk;
+            if wk != 0.0 {
+                for up in self.u_colptr[k]..self.u_colptr[k + 1] {
+                    y[self.u_rows[up]] -= self.u_vals[up] * wk;
+                }
+            }
+        }
+        // Undo the column permutation: x[q[k]] = w[k].
+        for k in 0..self.n {
+            x[self.q.perm()[k]] = y[k];
+        }
+        Ok(())
+    }
+
+    /// Solves the *transposed* system `A^T x = b` using the same factors
+    /// (`A^T = P^T L^T U^T Q^T` up to permutation transposes) — the adjoint
+    /// solve needed by sensitivity analysis and the 1-norm condition
+    /// estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_transpose(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch { expected: self.n, found: b.len() });
+        }
+        let n = self.n;
+        // From P A Q = L U:  A^T = Q U^T L^T P, so
+        // x = A^-T b = P^T L^-T U^-T Q^T b.
+        // w = Q^T b  (w[k] = b[q[k]]).
+        let mut w: Vec<f64> = (0..n).map(|k| b[self.q.perm()[k]]).collect();
+        // v = U^-T w: U^T is lower triangular; U's column k holds exactly
+        // the entries U(t, k) with t < k, giving a dot-product forward
+        // substitution.
+        for k in 0..n {
+            let mut s = w[k];
+            for up in self.u_colptr[k]..self.u_colptr[k + 1] {
+                s -= self.u_vals[up] * w[self.u_rows[up]];
+            }
+            w[k] = s / self.u_diag[k];
+        }
+        // u = L^-T v: L^T is unit upper triangular; L's column k holds
+        // L(pinv[r], k) with pinv[r] > k.
+        for k in (0..n).rev() {
+            let mut s = w[k];
+            for lp in self.l_colptr[k]..self.l_colptr[k + 1] {
+                s -= self.l_vals[lp] * w[self.pinv[self.l_rows[lp]]];
+            }
+            w[k] = s;
+        }
+        // x = P^T u: x[p[k]] = u[k].
+        let mut x = vec![0.0; n];
+        for k in 0..n {
+            x[self.p[k]] = w[k];
+        }
+        Ok(x)
+    }
+
+    /// Estimates the 1-norm condition number `||A||_1 * ||A^-1||_1` using
+    /// Hager's algorithm (a handful of forward and transpose solves).
+    ///
+    /// The estimate is a lower bound that is almost always within a small
+    /// factor of the truth — accurate enough to flag dangerous conditioning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; `a` must be the factored matrix.
+    pub fn condest_1(&self, a: &CscMatrix) -> Result<f64> {
+        let n = self.n;
+        if n == 0 {
+            return Ok(0.0);
+        }
+        // Hager's estimator for ||A^-1||_1.
+        let mut x = vec![1.0 / n as f64; n];
+        let mut est = 0.0_f64;
+        for _ in 0..5 {
+            let y = self.solve(&x)?;
+            let y1: f64 = y.iter().map(|v| v.abs()).sum();
+            if y1 <= est {
+                break;
+            }
+            est = y1;
+            let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+            let z = self.solve_transpose(&xi)?;
+            // Next vertex: the unit vector at the largest |z| component.
+            let (j, zmax) =
+                z.iter().enumerate().fold((0, 0.0_f64), |acc, (i, &v)| {
+                    if v.abs() > acc.1 {
+                        (i, v.abs())
+                    } else {
+                        acc
+                    }
+                });
+            // Converged when z^T x >= |z|_inf (standard Hager test).
+            let ztx: f64 = z.iter().zip(&x).map(|(&a, &b)| a * b).sum();
+            if zmax <= ztx {
+                break;
+            }
+            x = vec![0.0; n];
+            x[j] = 1.0;
+        }
+        // 1-norm of A = max column abs sum.
+        let mut a_norm = 0.0_f64;
+        for j in 0..a.ncols() {
+            let (_, vals) = a.col(j);
+            a_norm = a_norm.max(vals.iter().map(|v| v.abs()).sum());
+        }
+        Ok(a_norm * est)
+    }
+
+    /// Solves `A x = b` and applies one step of iterative refinement using
+    /// the original matrix `a` (which must be the matrix that was factored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SparseLu::solve_with_scratch`] and
+    /// [`CscMatrix::residual_into`].
+    pub fn solve_refined(&self, a: &CscMatrix, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = self.solve(b)?;
+        let mut r = vec![0.0; self.n];
+        a.residual_into(&x, b, &mut r)?;
+        let mut dx = vec![0.0; self.n];
+        let mut scratch = vec![0.0; self.n];
+        self.solve_with_scratch(&r, &mut dx, &mut scratch)?;
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::dense::DenseMatrix;
+
+    fn laplacian_2d(nx: usize, ny: usize) -> CscMatrix {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut t = CooMatrix::new(n, n);
+        for i in 0..nx {
+            for j in 0..ny {
+                t.push(idx(i, j), idx(i, j), 4.0 + 0.01 * (i + j) as f64).unwrap();
+                if i + 1 < nx {
+                    t.push(idx(i, j), idx(i + 1, j), -1.0).unwrap();
+                    t.push(idx(i + 1, j), idx(i, j), -1.0).unwrap();
+                }
+                if j + 1 < ny {
+                    t.push(idx(i, j), idx(i, j + 1), -1.0).unwrap();
+                    t.push(idx(i, j + 1), idx(i, j), -1.0).unwrap();
+                }
+            }
+        }
+        t.to_csc()
+    }
+
+    fn assert_solves(a: &CscMatrix, lu: &SparseLu, tol: f64) {
+        let n = a.ncols();
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 1.5).collect();
+        let b = a.matvec(&xt).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&xt) {
+            assert!((xi - ti).abs() < tol, "|{xi} - {ti}| >= {tol}");
+        }
+    }
+
+    #[test]
+    fn factor_solve_identity() {
+        let a = CscMatrix::identity(5);
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let x = lu.solve(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn factor_solve_laplacian_all_orderings() {
+        let a = laplacian_2d(6, 7);
+        for kind in [OrderingKind::Natural, OrderingKind::MinDegree, OrderingKind::ReverseCuthillMcKee] {
+            let opts = LuOptions { ordering: kind, ..LuOptions::default() };
+            let lu = SparseLu::factor(&a, &opts).unwrap();
+            assert_solves(&a, &lu, 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] has no usable natural diagonal pivot at step 0.
+        let mut t = CooMatrix::new(2, 2);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        let a = t.to_csc();
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let mut t = CooMatrix::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 0, 2.0).unwrap();
+        // Column 1 is structurally empty.
+        let a = t.to_csc();
+        assert!(matches!(
+            SparseLu::factor(&a, &LuOptions::default()),
+            Err(SparseError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_same_values_matches_solve() {
+        let a = laplacian_2d(5, 5);
+        let mut lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        lu.refactor(&a).unwrap();
+        assert_solves(&a, &lu, 1e-10);
+    }
+
+    #[test]
+    fn refactor_new_values_matches_fresh_factor() {
+        let a = laplacian_2d(5, 6);
+        let mut lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        // Same pattern, different values (scale + perturb diagonal).
+        let mut t = CooMatrix::new(a.nrows(), a.ncols());
+        for (r, c, v) in a.iter() {
+            let nv = if r == c { v * 1.5 + 0.3 } else { v * 0.8 };
+            t.push(r, c, nv).unwrap();
+        }
+        let a2 = t.to_csc();
+        assert_eq!(a2.nnz(), a.nnz());
+        lu.refactor(&a2).unwrap();
+        assert_solves(&a2, &lu, 1e-10);
+    }
+
+    #[test]
+    fn refactor_repeatedly_is_stable() {
+        let a = laplacian_2d(4, 4);
+        let mut lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        for iter in 0..10 {
+            let mut t = CooMatrix::new(a.nrows(), a.ncols());
+            for (r, c, v) in a.iter() {
+                let nv = v * (1.0 + 0.05 * iter as f64);
+                t.push(r, c, nv).unwrap();
+            }
+            let a2 = t.to_csc();
+            lu.refactor(&a2).unwrap();
+            assert_solves(&a2, &lu, 1e-9);
+        }
+    }
+
+    #[test]
+    fn refactor_detects_degraded_pivot() {
+        let mut t = CooMatrix::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        let a = t.to_csc();
+        let mut lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let mut t2 = CooMatrix::new(2, 2);
+        t2.push(0, 0, 0.0).unwrap(); // collapses the frozen pivot
+        t2.push(1, 1, 1.0).unwrap();
+        let a2 = t2.to_csc();
+        assert!(matches!(lu.refactor(&a2), Err(SparseError::PivotDegraded { column: 0, .. })));
+        // Factor object must remain usable: refactor back with good values.
+        lu.refactor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn matches_dense_oracle_unsymmetric() {
+        // Deliberately unsymmetric pattern and values.
+        let rows: Vec<&[f64]> = vec![
+            &[3.0, 0.0, 1.0, 0.0, -2.0],
+            &[0.0, 2.5, 0.0, 0.0, 0.0],
+            &[0.5, -1.0, 4.0, 0.0, 0.0],
+            &[0.0, 0.0, -0.7, 1.8, 0.0],
+            &[1.0, 0.0, 0.0, -0.2, 5.0],
+        ];
+        let d = DenseMatrix::from_rows(&rows);
+        let mut t = CooMatrix::new(5, 5);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    t.push(i, j, v).unwrap();
+                }
+            }
+        }
+        let a = t.to_csc();
+        let b = [1.0, -2.0, 3.0, 0.5, 4.0];
+        let xd = d.solve(&b).unwrap();
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let xs = lu.solve(&b).unwrap();
+        for (s, dd) in xs.iter().zip(&xd) {
+            assert!((s - dd).abs() < 1e-11, "sparse {s} vs dense {dd}");
+        }
+    }
+
+    #[test]
+    fn solve_refined_improves_or_matches() {
+        let a = laplacian_2d(6, 6);
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let n = a.ncols();
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let b = a.matvec(&xt).unwrap();
+        let x = lu.solve_refined(&a, &b).unwrap();
+        let mut r = vec![0.0; n];
+        a.residual_into(&x, &b, &mut r).unwrap();
+        assert!(crate::vector::norm_inf(&r) < 1e-11);
+    }
+
+    #[test]
+    fn fill_ratio_and_rcond_reasonable() {
+        let a = laplacian_2d(8, 8);
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        assert!(lu.fill_ratio() >= 1.0);
+        let rc = lu.rcond_estimate();
+        assert!(rc > 0.0 && rc <= 1.0);
+    }
+
+    #[test]
+    fn non_finite_entries_rejected() {
+        let mut t = CooMatrix::new(2, 2);
+        t.push(0, 0, f64::NAN).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        let a = t.to_csc();
+        assert!(matches!(
+            SparseLu::factor(&a, &LuOptions::default()),
+            Err(SparseError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense_transpose() {
+        let rows: Vec<&[f64]> = vec![
+            &[3.0, 0.0, 1.0, 0.0, -2.0],
+            &[0.0, 2.5, 0.0, 0.0, 0.0],
+            &[0.5, -1.0, 4.0, 0.0, 0.0],
+            &[0.0, 0.0, -0.7, 1.8, 0.0],
+            &[1.0, 0.0, 0.0, -0.2, 5.0],
+        ];
+        let mut t = CooMatrix::new(5, 5);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    t.push(i, j, v).unwrap();
+                }
+            }
+        }
+        let a = t.to_csc();
+        let b = [1.0, -2.0, 3.0, 0.5, 4.0];
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let xt = lu.solve_transpose(&b).unwrap();
+        // Check A^T xt = b via the transpose matrix.
+        let r = a.transpose().matvec(&xt).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-11, "residual {ri} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn transpose_solve_on_symmetric_equals_forward() {
+        let a = laplacian_2d(4, 5);
+        // Make it exactly symmetric by symmetrizing the diagonal perturbation.
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let b: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let x1 = lu.solve(&b).unwrap();
+        let x2 = lu.solve_transpose(&b).unwrap();
+        // laplacian_2d is symmetric, so both solves agree.
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn condest_tracks_dense_condition_number() {
+        // Well conditioned: laplacian.
+        let a = laplacian_2d(5, 5);
+        let lu = SparseLu::factor(&a, &LuOptions::default()).unwrap();
+        let est = lu.condest_1(&a).unwrap();
+        assert!(est > 1.0 && est < 1e3, "laplacian condest {est}");
+        // Badly conditioned: nearly dependent columns.
+        let mut t = CooMatrix::new(3, 3);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        t.push(2, 2, 1e-9).unwrap();
+        t.push(0, 2, 1.0).unwrap();
+        let b = t.to_csc();
+        let lub = SparseLu::factor(&b, &LuOptions::default()).unwrap();
+        let estb = lub.condest_1(&b).unwrap();
+        assert!(estb > 1e8, "ill-conditioned condest {estb}");
+    }
+
+    #[test]
+    fn strict_partial_pivoting_also_works() {
+        let a = laplacian_2d(5, 5);
+        let opts = LuOptions { pivot_threshold: 1.0, ..LuOptions::default() };
+        let lu = SparseLu::factor(&a, &opts).unwrap();
+        assert_solves(&a, &lu, 1e-10);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fill-reduction quality checks: the orderings must actually earn their
+//! keep on the matrix shapes the simulator produces.
+
+use wavepipe_sparse::{CooMatrix, CscMatrix, LuOptions, OrderingKind, SparseLu};
+
+fn grid_laplacian(nx: usize, ny: usize) -> CscMatrix {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut t = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            t.push(idx(i, j), idx(i, j), 4.0).unwrap();
+            if i + 1 < nx {
+                t.push(idx(i, j), idx(i + 1, j), -1.0).unwrap();
+                t.push(idx(i + 1, j), idx(i, j), -1.0).unwrap();
+            }
+            if j + 1 < ny {
+                t.push(idx(i, j), idx(i, j + 1), -1.0).unwrap();
+                t.push(idx(i, j + 1), idx(i, j), -1.0).unwrap();
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// An "arrow" matrix: dense last row/column — the worst case for natural
+/// ordering (eliminating the hub first fills everything).
+fn arrow(n: usize) -> CscMatrix {
+    let mut t = CooMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 4.0).unwrap();
+    }
+    for i in 0..n - 1 {
+        t.push(i, n - 1, 1.0).unwrap();
+        t.push(n - 1, i, 1.0).unwrap();
+    }
+    t.to_csc()
+}
+
+fn fill_of(a: &CscMatrix, kind: OrderingKind) -> usize {
+    let opts = LuOptions { ordering: kind, ..LuOptions::default() };
+    let lu = SparseLu::factor(a, &opts).expect("factor");
+    lu.nnz_l() + lu.nnz_u()
+}
+
+#[test]
+fn min_degree_keeps_arrow_matrices_sparse() {
+    // Reversed arrow: hub first in natural order would fill O(n^2); the
+    // min-degree ordering must keep fill linear.
+    let n = 60;
+    let mut t = CooMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 4.0).unwrap();
+    }
+    // Hub at index 0.
+    for i in 1..n {
+        t.push(i, 0, 1.0).unwrap();
+        t.push(0, i, 1.0).unwrap();
+    }
+    let a = t.to_csc();
+    let natural = fill_of(&a, OrderingKind::Natural);
+    let mindeg = fill_of(&a, OrderingKind::MinDegree);
+    assert!(
+        mindeg * 3 < natural,
+        "min-degree fill {mindeg} must crush natural {natural} on a hub-first arrow"
+    );
+    // Linear bound: ~3 nnz per column.
+    assert!(mindeg < 4 * n, "fill {mindeg} not linear in n");
+}
+
+#[test]
+fn orderings_do_not_blow_up_on_grids() {
+    let a = grid_laplacian(12, 12);
+    let natural = fill_of(&a, OrderingKind::Natural);
+    let mindeg = fill_of(&a, OrderingKind::MinDegree);
+    let rcm = fill_of(&a, OrderingKind::ReverseCuthillMcKee);
+    // Min-degree should be no worse than ~natural on a banded grid and
+    // usually better.
+    assert!(mindeg <= natural * 11 / 10, "mindeg {mindeg} vs natural {natural}");
+    assert!(rcm <= natural * 3 / 2, "rcm {rcm} vs natural {natural}");
+}
+
+#[test]
+fn tail_arrow_is_fine_for_everyone() {
+    let a = arrow(50);
+    for kind in [OrderingKind::Natural, OrderingKind::MinDegree, OrderingKind::ReverseCuthillMcKee] {
+        let fill = fill_of(&a, kind);
+        assert!(fill < 260, "{kind:?}: fill {fill}");
+        // And the factorization still solves correctly.
+        let opts = LuOptions { ordering: kind, ..LuOptions::default() };
+        let lu = SparseLu::factor(&a, &opts).unwrap();
+        let xt: Vec<f64> = (0..a.ncols()).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let b = a.matvec(&xt).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&xt) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn refactor_preserves_ordering_benefits() {
+    // The recorded pattern of a min-degree factorization must keep its size
+    // across refactorizations (no hidden re-symbolic work or growth).
+    let a = grid_laplacian(8, 8);
+    let opts = LuOptions { ordering: OrderingKind::MinDegree, ..LuOptions::default() };
+    let mut lu = SparseLu::factor(&a, &opts).unwrap();
+    let fill_before = lu.nnz_l() + lu.nnz_u();
+    for _ in 0..5 {
+        lu.refactor(&a).unwrap();
+    }
+    assert_eq!(lu.nnz_l() + lu.nnz_u(), fill_before);
+}

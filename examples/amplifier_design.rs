@@ -1,0 +1,107 @@
+//! Analog design flow on one circuit: bias-point sweep, small-signal AC
+//! response, adjoint DC sensitivity, and a WavePipe transient — the
+//! analyses a designer runs on a common-source amplifier.
+//!
+//! Run with: `cargo run --release --example amplifier_design`
+
+use wavepipe::circuit::{Circuit, MosModel, Waveform};
+use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe::engine::{run_ac, run_dc_sensitivity, run_dc_sweep, SimOptions};
+
+fn build_amp() -> Result<Circuit, Box<dyn std::error::Error>> {
+    let mut ckt = Circuit::new("common-source amplifier");
+    let vdd = ckt.node("vdd");
+    let gate = ckt.node("g");
+    let drain = ckt.node("d");
+    ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3))?;
+    // Gate bias with small-signal drive: DC 0.9 V, AC magnitude 1,
+    // transient 10 mV sine at 1 MHz on top of the bias.
+    ckt.add_vsource_ac(
+        "Vg",
+        gate,
+        Circuit::GROUND,
+        Waveform::Sin { vo: 0.9, va: 0.01, freq: 1e6, td: 0.0, theta: 0.0 },
+        1.0,
+    )?;
+    ckt.add_mosfet(
+        "M1",
+        drain,
+        gate,
+        Circuit::GROUND,
+        MosModel { kp: 2e-4, w: 50e-6, l: 1e-6, lambda: 0.01, ..MosModel::nmos() },
+    )?;
+    ckt.add_resistor("Rd", vdd, drain, 5e3)?;
+    ckt.add_capacitor("CL", drain, Circuit::GROUND, 10e-12)?;
+    ckt.validate()?;
+    Ok(ckt)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ckt = build_amp()?;
+    let opts = SimOptions::default();
+    println!("circuit: {}\n", ckt.summary());
+
+    // --- 1. DC transfer curve: sweep the gate bias. ---
+    let vals: Vec<f64> = (0..=33).map(|k| k as f64 * 0.1).collect();
+    let sweep = run_dc_sweep(&ckt, "Vg", &vals, &opts)?;
+    let d = sweep.unknown_of("d").expect("drain node");
+    println!("DC sweep (gate bias -> drain voltage):");
+    for &vg in &[0.5, 0.8, 0.9, 1.0, 1.3] {
+        let vd = sweep
+            .trace(d)
+            .iter()
+            .min_by(|a, b| (a.0 - vg).abs().partial_cmp(&(b.0 - vg).abs()).expect("finite"))
+            .map(|&(_, v)| v)
+            .expect("points");
+        println!("  vg = {vg:.1} V  ->  vd = {vd:.3} V");
+    }
+
+    // --- 2. AC response at the chosen bias (0.9 V, set in the netlist). ---
+    let freqs: Vec<f64> = (0..=24).map(|k| 1e4 * 10f64.powf(k as f64 / 4.0)).collect();
+    let ac = run_ac(&ckt, &freqs, &opts)?;
+    let d_ac = ac.unknown_of("d").expect("drain node");
+    let dc_gain = ac.phasor(d_ac, 0);
+    println!("\nAC response:");
+    println!("  low-frequency gain : {:.2} ({:.1} dB)", dc_gain.magnitude(), dc_gain.db());
+    println!("  phase              : {:.1} deg (inverting)", dc_gain.phase_deg());
+    match ac.corner_frequency(d_ac) {
+        Some(fc) => println!("  -3 dB corner       : {:.2} MHz", fc / 1e6),
+        None => println!("  -3 dB corner       : beyond the sweep"),
+    }
+
+    // --- 3. Adjoint sensitivity: what sets the bias point? ---
+    let sens = run_dc_sensitivity(&ckt, "d", &opts)?;
+    println!("\nDC sensitivity of v(d) = {:.3} V (adjoint, one transpose solve):", sens.value);
+    for s in sens.ranked().iter().take(3) {
+        println!(
+            "  {:<4} {:<11} dV/dp = {:+.4e}   ({:+.3} V per +100% change)",
+            s.element, s.parameter, s.absolute, s.normalized
+        );
+    }
+
+    // --- 4. Transient of the same deck under WavePipe. ---
+    let rep = run_wavepipe(&ckt, 1e-9, 4e-6, &WavePipeOptions::new(Scheme::Backward, 2))?;
+    let d_tr = rep.result.unknown_of("d").expect("drain node");
+    // Output swing in steady state (skip the first cycle).
+    let late: Vec<f64> = rep
+        .result
+        .trace(d_tr)
+        .iter()
+        .filter(|&&(t, _)| t > 2e-6)
+        .map(|&(_, v)| v)
+        .collect();
+    let hi = late.iter().copied().fold(f64::MIN, f64::max);
+    let lo = late.iter().copied().fold(f64::MAX, f64::min);
+    let gain_tr = (hi - lo) / 2.0 / 0.01;
+    println!("\nTransient (10 mV @ 1 MHz input, backward pipelining x2):");
+    println!("  output swing       : {:.1} mV pk-pk", (hi - lo) * 1e3);
+    println!("  large-signal gain  : {gain_tr:.2} (vs small-signal {:.2})", dc_gain.magnitude());
+    println!("  points / summary   : {}", rep.summary());
+
+    // Consistency check between the analyses.
+    assert!(
+        (gain_tr - dc_gain.magnitude()).abs() / dc_gain.magnitude() < 0.15,
+        "transient and AC gain disagree"
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Monte Carlo timing analysis: rebuild an inverter chain many times with
+//! randomly perturbed device parameters (process spread), simulate each
+//! sample under backward pipelining, and report the propagation-delay
+//! distribution — the bread-and-butter statistical flow WavePipe's speedup
+//! multiplies across.
+//!
+//! Run with: `cargo run --release --example monte_carlo [-- <samples>]`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wavepipe::circuit::{Circuit, MosModel, Waveform};
+use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe::engine::measure;
+
+const VDD: f64 = 3.3;
+const STAGES: usize = 8;
+
+/// Builds the chain with per-device multiplicative parameter spread.
+fn build(rng: &mut StdRng, sigma: f64) -> Result<Circuit, Box<dyn std::error::Error>> {
+    let mut jitter = |nominal: f64| -> f64 {
+        // Uniform +-3 sigma spread, cheap stand-in for a Gaussian.
+        nominal * (1.0 + sigma * rng.gen_range(-3.0..3.0))
+    };
+    let mut ckt = Circuit::new("mc inverter chain");
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(VDD))?;
+    let inp = ckt.node("in");
+    ckt.add_vsource(
+        "Vin",
+        inp,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, VDD, 1e-9, 0.15e-9, 0.15e-9, 10e-9, 0.0),
+    )?;
+    let mut prev = inp;
+    for i in 0..STAGES {
+        let out = ckt.node(&format!("s{i}"));
+        let nmos = MosModel {
+            kp: jitter(1e-4),
+            vt0: jitter(0.7),
+            w: 20e-6,
+            l: 1e-6,
+            cgs: 5e-15,
+            cgd: 5e-15,
+            ..MosModel::nmos()
+        };
+        let pmos = MosModel {
+            kp: jitter(5e-5),
+            vt0: -jitter(0.7),
+            w: 40e-6,
+            l: 1e-6,
+            cgs: 5e-15,
+            cgd: 5e-15,
+            ..MosModel::pmos()
+        };
+        ckt.add_mosfet(&format!("Mp{i}"), out, prev, vdd, pmos)?;
+        ckt.add_mosfet(&format!("Mn{i}"), out, prev, Circuit::GROUND, nmos)?;
+        ckt.add_capacitor(&format!("Cl{i}"), out, Circuit::GROUND, jitter(20e-15))?;
+        prev = out;
+    }
+    Ok(ckt)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args().nth(1).map_or(Ok(40), |s| s.parse())?;
+    let mut rng = StdRng::seed_from_u64(0xC1AC0);
+    let opts = WavePipeOptions::new(Scheme::Backward, 2);
+    let last = format!("s{}", STAGES - 1);
+    let vmid = VDD / 2.0;
+
+    let mut delays = Vec::with_capacity(samples);
+    let mut total_cp = 0u64;
+    for k in 0..samples {
+        let ckt = build(&mut rng, 0.05)?;
+        let rep = run_wavepipe(&ckt, 0.02e-9, 12e-9, &opts)?;
+        total_cp += rep.critical_work;
+        let res = &rep.result;
+        let inp = res.unknown_of("in").expect("in");
+        let out = res.unknown_of(&last).expect("last stage");
+        let d = measure::delay(
+            &res.trace(inp),
+            vmid,
+            measure::Edge::Rising,
+            &res.trace(out),
+            vmid,
+            measure::Edge::Rising, // even number of stages
+            0,
+        )
+        .ok_or_else(|| format!("sample {k}: no output edge"))?;
+        delays.push(d);
+    }
+
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+    let var =
+        delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / delays.len() as f64;
+    let pct = |p: f64| delays[((delays.len() - 1) as f64 * p) as usize];
+    println!("{samples} Monte Carlo samples of a {STAGES}-stage chain (5% parameter spread)");
+    println!("chain delay: mean {:.1} ps, sigma {:.1} ps", mean * 1e12, var.sqrt() * 1e12);
+    println!(
+        "             min {:.1} / p50 {:.1} / p95 {:.1} / max {:.1} ps",
+        delays[0] * 1e12,
+        pct(0.5) * 1e12,
+        pct(0.95) * 1e12,
+        delays[delays.len() - 1] * 1e12
+    );
+    println!("critical-path work across all samples: {total_cp} units");
+    assert!(var.sqrt() > 0.0, "spread must show up in the delays");
+    Ok(())
+}

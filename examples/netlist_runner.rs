@@ -1,0 +1,93 @@
+//! Run a SPICE-style netlist through WavePipe from the command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example netlist_runner -- <deck.sp> [scheme] [threads]
+//! ```
+//!
+//! where `scheme` is one of `serial`, `backward`, `forward`, `combined`,
+//! `adaptive` (default `backward`) and `threads` defaults to 2. `.dc` and
+//! `.ac` directives in the deck are honoured before the transient. With no arguments, a
+//! built-in demonstration deck (diode clipper) is simulated. The waveform of
+//! every node is written next to the deck as `<deck>.csv`.
+
+use std::path::PathBuf;
+use wavepipe::circuit::parse_netlist;
+use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe::engine::{run_ac, run_dc_sweep, spectrum};
+
+const DEMO_DECK: &str = "\
+diode clipper demo
+Vin in 0 SIN(0 3 2meg)
+R1 in mid 1k
+D1 mid 0 DCLIP
+D2 0 mid DCLIP
+C1 mid 0 100p
+.model DCLIP D (IS=1e-14 N=1.2 CJ0=2p)
+.tran 5n 2u
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let (deck_text, out_path) = match args.get(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            (text, PathBuf::from(format!("{path}.csv")))
+        }
+        None => {
+            println!("no deck given — using the built-in diode clipper demo\n");
+            (DEMO_DECK.to_string(), PathBuf::from("clipper_demo.csv"))
+        }
+    };
+    let scheme = match args.get(2).map(String::as_str) {
+        None | Some("backward") => Scheme::Backward,
+        Some("serial") => Scheme::Serial,
+        Some("forward") => Scheme::Forward,
+        Some("combined") => Scheme::Combined,
+        Some("adaptive") => Scheme::Adaptive,
+        Some(other) => return Err(format!("unknown scheme `{other}`").into()),
+    };
+    let threads: usize = args.get(3).map_or(Ok(2), |s| s.parse())?;
+
+    let parsed = parse_netlist(&deck_text)?;
+
+    // Secondary analyses first, if requested by the deck.
+    if let Some(dc) = &parsed.dc {
+        let sweep = run_dc_sweep(&parsed.circuit, &dc.source, &dc.values(), &Default::default())?;
+        println!(".dc     : swept {} over {} points", dc.source, sweep.values().len());
+    }
+    if let Some(ac) = &parsed.ac {
+        let res = run_ac(&parsed.circuit, &ac.frequencies(), &Default::default())?;
+        println!(".ac     : {} frequency points from {:.3e} to {:.3e} Hz",
+            res.frequencies().len(), ac.fstart, ac.fstop);
+    }
+
+    let tran = parsed
+        .tran
+        .ok_or("deck has no .tran directive — add `.tran tstep tstop`")?;
+    println!("circuit : {}", parsed.circuit.summary());
+    println!("analysis: .tran {:.3e} {:.3e} ({scheme}, {threads} threads)", tran.tstep, tran.tstop);
+
+    let opts = WavePipeOptions::new(scheme, threads);
+    let report = run_wavepipe(&parsed.circuit, tran.tstep, tran.tstop, &opts)?;
+    println!("run     : {}", report.summary());
+
+    // Distortion report when the deck has a sine-driven node (demo decks).
+    if let Some(out) = report.result.unknown_of("mid") {
+        let fa = spectrum::fourier(&report.result.trace(out), 2e6, 2, 5);
+        println!("fourier : v(mid) fundamental {:.3} V, THD {:.1}%",
+            fa.harmonics[0].amplitude, fa.thd * 100.0);
+    }
+
+    // Dump every signal node to CSV.
+    let columns: Vec<(String, usize)> = parsed
+        .circuit
+        .signal_node_names()
+        .filter_map(|n| report.result.unknown_of(n).map(|u| (n.to_string(), u)))
+        .collect();
+    std::fs::write(&out_path, report.result.to_csv(&columns))?;
+    println!("wrote   : {} ({} points x {} nodes)", out_path.display(), report.result.len(), columns.len());
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! WavePipe — parallel transient simulation of analog and digital circuits
+//! on multi-core shared-memory machines (Dong, Li & Ye, DAC 2008).
+//!
+//! This facade crate re-exports the full WavePipe stack:
+//!
+//! * [`sparse`] — sparse LU substrate (Gilbert–Peierls with KLU-style
+//!   refactorization, fill-reducing orderings).
+//! * [`circuit`] — netlists, device models, source waveforms, SPICE-style
+//!   parser, benchmark generators.
+//! * [`engine`] — the serial SPICE engine: MNA, Newton–Raphson, DC operating
+//!   point, variable-step integration with LTE control.
+//! * [`core`] — the paper's contribution: backward/forward/combined waveform
+//!   pipelining with critical-path work accounting.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wavepipe::circuit::{Circuit, Waveform};
+//! use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+//!
+//! # fn main() -> Result<(), wavepipe::engine::EngineError> {
+//! let mut ckt = Circuit::new("rc lowpass");
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsource("V1", inp, Circuit::GROUND,
+//!     Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 40e-9, 80e-9))?;
+//! ckt.add_resistor("R1", inp, out, 1e3)?;
+//! ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-12)?;
+//!
+//! let opts = WavePipeOptions::new(Scheme::Backward, 2);
+//! let report = run_wavepipe(&ckt, 0.1e-9, 200e-9, &opts)?;
+//! println!("{}", report.summary());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `wavepipe-bench` for the
+//! harness regenerating every table and figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Sparse linear algebra substrate (re-export of `wavepipe-sparse`).
+pub use wavepipe_sparse as sparse;
+
+/// Circuit description substrate (re-export of `wavepipe-circuit`).
+pub use wavepipe_circuit as circuit;
+
+/// Serial SPICE engine and analysis toolbox — transient, AC, DC sweep,
+/// sensitivity, measurements, spectra, rawfiles (re-export of
+/// `wavepipe-engine`).
+pub use wavepipe_engine as engine;
+
+/// WavePipe parallel schemes (re-export of `wavepipe-core`).
+pub use wavepipe_core as core;

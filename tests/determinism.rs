@@ -1,0 +1,69 @@
+//! Determinism and reporting invariants of the parallel schemes.
+
+use wavepipe::circuit::generators;
+use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe::engine::run_transient;
+
+#[test]
+fn wavepipe_runs_are_bitwise_deterministic() {
+    // Real threads, but commits are ordered: two runs must agree exactly.
+    let b = generators::power_grid(4, 4);
+    for scheme in [Scheme::Backward, Scheme::Forward, Scheme::Combined] {
+        let opts = WavePipeOptions::new(scheme, 3);
+        let r1 = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+        let r2 = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+        assert_eq!(r1.result.times(), r2.result.times(), "{scheme}: time grids differ");
+        for k in 0..r1.result.len() {
+            assert_eq!(r1.result.solution(k), r2.result.solution(k), "{scheme}: point {k} differs");
+        }
+        assert_eq!(r1.rounds, r2.rounds);
+        assert_eq!(r1.lead_accepted, r2.lead_accepted);
+        assert_eq!(r1.speculation_accepted, r2.speculation_accepted);
+    }
+}
+
+#[test]
+fn serial_scheme_equals_engine_run() {
+    let b = generators::rc_ladder(8);
+    let opts = WavePipeOptions::new(Scheme::Serial, 1);
+    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+    let eng = run_transient(&b.circuit, b.tstep, b.tstop, &opts.sim).unwrap();
+    assert_eq!(rep.result.times(), eng.times());
+    assert_eq!(rep.critical_work, eng.stats().work_units());
+}
+
+#[test]
+fn critical_path_never_exceeds_total_work() {
+    for b in [generators::rc_ladder(8), generators::inverter_chain(3)] {
+        for (scheme, threads) in [(Scheme::Backward, 3), (Scheme::Forward, 2), (Scheme::Combined, 4)] {
+            let rep =
+                run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(scheme, threads))
+                    .unwrap();
+            assert!(
+                rep.critical_work <= rep.total.work_units(),
+                "{}: {scheme} critical {} > total {}",
+                b.name,
+                rep.critical_work,
+                rep.total.work_units()
+            );
+            assert!(rep.rounds > 0);
+            assert!(rep.accept_rate() >= 0.0 && rep.accept_rate() <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn reports_count_all_accepted_points() {
+    let b = generators::amp_chain(1);
+    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Backward, 2))
+        .unwrap();
+    // Points = accepted steps + the DC operating point.
+    assert_eq!(rep.result.len(), rep.total.steps_accepted + 1);
+    // Time grid is strictly increasing and ends at tstop.
+    let times = rep.result.times();
+    for w in times.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+    let last = *times.last().unwrap();
+    assert!((last - b.tstop).abs() < 1e-3 * b.tstop, "ends at {last:e}, want {:e}", b.tstop);
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration test: the paper's central claim.
+//!
+//! "Unlike existing relaxation methods, WavePipe facilitates parallel
+//! circuit simulation without jeopardising convergence and accuracy."
+//!
+//! Every scheme, on every benchmark circuit class, must produce a waveform
+//! whose deviation from the serial reference is comparable to the deviation
+//! *between two valid serial integration methods* (the noise floor) — not a
+//! relaxation-style error.
+
+use wavepipe::circuit::generators;
+use wavepipe::core::{run_wavepipe, verify, Scheme, WavePipeOptions};
+use wavepipe::engine::{run_transient, Method, SimOptions};
+
+/// Benchmarks with periodic/autonomous switching accumulate phase error
+/// between any two valid integrations, so their pointwise noise floor is
+/// large; the RMS metric with a floor-relative band handles all classes
+/// uniformly.
+fn assert_equivalent(bench: &generators::Benchmark, scheme: Scheme, threads: usize) {
+    let serial = run_transient(&bench.circuit, bench.tstep, bench.tstop, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: serial failed: {e}", bench.name));
+    let gear =
+        run_transient(&bench.circuit, bench.tstep, bench.tstop, &SimOptions::with_method(Method::Gear2))
+            .unwrap_or_else(|e| panic!("{}: gear2 failed: {e}", bench.name));
+    let floor = verify::compare(&serial, &gear).rms_rel();
+
+    let opts = WavePipeOptions::new(scheme, threads);
+    let report = run_wavepipe(&bench.circuit, bench.tstep, bench.tstop, &opts)
+        .unwrap_or_else(|e| panic!("{}: {scheme} failed: {e}", bench.name));
+    let eq = verify::compare(&serial, &report.result);
+
+    let band = (2.0 * floor).max(0.02);
+    assert!(
+        eq.rms_rel() <= band,
+        "{} under {scheme} x{threads}: rms deviation {:.3e} exceeds band {:.3e} (noise floor {:.3e})",
+        bench.name,
+        eq.rms_rel(),
+        band,
+        floor
+    );
+}
+
+#[test]
+fn backward_is_serial_equivalent_on_all_classes() {
+    for bench in generators::small_suite() {
+        assert_equivalent(&bench, Scheme::Backward, 2);
+    }
+}
+
+#[test]
+fn forward_is_serial_equivalent_on_all_classes() {
+    for bench in generators::small_suite() {
+        assert_equivalent(&bench, Scheme::Forward, 2);
+    }
+}
+
+#[test]
+fn combined_is_serial_equivalent_on_all_classes() {
+    for bench in generators::small_suite() {
+        assert_equivalent(&bench, Scheme::Combined, 4);
+    }
+}
+
+#[test]
+fn wider_backward_stays_equivalent() {
+    // 4-deep backward ladders take the most aggressive strides.
+    for bench in [generators::power_grid(4, 4), generators::rc_ladder(10)] {
+        assert_equivalent(&bench, Scheme::Backward, 4);
+    }
+}
+
+#[test]
+fn schemes_preserve_energy_decay_on_source_free_rc() {
+    // A charged RC network with no sources must decay monotonically under
+    // every scheme (no relaxation-style energy injection).
+    use wavepipe::circuit::{Circuit, Waveform};
+    let mut ckt = Circuit::new("decay");
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    // Charge node a through a source that shuts off immediately.
+    ckt.add_isource("Ik", Circuit::GROUND, a, Waveform::pulse(0.0, 1e-3, 0.0, 1e-10, 1e-10, 2e-9, 0.0))
+        .unwrap();
+    ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-12).unwrap();
+    ckt.add_resistor("R1", a, b, 1e3).unwrap();
+    ckt.add_capacitor("C2", b, Circuit::GROUND, 1e-12).unwrap();
+    ckt.add_resistor("R2", b, Circuit::GROUND, 10e3).unwrap();
+
+    for scheme in [Scheme::Serial, Scheme::Backward, Scheme::Forward, Scheme::Combined] {
+        let opts = WavePipeOptions::new(scheme, 3);
+        let rep = run_wavepipe(&ckt, 0.05e-9, 40e-9, &opts).unwrap();
+        let a_idx = rep.result.unknown_of("a").unwrap();
+        let trace = rep.result.trace(a_idx);
+        // After the kick ends (t > 2.5 ns), v(a) must decay monotonically to
+        // within solver tolerance.
+        let mut prev = f64::INFINITY;
+        for &(t, v) in &trace {
+            if t < 2.5e-9 {
+                continue;
+            }
+            assert!(
+                v <= prev + 1e-5,
+                "{scheme}: non-monotone decay at t={t:.3e}: {v} after {prev}"
+            );
+            prev = v;
+        }
+        // And must actually decay substantially.
+        let final_v = trace.last().unwrap().1;
+        let peak = rep.result.peak(a_idx);
+        assert!(final_v < 0.2 * peak, "{scheme}: v={final_v} vs peak {peak}");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_accuracy_class() {
+    let bench = generators::diode_rectifier();
+    let serial =
+        run_transient(&bench.circuit, bench.tstep, bench.tstop, &SimOptions::default()).unwrap();
+    let mut devs = Vec::new();
+    for threads in 1..=4 {
+        let opts = WavePipeOptions::new(Scheme::Backward, threads);
+        let rep = run_wavepipe(&bench.circuit, bench.tstep, bench.tstop, &opts).unwrap();
+        devs.push(verify::compare(&serial, &rep.result).rms_rel());
+    }
+    for (i, d) in devs.iter().enumerate() {
+        assert!(*d < 0.02, "threads={}: rms dev {d}", i + 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Failure injection: the error surface must be informative and stable —
+//! bad circuits and impossible analyses produce typed errors, not panics or
+//! garbage results.
+
+use wavepipe::circuit::{Circuit, DiodeModel, Waveform};
+use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe::engine::{run_ac, run_dc_sweep, run_transient, EngineError, SimOptions};
+
+#[test]
+fn floating_node_is_rejected_before_simulation() {
+    let mut ckt = Circuit::new("floating");
+    let a = ckt.node("a");
+    let f1 = ckt.node("f1");
+    let f2 = ckt.node("f2");
+    ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+    ckt.add_resistor("Rg", a, Circuit::GROUND, 1e3).unwrap();
+    ckt.add_resistor("Rf", f1, f2, 1e3).unwrap();
+    let err = run_transient(&ckt, 1e-9, 1e-6, &SimOptions::default()).unwrap_err();
+    assert!(matches!(err, EngineError::Circuit(_)), "got {err}");
+    assert!(err.to_string().contains("path to ground"), "{err}");
+    // WavePipe surfaces the same error.
+    let err2 = run_wavepipe(&ckt, 1e-9, 1e-6, &WavePipeOptions::new(Scheme::Backward, 2))
+        .unwrap_err();
+    assert!(matches!(err2, EngineError::Circuit(_)));
+}
+
+#[test]
+fn parallel_voltage_sources_report_singular_matrix() {
+    // Two ideal sources forcing different voltages on the same node pair.
+    let mut ckt = Circuit::new("vloop");
+    let a = ckt.node("a");
+    ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+    ckt.add_vsource("V2", a, Circuit::GROUND, Waveform::dc(2.0)).unwrap();
+    ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    let err = run_transient(&ckt, 1e-9, 1e-6, &SimOptions::default()).unwrap_err();
+    // Either a singular linear system or a convergence failure, never a
+    // silent "answer".
+    assert!(
+        matches!(err, EngineError::Linear(_) | EngineError::NoConvergence { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn nonpositive_analysis_windows_are_rejected() {
+    let mut ckt = Circuit::new("ok");
+    let a = ckt.node("a");
+    ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+    ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    for (tstep, tstop) in [(0.0, 1e-6), (1e-9, 0.0), (-1e-9, 1e-6), (1e-9, f64::NAN)] {
+        let err = run_transient(&ckt, tstep, tstop, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::BadParameter { .. }), "({tstep},{tstop}): {err}");
+    }
+    assert!(run_ac(&ckt, &[0.0], &SimOptions::default()).is_err());
+    assert!(run_ac(&ckt, &[], &SimOptions::default()).is_err());
+    assert!(run_dc_sweep(&ckt, "V1", &[], &SimOptions::default()).is_err());
+}
+
+#[test]
+fn empty_circuit_is_rejected() {
+    let ckt = Circuit::new("empty");
+    let err = run_transient(&ckt, 1e-9, 1e-6, &SimOptions::default()).unwrap_err();
+    assert!(matches!(err, EngineError::Circuit(_)));
+}
+
+#[test]
+fn antiparallel_diodes_with_huge_drive_still_converge_or_error_cleanly() {
+    // A stress circuit: stiff source, antiparallel diodes, tiny resistor —
+    // must either simulate or produce a typed error (no panic, no NaN).
+    let mut ckt = Circuit::new("stress");
+    let a = ckt.node("a");
+    let d = ckt.node("d");
+    ckt.add_vsource(
+        "V1",
+        a,
+        Circuit::GROUND,
+        Waveform::pulse(-50.0, 50.0, 0.0, 1e-12, 1e-12, 1e-9, 2e-9),
+    )
+    .unwrap();
+    ckt.add_resistor("R1", a, d, 0.1).unwrap();
+    ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel::default()).unwrap();
+    ckt.add_diode("D2", Circuit::GROUND, d, DiodeModel::default()).unwrap();
+    match run_transient(&ckt, 1e-12, 10e-9, &SimOptions::default()) {
+        Ok(res) => {
+            for k in 0..res.len() {
+                assert!(
+                    res.solution(k).iter().all(|v| v.is_finite()),
+                    "non-finite value escaped at point {k}"
+                );
+            }
+        }
+        Err(e) => {
+            assert!(
+                matches!(
+                    e,
+                    EngineError::NoConvergence { .. }
+                        | EngineError::TimestepTooSmall { .. }
+                        | EngineError::NumericalBlowup { .. }
+                ),
+                "unexpected error kind: {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn errors_format_usefully() {
+    let samples: Vec<EngineError> = vec![
+        EngineError::NoConvergence { time: 1e-9, iterations: 40 },
+        EngineError::TimestepTooSmall { time: 2e-9, step: 1e-20, hmin: 1e-18 },
+        EngineError::BadParameter { name: "tstop", value: -1.0 },
+        EngineError::NumericalBlowup { time: 3e-9 },
+        EngineError::UnknownSource { name: "Vx".into() },
+    ];
+    for e in samples {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert_eq!(msg, msg.trim(), "no stray whitespace: {msg:?}");
+        assert!(msg.chars().next().unwrap().is_lowercase(), "lowercase start: {msg}");
+    }
+}
