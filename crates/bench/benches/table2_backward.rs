@@ -14,7 +14,9 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     for b in [generators::rc_ladder(40), generators::power_grid(6, 6)] {
         group.bench_function(format!("{}/serial", b.name), |bch| {
-            bch.iter(|| run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap())
+            bch.iter(|| {
+                run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap()
+            })
         });
         group.bench_function(format!("{}/backward_x2", b.name), |bch| {
             let opts = WavePipeOptions::new(Scheme::Backward, 2);

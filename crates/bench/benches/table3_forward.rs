@@ -11,7 +11,9 @@ fn bench_table3(c: &mut Criterion) {
     group.sample_size(10);
     for b in [generators::amp_chain(2), generators::diode_rectifier()] {
         group.bench_function(format!("{}/serial", b.name), |bch| {
-            bch.iter(|| run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap())
+            bch.iter(|| {
+                run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap()
+            })
         });
         group.bench_function(format!("{}/forward_x2", b.name), |bch| {
             let opts = WavePipeOptions::new(Scheme::Forward, 2);

@@ -11,7 +11,9 @@ fn bench_table4(c: &mut Criterion) {
     group.sample_size(10);
     for b in [generators::power_grid(6, 6), generators::inverter_chain(8)] {
         group.bench_function(format!("{}/serial", b.name), |bch| {
-            bch.iter(|| run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap())
+            bch.iter(|| {
+                run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap()
+            })
         });
         group.bench_function(format!("{}/combined_x4", b.name), |bch| {
             let opts = WavePipeOptions::new(Scheme::Combined, 4);

@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use wavepipe_circuit::generators::{self, Benchmark};
 use wavepipe_core::{run_wavepipe, verify, Scheme, WavePipeOptions, WavePipeReport};
 use wavepipe_engine::{run_transient, Method, SimOptions, TransientResult};
+use wavepipe_telemetry::{json, Event, ProbeHandle, RecordingProbe};
 
 /// Experiment scale: the full paper-style suite or a reduced suite for CI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -129,11 +130,7 @@ pub fn table1(scale: Scale) -> String {
     out
 }
 
-fn scheme_table(
-    title: &str,
-    scale: Scale,
-    runs: &[(Scheme, usize)],
-) -> (String, Vec<CaseOutcome>) {
+fn scheme_table(title: &str, scale: Scale, runs: &[(Scheme, usize)]) -> (String, Vec<CaseOutcome>) {
     let mut out = String::new();
     let mut cases = Vec::new();
     let _ = writeln!(out, "{title}");
@@ -145,12 +142,8 @@ fn scheme_table(
     let _ = writeln!(out, "{header}");
     for b in suite(scale) {
         let serial = run_serial(&b);
-        let mut row = format!(
-            "{:<22} {:>8} {:>8}",
-            b.name,
-            serial.len(),
-            serial.stats().newton_iterations
-        );
+        let mut row =
+            format!("{:<22} {:>8} {:>8}", b.name, serial.len(), serial.stats().newton_iterations);
         let mut last: Option<CaseOutcome> = None;
         for &(s, t) in runs {
             let c = measure_against(&b, &serial, s, t);
@@ -191,11 +184,7 @@ pub fn table3(scale: Scale) -> (String, Vec<CaseOutcome>) {
 
 /// **Table 4 (E4)** — combined scheme at 4 threads.
 pub fn table4(scale: Scale) -> (String, Vec<CaseOutcome>) {
-    scheme_table(
-        "Table 4: combined backward+forward pipelining",
-        scale,
-        &[(Scheme::Combined, 4)],
-    )
+    scheme_table("Table 4: combined backward+forward pipelining", scale, &[(Scheme::Combined, 4)])
 }
 
 /// **Table 5 (extension)** — the adaptive scheduler (not in the paper; its
@@ -267,8 +256,11 @@ pub struct ScalingPoint {
     pub speedup: f64,
 }
 
+/// Per-scheme scaling series, as produced by [`fig_scaling`].
+pub type ScalingSeries = Vec<(Scheme, Vec<ScalingPoint>)>;
+
 /// **Figure C (E7)** — speedup vs thread count (1–4) for each scheme.
-pub fn fig_scaling(b: &Benchmark) -> (String, Vec<(Scheme, Vec<ScalingPoint>)>) {
+pub fn fig_scaling(b: &Benchmark) -> (String, ScalingSeries) {
     let serial = run_serial(b);
     let mut out = String::new();
     let _ = writeln!(out, "Figure C: speedup vs threads — {}", b.name);
@@ -339,6 +331,156 @@ pub fn fig_bp_ablation(b: &Benchmark) -> String {
         );
     }
     out
+}
+
+/// Like [`run_scheme`] but with a [`RecordingProbe`] attached: returns the
+/// report plus the recorded telemetry event stream (for `--trace` in the
+/// bench binaries).
+pub fn run_traced(b: &Benchmark, scheme: Scheme, threads: usize) -> (WavePipeReport, Vec<Event>) {
+    let probe = RecordingProbe::shared();
+    let mut opts = WavePipeOptions::new(scheme, threads);
+    opts.sim.probe = ProbeHandle::new(probe.clone());
+    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts)
+        .unwrap_or_else(|e| panic!("{}: traced {scheme} x{threads} failed: {e}", b.name));
+    let events = probe.events();
+    (rep, events)
+}
+
+fn case_json(c: &CaseOutcome) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"scheme\":\"{}\",\"threads\":{},\
+         \"serial_points\":{},\"serial_iters\":{},\"wp_points\":{},\
+         \"speedup\":{},\"wall_speedup\":{},\"accept_rate\":{},\
+         \"max_rel_dev\":{},\"rms_rel_dev\":{}}}",
+        json::escape(&c.name),
+        c.scheme,
+        c.threads,
+        c.serial_points,
+        c.serial_iters,
+        c.wp_points,
+        json::fmt_f64(c.speedup),
+        json::fmt_f64(c.wall_speedup),
+        json::fmt_f64(c.accept_rate),
+        json::fmt_f64(c.max_rel_dev),
+        json::fmt_f64(c.rms_rel_dev)
+    )
+}
+
+/// Machine-readable form of named [`CaseOutcome`] groups, e.g.
+/// `{"table2": [...], "table3": [...]}` — written by the `tables` binary as
+/// `BENCH_tables.json` so the perf trajectory can be tracked across commits.
+pub fn cases_to_json(groups: &[(&str, &[CaseOutcome])]) -> String {
+    let mut out = String::from("{");
+    for (gi, (name, cases)) in groups.iter().enumerate() {
+        if gi > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n  \"{}\": [", json::escape(name));
+        for (ci, c) in cases.iter().enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}", case_json(c));
+        }
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Machine-readable form of named thread-scaling series, e.g.
+/// `{"power_grid": {"backward": [{"threads":1,"speedup":1.0}, ...]}}` —
+/// written by the `figures` binary as `BENCH_figures.json`.
+pub fn scaling_to_json(figures: &[(&str, &ScalingSeries)]) -> String {
+    let mut out = String::from("{");
+    for (fi, (name, series)) in figures.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n  \"{}\": {{", json::escape(name));
+        for (si, (scheme, pts)) in series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{scheme}\": [");
+            for (pi, p) in pts.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"threads\":{},\"speedup\":{}}}",
+                    p.threads,
+                    json::fmt_f64(p.speedup)
+                );
+            }
+            out.push(']');
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// `--trace` / `--trace-format` options shared by the bench binaries.
+#[derive(Debug, Default)]
+pub struct TraceArgs {
+    /// Output path (`None` = tracing not requested).
+    pub path: Option<std::path::PathBuf>,
+    /// `true` = JSONL, `false` = Chrome trace-event JSON (the default).
+    pub jsonl: bool,
+}
+
+impl TraceArgs {
+    /// Extracts `--trace <path>` / `--trace-format jsonl|chrome` from an
+    /// argument list, returning the remaining arguments untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a flag is missing its value or the format is
+    /// unknown.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<(Self, Vec<String>), String> {
+        let mut ta = TraceArgs::default();
+        let mut rest = Vec::new();
+        let mut args = args;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let p = args.next().ok_or("--trace needs a file path")?;
+                    ta.path = Some(std::path::PathBuf::from(p));
+                }
+                "--trace-format" => match args.next().as_deref() {
+                    Some("jsonl") => ta.jsonl = true,
+                    Some("chrome") => ta.jsonl = false,
+                    other => {
+                        return Err(format!(
+                            "--trace-format must be `jsonl` or `chrome`, got {other:?}"
+                        ))
+                    }
+                },
+                _ => rest.push(a),
+            }
+        }
+        Ok((ta, rest))
+    }
+
+    /// Writes `events` to the requested path in the requested format.
+    /// No-op when tracing was not requested.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn write(&self, events: &[Event]) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let Some(path) = &self.path else { return Ok(()) };
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        if self.jsonl {
+            wavepipe_telemetry::jsonl::write_jsonl(events, &mut file)?;
+        } else {
+            wavepipe_telemetry::chrome::write_chrome_trace(events, &mut file)?;
+        }
+        file.flush()
+    }
 }
 
 #[cfg(test)]

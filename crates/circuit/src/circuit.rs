@@ -190,7 +190,13 @@ impl Circuit {
     ///
     /// [`CircuitError::InvalidValue`] unless `0 < r < inf`;
     /// [`CircuitError::DuplicateName`] if the name is taken.
-    pub fn add_resistor(&mut self, name: &str, p: Node, n: Node, r: f64) -> Result<(), CircuitError> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        r: f64,
+    ) -> Result<(), CircuitError> {
         self.check_name(name)?;
         Self::check_positive(name, r)?;
         self.elements.push(Element::Resistor { name: name.to_string(), p, n, resistance: r });
@@ -202,7 +208,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Same conditions as [`Circuit::add_resistor`].
-    pub fn add_capacitor(&mut self, name: &str, p: Node, n: Node, c: f64) -> Result<(), CircuitError> {
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        c: f64,
+    ) -> Result<(), CircuitError> {
         self.check_name(name)?;
         Self::check_positive(name, c)?;
         self.elements.push(Element::Capacitor {
@@ -245,7 +257,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Same conditions as [`Circuit::add_resistor`].
-    pub fn add_inductor(&mut self, name: &str, p: Node, n: Node, l: f64) -> Result<(), CircuitError> {
+    pub fn add_inductor(
+        &mut self,
+        name: &str,
+        p: Node,
+        n: Node,
+        l: f64,
+    ) -> Result<(), CircuitError> {
         self.check_name(name)?;
         Self::check_positive(name, l)?;
         self.elements.push(Element::Inductor {

@@ -360,12 +360,8 @@ mod tests {
 
     #[test]
     fn element_nodes_and_names() {
-        let r = Element::Resistor {
-            name: "R1".into(),
-            p: Node(1),
-            n: Node::GROUND,
-            resistance: 1e3,
-        };
+        let r =
+            Element::Resistor { name: "R1".into(), p: Node(1), n: Node::GROUND, resistance: 1e3 };
         assert_eq!(r.name(), "R1");
         assert_eq!(r.nodes(), vec![Node(1), Node::GROUND]);
         assert!(!r.is_nonlinear());

@@ -54,7 +54,15 @@ pub const VDD: f64 = 3.3;
 
 /// A stronger-than-default switching MOSFET used by the digital benchmarks.
 fn logic_nmos() -> MosModel {
-    MosModel { kp: 1e-4, w: 20e-6, l: 1e-6, cgs: 5e-15, cgd: 5e-15, lambda: 0.02, ..MosModel::nmos() }
+    MosModel {
+        kp: 1e-4,
+        w: 20e-6,
+        l: 1e-6,
+        cgs: 5e-15,
+        cgd: 5e-15,
+        lambda: 0.02,
+        ..MosModel::nmos()
+    }
 }
 
 fn logic_pmos() -> MosModel {
@@ -135,9 +143,8 @@ pub fn power_grid(rows: usize, cols: usize) -> Benchmark {
         }
     }
     // Supply taps at the corners through small series resistance.
-    for (k, (r, c)) in [(0, 0), (0, cols - 1), (rows - 1, 0), (rows - 1, cols - 1)]
-        .into_iter()
-        .enumerate()
+    for (k, (r, c)) in
+        [(0, 0), (0, cols - 1), (rows - 1, 0), (rows - 1, cols - 1)].into_iter().enumerate()
     {
         let pad = ckt.node(&format!("pad{k}"));
         let corner = ckt.node(&name(r, c));
@@ -176,7 +183,13 @@ pub fn power_grid(rows: usize, cols: usize) -> Benchmark {
 
 /// Adds one CMOS inverter driving `out` from `in`, returns nothing; helper
 /// for the digital generators.
-fn add_inverter(ckt: &mut Circuit, tag: &str, inp: crate::element::Node, out: crate::element::Node, vdd: crate::element::Node) {
+fn add_inverter(
+    ckt: &mut Circuit,
+    tag: &str,
+    inp: crate::element::Node,
+    out: crate::element::Node,
+    vdd: crate::element::Node,
+) {
     ok!(ckt.add_mosfet(&format!("Mp{tag}"), out, inp, vdd, logic_pmos()));
     ok!(ckt.add_mosfet(&format!("Mn{tag}"), out, inp, Circuit::GROUND, logic_nmos()));
     ok!(ckt.add_capacitor(&format!("Cl{tag}"), out, Circuit::GROUND, 20e-15));
@@ -336,7 +349,15 @@ pub fn amp_chain(stages: usize) -> Benchmark {
             drain,
             gate,
             src,
-            MosModel { kp: 2e-4, w: 50e-6, l: 1e-6, lambda: 0.01, cgs: 20e-15, cgd: 10e-15, ..MosModel::nmos() },
+            MosModel {
+                kp: 2e-4,
+                w: 50e-6,
+                l: 1e-6,
+                lambda: 0.01,
+                cgs: 20e-15,
+                cgd: 10e-15,
+                ..MosModel::nmos()
+            },
         ));
         ok!(ckt.add_resistor(&format!("Rd{i}"), vdd, drain, 5e3));
         ok!(ckt.add_resistor(&format!("Rsrc{i}"), src, Circuit::GROUND, 500.0));

@@ -55,15 +55,11 @@ impl AcSpec {
         if self.decade {
             let decades = (self.fstop / self.fstart).log10();
             let n = ((decades * self.points as f64).ceil() as usize).max(1);
-            (0..=n)
-                .map(|k| self.fstart * 10f64.powf(decades * k as f64 / n as f64))
-                .collect()
+            (0..=n).map(|k| self.fstart * 10f64.powf(decades * k as f64 / n as f64)).collect()
         } else {
             let n = self.points.max(2);
             (0..n)
-                .map(|k| {
-                    self.fstart + (self.fstop - self.fstart) * k as f64 / (n - 1) as f64
-                })
+                .map(|k| self.fstart + (self.fstop - self.fstart) * k as f64 / (n - 1) as f64)
                 .collect()
         }
     }
@@ -204,7 +200,12 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck, ParseNetlistError> {
                     prev.push(' ');
                     prev.push_str(rest);
                 }
-                None => return Err(ParseNetlistError::new(lineno, "continuation with no previous line")),
+                None => {
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        "continuation with no previous line",
+                    ))
+                }
             }
         } else {
             logical.push((lineno, trimmed.to_string()));
@@ -287,7 +288,10 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck, ParseNetlistError> {
                 }
                 ".ac" => {
                     if toks.len() < 5 {
-                        return Err(ParseNetlistError::new(lineno, ".ac needs dec|lin n fstart fstop"));
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            ".ac needs dec|lin n fstart fstop",
+                        ));
                     }
                     let decade = match toks[1].as_str() {
                         "dec" => true,
@@ -303,13 +307,19 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck, ParseNetlistError> {
                     let fstart = num(lineno, &toks[3])?;
                     let fstop = num(lineno, &toks[4])?;
                     if !(fstart > 0.0 && fstop >= fstart) {
-                        return Err(ParseNetlistError::new(lineno, ".ac needs 0 < fstart <= fstop"));
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            ".ac needs 0 < fstart <= fstop",
+                        ));
                     }
                     ac = Some(AcSpec { decade, points: points.max(1), fstart, fstop });
                 }
                 ".dc" => {
                     if toks.len() < 5 {
-                        return Err(ParseNetlistError::new(lineno, ".dc needs source start stop step"));
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            ".dc needs source start stop step",
+                        ));
                     }
                     let step = num(lineno, &toks[4])?;
                     if step == 0.0 {
@@ -326,7 +336,10 @@ pub fn parse_netlist(text: &str) -> Result<ParsedDeck, ParseNetlistError> {
                     // Recognised but intentionally ignored directives.
                 }
                 other => {
-                    return Err(ParseNetlistError::new(lineno, format!("unknown directive {other}")));
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        format!("unknown directive {other}"),
+                    ));
                 }
             }
             continue;
@@ -443,17 +456,23 @@ fn parse_waveform(line: usize, toks: &[String]) -> Result<Waveform, ParseNetlist
             Ok(Waveform::Dc(num(line, &toks[1])?))
         }
         "pulse" => {
-            let v: Vec<f64> =
-                toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
+            let v: Vec<f64> = toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
             if v.len() < 2 {
                 return Err(ParseNetlistError::new(line, "pulse needs at least v1 v2"));
             }
             let g = |i: usize| v.get(i).copied().unwrap_or(0.0);
-            Ok(Waveform::Pulse { v1: v[0], v2: v[1], td: g(2), tr: g(3), tf: g(4), pw: g(5), per: g(6) })
+            Ok(Waveform::Pulse {
+                v1: v[0],
+                v2: v[1],
+                td: g(2),
+                tr: g(3),
+                tf: g(4),
+                pw: g(5),
+                per: g(6),
+            })
         }
         "sin" => {
-            let v: Vec<f64> =
-                toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
+            let v: Vec<f64> = toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
             if v.len() < 3 {
                 return Err(ParseNetlistError::new(line, "sin needs vo va freq"));
             }
@@ -461,24 +480,21 @@ fn parse_waveform(line: usize, toks: &[String]) -> Result<Waveform, ParseNetlist
             Ok(Waveform::Sin { vo: v[0], va: v[1], freq: v[2], td: g(3), theta: g(4) })
         }
         "exp" => {
-            let v: Vec<f64> =
-                toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
+            let v: Vec<f64> = toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
             if v.len() < 6 {
                 return Err(ParseNetlistError::new(line, "exp needs v1 v2 td1 tau1 td2 tau2"));
             }
             Ok(Waveform::Exp { v1: v[0], v2: v[1], td1: v[2], tau1: v[3], td2: v[4], tau2: v[5] })
         }
         "sffm" => {
-            let v: Vec<f64> =
-                toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
+            let v: Vec<f64> = toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
             if v.len() < 5 {
                 return Err(ParseNetlistError::new(line, "sffm needs vo va fc mdi fs"));
             }
             Ok(Waveform::Sffm { vo: v[0], va: v[1], fc: v[2], mdi: v[3], fs: v[4] })
         }
         "pwl" => {
-            let v: Vec<f64> =
-                toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
+            let v: Vec<f64> = toks[1..].iter().map(|t| num(line, t)).collect::<Result<_, _>>()?;
             if v.len() < 2 || !v.len().is_multiple_of(2) {
                 return Err(ParseNetlistError::new(line, "pwl needs t,v pairs"));
             }
@@ -664,10 +680,16 @@ fn parse_element(
             let model = match models.get(&toks[3]) {
                 Some(ModelCard::Diode(m)) => m.clone(),
                 Some(_) => {
-                    return Err(ParseNetlistError::new(line, format!("{}: model is not a diode", toks[3])))
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("{}: model is not a diode", toks[3]),
+                    ))
                 }
                 None => {
-                    return Err(ParseNetlistError::new(line, format!("undefined model {}", toks[3])))
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("undefined model {}", toks[3]),
+                    ))
                 }
             };
             ckt.add_diode(&name, p, n, model)?;
@@ -681,10 +703,16 @@ fn parse_element(
             let model = match models.get(model_tok) {
                 Some(ModelCard::Mos(m)) => m.clone(),
                 Some(_) => {
-                    return Err(ParseNetlistError::new(line, format!("{model_tok}: model is not a mosfet")))
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("{model_tok}: model is not a mosfet"),
+                    ))
                 }
                 None => {
-                    return Err(ParseNetlistError::new(line, format!("undefined model {model_tok}")))
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("undefined model {model_tok}"),
+                    ))
                 }
             };
             let (d, g, s) = (node(ckt, &toks[1]), node(ckt, &toks[2]), node(ckt, &toks[3]));
@@ -701,10 +729,16 @@ fn parse_element(
             let model = match models.get(&toks[4]) {
                 Some(ModelCard::Bjt(m)) => m.clone(),
                 Some(_) => {
-                    return Err(ParseNetlistError::new(line, format!("{}: model is not a bjt", toks[4])))
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("{}: model is not a bjt", toks[4]),
+                    ))
                 }
                 None => {
-                    return Err(ParseNetlistError::new(line, format!("undefined model {}", toks[4])))
+                    return Err(ParseNetlistError::new(
+                        line,
+                        format!("undefined model {}", toks[4]),
+                    ))
                 }
             };
             ckt.add_bjt(&name, c, b, e, model)?;
@@ -959,7 +993,8 @@ R1 g 0 1k
 
     #[test]
     fn diode_depletion_parameters_parse() {
-        let deck = "t\nD1 a 0 DX\nR1 a 0 1k\nV1 a 0 1\n.model DX D (CJ0=2p VJ=0.8 M=0.33 FC=0.4)\n.end";
+        let deck =
+            "t\nD1 a 0 DX\nR1 a 0 1k\nV1 a 0 1\n.model DX D (CJ0=2p VJ=0.8 M=0.33 FC=0.4)\n.end";
         let d = parse_netlist(deck).unwrap();
         match &d.circuit.elements()[0] {
             Element::Diode { model, .. } => {

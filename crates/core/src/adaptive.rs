@@ -20,6 +20,7 @@ use crate::pipeline::Driver;
 use crate::report::WavePipeReport;
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::Result;
+use wavepipe_telemetry::EventKind;
 
 /// How strongly new rounds update the efficiency estimate.
 const EMA_ALPHA: f64 = 0.25;
@@ -51,6 +52,7 @@ pub fn run_adaptive(
         let probe = round_idx % PROBE_PERIOD == PROBE_PERIOD - 1;
         // Normally play the winner; on probe rounds, play the loser.
         let use_forward = forward_better != probe;
+        drv.wp.sim.probe.emit(drv.hw.t(), EventKind::AdaptiveChoice { forward: use_forward });
 
         let cw0 = drv.critical_work;
         let committed = if use_forward {
@@ -102,9 +104,10 @@ mod tests {
         )
         .unwrap()
         .modeled_speedup(serial.stats());
-        let ada = run_adaptive(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Adaptive, 2))
-            .unwrap()
-            .modeled_speedup(serial.stats());
+        let ada =
+            run_adaptive(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Adaptive, 2))
+                .unwrap()
+                .modeled_speedup(serial.stats());
         assert!(
             ada > 0.8 * bwd,
             "adaptive {ada:.2} should track backward {bwd:.2} on a growth-heavy workload"
@@ -116,8 +119,9 @@ mod tests {
         // Probing guarantees both lead and speculation statistics appear on
         // a long enough run.
         let b = generators::diode_rectifier();
-        let rep = run_adaptive(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Adaptive, 2))
-            .unwrap();
+        let rep =
+            run_adaptive(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Adaptive, 2))
+                .unwrap();
         let bp_attempts = rep.lead_accepted + rep.lead_rejected;
         let fp_attempts = rep.speculation_accepted + rep.speculation_rejected;
         assert!(bp_attempts > 0, "no backward rounds were played");

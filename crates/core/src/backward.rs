@@ -24,11 +24,12 @@
 //! time advances by up to `h*(1 + g + ... + g^{p-1})`.
 
 use crate::options::Scheme;
+use crate::options::WavePipeOptions;
 use crate::pipeline::{Commit, Driver, Task};
 use crate::report::WavePipeReport;
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::{Result, SimStats};
-use crate::options::WavePipeOptions;
+use wavepipe_telemetry::{DiscardReason, EventKind};
 
 /// Runs a backward-pipelined transient analysis.
 ///
@@ -63,12 +64,11 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
     // base-only when error-bound).
     let targets = drv.backward_ladder(width);
     let (targets, hit) = drv.clip_targets(&targets);
+    wp.sim.probe.emit(drv.hw.t(), EventKind::RoundStart { width: targets.len() as u32 });
 
     // All tasks share the same (true) history snapshot.
-    let tasks: Vec<Task> = targets
-        .iter()
-        .map(|&t| Task { hw: drv.hw.clone(), t, guess: None })
-        .collect();
+    let tasks: Vec<Task> =
+        targets.iter().map(|&t| Task { hw: drv.hw.clone(), t, guess: None }).collect();
     let sols = drv.solve_round(tasks, wp.sim.max_newton_iters);
 
     // Account the concurrent work before looking at outcomes.
@@ -91,6 +91,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 if i > 0 {
                     drv.lead_accepted += 1;
                     drv.note_lead(true);
+                    wp.sim.probe.emit(sol.t, EventKind::LeadAccepted);
                 }
                 drv.h = h_next;
             }
@@ -100,6 +101,10 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 } else {
                     drv.lead_rejected += 1;
                     drv.note_lead(false);
+                    wp.sim.probe.emit(
+                        sol.t,
+                        EventKind::LeadDiscarded { reason: DiscardReason::LteRejected },
+                    );
                     // The accepted prefix stands. The failed lead's retry
                     // proposal is relative to its larger stride, so it must
                     // not override a smaller base proposal.
@@ -113,6 +118,10 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 } else {
                     drv.lead_rejected += 1;
                     drv.note_lead(false);
+                    wp.sim.probe.emit(
+                        sol.t,
+                        EventKind::LeadDiscarded { reason: DiscardReason::NewtonRejected },
+                    );
                 }
                 break;
             }
@@ -124,6 +133,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
     if hit && committed == targets.len() {
         drv.handle_breakpoint_landing();
     }
+    wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
     Ok(committed)
 }
 

@@ -13,6 +13,7 @@ use crate::pipeline::{Commit, Driver, Task};
 use crate::report::WavePipeReport;
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::{Result, SimStats};
+use wavepipe_telemetry::{DiscardReason, EventKind};
 
 /// Runs the combined backward+forward pipelined transient analysis.
 ///
@@ -59,6 +60,7 @@ pub fn run_combined(
             targets.push(last + fwd_gap);
         }
         let (targets, hit) = drv.clip_targets(&targets);
+        wp.sim.probe.emit(drv.hw.t(), EventKind::RoundStart { width: targets.len() as u32 });
         let n_bp_targets = targets.len().min(ladder_len);
         let has_fwd = targets.len() > ladder_len;
 
@@ -95,6 +97,7 @@ pub fn run_combined(
                     committed += 1;
                     if i > 0 {
                         drv.lead_accepted += 1;
+                        wp.sim.probe.emit(sol.t, EventKind::LeadAccepted);
                     }
                     drv.h = h_next;
                 }
@@ -104,6 +107,10 @@ pub fn run_combined(
                     } else {
                         drv.lead_rejected += 1;
                         drv.note_lead(false);
+                        wp.sim.probe.emit(
+                            sol.t,
+                            EventKind::LeadDiscarded { reason: DiscardReason::LteRejected },
+                        );
                         drv.h = drv.h.min(h_retry).max(drv.hmin);
                     }
                     break;
@@ -114,6 +121,10 @@ pub fn run_combined(
                     } else {
                         drv.lead_rejected += 1;
                         drv.note_lead(false);
+                        wp.sim.probe.emit(
+                            sol.t,
+                            EventKind::LeadDiscarded { reason: DiscardReason::NewtonRejected },
+                        );
                     }
                     break;
                 }
@@ -129,35 +140,49 @@ pub fn run_combined(
             let lead_true = &solutions[n_bp_targets - 1].x;
             let pred_ok = ladder_complete
                 && spec.converged
-                && lead_prediction
-                    .as_deref()
-                    .is_some_and(|p| prediction_close(&drv, p, lead_true));
+                && lead_prediction.as_deref().is_some_and(|p| prediction_close(&drv, p, lead_true));
             if pred_ok {
-                let refined = drv.lead.solve_point(
-                    &drv.hw,
-                    spec.t,
-                    Some(&spec.x),
-                    wp.fp_refine_iters,
-                )?;
+                let refined =
+                    drv.lead.solve_point(&drv.hw, spec.t, Some(&spec.x), wp.fp_refine_iters)?;
                 drv.account_sequential(&refined.stats);
                 match drv.try_commit(&refined) {
                     Commit::Accepted { h_next } => {
                         drv.spec_accepted += 1;
+                        wp.sim.probe.emit(refined.t, EventKind::SpeculationAccepted);
                         drv.h = h_next;
+                        committed += 1;
                     }
                     Commit::RejectedLte { h_retry } => {
                         drv.total.steps_rejected_lte += 1;
                         drv.spec_rejected += 1;
+                        wp.sim.probe.emit(
+                            refined.t,
+                            EventKind::SpeculationDiscarded { reason: DiscardReason::LteRejected },
+                        );
                         drv.h = h_retry;
                         committed_all = false;
                     }
                     Commit::RejectedNewton => {
                         drv.spec_rejected += 1;
+                        wp.sim.probe.emit(
+                            refined.t,
+                            EventKind::SpeculationDiscarded {
+                                reason: DiscardReason::NewtonRejected,
+                            },
+                        );
                         committed_all = false;
                     }
                 }
             } else {
                 drv.spec_rejected += 1;
+                let reason = if !ladder_complete {
+                    DiscardReason::ChainBroken
+                } else if !spec.converged {
+                    DiscardReason::Unconverged
+                } else {
+                    DiscardReason::PredictionFar
+                };
+                wp.sim.probe.emit(spec.t, EventKind::SpeculationDiscarded { reason });
                 committed_all = false;
             }
         }
@@ -165,6 +190,7 @@ pub fn run_combined(
         if hit && committed_all {
             drv.handle_breakpoint_landing();
         }
+        wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
     }
 
     Ok(drv.finish(Scheme::Combined))
@@ -201,20 +227,13 @@ mod tests {
             &WavePipeOptions::new(Scheme::Backward, 2),
         )
         .unwrap();
-        let cmb = run_combined(
-            &b.circuit,
-            b.tstep,
-            b.tstop,
-            &WavePipeOptions::new(Scheme::Combined, 4),
-        )
-        .unwrap();
+        let cmb =
+            run_combined(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Combined, 4))
+                .unwrap();
         let s_bwd = bwd.modeled_speedup(serial.stats());
         let s_cmb = cmb.modeled_speedup(serial.stats());
         assert!(s_bwd > 1.15, "backward should pay here, got {s_bwd:.2}");
-        assert!(
-            s_cmb > s_bwd * 0.75,
-            "combined ({s_cmb:.2}) should track backward ({s_bwd:.2})"
-        );
+        assert!(s_cmb > s_bwd * 0.75, "combined ({s_cmb:.2}) should track backward ({s_bwd:.2})");
     }
 
     #[test]

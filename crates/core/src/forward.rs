@@ -23,8 +23,23 @@ use crate::options::{Scheme, WavePipeOptions};
 use crate::pipeline::{Commit, Driver, Task};
 use crate::report::WavePipeReport;
 use wavepipe_circuit::Circuit;
-use wavepipe_engine::{HistoryWindow, Result, SimStats};
+use wavepipe_engine::{HistoryWindow, PointSolution, Result, SimStats};
 use wavepipe_sparse::vector::wrms_norm;
+use wavepipe_telemetry::{DiscardReason, EventKind};
+
+/// Emits one [`EventKind::SpeculationDiscarded`] for the broken link `i` with
+/// its own `reason`, plus [`DiscardReason::ChainBroken`] for every deeper link
+/// it invalidated — so the event stream mirrors the `spec_rejected` counter
+/// exactly.
+fn emit_chain_discard(drv: &Driver, solutions: &[PointSolution], i: usize, reason: DiscardReason) {
+    drv.wp.sim.probe.emit(solutions[i].t, EventKind::SpeculationDiscarded { reason });
+    for sol in &solutions[i + 1..] {
+        drv.wp
+            .sim
+            .probe
+            .emit(sol.t, EventKind::SpeculationDiscarded { reason: DiscardReason::ChainBroken });
+    }
+}
 
 /// Builds the speculative window for the next chain link: the current
 /// (possibly already speculative) window advanced by a *predicted* point.
@@ -45,11 +60,7 @@ pub(crate) fn speculate_next(
 /// source branch currents can jump and carry no history information.
 pub(crate) fn prediction_close(drv: &Driver, predicted: &[f64], truth: &[f64]) -> bool {
     let nn = drv.sys.n_nodes();
-    let err: Vec<f64> = predicted[..nn]
-        .iter()
-        .zip(&truth[..nn])
-        .map(|(&p, &t)| p - t)
-        .collect();
+    let err: Vec<f64> = predicted[..nn].iter().zip(&truth[..nn]).map(|(&p, &t)| p - t).collect();
     let n = wrms_norm(&err, &truth[..nn], drv.wp.sim.reltol, drv.wp.sim.vntol);
     n <= drv.wp.fp_accept_factor
 }
@@ -87,8 +98,7 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
         drv.h = drv.h.clamp(drv.hmin, drv.hmax);
         // Target ladder: follow the stride trajectory serial would take —
         // the recent LTE growth prediction — scaled by the ablation knob.
-        let growth =
-            (drv.last_growth.clamp(1.0, wp.sim.rmax) * wp.fp_stride_factor).max(0.1);
+        let growth = (drv.last_growth.clamp(1.0, wp.sim.rmax) * wp.fp_stride_factor).max(0.1);
         let mut targets = Vec::with_capacity(width);
         let mut t = drv.hw.t();
         let mut gap = drv.h;
@@ -98,6 +108,7 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             gap = (gap * growth).clamp(drv.hmin, drv.hmax);
         }
         let (targets, hit) = drv.clip_targets(&targets);
+        wp.sim.probe.emit(drv.hw.t(), EventKind::RoundStart { width: targets.len() as u32 });
 
         // Build the speculative chain of windows.
         let mut tasks = Vec::with_capacity(targets.len());
@@ -132,12 +143,20 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             }
             Commit::RejectedLte { h_retry } => {
                 drv.spec_rejected += solutions.len() - 1;
+                if solutions.len() > 1 {
+                    emit_chain_discard(drv, &solutions, 1, DiscardReason::ChainBroken);
+                }
                 drv.base_lte_reject(h_attempt, h_retry);
+                wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: 0 });
                 return Ok(0);
             }
             Commit::RejectedNewton => {
                 drv.spec_rejected += solutions.len() - 1;
+                if solutions.len() > 1 {
+                    emit_chain_discard(drv, &solutions, 1, DiscardReason::ChainBroken);
+                }
                 drv.newton_backoff(h_attempt)?;
+                wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: 0 });
                 return Ok(0);
             }
         };
@@ -149,6 +168,12 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             let predicted = &predictions[i - 1];
             if !spec_sol.converged || !prediction_close(drv, predicted, &truth) {
                 drv.spec_rejected += solutions.len() - i;
+                let reason = if spec_sol.converged {
+                    DiscardReason::PredictionFar
+                } else {
+                    DiscardReason::Unconverged
+                };
+                emit_chain_discard(drv, &solutions, i, reason);
                 committed_all = false;
                 break;
             }
@@ -156,23 +181,21 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             // speculative iterate, under a short iteration budget — if the
             // warm start cannot converge within it, the speculation was not
             // close enough to pay off. Sequential: goes on the critical path.
-            let refined = drv.lead.solve_point(
-                &drv.hw,
-                spec_sol.t,
-                Some(&spec_sol.x),
-                wp.fp_refine_iters,
-            )?;
+            let refined =
+                drv.lead.solve_point(&drv.hw, spec_sol.t, Some(&spec_sol.x), wp.fp_refine_iters)?;
             drv.account_sequential(&refined.stats);
             if !refined.converged {
                 // Not an error and not a step problem: the point will be
                 // solved cold as the next round's base at the current step.
                 drv.spec_rejected += solutions.len() - i;
+                emit_chain_discard(drv, &solutions, i, DiscardReason::RefineBudget);
                 committed_all = false;
                 break;
             }
             match drv.try_commit(&refined) {
                 Commit::Accepted { h_next } => {
                     drv.spec_accepted += 1;
+                    wp.sim.probe.emit(refined.t, EventKind::SpeculationAccepted);
                     committed += 1;
                     drv.h = h_next;
                     truth = refined.x.clone();
@@ -180,12 +203,14 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 Commit::RejectedLte { h_retry } => {
                     drv.total.steps_rejected_lte += 1;
                     drv.spec_rejected += solutions.len() - i;
+                    emit_chain_discard(drv, &solutions, i, DiscardReason::LteRejected);
                     drv.h = h_retry;
                     committed_all = false;
                     break;
                 }
                 Commit::RejectedNewton => {
                     drv.spec_rejected += solutions.len() - i;
+                    emit_chain_discard(drv, &solutions, i, DiscardReason::NewtonRejected);
                     committed_all = false;
                     break;
                 }
@@ -195,6 +220,7 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
         if hit && committed_all {
             drv.handle_breakpoint_landing();
         }
+        wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
         Ok(committed)
     }
 }

@@ -54,6 +54,7 @@ pub mod verify;
 
 pub use options::{Scheme, WavePipeOptions};
 pub use report::WavePipeReport;
+pub use wavepipe_telemetry as telemetry;
 
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::{run_transient, Result};
@@ -88,6 +89,7 @@ pub fn run_wavepipe(
                 lead_rejected: 0,
                 speculation_accepted: 0,
                 speculation_rejected: 0,
+                telemetry: opts.sim.probe.summary(),
             })
         }
         Scheme::Backward => backward::run_backward(circuit, tstep, tstop, opts),

@@ -4,14 +4,15 @@
 
 use crate::options::{Scheme, WavePipeOptions};
 use crate::report::WavePipeReport;
+use std::sync::Arc;
+use std::time::Instant;
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::lte::lte_step_control;
 use wavepipe_engine::{
     EngineError, HistoryWindow, MnaSystem, PointSolution, PointSolver, Result, SimStats,
     TransientResult,
 };
-use std::sync::Arc;
-use std::time::Instant;
+use wavepipe_telemetry::EventKind;
 
 /// One concurrent point-solve request.
 pub(crate) struct Task {
@@ -48,10 +49,14 @@ impl WorkerPool {
         let (result_tx, results) = std::sync::mpsc::channel();
         let mut senders = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        for _ in 0..n {
+        for i in 0..n {
             let (tx, rx) = std::sync::mpsc::channel::<Job>();
             let out = result_tx.clone();
-            let mut solver = PointSolver::new(Arc::clone(sys), sim.clone());
+            // Worker i solves the (i+1)-th task of every round; tag its
+            // probe with that lane so traces show the pipelining overlap.
+            let mut worker_sim = sim.clone();
+            worker_sim.probe = sim.probe.with_lane(i as u32 + 1);
+            let mut solver = PointSolver::new(Arc::clone(sys), worker_sim);
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let r = solver.solve_point(
@@ -148,12 +153,7 @@ pub(crate) struct Driver {
 impl Driver {
     /// Compiles the circuit, solves the operating point (counted on the
     /// critical path — it is inherently sequential), and prepares the run.
-    pub fn new(
-        circuit: &Circuit,
-        tstep: f64,
-        tstop: f64,
-        wp: &WavePipeOptions,
-    ) -> Result<Self> {
+    pub fn new(circuit: &Circuit, tstep: f64, tstop: f64, wp: &WavePipeOptions) -> Result<Self> {
         if !(tstop > 0.0 && tstop.is_finite()) {
             return Err(EngineError::BadParameter { name: "tstop", value: tstop });
         }
@@ -229,6 +229,16 @@ impl Driver {
         let first = iter.next();
         let mut dispatched = 0usize;
         for ((slot, task), tx) in iter.zip(&self.pool.senders) {
+            // Stamp the task's lane span at *dispatch*: the worker's own
+            // SolveStart marks execution start, but the Chrome exporter keeps
+            // the earliest start per lane, so traces show the round's tasks
+            // in flight concurrently even when the host has fewer cores than
+            // lanes (queue wait is part of the task's lifetime there).
+            self.wp
+                .sim
+                .probe
+                .with_lane(slot as u32)
+                .emit(task.t, EventKind::SolveStart { h: task.t - task.hw.t() });
             tx.send(Job { task, max_iters, slot }).expect("worker alive");
             dispatched += 1;
         }
@@ -251,7 +261,8 @@ impl Driver {
     /// The next un-passed breakpoint (or `tstop`). Also advances past any
     /// breakpoints the history has already crossed.
     pub fn horizon(&mut self) -> f64 {
-        while self.next_bp < self.bps.len() && self.bps[self.next_bp] <= self.hw.t() + 0.5 * self.hmin
+        while self.next_bp < self.bps.len()
+            && self.bps[self.next_bp] <= self.hw.t() + 0.5 * self.hmin
         {
             self.next_bp += 1;
         }
@@ -315,6 +326,7 @@ impl Driver {
     }
 
     fn accept(&mut self, sol: &PointSolution) {
+        self.wp.sim.probe.emit(sol.t, EventKind::PointAccepted { h: sol.coeffs.h });
         self.hw.accept(sol);
         self.result.push(sol.t, &sol.x);
         self.total.steps_accepted += 1;
@@ -387,8 +399,7 @@ impl Driver {
         // task — so the budget contracts toward "only near-certain leads";
         // where leads keep paying, the full configured slack applies.
         let budget = if self.wp.bp_adaptive_lead && self.wp.bp_budget_slack.is_finite() {
-            let slack = 1.0
-                + (self.wp.bp_budget_slack - 1.0) * (self.lead_ema / 0.3).min(1.0);
+            let slack = 1.0 + (self.wp.bp_budget_slack - 1.0) * (self.lead_ema / 0.3).min(1.0);
             self.h * (0.95 / self.last_ratio).powf(1.0 / (order + 1.0)) * slack
         } else {
             f64::INFINITY
@@ -405,11 +416,8 @@ impl Driver {
         // lottery lead is near-free on the critical path, but deep ladders
         // only earn their keep in sustained growth phases (hysteresis on
         // the lead-EMA avoids flapping at the threshold).
-        let width = if self.wp.bp_adaptive_lead && !self.deep_mode() {
-            width.min(2)
-        } else {
-            width
-        };
+        let width =
+            if self.wp.bp_adaptive_lead && !self.deep_mode() { width.min(2) } else { width };
         let mut targets = Vec::with_capacity(width);
         let t0 = self.hw.t();
         let mut t = t0;
@@ -496,6 +504,7 @@ impl Driver {
             lead_rejected: self.lead_rejected,
             speculation_accepted: self.spec_accepted,
             speculation_rejected: self.spec_rejected,
+            telemetry: self.wp.sim.probe.summary(),
         }
     }
 }

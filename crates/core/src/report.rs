@@ -2,6 +2,7 @@
 
 use crate::options::Scheme;
 use wavepipe_engine::{SimStats, TransientResult};
+use wavepipe_telemetry::TelemetrySummary;
 
 /// Outcome of a WavePipe run: the waveform plus parallel work accounting.
 ///
@@ -38,6 +39,9 @@ pub struct WavePipeReport {
     pub speculation_accepted: usize,
     /// Forward pipelining: speculative solves discarded.
     pub speculation_rejected: usize,
+    /// Aggregated telemetry (`None` unless a probe with summary support —
+    /// e.g. [`wavepipe_telemetry::RecordingProbe`] — was attached to the run).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl WavePipeReport {
@@ -102,6 +106,7 @@ mod tests {
             lead_rejected: 2,
             speculation_accepted: 0,
             speculation_rejected: 0,
+            telemetry: None,
         }
     }
 

@@ -18,22 +18,16 @@ struct LadderCase {
 }
 
 fn ladder_case() -> impl Strategy<Value = LadderCase> {
-    (
-        2usize..8,
-        50.0f64..5e3,
-        1e-13f64..1e-11,
-        5e-9f64..50e-9,
-        2usize..4,
-        0u8..4,
-    )
-        .prop_map(|(sections, r, c, period, threads, scheme_pick)| LadderCase {
+    (2usize..8, 50.0f64..5e3, 1e-13f64..1e-11, 5e-9f64..50e-9, 2usize..4, 0u8..4).prop_map(
+        |(sections, r, c, period, threads, scheme_pick)| LadderCase {
             sections,
             r,
             c,
             period,
             threads,
             scheme_pick,
-        })
+        },
+    )
 }
 
 fn build(case: &LadderCase) -> Circuit {

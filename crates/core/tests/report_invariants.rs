@@ -8,14 +8,12 @@ use wavepipe_engine::run_transient;
 #[test]
 fn report_counters_are_internally_consistent() {
     let b = generators::power_grid(4, 4);
-    for (scheme, threads) in [
-        (Scheme::Backward, 2),
-        (Scheme::Forward, 2),
-        (Scheme::Combined, 4),
-        (Scheme::Adaptive, 3),
-    ] {
-        let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(scheme, threads))
-            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    for (scheme, threads) in
+        [(Scheme::Backward, 2), (Scheme::Forward, 2), (Scheme::Combined, 4), (Scheme::Adaptive, 3)]
+    {
+        let rep =
+            run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(scheme, threads))
+                .unwrap_or_else(|e| panic!("{scheme}: {e}"));
         // Steps counted = points minus the t=0 operating point.
         assert_eq!(rep.result.len(), rep.total.steps_accepted + 1, "{scheme}");
         // Every Newton iteration did exactly one stamp and at most one solve.
@@ -51,7 +49,8 @@ fn options_ablation_knobs_change_behaviour() {
     // Flipping bp_adaptive_lead off forces rmax-ladders: the accept rate
     // drops (over-ambitious leads) but the run stays correct.
     let b = generators::power_grid(4, 4);
-    let serial = run_transient(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::default().sim).unwrap();
+    let serial =
+        run_transient(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::default().sim).unwrap();
     let mut on = WavePipeOptions::new(Scheme::Backward, 2);
     on.bp_adaptive_lead = true;
     let mut off = WavePipeOptions::new(Scheme::Backward, 2);

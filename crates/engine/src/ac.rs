@@ -94,20 +94,12 @@ impl AcResult {
 
     /// `(frequency, magnitude)` trace of one unknown.
     pub fn magnitude_trace(&self, u: usize) -> Vec<(f64, f64)> {
-        self.freqs
-            .iter()
-            .enumerate()
-            .map(|(k, &f)| (f, self.phasor(u, k).magnitude()))
-            .collect()
+        self.freqs.iter().enumerate().map(|(k, &f)| (f, self.phasor(u, k).magnitude())).collect()
     }
 
     /// `(frequency, phase-degrees)` trace of one unknown.
     pub fn phase_trace(&self, u: usize) -> Vec<(f64, f64)> {
-        self.freqs
-            .iter()
-            .enumerate()
-            .map(|(k, &f)| (f, self.phasor(u, k).phase_deg()))
-            .collect()
+        self.freqs.iter().enumerate().map(|(k, &f)| (f, self.phasor(u, k).phase_deg())).collect()
     }
 
     /// The -3 dB corner frequency of an unknown relative to its value at the
@@ -357,8 +349,16 @@ mod tests {
             let mag_exact = 1.0 / (1.0 + (w * rc).powi(2)).sqrt();
             let ph_exact = -(w * rc).atan().to_degrees();
             let p = res.phasor(out, k);
-            assert!((p.magnitude() - mag_exact).abs() < 1e-3, "f={f:e}: {} vs {mag_exact}", p.magnitude());
-            assert!((p.phase_deg() - ph_exact).abs() < 0.5, "f={f:e}: {} vs {ph_exact}", p.phase_deg());
+            assert!(
+                (p.magnitude() - mag_exact).abs() < 1e-3,
+                "f={f:e}: {} vs {mag_exact}",
+                p.magnitude()
+            );
+            assert!(
+                (p.phase_deg() - ph_exact).abs() < 0.5,
+                "f={f:e}: {} vs {ph_exact}",
+                p.phase_deg()
+            );
         }
         // Corner at 1/(2 pi RC) ~ 159 kHz.
         let fc = res.corner_frequency(out).expect("corner in range");
@@ -384,10 +384,8 @@ mod tests {
         // Branch current of V1 is the unknown after the nodes.
         let ibr = 3; // nodes a,m,b then V1 branch
         let trace = res.magnitude_trace(ibr);
-        let (f_peak, i_peak) = trace
-            .iter()
-            .copied()
-            .fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
+        let (f_peak, i_peak) =
+            trace.iter().copied().fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
         assert!((f_peak - f0).abs() / f0 < 0.1, "peak at {f_peak:e}, f0 = {f0:e}");
         // At resonance |I| ~ V/R = 0.1 A.
         assert!((i_peak - 0.1).abs() < 0.01, "i_peak = {i_peak}");

@@ -290,8 +290,9 @@ mod tests {
             let mut ws = sys.new_workspace();
             let mut cache = LinearCache::new();
             let mut stats = SimStats::new();
-            let x = dc_operating_point(&sys, &mut ws, &mut cache, &SimOptions::default(), &mut stats)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let x =
+                dc_operating_point(&sys, &mut ws, &mut cache, &SimOptions::default(), &mut stats)
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(wavepipe_sparse::vector::all_finite(&x), "{}", b.name);
         }
     }

@@ -127,8 +127,16 @@ pub fn run_dc_sweep(
         };
         // Warm start from the previous sweep point; fall back to full
         // continuation if the jump is too large.
-        let out =
-            newton_solve(&sys, &mut ws, &mut cache, &input, &x, opts.max_dc_iters, opts, &mut stats)?;
+        let out = newton_solve(
+            &sys,
+            &mut ws,
+            &mut cache,
+            &input,
+            &x,
+            opts.max_dc_iters,
+            opts,
+            &mut stats,
+        )?;
         x = if out.converged {
             out.x
         } else {
@@ -193,9 +201,7 @@ mod tests {
         // The switching threshold sits mid-supply-ish.
         let vm = vtc
             .iter()
-            .min_by(|a, b| {
-                (a.1 - 1.65).abs().partial_cmp(&(b.1 - 1.65).abs()).expect("finite")
-            })
+            .min_by(|a, b| (a.1 - 1.65).abs().partial_cmp(&(b.1 - 1.65).abs()).expect("finite"))
             .unwrap()
             .0;
         assert!(vm > 1.0 && vm < 2.3, "switching threshold {vm}");

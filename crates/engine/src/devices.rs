@@ -359,7 +359,7 @@ mod tests {
         mos_fd_check(3.0, 2.0, 0.5, 0.0, 1.0, 0.45);
         mos_fd_check(0.3, 2.0, 0.5, -1.0, 1.0, 0.45);
         mos_fd_check(3.0, 2.0, 0.5, 0.5, 1.0, 0.45); // vbs = 0
-        // PMOS with body at the supply.
+                                                     // PMOS with body at the supply.
         mos_fd_check(0.0, 1.0, 2.8, 3.3, -1.0, 0.45);
     }
 
@@ -378,7 +378,8 @@ mod tests {
 
     #[test]
     fn nmos_regions() {
-        let p = MosParams { sign: 1.0, vt0_eq: 0.7, beta: 1e-3, lambda: 0.0, gamma: 0.0, phi: 0.65 };
+        let p =
+            MosParams { sign: 1.0, vt0_eq: 0.7, beta: 1e-3, lambda: 0.0, gamma: 0.0, phi: 0.65 };
         // Cutoff.
         let e = mos_eval(3.0, 0.0, 0.0, 0.0, &p);
         assert_eq!(e.id, 0.0);
@@ -392,7 +393,8 @@ mod tests {
 
     #[test]
     fn mos_symmetry_under_swap() {
-        let p = MosParams { sign: 1.0, vt0_eq: 0.7, beta: 1e-3, lambda: 0.0, gamma: 0.0, phi: 0.65 };
+        let p =
+            MosParams { sign: 1.0, vt0_eq: 0.7, beta: 1e-3, lambda: 0.0, gamma: 0.0, phi: 0.65 };
         // Swapping drain and source negates the drain current.
         let a = mos_eval(2.0, 3.0, 0.0, 0.0, &p);
         let b = mos_eval(0.0, 3.0, 2.0, 0.0, &p);
@@ -401,7 +403,8 @@ mod tests {
 
     #[test]
     fn pmos_conducts_with_low_gate() {
-        let p = MosParams { sign: -1.0, vt0_eq: 0.7, beta: 1e-3, lambda: 0.0, gamma: 0.0, phi: 0.65 };
+        let p =
+            MosParams { sign: -1.0, vt0_eq: 0.7, beta: 1e-3, lambda: 0.0, gamma: 0.0, phi: 0.65 };
         // PMOS with source at 3.3 V, gate at 0, drain at 1.0: conducting,
         // current flows source->drain, so current INTO drain is negative.
         let e = mos_eval(1.0, 0.0, 3.3, 3.3, &p);

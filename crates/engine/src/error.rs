@@ -54,10 +54,9 @@ impl fmt::Display for EngineError {
             EngineError::NoConvergence { time, iterations } => {
                 write!(f, "newton failed to converge at t={time:.3e} after {iterations} iterations")
             }
-            EngineError::TimestepTooSmall { time, step, hmin } => write!(
-                f,
-                "timestep {step:.3e} below minimum {hmin:.3e} at t={time:.3e}"
-            ),
+            EngineError::TimestepTooSmall { time, step, hmin } => {
+                write!(f, "timestep {step:.3e} below minimum {hmin:.3e} at t={time:.3e}")
+            }
             EngineError::Circuit(e) => write!(f, "invalid circuit: {e}"),
             EngineError::BadParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")

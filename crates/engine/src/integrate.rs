@@ -84,22 +84,12 @@ impl IntegCoeffs {
         assert!(h > 0.0, "step must be positive, got {h}");
         assert!(h_prev > 0.0, "previous step must be positive, got {h_prev}");
         match method {
-            Method::BackwardEuler => IntegCoeffs {
-                method,
-                h,
-                a0: 1.0 / h,
-                a1: -1.0 / h,
-                a2: 0.0,
-                b1: 0.0,
-            },
-            Method::Trapezoidal => IntegCoeffs {
-                method,
-                h,
-                a0: 2.0 / h,
-                a1: -2.0 / h,
-                a2: 0.0,
-                b1: -1.0,
-            },
+            Method::BackwardEuler => {
+                IntegCoeffs { method, h, a0: 1.0 / h, a1: -1.0 / h, a2: 0.0, b1: 0.0 }
+            }
+            Method::Trapezoidal => {
+                IntegCoeffs { method, h, a0: 2.0 / h, a1: -2.0 / h, a2: 0.0, b1: -1.0 }
+            }
             Method::Gear2 => {
                 // Variable-step BDF2:
                 //   x'(t_new) ~= a0 x_new + a1 x_prev + a2 x_prev2

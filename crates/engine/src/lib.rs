@@ -59,19 +59,23 @@ pub mod mna;
 pub mod newton;
 mod options;
 pub mod rawfile;
+mod result;
 pub mod sensitivity;
 pub mod spectrum;
-mod result;
 mod stats;
 pub mod transient;
 
 pub use ac::{run_ac, AcResult, Phasor};
 pub use dcsweep::{run_dc_sweep, DcSweepResult};
-pub use sensitivity::{run_dc_sensitivity, SensitivityResult};
 pub use error::{EngineError, Result};
 pub use integrate::{IntegCoeffs, Method};
 pub use mna::{MnaSystem, MnaWorkspace, StampInput};
 pub use options::SimOptions;
 pub use result::TransientResult;
+pub use sensitivity::{run_dc_sensitivity, SensitivityResult};
 pub use stats::SimStats;
-pub use transient::{run_transient, run_transient_compiled, HistoryWindow, PointSolution, PointSolver};
+pub use transient::{
+    run_transient, run_transient_compiled, HistoryWindow, PointSolution, PointSolver,
+};
+pub use wavepipe_telemetry as telemetry;
+pub use wavepipe_telemetry::{Probe, ProbeHandle, RecordingProbe};

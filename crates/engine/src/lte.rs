@@ -11,6 +11,7 @@
 use crate::integrate::Method;
 use crate::options::SimOptions;
 use wavepipe_sparse::vector::wrms_norm;
+use wavepipe_telemetry::EventKind;
 
 /// Computes the order-`(len-1)` divided difference of a vector-valued sample
 /// set. `times[0]`/`xs[0]` is the newest point.
@@ -98,7 +99,9 @@ pub fn lte_step_control(
     if !ratio.is_finite() {
         // Degenerate divided differences (e.g. near-coincident history
         // times): treat as a hard rejection with a conservative retry.
-        return LteDecision { ratio: f64::INFINITY, h_new: h * 0.3, accept: false };
+        let h_retry = h * 0.3;
+        opts.probe.emit(t_new, EventKind::LteReject { ratio: f64::INFINITY, h_retry });
+        return LteDecision { ratio: f64::INFINITY, h_new: h_retry, accept: false };
     }
 
     // Step proposal targets an error ratio of 0.5 at the next step
@@ -111,10 +114,14 @@ pub fn lte_step_control(
         } else {
             (0.5 / ratio).powf(exponent).clamp(0.3, opts.rmax)
         };
-        LteDecision { ratio, h_new: h * factor, accept: true }
+        let h_new = h * factor;
+        opts.probe.emit(t_new, EventKind::StepSizeChosen { h: h_new, ratio });
+        LteDecision { ratio, h_new, accept: true }
     } else {
         let factor = (0.5 / ratio).powf(exponent).clamp(0.1, 0.9);
-        LteDecision { ratio, h_new: h * factor, accept: false }
+        let h_retry = h * factor;
+        opts.probe.emit(t_new, EventKind::LteReject { ratio, h_retry });
+        LteDecision { ratio, h_new: h_retry, accept: false }
     }
 }
 

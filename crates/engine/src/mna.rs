@@ -38,18 +38,89 @@ fn unknown_of(node: Node) -> usize {
 /// form.
 #[derive(Debug, Clone)]
 pub(crate) enum Dev {
-    Conductance { p: usize, n: usize, g: f64 },
-    Cap { p: usize, n: usize, c: f64, state: usize, ic: Option<f64> },
+    Conductance {
+        p: usize,
+        n: usize,
+        g: f64,
+    },
+    Cap {
+        p: usize,
+        n: usize,
+        c: f64,
+        state: usize,
+        ic: Option<f64>,
+    },
     /// Nonlinear depletion capacitance (pn-junction): `q(v)` companion.
-    Jcap { p: usize, n: usize, cj0: f64, vj: f64, m: f64, fc: f64, state: usize },
-    Ind { p: usize, n: usize, l: f64, branch: usize, ic: Option<f64> },
-    Vsrc { p: usize, n: usize, branch: usize, wave: Waveform, ac_mag: f64 },
-    Isrc { p: usize, n: usize, wave: Waveform, ac_mag: f64 },
-    Diode { p: usize, n: usize, is: f64, nvt: f64, vcrit: f64, jct: usize },
-    Mos { d: usize, g: usize, s: usize, b: usize, params: MosParams },
-    Bjt { c: usize, b: usize, e: usize, sign: f64, is: f64, bf: f64, br: f64, jct_be: usize, jct_bc: usize },
-    Vcvs { p: usize, n: usize, cp: usize, cn: usize, gain: f64, branch: usize },
-    Vccs { p: usize, n: usize, cp: usize, cn: usize, gm: f64 },
+    Jcap {
+        p: usize,
+        n: usize,
+        cj0: f64,
+        vj: f64,
+        m: f64,
+        fc: f64,
+        state: usize,
+    },
+    Ind {
+        p: usize,
+        n: usize,
+        l: f64,
+        branch: usize,
+        ic: Option<f64>,
+    },
+    Vsrc {
+        p: usize,
+        n: usize,
+        branch: usize,
+        wave: Waveform,
+        ac_mag: f64,
+    },
+    Isrc {
+        p: usize,
+        n: usize,
+        wave: Waveform,
+        ac_mag: f64,
+    },
+    Diode {
+        p: usize,
+        n: usize,
+        is: f64,
+        nvt: f64,
+        vcrit: f64,
+        jct: usize,
+    },
+    Mos {
+        d: usize,
+        g: usize,
+        s: usize,
+        b: usize,
+        params: MosParams,
+    },
+    Bjt {
+        c: usize,
+        b: usize,
+        e: usize,
+        sign: f64,
+        is: f64,
+        bf: f64,
+        br: f64,
+        jct_be: usize,
+        jct_bc: usize,
+    },
+    Vcvs {
+        p: usize,
+        n: usize,
+        cp: usize,
+        cn: usize,
+        gain: f64,
+        branch: usize,
+    },
+    Vccs {
+        p: usize,
+        n: usize,
+        cp: usize,
+        cn: usize,
+        gm: f64,
+    },
 }
 
 /// Inputs to a stamping pass: the time point, discretisation, history, and
@@ -318,8 +389,7 @@ impl MnaSystem {
             }
         }
         let n_unknowns = next_branch;
-        let node_names: Vec<String> =
-            circuit.signal_node_names().map(str::to_string).collect();
+        let node_names: Vec<String> = circuit.signal_node_names().map(str::to_string).collect();
 
         let mut sys = MnaSystem {
             devices,
@@ -434,10 +504,7 @@ impl MnaSystem {
     /// (the DC-sweep hot path — pattern and slot table are untouched).
     /// Returns `false` if no independent source with that name exists.
     pub fn override_source(&mut self, name: &str, value: f64) -> bool {
-        let Some(&(_, idx)) = self
-            .source_names
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        let Some(&(_, idx)) = self.source_names.iter().find(|(n, _)| n.eq_ignore_ascii_case(name))
         else {
             return false;
         };
@@ -467,11 +534,8 @@ impl MnaSystem {
     /// Union of all source-waveform breakpoints in `[0, tstop]`, sorted and
     /// deduplicated.
     pub fn breakpoints(&self, tstop: f64) -> Vec<f64> {
-        let mut bp: Vec<f64> = self
-            .source_waves
-            .iter()
-            .flat_map(|w| w.breakpoints(tstop))
-            .collect();
+        let mut bp: Vec<f64> =
+            self.source_waves.iter().flat_map(|w| w.breakpoints(tstop)).collect();
         bp.push(tstop);
         bp.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
         bp.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
@@ -513,11 +577,14 @@ impl MnaSystem {
                     out[state] = c * dq;
                 }
                 Dev::Jcap { p, n, cj0, vj, m, fc, state } => {
-                    let q_at = |xx: &[f64]| {
-                        depletion_charge(volt(xx, p) - volt(xx, n), cj0, vj, m, fc).0
-                    };
-                    out[state] =
-                        coeffs.derivative(q_at(x_new), q_at(x_prev), q_at(x_prev2), cap_prev[state]);
+                    let q_at =
+                        |xx: &[f64]| depletion_charge(volt(xx, p) - volt(xx, n), cj0, vj, m, fc).0;
+                    out[state] = coeffs.derivative(
+                        q_at(x_new),
+                        q_at(x_prev),
+                        q_at(x_prev2),
+                        cap_prev[state],
+                    );
                 }
                 _ => {}
             }

@@ -5,6 +5,7 @@ use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
 use crate::options::SimOptions;
 use crate::stats::SimStats;
 use wavepipe_sparse::{LuOptions, SparseError, SparseLu};
+use wavepipe_telemetry::EventKind;
 
 /// Cached linear-solver state: the LU factors (reused across stamps with the
 /// fixed pattern) and solve scratch buffers.
@@ -119,13 +120,25 @@ pub fn newton_solve(
     let mut x = x0.to_vec();
     for it in 1..=max_iters {
         stats.newton_iterations += 1;
+        opts.probe.emit(input.time, EventKind::NewtonIter { iteration: it as u32 });
         stats.device_evals += sys.stamp(ws, input, &x);
         if !wavepipe_sparse::vector::all_finite(&ws.rhs) {
             // Companion history produced a non-finite excitation: give up on
             // this point so the step controller backs off.
             return Ok(NewtonOutcome { x, iterations: it, converged: false });
         }
-        let Some(x_new) = cache.factor_and_solve(ws, stats)? else {
+        let pre_factor = stats.factorizations;
+        let pre_refactor = stats.refactorizations;
+        let solved = cache.factor_and_solve(ws, stats)?;
+        // factor_and_solve may factor, refactor, or fall back from one to
+        // the other; mirror the counter deltas into the event stream.
+        for _ in pre_factor..stats.factorizations {
+            opts.probe.emit(input.time, EventKind::Factorization);
+        }
+        for _ in pre_refactor..stats.refactorizations {
+            opts.probe.emit(input.time, EventKind::Refactorization);
+        }
+        let Some(x_new) = solved else {
             // Linear solve could not be verified: back off the step.
             return Ok(NewtonOutcome { x, iterations: it, converged: false });
         };

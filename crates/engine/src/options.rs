@@ -1,6 +1,7 @@
 //! Simulation options shared by DC and transient analysis.
 
 use crate::integrate::Method;
+use wavepipe_telemetry::ProbeHandle;
 
 /// Tolerances and control knobs for the simulation engine.
 ///
@@ -46,6 +47,10 @@ pub struct SimOptions {
     /// inductors start at their initial current (default 0). Default
     /// `false` (compute the operating point).
     pub use_ic: bool,
+    /// Telemetry sink. The default ([`ProbeHandle::none`]) makes every
+    /// emission a single branch; attach a recording probe to capture the
+    /// event stream. Probes only observe — they never alter the solution.
+    pub probe: ProbeHandle,
 }
 
 impl Default for SimOptions {
@@ -65,6 +70,7 @@ impl Default for SimOptions {
             hmax_frac: 0.02,
             lte_abstol: 1e-6,
             use_ic: false,
+            probe: ProbeHandle::none(),
         }
     }
 }

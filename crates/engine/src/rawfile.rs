@@ -146,11 +146,7 @@ mod tests {
         let markers = text.lines().filter(|l| l.starts_with(' ')).count();
         assert_eq!(markers, res.len());
         // Each point block carries one line per variable.
-        let value_lines = text
-            .lines()
-            .skip_while(|l| *l != "Values:")
-            .skip(1)
-            .count();
+        let value_lines = text.lines().skip_while(|l| *l != "Values:").skip(1).count();
         assert_eq!(value_lines, res.len() * 4); // time + v(a) + v(b) + i(V1)
     }
 

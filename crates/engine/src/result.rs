@@ -180,9 +180,7 @@ impl TransientResult {
     /// Maximum deviation across all *node voltage* unknowns (indices
     /// `0..node_names.len()`), the waveform-accuracy metric of experiment E5.
     pub fn max_deviation_all_nodes(&self, other: &TransientResult) -> f64 {
-        (0..self.node_names.len())
-            .map(|u| self.max_deviation(other, u))
-            .fold(0.0, f64::max)
+        (0..self.node_names.len()).map(|u| self.max_deviation(other, u)).fold(0.0, f64::max)
     }
 
     /// Peak absolute value of one unknown over the run.

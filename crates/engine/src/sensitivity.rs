@@ -56,10 +56,7 @@ impl SensitivityResult {
     pub fn ranked(&self) -> Vec<&Sensitivity> {
         let mut v: Vec<&Sensitivity> = self.entries.iter().collect();
         v.sort_by(|a, b| {
-            b.normalized
-                .abs()
-                .partial_cmp(&a.normalized.abs())
-                .expect("finite sensitivities")
+            b.normalized.abs().partial_cmp(&a.normalized.abs()).expect("finite sensitivities")
         });
         v
     }
@@ -201,11 +198,7 @@ pub fn run_dc_sensitivity(
         }
     }
 
-    Ok(SensitivityResult {
-        output: output_node.to_string(),
-        value: x[out_idx],
-        entries,
-    })
+    Ok(SensitivityResult { output: output_node.to_string(), value: x[out_idx], entries })
 }
 
 #[cfg(test)]
@@ -266,10 +259,7 @@ mod tests {
         };
         let h = 0.1;
         let fd = (vb(1e3 + h) - vb(1e3 - h)) / (2.0 * h);
-        assert!(
-            (s_adj - fd).abs() < 1e-3 * fd.abs().max(1e-9),
-            "adjoint {s_adj} vs fd {fd}"
-        );
+        assert!((s_adj - fd).abs() < 1e-3 * fd.abs().max(1e-9), "adjoint {s_adj} vs fd {fd}");
     }
 
     #[test]
@@ -307,8 +297,14 @@ mod tests {
         let d = ckt.node("d");
         ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3)).unwrap();
         ckt.add_vsource("Vg", g, Circuit::GROUND, Waveform::dc(0.9)).unwrap();
-        ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosModel { kp: 2e-4, w: 50e-6, ..MosModel::nmos() })
-            .unwrap();
+        ckt.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            MosModel { kp: 2e-4, w: 50e-6, ..MosModel::nmos() },
+        )
+        .unwrap();
         ckt.add_resistor("Rd", vdd, d, 5e3).unwrap();
         let opts = SimOptions::default();
         let res = run_dc_sensitivity(&ckt, "d", &opts).unwrap();
@@ -321,8 +317,14 @@ mod tests {
             let d = ckt.node("d");
             ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::dc(3.3)).unwrap();
             ckt.add_vsource("Vg", g, Circuit::GROUND, Waveform::dc(0.9)).unwrap();
-            ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosModel { kp: 2e-4, w: 50e-6, ..MosModel::nmos() })
-                .unwrap();
+            ckt.add_mosfet(
+                "M1",
+                d,
+                g,
+                Circuit::GROUND,
+                MosModel { kp: 2e-4, w: 50e-6, ..MosModel::nmos() },
+            )
+            .unwrap();
             ckt.add_resistor("Rd", vdd, d, r).unwrap();
             run_dc_sensitivity(&ckt, "d", &opts).unwrap().value
         };

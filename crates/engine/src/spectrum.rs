@@ -128,12 +128,7 @@ pub fn fourier(
     let period = 1.0 / fundamental;
     let t_end = trace.last().expect("non-empty trace").0;
     let t0 = t_end - cycles as f64 * period;
-    assert!(
-        t0 >= trace[0].0 - 1e-15,
-        "trace too short: needs {} cycles of {}s",
-        cycles,
-        period
-    );
+    assert!(t0 >= trace[0].0 - 1e-15, "trace too short: needs {} cycles of {}s", cycles, period);
     // Power-of-two length with >= 32 samples per cycle and enough bins.
     let mut n = 32usize * cycles;
     while n < 4 * n_harmonics * cycles {
@@ -194,12 +189,8 @@ mod tests {
             .collect();
         fft(&mut d);
         let mags: Vec<f64> = d.iter().map(|&(r, i)| r.hypot(i)).collect();
-        let peak = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .unwrap()
-            .0;
+        let peak =
+            mags.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).expect("finite")).unwrap().0;
         assert_eq!(peak.min(n - peak), 5, "peak at bin {peak}");
         assert!((mags[5] - n as f64 / 2.0).abs() < 1e-9);
     }

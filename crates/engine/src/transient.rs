@@ -23,6 +23,7 @@ use crate::stats::SimStats;
 use std::sync::Arc;
 use std::time::Instant;
 use wavepipe_circuit::Circuit;
+use wavepipe_telemetry::EventKind;
 
 /// Number of past points retained for companions, prediction, and LTE.
 const WINDOW: usize = 4;
@@ -155,11 +156,7 @@ impl HistoryWindow {
         }
         let dt = self.times[0] - self.times[1];
         let scale = (t_new - self.times[0]) / dt;
-        self.xs[0]
-            .iter()
-            .zip(&self.xs[1])
-            .map(|(&x0, &x1)| x0 + (x0 - x1) * scale)
-            .collect()
+        self.xs[0].iter().zip(&self.xs[1]).map(|(&x0, &x1)| x0 + (x0 - x1) * scale).collect()
     }
 
     /// Accepts a solved point, rolling the window forward. The capacitor
@@ -334,6 +331,7 @@ impl PointSolver {
         let t0 = hw.t();
         assert!(t_new > t0, "time must advance: {t_new} <= {t0}");
         let h = t_new - t0;
+        self.opts.probe.emit(t_new, EventKind::SolveStart { h });
         let method = hw.effective_method(self.opts.method);
         let h_prev = hw.h_prev().unwrap_or(h);
         let coeffs = IntegCoeffs::new(method, h, h_prev);
@@ -371,6 +369,10 @@ impl PointSolver {
                 // (possibly poisoned) factorization.
                 self.cache.invalidate();
                 stats.wall_ns += start.elapsed().as_nanos();
+                self.opts.probe.emit(
+                    t_new,
+                    EventKind::SolveEnd { iterations: max_iters as u32, converged: false },
+                );
                 return Ok(PointSolution {
                     t: t_new,
                     x: hw.xs[0].clone(),
@@ -391,6 +393,13 @@ impl PointSolver {
             Vec::new()
         };
         stats.wall_ns += start.elapsed().as_nanos();
+        self.opts.probe.emit(
+            t_new,
+            EventKind::SolveEnd {
+                iterations: outcome.iterations as u32,
+                converged: outcome.converged,
+            },
+        );
         Ok(PointSolution {
             t: t_new,
             x: outcome.x,
@@ -447,8 +456,7 @@ pub fn run_transient_compiled(
     let run_start = Instant::now();
     let mut stats = SimStats::new();
     let mut solver = PointSolver::new(Arc::clone(sys), opts.clone());
-    let node_names: Vec<String> =
-        (0..sys.n_nodes()).map(|i| nth_node_name(sys, i)).collect();
+    let node_names: Vec<String> = (0..sys.n_nodes()).map(|i| nth_node_name(sys, i)).collect();
     let mut result = TransientResult::new(sys.n_unknowns(), node_names);
     result.set_branch_names(sys.branch_names().to_vec());
 
@@ -505,9 +513,16 @@ pub fn run_transient_compiled(
         // LTE accept/reject when enough smooth history exists.
         let needed = sol.method.order() + 1;
         if hw.usable_for_lte() >= needed {
-            let refs: Vec<&[f64]> =
-                hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
-            let d = lte_step_control(sol.method, t_new, &sol.x, h_attempt, &hw.times()[..needed], &refs, opts);
+            let refs: Vec<&[f64]> = hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
+            let d = lte_step_control(
+                sol.method,
+                t_new,
+                &sol.x,
+                h_attempt,
+                &hw.times()[..needed],
+                &refs,
+                opts,
+            );
             if !d.accept && h_attempt > hmin * 1.01 {
                 stats.steps_rejected_lte += 1;
                 lte_reject_streak += 1;
@@ -533,6 +548,7 @@ pub fn run_transient_compiled(
             h = h_attempt * opts.rmax;
         }
 
+        opts.probe.emit(t_new, EventKind::PointAccepted { h: sol.coeffs.h });
         hw.accept(&sol);
         result.push(t_new, &sol.x);
         stats.steps_accepted += 1;

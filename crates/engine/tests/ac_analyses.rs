@@ -107,17 +107,10 @@ fn ac_agrees_with_transient_steady_state() {
 
     let tr = run_transient(&ckt, 1.0 / f / 60.0, 8.0 / f, &opts).unwrap();
     let bi = tr.unknown_of("b").unwrap();
-    let late: Vec<f64> = tr
-        .trace(bi)
-        .into_iter()
-        .filter(|&(t, _)| t > 5.0 / f)
-        .map(|(_, v)| v)
-        .collect();
+    let late: Vec<f64> =
+        tr.trace(bi).into_iter().filter(|&(t, _)| t > 5.0 / f).map(|(_, v)| v).collect();
     let amp_tr = 0.5
         * (late.iter().copied().fold(f64::MIN, f64::max)
             - late.iter().copied().fold(f64::MAX, f64::min));
-    assert!(
-        (amp_tr - mag_ac).abs() < 0.02,
-        "transient amplitude {amp_tr} vs AC {mag_ac}"
-    );
+    assert!((amp_tr - mag_ac).abs() < 0.02, "transient amplitude {amp_tr} vs AC {mag_ac}");
 }

@@ -53,8 +53,7 @@ fn bjt_ce_stage_inverts_and_amplifies() {
     ckt.add_capacitor("Ce", e, Circuit::GROUND, 1e-6).unwrap();
     let res = run_transient(&ckt, 2e-9, 4e-6, &SimOptions::default()).unwrap();
     let ci = res.unknown_of("c").unwrap();
-    let late: Vec<(f64, f64)> =
-        res.trace(ci).into_iter().filter(|&(t, _)| t > 2e-6).collect();
+    let late: Vec<(f64, f64)> = res.trace(ci).into_iter().filter(|&(t, _)| t > 2e-6).collect();
     let hi = late.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
     let lo = late.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
     let gain = (hi - lo) / (2.0 * 0.005);
@@ -130,10 +129,7 @@ fn depletion_capacitance_slows_reverse_recovery_vs_linear() {
     let t_probe = 1.6e-9; // right after the rising edge
     let v_with = with_cap.sample(di, t_probe);
     let v_without = no_cap.sample(no_cap.unknown_of("d").unwrap(), t_probe);
-    assert!(
-        v_with < v_without - 0.2,
-        "depletion cap must slow the node: {v_with} vs {v_without}"
-    );
+    assert!(v_with < v_without - 0.2, "depletion cap must slow the node: {v_with} vs {v_without}");
 }
 
 #[test]
@@ -159,13 +155,8 @@ fn depletion_capacitance_charge_is_conservative() {
     )
     .unwrap();
     ckt.add_resistor("R1", a, d, 1e3).unwrap();
-    ckt.add_diode(
-        "D1",
-        d,
-        Circuit::GROUND,
-        DiodeModel { cj0: 5e-12, ..DiodeModel::default() },
-    )
-    .unwrap();
+    ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel { cj0: 5e-12, ..DiodeModel::default() })
+        .unwrap();
     let res = run_transient(&ckt, 0.1e-9, 70e-9, &SimOptions::default()).unwrap();
     let di = res.unknown_of("d").unwrap();
     // The source returned to -3 V at 40 ns and held; after several RC time

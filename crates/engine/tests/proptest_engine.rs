@@ -14,8 +14,7 @@ struct RcCase {
 }
 
 fn rc_case() -> impl Strategy<Value = RcCase> {
-    (10.0f64..100e3, 1e-12f64..1e-8, 0.5f64..10.0)
-        .prop_map(|(r, c, v)| RcCase { r, c, v })
+    (10.0f64..100e3, 1e-12f64..1e-8, 0.5f64..10.0).prop_map(|(r, c, v)| RcCase { r, c, v })
 }
 
 fn build_rc(case: &RcCase) -> Circuit {

@@ -102,11 +102,7 @@ impl CooMatrix {
 
     /// Iterates over the stored triplets in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.rows
-            .iter()
-            .zip(&self.cols)
-            .zip(&self.vals)
-            .map(|((&r, &c), &v)| (r, c, v))
+        self.rows.iter().zip(&self.cols).zip(&self.vals).map(|((&r, &c), &v)| (r, c, v))
     }
 
     /// Removes all triplets, keeping the allocation.

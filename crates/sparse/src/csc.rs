@@ -119,7 +119,13 @@ impl CscMatrix {
 
     /// Creates an empty (all-zero pattern) `nrows x ncols` matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CscMatrix { nrows, ncols, col_ptr: vec![0; ncols + 1], row_idx: Vec::new(), values: Vec::new() }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of rows.

@@ -183,10 +183,7 @@ impl DenseMatrix {
     pub fn norm_inf(&self) -> f64 {
         (0..self.nrows)
             .map(|i| {
-                self.data[i * self.ncols..(i + 1) * self.ncols]
-                    .iter()
-                    .map(|v| v.abs())
-                    .sum::<f64>()
+                self.data[i * self.ncols..(i + 1) * self.ncols].iter().map(|v| v.abs()).sum::<f64>()
             })
             .fold(0.0, f64::max)
     }
@@ -214,11 +211,7 @@ mod tests {
 
     #[test]
     fn solve_general_3x3() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         // Known solution: x = 2, y = 3, z = -1.
         assert!((x[0] - 2.0).abs() < 1e-12);

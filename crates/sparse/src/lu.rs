@@ -209,7 +209,9 @@ impl SparseLu {
             }
             for (&r, &v) in a_rows.iter().zip(a_vals) {
                 if !v.is_finite() {
-                    return Err(SparseError::NotFinite { context: "matrix entry during factorization" });
+                    return Err(SparseError::NotFinite {
+                        context: "matrix entry during factorization",
+                    });
                 }
                 x[r] = v;
             }
@@ -308,7 +310,9 @@ impl SparseLu {
             let (a_rows, a_vals) = a.col(j);
             for (&r, &v) in a_rows.iter().zip(a_vals) {
                 if !v.is_finite() {
-                    return Err(SparseError::NotFinite { context: "matrix entry during refactorization" });
+                    return Err(SparseError::NotFinite {
+                        context: "matrix entry during refactorization",
+                    });
                 }
                 x[r] = v;
             }
@@ -340,9 +344,7 @@ impl SparseLu {
             for lp in ls..le {
                 col_max = col_max.max(x[self.l_rows[lp]].abs());
             }
-            if pivot.abs() < self.opts.pivot_floor
-                || pivot.abs() < 1e-10 * col_max
-            {
+            if pivot.abs() < self.opts.pivot_floor || pivot.abs() < 1e-10 * col_max {
                 // Clean the workspace before bailing so the factor object
                 // can be refactored again after a fresh stamp.
                 for up in us..ue {
@@ -538,14 +540,13 @@ impl SparseLu {
             let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
             let z = self.solve_transpose(&xi)?;
             // Next vertex: the unit vector at the largest |z| component.
-            let (j, zmax) =
-                z.iter().enumerate().fold((0, 0.0_f64), |acc, (i, &v)| {
-                    if v.abs() > acc.1 {
-                        (i, v.abs())
-                    } else {
-                        acc
-                    }
-                });
+            let (j, zmax) = z.iter().enumerate().fold((0, 0.0_f64), |acc, (i, &v)| {
+                if v.abs() > acc.1 {
+                    (i, v.abs())
+                } else {
+                    acc
+                }
+            });
             // Converged when z^T x >= |z|_inf (standard Hager test).
             let ztx: f64 = z.iter().zip(&x).map(|(&a, &b)| a * b).sum();
             if zmax <= ztx {
@@ -631,7 +632,9 @@ mod tests {
     #[test]
     fn factor_solve_laplacian_all_orderings() {
         let a = laplacian_2d(6, 7);
-        for kind in [OrderingKind::Natural, OrderingKind::MinDegree, OrderingKind::ReverseCuthillMcKee] {
+        for kind in
+            [OrderingKind::Natural, OrderingKind::MinDegree, OrderingKind::ReverseCuthillMcKee]
+        {
             let opts = LuOptions { ordering: kind, ..LuOptions::default() };
             let lu = SparseLu::factor(&a, &opts).unwrap();
             assert_solves(&a, &lu, 1e-10);

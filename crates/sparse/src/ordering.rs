@@ -190,8 +190,7 @@ pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Result<Permutation> {
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             nbrs.sort_unstable_by_key(|&u| degree[u]);
             for u in nbrs {
                 visited[u] = true;

@@ -83,7 +83,8 @@ fn orderings_do_not_blow_up_on_grids() {
 #[test]
 fn tail_arrow_is_fine_for_everyone() {
     let a = arrow(50);
-    for kind in [OrderingKind::Natural, OrderingKind::MinDegree, OrderingKind::ReverseCuthillMcKee] {
+    for kind in [OrderingKind::Natural, OrderingKind::MinDegree, OrderingKind::ReverseCuthillMcKee]
+    {
         let fill = fill_of(&a, kind);
         assert!(fill < 260, "{kind:?}: fill {fill}");
         // And the factorization still solves correctly.

@@ -11,10 +11,7 @@ use wavepipe_sparse::{CooMatrix, CscMatrix, DenseMatrix, LuOptions, OrderingKind
 /// comparisons are meaningful at tight tolerances.
 fn dominant_matrix() -> impl Strategy<Value = CscMatrix> {
     (2usize..=24).prop_flat_map(|n| {
-        let offdiag = proptest::collection::vec(
-            (0usize..n, 0usize..n, -1.0f64..1.0),
-            0..(3 * n),
-        );
+        let offdiag = proptest::collection::vec((0usize..n, 0usize..n, -1.0f64..1.0), 0..(3 * n));
         offdiag.prop_map(move |entries| {
             let mut t = CooMatrix::new(n, n);
             let mut rowsum = vec![0.0f64; n];

@@ -1,0 +1,259 @@
+//! Chrome trace-event export (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev)).
+//!
+//! Point-solves become complete (`"ph":"X"`) duration spans on one timeline
+//! track per solver lane, rounds become spans on a dedicated `rounds` track,
+//! and commit decisions (LTE rejections, lead/speculation outcomes) become
+//! instant events — so the pipelining overlap of a WavePipe run is literally
+//! visible as stacked spans on concurrent lanes.
+
+use crate::event::{Event, EventKind};
+use crate::json;
+use std::io::{self, Write};
+
+/// Synthetic track id for round spans (real lanes are small integers).
+pub const ROUNDS_TID: u32 = 1000;
+
+fn us(ns: u64) -> String {
+    // Trace-event timestamps are microseconds; keep nanosecond resolution
+    // with a fractional part.
+    json::fmt_f64(ns as f64 / 1000.0)
+}
+
+fn meta(out: &mut Vec<String>, tid: u32, name: &str) {
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json::escape(name)
+    ));
+}
+
+fn complete(out: &mut Vec<String>, tid: u32, name: &str, start_ns: u64, end_ns: u64, args: &str) {
+    out.push(format!(
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":\"{}\",\"ts\":{},\"dur\":{},\
+         \"args\":{{{args}}}}}",
+        json::escape(name),
+        us(start_ns),
+        us(end_ns.saturating_sub(start_ns))
+    ));
+}
+
+fn instant(out: &mut Vec<String>, tid: u32, name: &str, ts_ns: u64, args: &str) {
+    out.push(format!(
+        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"name\":\"{}\",\"ts\":{},\"s\":\"t\",\
+         \"args\":{{{args}}}}}",
+        json::escape(name),
+        us(ts_ns)
+    ));
+}
+
+/// Renders the event stream as a Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `out`.
+pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result<()> {
+    let mut objs: Vec<String> = Vec::with_capacity(events.len() + 8);
+    objs.push(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"wavepipe\"}}"
+            .to_string(),
+    );
+    let max_lane = events.iter().map(|e| e.lane).max().unwrap_or(0);
+    for lane in 0..=max_lane {
+        let name =
+            if lane == 0 { "lane 0 (lead)".to_string() } else { format!("lane {lane} (worker)") };
+        meta(&mut objs, lane, &name);
+    }
+    meta(&mut objs, ROUNDS_TID, "rounds");
+
+    // Open spans: one solve slot per lane, one round slot.
+    let mut open_solve: Vec<Option<(u64, f64, f64)>> = vec![None; max_lane as usize + 1];
+    let mut open_round: Option<(u64, u64, u32)> = None;
+    for ev in events {
+        match ev.kind {
+            EventKind::SolveStart { h } => {
+                // First start wins: the round executor stamps a worker task's
+                // lane at dispatch, the solver stamps it again at execution
+                // start. Keeping the earliest renders the task's full
+                // in-flight lifetime, so pipelining overlap stays visible
+                // even on hosts with fewer cores than lanes.
+                let slot = &mut open_solve[ev.lane as usize];
+                if slot.is_none() {
+                    *slot = Some((ev.ts_ns, ev.t_sim, h));
+                }
+            }
+            EventKind::SolveEnd { iterations, converged } => {
+                if let Some((start, t_sim, h)) = open_solve[ev.lane as usize].take() {
+                    let args = format!(
+                        "\"t_sim\":{},\"h\":{},\"iterations\":{iterations},\
+                         \"converged\":{converged},\"round\":{}",
+                        json::fmt_f64(t_sim),
+                        json::fmt_f64(h),
+                        ev.round
+                    );
+                    let name = format!("solve t={t_sim:.4e}");
+                    complete(&mut objs, ev.lane, &name, start, ev.ts_ns, &args);
+                }
+            }
+            EventKind::RoundStart { width } => {
+                open_round = Some((ev.ts_ns, ev.round, width));
+            }
+            EventKind::RoundEnd { committed } => {
+                if let Some((start, round, width)) = open_round.take() {
+                    let args = format!("\"width\":{width},\"committed\":{committed}");
+                    let name = format!("round {round}");
+                    complete(&mut objs, ROUNDS_TID, &name, start, ev.ts_ns, &args);
+                }
+            }
+            EventKind::LteReject { ratio, h_retry } => {
+                let args = format!(
+                    "\"t_sim\":{},\"ratio\":{},\"h_retry\":{}",
+                    json::fmt_f64(ev.t_sim),
+                    json::fmt_f64(ratio),
+                    json::fmt_f64(h_retry)
+                );
+                instant(&mut objs, ev.lane, "lte_reject", ev.ts_ns, &args);
+            }
+            EventKind::LeadAccepted | EventKind::SpeculationAccepted => {
+                let args = format!("\"t_sim\":{}", json::fmt_f64(ev.t_sim));
+                instant(&mut objs, ev.lane, ev.kind.name(), ev.ts_ns, &args);
+            }
+            EventKind::LeadDiscarded { reason } | EventKind::SpeculationDiscarded { reason } => {
+                let args = format!(
+                    "\"t_sim\":{},\"reason\":\"{}\"",
+                    json::fmt_f64(ev.t_sim),
+                    reason.name()
+                );
+                instant(&mut objs, ev.lane, ev.kind.name(), ev.ts_ns, &args);
+            }
+            EventKind::AdaptiveChoice { forward } => {
+                let args = format!("\"forward\":{forward}");
+                instant(&mut objs, ROUNDS_TID, "adaptive_choice", ev.ts_ns, &args);
+            }
+            // Per-iteration and per-factorization events are deliberately not
+            // rendered: they are summary/JSONL material and would swamp the
+            // timeline.
+            EventKind::NewtonIter { .. }
+            | EventKind::Factorization
+            | EventKind::Refactorization
+            | EventKind::StepSizeChosen { .. }
+            | EventKind::PointAccepted { .. } => {}
+        }
+    }
+
+    out.write_all(b"{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")?;
+    for (i, o) in objs.iter().enumerate() {
+        out.write_all(o.as_bytes())?;
+        if i + 1 < objs.len() {
+            out.write_all(b",\n")?;
+        } else {
+            out.write_all(b"\n")?;
+        }
+    }
+    out.write_all(b"]}\n")?;
+    Ok(())
+}
+
+/// Renders the trace to a string (convenience for tests and small runs).
+pub fn chrome_trace_string(events: &[Event]) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(events, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn ev(ts_ns: u64, round: u64, lane: u32, kind: EventKind) -> Event {
+        Event { ts_ns, round, lane, t_sim: 1e-9, kind }
+    }
+
+    fn spans(doc: &JsonValue) -> Vec<&JsonValue> {
+        doc.get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect()
+    }
+
+    #[test]
+    fn output_is_valid_json_with_matched_x_spans() {
+        let events = vec![
+            ev(0, 1, 0, EventKind::RoundStart { width: 2 }),
+            ev(5, 1, 0, EventKind::SolveStart { h: 1e-9 }),
+            ev(6, 1, 1, EventKind::SolveStart { h: 2e-9 }),
+            ev(50, 1, 1, EventKind::SolveEnd { iterations: 3, converged: true }),
+            ev(60, 1, 0, EventKind::SolveEnd { iterations: 2, converged: true }),
+            ev(70, 1, 0, EventKind::LteReject { ratio: 2.0, h_retry: 0.5e-9 }),
+            ev(80, 1, 0, EventKind::RoundEnd { committed: 1 }),
+        ];
+        let text = chrome_trace_string(&events);
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let xs = spans(&doc);
+        // Two solve spans plus one round span, every one with ts and dur.
+        assert_eq!(xs.len(), 3);
+        for x in &xs {
+            assert!(x.get("ts").and_then(JsonValue::as_f64).is_some());
+            assert!(x.get("dur").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+        }
+        // The two solve spans sit on distinct lanes and overlap in time.
+        let solve: Vec<_> = xs
+            .iter()
+            .filter(|x| x.get("tid").and_then(JsonValue::as_f64).unwrap() < ROUNDS_TID as f64)
+            .collect();
+        assert_eq!(solve.len(), 2);
+        let tid0 = solve[0].get("tid").unwrap().as_f64().unwrap();
+        let tid1 = solve[1].get("tid").unwrap().as_f64().unwrap();
+        assert_ne!(tid0, tid1);
+        let range = |x: &JsonValue| {
+            let ts = x.get("ts").unwrap().as_f64().unwrap();
+            (ts, ts + x.get("dur").unwrap().as_f64().unwrap())
+        };
+        let (a0, a1) = range(solve[0]);
+        let (b0, b1) = range(solve[1]);
+        assert!(a0 < b1 && b0 < a1, "solve spans should overlap");
+    }
+
+    #[test]
+    fn first_solve_start_wins_on_a_lane() {
+        // Dispatch stamp at t=10, execution stamp at t=40: the span must run
+        // from the dispatch (task lifetime), not the execution start.
+        let events = vec![
+            ev(10, 1, 1, EventKind::SolveStart { h: 1e-9 }),
+            ev(40, 1, 1, EventKind::SolveStart { h: 1e-9 }),
+            ev(90, 1, 1, EventKind::SolveEnd { iterations: 2, converged: true }),
+        ];
+        let text = chrome_trace_string(&events);
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let xs = spans(&doc);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(xs[0].get("ts").unwrap().as_f64().unwrap(), 0.01);
+        assert_eq!(xs[0].get("dur").unwrap().as_f64().unwrap(), 0.08);
+    }
+
+    #[test]
+    fn unbalanced_streams_do_not_panic() {
+        // A SolveEnd without a start, a dangling RoundStart.
+        let events = vec![
+            ev(10, 1, 2, EventKind::SolveEnd { iterations: 1, converged: false }),
+            ev(20, 2, 0, EventKind::RoundStart { width: 1 }),
+        ];
+        let text = chrome_trace_string(&events);
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        assert!(spans(&doc).is_empty());
+    }
+
+    #[test]
+    fn metadata_names_every_lane() {
+        let events = vec![ev(0, 0, 3, EventKind::Factorization)];
+        let text = chrome_trace_string(&events);
+        for lane in 0..=3 {
+            assert!(text.contains(&format!("\"tid\":{lane},")), "lane {lane} unnamed");
+        }
+        assert!(text.contains("rounds"));
+    }
+}

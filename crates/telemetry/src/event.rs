@@ -1,0 +1,206 @@
+//! The typed event taxonomy every instrumented layer emits.
+
+/// Why a speculative or leading solve was thrown away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// The speculative Newton solve itself did not converge.
+    Unconverged,
+    /// The predicted history was too far from the truth to warm-start from.
+    PredictionFar,
+    /// The warm-start refinement did not converge within its iteration budget.
+    RefineBudget,
+    /// The refined point failed the LTE accept test.
+    LteRejected,
+    /// The refined point failed the Newton/finiteness commit test.
+    NewtonRejected,
+    /// An earlier link of the speculative chain broke, invalidating this one.
+    ChainBroken,
+}
+
+impl DiscardReason {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiscardReason::Unconverged => "unconverged",
+            DiscardReason::PredictionFar => "prediction_far",
+            DiscardReason::RefineBudget => "refine_budget",
+            DiscardReason::LteRejected => "lte_rejected",
+            DiscardReason::NewtonRejected => "newton_rejected",
+            DiscardReason::ChainBroken => "chain_broken",
+        }
+    }
+
+    /// Inverse of [`DiscardReason::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "unconverged" => DiscardReason::Unconverged,
+            "prediction_far" => DiscardReason::PredictionFar,
+            "refine_budget" => DiscardReason::RefineBudget,
+            "lte_rejected" => DiscardReason::LteRejected,
+            "newton_rejected" => DiscardReason::NewtonRejected,
+            "chain_broken" => DiscardReason::ChainBroken,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Every variant is cheap to construct (`Copy`, no heap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A pipelined round began; `width` concurrent solves were launched.
+    RoundStart {
+        /// Number of concurrent point-solve tasks in the round.
+        width: u32,
+    },
+    /// The round (solves + commits) finished with `committed` accepted points.
+    RoundEnd {
+        /// Points committed by the round.
+        committed: u32,
+    },
+    /// A point-solve started on some lane; `h` is the integration stride.
+    SolveStart {
+        /// Integration stride of the attempt.
+        h: f64,
+    },
+    /// The point-solve on this lane finished.
+    SolveEnd {
+        /// Newton iterations spent.
+        iterations: u32,
+        /// Whether Newton converged.
+        converged: bool,
+    },
+    /// One Newton iteration (stamp + factor + solve) completed.
+    NewtonIter {
+        /// 1-based iteration index within the solve.
+        iteration: u32,
+    },
+    /// A full LU factorization with pivot search.
+    Factorization,
+    /// A fast refactorization on the frozen pivot order.
+    Refactorization,
+    /// The LTE test rejected a candidate point.
+    LteReject {
+        /// Weighted error ratio (> 1).
+        ratio: f64,
+        /// Suggested retry stride.
+        h_retry: f64,
+    },
+    /// The LTE test accepted a candidate and proposed the next step.
+    StepSizeChosen {
+        /// Proposed next stride.
+        h: f64,
+        /// Weighted error ratio (<= 1).
+        ratio: f64,
+    },
+    /// A candidate point was committed to the waveform.
+    PointAccepted {
+        /// Stride the point was integrated with.
+        h: f64,
+    },
+    /// A backward-pipelined lead point survived its commit tests.
+    LeadAccepted,
+    /// A backward-pipelined lead point was discarded.
+    LeadDiscarded {
+        /// Why the lead was thrown away.
+        reason: DiscardReason,
+    },
+    /// A forward-pipelined speculative point was refined and committed.
+    SpeculationAccepted,
+    /// A forward-pipelined speculative point was discarded.
+    SpeculationDiscarded {
+        /// Why the speculation was thrown away.
+        reason: DiscardReason,
+    },
+    /// The adaptive scheduler picked the scheme for the next round.
+    AdaptiveChoice {
+        /// `true` = forward pipelining, `false` = backward.
+        forward: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable machine-readable name of the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RoundStart { .. } => "round_start",
+            EventKind::RoundEnd { .. } => "round_end",
+            EventKind::SolveStart { .. } => "solve_start",
+            EventKind::SolveEnd { .. } => "solve_end",
+            EventKind::NewtonIter { .. } => "newton_iter",
+            EventKind::Factorization => "factorization",
+            EventKind::Refactorization => "refactorization",
+            EventKind::LteReject { .. } => "lte_reject",
+            EventKind::StepSizeChosen { .. } => "step_size_chosen",
+            EventKind::PointAccepted { .. } => "point_accepted",
+            EventKind::LeadAccepted => "lead_accepted",
+            EventKind::LeadDiscarded { .. } => "lead_discarded",
+            EventKind::SpeculationAccepted => "speculation_accepted",
+            EventKind::SpeculationDiscarded { .. } => "speculation_discarded",
+            EventKind::AdaptiveChoice { .. } => "adaptive_choice",
+        }
+    }
+}
+
+/// One recorded telemetry event.
+///
+/// `ts_ns` is nanoseconds since the recording probe was created (a per-run
+/// epoch), `round` the 1-based pipelined round it belongs to (0 before the
+/// first round), `lane` the logical solver lane (0 = the coordinating /
+/// serial thread, 1.. = pool workers), and `t_sim` the simulated time the
+/// event refers to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the probe's epoch.
+    pub ts_ns: u64,
+    /// Pipelined round id (1-based; 0 = pre-round work such as the DC solve).
+    pub round: u64,
+    /// Logical solver lane.
+    pub lane: u32,
+    /// Simulated time the event refers to, seconds.
+    pub t_sim: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let kinds = [
+            EventKind::RoundStart { width: 1 },
+            EventKind::RoundEnd { committed: 0 },
+            EventKind::SolveStart { h: 1.0 },
+            EventKind::SolveEnd { iterations: 2, converged: true },
+            EventKind::NewtonIter { iteration: 1 },
+            EventKind::Factorization,
+            EventKind::Refactorization,
+            EventKind::LteReject { ratio: 2.0, h_retry: 0.5 },
+            EventKind::StepSizeChosen { h: 1.0, ratio: 0.5 },
+            EventKind::PointAccepted { h: 1.0 },
+            EventKind::LeadAccepted,
+            EventKind::LeadDiscarded { reason: DiscardReason::LteRejected },
+            EventKind::SpeculationAccepted,
+            EventKind::SpeculationDiscarded { reason: DiscardReason::PredictionFar },
+            EventKind::AdaptiveChoice { forward: true },
+        ];
+        let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn discard_reason_round_trips() {
+        for r in [
+            DiscardReason::Unconverged,
+            DiscardReason::PredictionFar,
+            DiscardReason::RefineBudget,
+            DiscardReason::LteRejected,
+            DiscardReason::NewtonRejected,
+            DiscardReason::ChainBroken,
+        ] {
+            assert_eq!(DiscardReason::from_name(r.name()), Some(r));
+        }
+        assert_eq!(DiscardReason::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fixed-bucket histograms for the telemetry summaries.
+
+use std::fmt;
+
+/// A histogram over explicit ascending bucket boundaries.
+///
+/// A value `v` lands in bucket `i` when `bounds[i-1] <= v < bounds[i]`
+/// (bucket 0 is the underflow `v < bounds[0]`, the last bucket the overflow
+/// `v >= bounds[last]`). Exact min/max/mean are tracked separately, so the
+/// bucketing only affects the shape display and percentile estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending boundaries (`counts.len() ==
+    /// bounds.len() + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one boundary");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram boundaries must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `n` equal-width buckets between `lo` and `hi` (plus under/overflow).
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n >= 1 && hi > lo);
+        let w = (hi - lo) / n as f64;
+        Self::with_bounds((0..=n).map(|i| lo + w * i as f64).collect())
+    }
+
+    /// Logarithmic buckets spanning `10^lo_exp .. 10^hi_exp`, `per_decade`
+    /// buckets per decade. Suited to step-size distributions.
+    pub fn log10(lo_exp: i32, hi_exp: i32, per_decade: usize) -> Self {
+        assert!(hi_exp > lo_exp && per_decade >= 1);
+        let steps = (hi_exp - lo_exp) as usize * per_decade;
+        let bounds =
+            (0..=steps).map(|i| 10f64.powf(lo_exp as f64 + i as f64 / per_decade as f64)).collect();
+        Self::with_bounds(bounds)
+    }
+
+    /// Unit-width integer buckets `1, 2, ..., max` (plus overflow). Suited
+    /// to Newton-iteration counts.
+    pub fn integer(max: usize) -> Self {
+        Self::with_bounds((1..=max + 1).map(|i| i as f64).collect())
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b <= v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`) from the bucket counts: the
+    /// lower boundary of the bucket containing the quantile rank (clamped to
+    /// the observed min/max for the open-ended buckets).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                return Some(lo.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Per-bucket `(lower_bound, count)` pairs for non-empty buckets; the
+    /// underflow bucket reports the observed minimum as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                (lo, c)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Compact one-bucket-per-line rendering with bar lengths normalised to
+    /// the fullest bucket.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "(empty)");
+        }
+        let peak = *self.counts.iter().max().expect("non-empty counts") as f64;
+        for (lo, c) in self.nonzero_buckets() {
+            let bar = "#".repeat(((c as f64 / peak) * 40.0).ceil() as usize);
+            writeln!(f, "  {lo:>12.3e} | {c:>8} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let mut h = Histogram::integer(4); // bounds 1,2,3,4,5
+        for v in [0.5, 1.0, 1.9, 2.0, 4.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        // under(=<1): 0.5 | [1,2): 1.0,1.9 | [2,3): 2.0 | [4,5): 4.0 | over: 10
+        assert_eq!(h.nonzero_buckets(), vec![(0.5, 1), (1.0, 2), (2.0, 1), (4.0, 1), (5.0, 1),]);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(10.0));
+    }
+
+    #[test]
+    fn log_buckets_cover_decades() {
+        let mut h = Histogram::log10(-12, -6, 2);
+        h.observe(1e-9);
+        h.observe(3e-9);
+        h.observe(1e-3); // overflow
+        assert_eq!(h.count(), 3);
+        assert!(h.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.observe(i as f64 / 10.0);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q90 = h.quantile(0.9).unwrap();
+        assert!(q50 <= q90);
+        assert!(q90 <= h.max().unwrap());
+        assert!(h.quantile(0.0).unwrap() >= h.min().unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_degrades() {
+        let h = Histogram::integer(3);
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_none());
+        assert!(h.quantile(0.5).is_none());
+        assert_eq!(format!("{h}"), "(empty)");
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+}

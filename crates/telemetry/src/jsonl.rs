@@ -1,0 +1,260 @@
+//! JSONL (one JSON object per line) export and import of event streams —
+//! the machine-analysis format.
+
+use crate::event::{DiscardReason, Event, EventKind};
+use crate::json::{self, JsonValue};
+use std::io::{self, Write};
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+///
+/// The payload fields of the kind are flattened into the top-level object:
+/// `{"ts_ns":..,"round":..,"lane":..,"t_sim":..,"kind":"solve_start","h":..}`.
+pub fn event_to_json(ev: &Event) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"ts_ns\":{},\"round\":{},\"lane\":{},\"t_sim\":{},\"kind\":\"{}\"",
+        ev.ts_ns,
+        ev.round,
+        ev.lane,
+        json::fmt_f64(ev.t_sim),
+        ev.kind.name()
+    );
+    match ev.kind {
+        EventKind::RoundStart { width } => {
+            let _ = write!(s, ",\"width\":{width}");
+        }
+        EventKind::RoundEnd { committed } => {
+            let _ = write!(s, ",\"committed\":{committed}");
+        }
+        EventKind::SolveStart { h } => {
+            let _ = write!(s, ",\"h\":{}", json::fmt_f64(h));
+        }
+        EventKind::SolveEnd { iterations, converged } => {
+            let _ = write!(s, ",\"iterations\":{iterations},\"converged\":{converged}");
+        }
+        EventKind::NewtonIter { iteration } => {
+            let _ = write!(s, ",\"iteration\":{iteration}");
+        }
+        EventKind::Factorization | EventKind::Refactorization => {}
+        EventKind::LteReject { ratio, h_retry } => {
+            let _ = write!(
+                s,
+                ",\"ratio\":{},\"h_retry\":{}",
+                json::fmt_f64(ratio),
+                json::fmt_f64(h_retry)
+            );
+        }
+        EventKind::StepSizeChosen { h, ratio } => {
+            let _ = write!(s, ",\"h\":{},\"ratio\":{}", json::fmt_f64(h), json::fmt_f64(ratio));
+        }
+        EventKind::PointAccepted { h } => {
+            let _ = write!(s, ",\"h\":{}", json::fmt_f64(h));
+        }
+        EventKind::LeadAccepted | EventKind::SpeculationAccepted => {}
+        EventKind::LeadDiscarded { reason } | EventKind::SpeculationDiscarded { reason } => {
+            let _ = write!(s, ",\"reason\":\"{}\"", reason.name());
+        }
+        EventKind::AdaptiveChoice { forward } => {
+            let _ = write!(s, ",\"forward\":{forward}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Writes the whole stream as JSONL.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `out`.
+pub fn write_jsonl<W: Write>(events: &[Event], out: &mut W) -> io::Result<()> {
+    for ev in events {
+        out.write_all(event_to_json(ev).as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// A JSONL import failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jsonl line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+fn field_f64(v: &JsonValue, key: &str, line: usize) -> Result<f64, JsonlError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| JsonlError { line, msg: format!("missing numeric field `{key}`") })
+}
+
+fn field_u64(v: &JsonValue, key: &str, line: usize) -> Result<u64, JsonlError> {
+    Ok(field_f64(v, key, line)? as u64)
+}
+
+/// Parses one JSONL line back into an [`Event`].
+///
+/// # Errors
+///
+/// Returns [`JsonlError`] for malformed JSON or unknown/incomplete kinds.
+pub fn event_from_json(text: &str, line: usize) -> Result<Event, JsonlError> {
+    let v = json::parse(text).map_err(|e| JsonlError { line, msg: e.to_string() })?;
+    let kind_name = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| JsonlError { line, msg: "missing `kind`".to_string() })?;
+    let reason = || -> Result<DiscardReason, JsonlError> {
+        let name = v
+            .get("reason")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| JsonlError { line, msg: "missing `reason`".to_string() })?;
+        DiscardReason::from_name(name)
+            .ok_or_else(|| JsonlError { line, msg: format!("unknown reason `{name}`") })
+    };
+    let kind = match kind_name {
+        "round_start" => EventKind::RoundStart { width: field_u64(&v, "width", line)? as u32 },
+        "round_end" => EventKind::RoundEnd { committed: field_u64(&v, "committed", line)? as u32 },
+        "solve_start" => EventKind::SolveStart { h: field_f64(&v, "h", line)? },
+        "solve_end" => EventKind::SolveEnd {
+            iterations: field_u64(&v, "iterations", line)? as u32,
+            converged: v
+                .get("converged")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| JsonlError { line, msg: "missing `converged`".to_string() })?,
+        },
+        "newton_iter" => {
+            EventKind::NewtonIter { iteration: field_u64(&v, "iteration", line)? as u32 }
+        }
+        "factorization" => EventKind::Factorization,
+        "refactorization" => EventKind::Refactorization,
+        "lte_reject" => EventKind::LteReject {
+            ratio: field_f64(&v, "ratio", line)?,
+            h_retry: field_f64(&v, "h_retry", line)?,
+        },
+        "step_size_chosen" => EventKind::StepSizeChosen {
+            h: field_f64(&v, "h", line)?,
+            ratio: field_f64(&v, "ratio", line)?,
+        },
+        "point_accepted" => EventKind::PointAccepted { h: field_f64(&v, "h", line)? },
+        "lead_accepted" => EventKind::LeadAccepted,
+        "lead_discarded" => EventKind::LeadDiscarded { reason: reason()? },
+        "speculation_accepted" => EventKind::SpeculationAccepted,
+        "speculation_discarded" => EventKind::SpeculationDiscarded { reason: reason()? },
+        "adaptive_choice" => EventKind::AdaptiveChoice {
+            forward: v
+                .get("forward")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| JsonlError { line, msg: "missing `forward`".to_string() })?,
+        },
+        other => return Err(JsonlError { line, msg: format!("unknown kind `{other}`") }),
+    };
+    Ok(Event {
+        ts_ns: field_u64(&v, "ts_ns", line)?,
+        round: field_u64(&v, "round", line)?,
+        lane: field_u64(&v, "lane", line)? as u32,
+        t_sim: field_f64(&v, "t_sim", line)?,
+        kind,
+    })
+}
+
+/// Parses a whole JSONL document (blank lines are skipped).
+///
+/// # Errors
+///
+/// Returns the first [`JsonlError`] encountered.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, JsonlError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(event_from_json(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let kinds = [
+            EventKind::RoundStart { width: 3 },
+            EventKind::SolveStart { h: 2.5e-9 },
+            EventKind::NewtonIter { iteration: 1 },
+            EventKind::Factorization,
+            EventKind::Refactorization,
+            EventKind::SolveEnd { iterations: 4, converged: true },
+            EventKind::LteReject { ratio: 1.75, h_retry: 1.25e-9 },
+            EventKind::StepSizeChosen { h: 3e-9, ratio: 0.4 },
+            EventKind::PointAccepted { h: 2.5e-9 },
+            EventKind::LeadAccepted,
+            EventKind::LeadDiscarded { reason: DiscardReason::NewtonRejected },
+            EventKind::SpeculationAccepted,
+            EventKind::SpeculationDiscarded { reason: DiscardReason::PredictionFar },
+            EventKind::AdaptiveChoice { forward: false },
+            EventKind::RoundEnd { committed: 2 },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                ts_ns: 1000 + i as u64,
+                round: 1,
+                lane: (i % 3) as u32,
+                t_sim: 1e-9 * i as f64,
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_kind_round_trips_exactly() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = format!("\n{}\n\n", String::from_utf8(buf).unwrap());
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_jsonl("{\"ts_ns\":1}\n{oops}").unwrap_err();
+        // First line already fails (missing kind) — line 1.
+        assert_eq!(err.line, 1);
+        let err = parse_jsonl(
+            "{\"ts_ns\":1,\"round\":0,\"lane\":0,\"t_sim\":0,\"kind\":\"factorization\"}\n{oops}",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let line = "{\"ts_ns\":1,\"round\":0,\"lane\":0,\"t_sim\":0,\"kind\":\"mystery\"}";
+        assert!(event_from_json(line, 1).unwrap_err().msg.contains("unknown kind"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Zero-overhead-when-disabled instrumentation for WavePipe.
+//!
+//! The simulation layers (`wavepipe-engine`, `wavepipe-core`) emit typed
+//! [`EventKind`]s through a [`ProbeHandle`] carried on their options structs.
+//! With no probe attached (the default) an emit is a single branch; with a
+//! [`RecordingProbe`] attached every event is stamped with a per-run
+//! nanosecond timestamp, the pipelined round id, and the logical solver
+//! lane, and can then be consumed three ways:
+//!
+//! * [`jsonl`] — one JSON object per event, for machine analysis;
+//! * [`chrome`] — Chrome trace-event JSON (`chrome://tracing` / Perfetto)
+//!   rendering rounds and point-solves as per-lane duration spans, making
+//!   pipelining overlap visible;
+//! * [`TelemetrySummary`] — in-process histograms (Newton iterations per
+//!   solve, step-size distribution, round critical-path breakdown) that
+//!   `WavePipeReport` embeds.
+//!
+//! Telemetry never feeds back into the simulation: probes only observe, so
+//! a recorded run is bit-identical to an unrecorded one.
+//!
+//! # Example
+//!
+//! ```
+//! use wavepipe_telemetry::{EventKind, ProbeHandle, RecordingProbe};
+//!
+//! let probe = RecordingProbe::shared();
+//! let handle = ProbeHandle::new(probe.clone());
+//! handle.emit(0.0, EventKind::RoundStart { width: 2 });
+//! handle.with_lane(1).emit(1e-9, EventKind::SolveStart { h: 1e-9 });
+//! handle.with_lane(1).emit(1e-9, EventKind::SolveEnd { iterations: 3, converged: true });
+//! handle.emit(0.0, EventKind::RoundEnd { committed: 1 });
+//!
+//! let events = probe.events();
+//! assert_eq!(events.len(), 4);
+//! let jsonl = events.iter().map(wavepipe_telemetry::jsonl::event_to_json)
+//!     .collect::<Vec<_>>().join("\n");
+//! assert!(jsonl.contains("\"kind\":\"solve_end\""));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+mod event;
+mod histogram;
+pub mod json;
+pub mod jsonl;
+mod probe;
+mod summary;
+
+pub use event::{DiscardReason, Event, EventKind};
+pub use histogram::Histogram;
+pub use probe::{NullProbe, Probe, ProbeHandle, RecordingProbe};
+pub use summary::TelemetrySummary;

@@ -1,0 +1,244 @@
+//! Aggregation of a recorded event stream into run-level statistics.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::Histogram;
+use std::collections::HashMap;
+use std::fmt;
+
+/// In-process roll-up of a telemetry stream: histograms plus the counters a
+/// report wants to print. Built by [`TelemetrySummary::from_events`] or via
+/// `Probe::summary` on a recording probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Events summarised.
+    pub events: usize,
+    /// Highest round id seen.
+    pub rounds: u64,
+    /// Newton iterations per point-solve (from `SolveEnd`).
+    pub newton_iters: Histogram,
+    /// Integration strides of accepted points, seconds.
+    pub step_sizes: Histogram,
+    /// Wall duration of each round, nanoseconds.
+    pub round_wall_ns: Histogram,
+    /// Per-lane sum of point-solve wall time, nanoseconds (index = lane).
+    pub lane_busy_ns: Vec<u64>,
+    /// Sum over rounds of the *longest* concurrent solve — the solve part of
+    /// the critical path.
+    pub critical_solve_ns: u64,
+    /// Sum over rounds of *all* concurrent solves — the machine work.
+    pub total_solve_ns: u64,
+    /// Accepted points.
+    pub points_accepted: u64,
+    /// LTE rejections.
+    pub lte_rejects: u64,
+    /// Full factorizations.
+    pub factorizations: u64,
+    /// Fast refactorizations.
+    pub refactorizations: u64,
+    /// Backward leads committed.
+    pub lead_accepted: u64,
+    /// Backward leads discarded.
+    pub lead_discarded: u64,
+    /// Forward speculations committed.
+    pub speculation_accepted: u64,
+    /// Forward speculations discarded.
+    pub speculation_discarded: u64,
+    /// Discard reasons across leads and speculations, descending by count.
+    pub discard_reasons: Vec<(String, u64)>,
+}
+
+impl TelemetrySummary {
+    /// Builds the summary from an event stream (in record order).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = TelemetrySummary {
+            events: events.len(),
+            rounds: 0,
+            newton_iters: Histogram::integer(20),
+            step_sizes: Histogram::log10(-15, 0, 2),
+            round_wall_ns: Histogram::log10(2, 10, 2),
+            lane_busy_ns: Vec::new(),
+            critical_solve_ns: 0,
+            total_solve_ns: 0,
+            points_accepted: 0,
+            lte_rejects: 0,
+            factorizations: 0,
+            refactorizations: 0,
+            lead_accepted: 0,
+            lead_discarded: 0,
+            speculation_accepted: 0,
+            speculation_discarded: 0,
+            discard_reasons: Vec::new(),
+        };
+        // Open solve span per lane, open round start, per-round (max, sum).
+        let mut open_solve: HashMap<u32, u64> = HashMap::new();
+        let mut open_round: Option<u64> = None;
+        let mut round_spans: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut reasons: HashMap<&'static str, u64> = HashMap::new();
+        for ev in events {
+            s.rounds = s.rounds.max(ev.round);
+            match ev.kind {
+                EventKind::RoundStart { .. } => open_round = Some(ev.ts_ns),
+                EventKind::RoundEnd { .. } => {
+                    if let Some(start) = open_round.take() {
+                        s.round_wall_ns.observe(ev.ts_ns.saturating_sub(start) as f64);
+                    }
+                }
+                EventKind::SolveStart { .. } => {
+                    // Last start wins (unlike the Chrome exporter): a worker
+                    // task's lane is stamped at dispatch and again at
+                    // execution start, and busy-time accounting must not
+                    // count the queue wait in between.
+                    open_solve.insert(ev.lane, ev.ts_ns);
+                }
+                EventKind::SolveEnd { .. } => {
+                    if let Some(start) = open_solve.remove(&ev.lane) {
+                        let dur = ev.ts_ns.saturating_sub(start);
+                        let lane = ev.lane as usize;
+                        if s.lane_busy_ns.len() <= lane {
+                            s.lane_busy_ns.resize(lane + 1, 0);
+                        }
+                        s.lane_busy_ns[lane] += dur;
+                        let (mx, sum) = round_spans.entry(ev.round).or_insert((0, 0));
+                        *mx = (*mx).max(dur);
+                        *sum += dur;
+                    }
+                    if let EventKind::SolveEnd { iterations, .. } = ev.kind {
+                        s.newton_iters.observe(iterations as f64);
+                    }
+                }
+                EventKind::NewtonIter { .. } => {}
+                EventKind::Factorization => s.factorizations += 1,
+                EventKind::Refactorization => s.refactorizations += 1,
+                EventKind::LteReject { .. } => s.lte_rejects += 1,
+                EventKind::StepSizeChosen { .. } => {}
+                EventKind::PointAccepted { h } => {
+                    s.points_accepted += 1;
+                    s.step_sizes.observe(h);
+                }
+                EventKind::LeadAccepted => s.lead_accepted += 1,
+                EventKind::LeadDiscarded { reason } => {
+                    s.lead_discarded += 1;
+                    *reasons.entry(reason.name()).or_insert(0) += 1;
+                }
+                EventKind::SpeculationAccepted => s.speculation_accepted += 1,
+                EventKind::SpeculationDiscarded { reason } => {
+                    s.speculation_discarded += 1;
+                    *reasons.entry(reason.name()).or_insert(0) += 1;
+                }
+                EventKind::AdaptiveChoice { .. } => {}
+            }
+        }
+        for (mx, sum) in round_spans.values() {
+            s.critical_solve_ns += mx;
+            s.total_solve_ns += sum;
+        }
+        let mut reasons: Vec<(String, u64)> =
+            reasons.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        reasons.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        s.discard_reasons = reasons;
+        s
+    }
+
+    /// Achieved solve concurrency: machine solve time over critical-path
+    /// solve time (1.0 = no overlap, `p` = perfect `p`-wide pipelining).
+    pub fn solve_overlap(&self) -> f64 {
+        if self.critical_solve_ns == 0 {
+            return 1.0;
+        }
+        self.total_solve_ns as f64 / self.critical_solve_ns as f64
+    }
+
+    /// Number of lanes that did any solve work.
+    pub fn active_lanes(&self) -> usize {
+        self.lane_busy_ns.iter().filter(|&&ns| ns > 0).count()
+    }
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "telemetry: {} events, {} rounds, {} lanes active, solve overlap {:.2}x",
+            self.events,
+            self.rounds,
+            self.active_lanes(),
+            self.solve_overlap()
+        )?;
+        writeln!(
+            f,
+            "  points {} accepted / {} lte-rejected; factor {} / refactor {}",
+            self.points_accepted, self.lte_rejects, self.factorizations, self.refactorizations
+        )?;
+        writeln!(
+            f,
+            "  leads {}+/{}-; speculation {}+/{}-",
+            self.lead_accepted,
+            self.lead_discarded,
+            self.speculation_accepted,
+            self.speculation_discarded
+        )?;
+        if !self.discard_reasons.is_empty() {
+            write!(f, "  discards:")?;
+            for (name, n) in &self.discard_reasons {
+                write!(f, " {name}={n}")?;
+            }
+            writeln!(f)?;
+        }
+        for (lane, ns) in self.lane_busy_ns.iter().enumerate() {
+            writeln!(f, "  lane {lane}: busy {:.3} ms", *ns as f64 / 1e6)?;
+        }
+        writeln!(f, "  newton iterations / solve:")?;
+        write!(f, "{}", self.newton_iters)?;
+        writeln!(f, "  accepted step sizes (s):")?;
+        write!(f, "{}", self.step_sizes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DiscardReason;
+
+    fn ev(ts_ns: u64, round: u64, lane: u32, kind: EventKind) -> Event {
+        Event { ts_ns, round, lane, t_sim: 0.0, kind }
+    }
+
+    #[test]
+    fn spans_and_counters_aggregate() {
+        let events = vec![
+            ev(0, 1, 0, EventKind::RoundStart { width: 2 }),
+            ev(10, 1, 0, EventKind::SolveStart { h: 1e-9 }),
+            ev(12, 1, 1, EventKind::SolveStart { h: 2e-9 }),
+            ev(50, 1, 0, EventKind::SolveEnd { iterations: 3, converged: true }),
+            ev(80, 1, 1, EventKind::SolveEnd { iterations: 5, converged: true }),
+            ev(90, 1, 0, EventKind::PointAccepted { h: 1e-9 }),
+            ev(95, 1, 0, EventKind::LeadDiscarded { reason: DiscardReason::LteRejected }),
+            ev(100, 1, 0, EventKind::RoundEnd { committed: 1 }),
+        ];
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.points_accepted, 1);
+        assert_eq!(s.lead_discarded, 1);
+        assert_eq!(s.discard_reasons, vec![("lte_rejected".to_string(), 1)]);
+        assert_eq!(s.lane_busy_ns, vec![40, 68]);
+        assert_eq!(s.critical_solve_ns, 68);
+        assert_eq!(s.total_solve_ns, 108);
+        assert!((s.solve_overlap() - 108.0 / 68.0).abs() < 1e-12);
+        assert_eq!(s.active_lanes(), 2);
+        assert_eq!(s.newton_iters.count(), 2);
+        assert_eq!(s.round_wall_ns.count(), 1);
+        let text = s.to_string();
+        assert!(text.contains("2 lanes active"));
+        assert!(text.contains("lte_rejected=1"));
+    }
+
+    #[test]
+    fn empty_stream_summarises_to_zeroes() {
+        let s = TelemetrySummary::from_events(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.solve_overlap(), 1.0);
+        assert_eq!(s.active_lanes(), 0);
+    }
+}

@@ -83,13 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rep = run_wavepipe(&ckt, 1e-9, 4e-6, &WavePipeOptions::new(Scheme::Backward, 2))?;
     let d_tr = rep.result.unknown_of("d").expect("drain node");
     // Output swing in steady state (skip the first cycle).
-    let late: Vec<f64> = rep
-        .result
-        .trace(d_tr)
-        .iter()
-        .filter(|&&(t, _)| t > 2e-6)
-        .map(|&(_, v)| v)
-        .collect();
+    let late: Vec<f64> =
+        rep.result.trace(d_tr).iter().filter(|&&(t, _)| t > 2e-6).map(|&(_, v)| v).collect();
     let hi = late.iter().copied().fold(f64::MIN, f64::max);
     let lo = late.iter().copied().fold(f64::MAX, f64::min);
     let gain_tr = (hi - lo) / 2.0 / 0.01;

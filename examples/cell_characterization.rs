@@ -63,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             (measure::Edge::Falling, measure::Edge::Rising)
         };
-        let d = measure::delay(&trace(&from), vmid, fe, &trace(&to), vmid, te, 0)
-            .expect("stage delay");
+        let d =
+            measure::delay(&trace(&from), vmid, fe, &trace(&to), vmid, te, 0).expect("stage delay");
         total += d;
         println!("{}->{}   {:8.2}   {:?}", from, to, d * 1e12, te);
     }

@@ -91,8 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let mean = delays.iter().sum::<f64>() / delays.len() as f64;
-    let var =
-        delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / delays.len() as f64;
+    let var = delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / delays.len() as f64;
     let pct = |p: f64| delays[((delays.len() - 1) as f64 * p) as usize];
     println!("{samples} Monte Carlo samples of a {STAGES}-stage chain (5% parameter spread)");
     println!("chain delay: mean {:.1} ps, sigma {:.1} ps", mean * 1e12, var.sqrt() * 1e12);

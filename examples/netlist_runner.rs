@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --example netlist_runner -- <deck.sp> [scheme] [threads]
+//! cargo run --release --example netlist_runner -- <deck.sp> [scheme] [threads] \
+//!     [--trace <path>] [--trace-format jsonl|chrome]
 //! ```
 //!
 //! where `scheme` is one of `serial`, `backward`, `forward`, `combined`,
@@ -11,11 +12,20 @@
 //! `.ac` directives in the deck are honoured before the transient. With no arguments, a
 //! built-in demonstration deck (diode clipper) is simulated. The waveform of
 //! every node is written next to the deck as `<deck>.csv`.
+//!
+//! `--trace` attaches a recording probe and writes the event stream to
+//! `<path>`: `chrome` (default) produces a Chrome trace-event JSON document
+//! (load it in `chrome://tracing` or Perfetto to *see* the per-lane
+//! pipelining overlap), `jsonl` one JSON object per event for scripted
+//! analysis. A telemetry summary (histograms, lane utilisation) is printed
+//! either way.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use wavepipe::circuit::parse_netlist;
 use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
 use wavepipe::engine::{run_ac, run_dc_sweep, spectrum};
+use wavepipe::telemetry::{chrome, jsonl, ProbeHandle, RecordingProbe};
 
 const DEMO_DECK: &str = "\
 diode clipper demo
@@ -29,8 +39,40 @@ C1 mid 0 100p
 .end
 ";
 
+/// `jsonl` or `chrome` trace output.
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
+    // Split flag arguments (`--trace <path>`, `--trace-format <fmt>`) from
+    // the positional deck/scheme/threads arguments.
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_format = TraceFormat::Chrome;
+    let mut args: Vec<String> = vec![std::env::args().next().unwrap_or_default()];
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--trace" => {
+                let p = raw.next().ok_or("--trace needs a file path")?;
+                trace_path = Some(PathBuf::from(p));
+            }
+            "--trace-format" => {
+                trace_format = match raw.next().as_deref() {
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!(
+                            "--trace-format must be `jsonl` or `chrome`, got {other:?}"
+                        )
+                        .into())
+                    }
+                };
+            }
+            _ => args.push(a),
+        }
+    }
     let (deck_text, out_path) = match args.get(1) {
         Some(path) => {
             let text = std::fs::read_to_string(path)?;
@@ -60,25 +102,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(ac) = &parsed.ac {
         let res = run_ac(&parsed.circuit, &ac.frequencies(), &Default::default())?;
-        println!(".ac     : {} frequency points from {:.3e} to {:.3e} Hz",
-            res.frequencies().len(), ac.fstart, ac.fstop);
+        println!(
+            ".ac     : {} frequency points from {:.3e} to {:.3e} Hz",
+            res.frequencies().len(),
+            ac.fstart,
+            ac.fstop
+        );
     }
 
-    let tran = parsed
-        .tran
-        .ok_or("deck has no .tran directive — add `.tran tstep tstop`")?;
+    let tran = parsed.tran.ok_or("deck has no .tran directive — add `.tran tstep tstop`")?;
     println!("circuit : {}", parsed.circuit.summary());
     println!("analysis: .tran {:.3e} {:.3e} ({scheme}, {threads} threads)", tran.tstep, tran.tstop);
 
-    let opts = WavePipeOptions::new(scheme, threads);
+    let mut opts = WavePipeOptions::new(scheme, threads);
+    let probe = trace_path.as_ref().map(|_| RecordingProbe::shared());
+    if let Some(p) = &probe {
+        opts.sim.probe = ProbeHandle::new(Arc::clone(p) as Arc<dyn wavepipe::telemetry::Probe>);
+    }
     let report = run_wavepipe(&parsed.circuit, tran.tstep, tran.tstop, &opts)?;
     println!("run     : {}", report.summary());
+
+    if let (Some(path), Some(probe)) = (&trace_path, &probe) {
+        use std::io::Write as _;
+        let events = probe.events();
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        match trace_format {
+            TraceFormat::Jsonl => jsonl::write_jsonl(&events, &mut file)?,
+            TraceFormat::Chrome => chrome::write_chrome_trace(&events, &mut file)?,
+        }
+        file.flush()?;
+        println!("trace   : {} ({} events)", path.display(), events.len());
+        if let Some(summary) = &report.telemetry {
+            print!("{summary}");
+        }
+    }
 
     // Distortion report when the deck has a sine-driven node (demo decks).
     if let Some(out) = report.result.unknown_of("mid") {
         let fa = spectrum::fourier(&report.result.trace(out), 2e6, 2, 5);
-        println!("fourier : v(mid) fundamental {:.3} V, THD {:.1}%",
-            fa.harmonics[0].amplitude, fa.thd * 100.0);
+        println!(
+            "fourier : v(mid) fundamental {:.3} V, THD {:.1}%",
+            fa.harmonics[0].amplitude,
+            fa.thd * 100.0
+        );
     }
 
     // Dump every signal node to CSV.
@@ -88,6 +154,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|n| report.result.unknown_of(n).map(|u| (n.to_string(), u)))
         .collect();
     std::fs::write(&out_path, report.result.to_csv(&columns))?;
-    println!("wrote   : {} ({} points x {} nodes)", out_path.display(), report.result.len(), columns.len());
+    println!(
+        "wrote   : {} ({} points x {} nodes)",
+        out_path.display(),
+        report.result.len(),
+        columns.len()
+    );
     Ok(())
 }

@@ -19,11 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serial = run_transient(&bench.circuit, bench.tstep, bench.tstop, &SimOptions::default())?;
     let centre = serial.unknown_of(&bench.probes[0]).expect("probe node");
     let vdd_nominal = 1.8;
-    let worst_droop = serial
-        .trace(centre)
-        .iter()
-        .map(|&(_, v)| vdd_nominal - v)
-        .fold(f64::MIN, f64::max);
+    let worst_droop =
+        serial.trace(centre).iter().map(|&(_, v)| vdd_nominal - v).fold(f64::MIN, f64::max);
     println!(
         "serial   : {} points; worst centre-node droop {:.1} mV ({:.2}% of VDD)",
         serial.len(),
@@ -31,12 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst_droop / vdd_nominal * 100.0
     );
 
-    for (scheme, threads) in [
-        (Scheme::Backward, 2),
-        (Scheme::Backward, 3),
-        (Scheme::Forward, 2),
-        (Scheme::Combined, 4),
-    ] {
+    for (scheme, threads) in
+        [(Scheme::Backward, 2), (Scheme::Backward, 3), (Scheme::Forward, 2), (Scheme::Combined, 4)]
+    {
         let opts = WavePipeOptions::new(scheme, threads);
         let report = run_wavepipe(&bench.circuit, bench.tstep, bench.tstop, &opts)?;
         let eq = verify::compare(&serial, &report.result);

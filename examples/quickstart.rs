@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- WavePipe schemes. ---
-    for (scheme, threads) in [
-        (Scheme::Backward, 2),
-        (Scheme::Forward, 2),
-        (Scheme::Combined, 4),
-    ] {
+    for (scheme, threads) in [(Scheme::Backward, 2), (Scheme::Forward, 2), (Scheme::Combined, 4)] {
         let opts = WavePipeOptions::new(scheme, threads);
         let report = run_wavepipe(&ckt, tstep, tstop, &opts)?;
         let eq = verify::compare(&serial, &report.result);

@@ -11,6 +11,8 @@
 //!   point, variable-step integration with LTE control.
 //! * [`core`] — the paper's contribution: backward/forward/combined waveform
 //!   pipelining with critical-path work accounting.
+//! * [`telemetry`] — zero-overhead-when-disabled instrumentation: typed
+//!   event probes, JSONL and Chrome-trace exporters, run summaries.
 //!
 //! # Quickstart
 //!
@@ -53,3 +55,7 @@ pub use wavepipe_engine as engine;
 
 /// WavePipe parallel schemes (re-export of `wavepipe-core`).
 pub use wavepipe_core as core;
+
+/// Structured event tracing, histograms, and trace exporters (re-export of
+/// `wavepipe-telemetry`).
+pub use wavepipe_telemetry as telemetry;

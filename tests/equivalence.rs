@@ -19,9 +19,13 @@ use wavepipe::engine::{run_transient, Method, SimOptions};
 fn assert_equivalent(bench: &generators::Benchmark, scheme: Scheme, threads: usize) {
     let serial = run_transient(&bench.circuit, bench.tstep, bench.tstop, &SimOptions::default())
         .unwrap_or_else(|e| panic!("{}: serial failed: {e}", bench.name));
-    let gear =
-        run_transient(&bench.circuit, bench.tstep, bench.tstop, &SimOptions::with_method(Method::Gear2))
-            .unwrap_or_else(|e| panic!("{}: gear2 failed: {e}", bench.name));
+    let gear = run_transient(
+        &bench.circuit,
+        bench.tstep,
+        bench.tstop,
+        &SimOptions::with_method(Method::Gear2),
+    )
+    .unwrap_or_else(|e| panic!("{}: gear2 failed: {e}", bench.name));
     let floor = verify::compare(&serial, &gear).rms_rel();
 
     let opts = WavePipeOptions::new(scheme, threads);
@@ -78,8 +82,13 @@ fn schemes_preserve_energy_decay_on_source_free_rc() {
     let a = ckt.node("a");
     let b = ckt.node("b");
     // Charge node a through a source that shuts off immediately.
-    ckt.add_isource("Ik", Circuit::GROUND, a, Waveform::pulse(0.0, 1e-3, 0.0, 1e-10, 1e-10, 2e-9, 0.0))
-        .unwrap();
+    ckt.add_isource(
+        "Ik",
+        Circuit::GROUND,
+        a,
+        Waveform::pulse(0.0, 1e-3, 0.0, 1e-10, 1e-10, 2e-9, 0.0),
+    )
+    .unwrap();
     ckt.add_capacitor("C1", a, Circuit::GROUND, 1e-12).unwrap();
     ckt.add_resistor("R1", a, b, 1e3).unwrap();
     ckt.add_capacitor("C2", b, Circuit::GROUND, 1e-12).unwrap();

@@ -19,8 +19,8 @@ fn floating_node_is_rejected_before_simulation() {
     assert!(matches!(err, EngineError::Circuit(_)), "got {err}");
     assert!(err.to_string().contains("path to ground"), "{err}");
     // WavePipe surfaces the same error.
-    let err2 = run_wavepipe(&ckt, 1e-9, 1e-6, &WavePipeOptions::new(Scheme::Backward, 2))
-        .unwrap_err();
+    let err2 =
+        run_wavepipe(&ckt, 1e-9, 1e-6, &WavePipeOptions::new(Scheme::Backward, 2)).unwrap_err();
     assert!(matches!(err2, EngineError::Circuit(_)));
 }
 
@@ -35,10 +35,7 @@ fn parallel_voltage_sources_report_singular_matrix() {
     let err = run_transient(&ckt, 1e-9, 1e-6, &SimOptions::default()).unwrap_err();
     // Either a singular linear system or a convergence failure, never a
     // silent "answer".
-    assert!(
-        matches!(err, EngineError::Linear(_) | EngineError::NoConvergence { .. }),
-        "got {err}"
-    );
+    assert!(matches!(err, EngineError::Linear(_) | EngineError::NoConvergence { .. }), "got {err}");
 }
 
 #[test]

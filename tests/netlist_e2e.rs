@@ -45,12 +45,8 @@ Rl out 0 5k
     let out = res.unknown_of("out").expect("node");
     // After several cycles the filter holds a positive DC level a diode
     // drop or so below the 5 V peak, with limited ripple.
-    let late: Vec<f64> = res
-        .trace(out)
-        .iter()
-        .filter(|&&(t, _)| t > 5e-6)
-        .map(|&(_, v)| v)
-        .collect();
+    let late: Vec<f64> =
+        res.trace(out).iter().filter(|&&(t, _)| t > 5e-6).map(|&(_, v)| v).collect();
     let mean = late.iter().sum::<f64>() / late.len() as f64;
     let min = late.iter().copied().fold(f64::INFINITY, f64::min);
     let max = late.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -136,9 +132,13 @@ C1 out 0 1n
     let parsed = parse_netlist(deck).expect("parse");
     // DC sweep through the facade.
     let dc = parsed.dc.as_ref().expect("dc spec");
-    let sweep =
-        wavepipe::engine::run_dc_sweep(&parsed.circuit, &dc.source, &dc.values(), &Default::default())
-            .expect("dc sweep");
+    let sweep = wavepipe::engine::run_dc_sweep(
+        &parsed.circuit,
+        &dc.source,
+        &dc.values(),
+        &Default::default(),
+    )
+    .expect("dc sweep");
     let out = sweep.unknown_of("out").expect("node");
     for (v, vo) in sweep.trace(out) {
         assert!((vo - v).abs() < 1e-9, "dc: caps open, out follows in");

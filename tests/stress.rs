@@ -54,8 +54,9 @@ fn sffm_driven_filter_simulates_cleanly() {
 fn large_power_grid_scales() {
     let b = generators::power_grid(20, 20);
     let serial = run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap();
-    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Backward, 3))
-        .unwrap();
+    let rep =
+        run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Backward, 3))
+            .unwrap();
     let eq = verify::compare(&serial, &rep.result);
     assert!(eq.rms_rel() < 1e-3);
     let s = rep.modeled_speedup(serial.stats());
@@ -68,8 +69,9 @@ fn long_ring_oscillator_run() {
     let b = generators::ring_oscillator(13);
     let serial = run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap();
     assert!(serial.len() > 1000);
-    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Backward, 2))
-        .unwrap();
+    let rep =
+        run_wavepipe(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Backward, 2))
+            .unwrap();
     let eq = verify::compare(&serial, &rep.result);
     // Autonomous oscillator: phase drift dominates; stay within the
     // serial-methods noise band scale.

@@ -1,0 +1,64 @@
+//! Configuration, RNG, and case outcome types used by the `proptest!`
+//! macro expansion.
+
+/// Per-block configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a case ended without succeeding.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed (test fails).
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold (case is skipped).
+    Reject(&'static str),
+}
+
+/// A deterministic SplitMix64 generator seeded from the test name, so a
+/// given test samples the same inputs on every run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
