@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use wavepipe_circuit::generators;
 use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe_engine::SimOptions;
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig_scaling");
@@ -19,8 +20,8 @@ fn bench_scaling(c: &mut Criterion) {
     // rmax ablation: the growth cap BP compounds across threads.
     for rmax in [1.5f64, 2.0, 3.0] {
         group.bench_function(format!("backward_x2_rmax{rmax}"), |bch| {
-            let mut opts = WavePipeOptions::new(Scheme::Backward, 2);
-            opts.sim.rmax = rmax;
+            let opts = WavePipeOptions::new(Scheme::Backward, 2)
+                .with_sim(SimOptions::default().with_rmax(rmax));
             bch.iter(|| run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap())
         });
     }

@@ -1,0 +1,41 @@
+//! Prints the intra-step stamp-parallelism figure (serial vs graph-colored
+//! parallel device evaluation) on the largest device-heavy generator
+//! circuits and writes the series to `BENCH_stamp.json`.
+//!
+//! Usage: `cargo run --release -p wavepipe-bench --bin stamp [-- --small]
+//! [--workers N]`
+
+use wavepipe_bench::{fig_stamp_scaling, stamp_scaling_to_json, StampPoint};
+use wavepipe_circuit::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let max_workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+
+    // The MOS-heavy chains, at sizes beyond the table suite: per-point
+    // parallelism targets circuits whose device evaluation dominates the
+    // Newton cost, and the per-call dispatch overhead amortises with size.
+    let subjects = if small {
+        vec![generators::inverter_chain(40), generators::nand_chain(20)]
+    } else {
+        vec![generators::inverter_chain(120), generators::nand_chain(60)]
+    };
+    let mut groups: Vec<(String, Vec<StampPoint>)> = Vec::new();
+    for b in &subjects {
+        let (txt, points) = fig_stamp_scaling(b, max_workers);
+        println!("{txt}");
+        groups.push((b.name.clone(), points));
+    }
+
+    let refs: Vec<(&str, &[StampPoint])> =
+        groups.iter().map(|(n, p)| (n.as_str(), p.as_slice())).collect();
+    std::fs::write("BENCH_stamp.json", stamp_scaling_to_json(&refs))?;
+    println!("wrote BENCH_stamp.json");
+    Ok(())
+}

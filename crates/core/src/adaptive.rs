@@ -119,9 +119,10 @@ mod tests {
         // Probing guarantees both lead and speculation statistics appear on
         // a long enough run.
         let b = generators::diode_rectifier();
-        let rep =
-            run_adaptive(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Adaptive, 2))
-                .unwrap();
+        // Pin serial stamping so the `WAVEPIPE_STAMP_WORKERS` override cannot
+        // collapse the two lanes this test needs.
+        let opts = WavePipeOptions::new(Scheme::Adaptive, 2).with_stamp_workers(0);
+        let rep = run_adaptive(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
         let bp_attempts = rep.lead_accepted + rep.lead_rejected;
         let fp_attempts = rep.speculation_accepted + rep.speculation_rejected;
         assert!(bp_attempts > 0, "no backward rounds were played");

@@ -145,7 +145,10 @@ mod tests {
     use wavepipe_engine::{run_transient, SimOptions};
 
     fn wp(threads: usize) -> WavePipeOptions {
-        WavePipeOptions::new(crate::options::Scheme::Backward, threads)
+        // Pin serial stamping: these tests assert lane-level scheduling at
+        // exact thread counts, which the `WAVEPIPE_STAMP_WORKERS` override
+        // would otherwise fold into a smaller lane budget.
+        WavePipeOptions::new(crate::options::Scheme::Backward, threads).with_stamp_workers(0)
     }
 
     #[test]

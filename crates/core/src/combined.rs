@@ -220,16 +220,22 @@ mod tests {
         // neighbourhood — the speculation may add or cost a little.
         let b = generators::power_grid(4, 4);
         let serial = run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default()).unwrap();
+        // Pin serial stamping so the `WAVEPIPE_STAMP_WORKERS` override cannot
+        // shrink the lane budgets this comparison depends on.
         let bwd = crate::backward::run_backward(
             &b.circuit,
             b.tstep,
             b.tstop,
-            &WavePipeOptions::new(Scheme::Backward, 2),
+            &WavePipeOptions::new(Scheme::Backward, 2).with_stamp_workers(0),
         )
         .unwrap();
-        let cmb =
-            run_combined(&b.circuit, b.tstep, b.tstop, &WavePipeOptions::new(Scheme::Combined, 4))
-                .unwrap();
+        let cmb = run_combined(
+            &b.circuit,
+            b.tstep,
+            b.tstop,
+            &WavePipeOptions::new(Scheme::Combined, 4).with_stamp_workers(0),
+        )
+        .unwrap();
         let s_bwd = bwd.modeled_speedup(serial.stats());
         let s_cmb = cmb.modeled_speedup(serial.stats());
         assert!(s_bwd > 1.15, "backward should pay here, got {s_bwd:.2}");

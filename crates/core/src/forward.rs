@@ -232,7 +232,9 @@ mod tests {
     use wavepipe_engine::{run_transient, SimOptions};
 
     fn wp(threads: usize) -> WavePipeOptions {
-        WavePipeOptions::new(Scheme::Forward, threads)
+        // Pin serial stamping so the `WAVEPIPE_STAMP_WORKERS` override cannot
+        // shrink the lane budget these tests assert against.
+        WavePipeOptions::new(Scheme::Forward, threads).with_stamp_workers(0)
     }
 
     #[test]

@@ -75,11 +75,14 @@ pub fn run_wavepipe(
 ) -> Result<WavePipeReport> {
     match opts.scheme {
         Scheme::Serial => {
-            let result = run_transient(circuit, tstep, tstop, &opts.sim)?;
+            // Serial in the lane dimension only: stamp_workers still applies.
+            let result = run_transient(circuit, tstep, tstop, &opts.lane_sim())?;
             let total = *result.stats();
             Ok(WavePipeReport {
                 scheme: Scheme::Serial,
-                threads: 1,
+                threads: 1 + opts.stamp_workers,
+                lanes: 1,
+                stamp_workers: opts.stamp_workers,
                 rounds: total.steps_accepted + total.steps_rejected(),
                 critical_work: total.work_units(),
                 critical_ns: total.wall_ns,

@@ -44,9 +44,16 @@ impl std::fmt::Display for Scheme {
 pub struct WavePipeOptions {
     /// Pipelining scheme.
     pub scheme: Scheme,
-    /// Worker threads (including the coordinating thread). Clamped to at
-    /// least 1; `Serial` ignores it.
+    /// Total thread budget (including the coordinating thread). Clamped to
+    /// at least 1; `Serial` ignores it for lane-level parallelism but still
+    /// honours [`WavePipeOptions::stamp_workers`].
     pub threads: usize,
+    /// Stamp workers *per lane* for intra-step parallel device evaluation
+    /// (`0` = serial stamping, the default). When set, the thread budget is
+    /// split two-level: `threads / stamp_workers` pipeline lanes, each
+    /// driving `stamp_workers` device-evaluation workers — e.g. `threads: 4,
+    /// stamp_workers: 2` is a 2×2 split. See [`WavePipeOptions::lanes`].
+    pub stamp_workers: usize,
     /// Forward pipelining: pre-filter — multiplier on the Newton tolerance
     /// (node voltages only) above which a prediction is considered hopeless
     /// and the speculative solve is discarded without a refinement attempt.
@@ -87,16 +94,22 @@ pub struct WavePipeOptions {
 
 impl Default for WavePipeOptions {
     fn default() -> Self {
+        // Inherit the engine-level default (which honours the
+        // `WAVEPIPE_STAMP_WORKERS` environment override) so the env var
+        // reaches wavepipe runs too; `lane_sim()` re-applies this field on
+        // top of `sim`, so it must start out consistent.
+        let sim = SimOptions::default();
         WavePipeOptions {
             scheme: Scheme::default(),
             threads: 2,
+            stamp_workers: sim.stamp_workers,
             fp_accept_factor: 200.0,
             fp_refine_iters: 4,
             fp_stride_factor: 1.0,
             bp_adaptive_lead: true,
             bp_growth_gate: 0.0,
             bp_budget_slack: f64::INFINITY,
-            sim: SimOptions::default(),
+            sim,
         }
     }
 }
@@ -107,11 +120,109 @@ impl WavePipeOptions {
         WavePipeOptions { scheme, threads: threads.max(1), ..WavePipeOptions::default() }
     }
 
+    /// Sets the pipelining scheme.
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the total thread budget (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-lane stamp worker count (`0` disables intra-step
+    /// parallelism). See [`WavePipeOptions::stamp_workers`].
+    #[must_use]
+    pub fn with_stamp_workers(mut self, workers: usize) -> Self {
+        self.stamp_workers = workers;
+        self
+    }
+
+    /// Replaces the embedded engine options.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimOptions) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Attaches a telemetry probe to the embedded engine options.
+    #[must_use]
+    pub fn with_probe(mut self, probe: wavepipe_engine::ProbeHandle) -> Self {
+        self.sim.probe = probe;
+        self
+    }
+
+    /// Sets the forward-pipelining acceptance pre-filter factor.
+    #[must_use]
+    pub fn with_fp_accept_factor(mut self, factor: f64) -> Self {
+        self.fp_accept_factor = factor;
+        self
+    }
+
+    /// Sets the forward-pipelining refinement iteration budget.
+    #[must_use]
+    pub fn with_fp_refine_iters(mut self, iters: usize) -> Self {
+        self.fp_refine_iters = iters;
+        self
+    }
+
+    /// Sets the forward-pipelining stride factor.
+    #[must_use]
+    pub fn with_fp_stride_factor(mut self, factor: f64) -> Self {
+        self.fp_stride_factor = factor;
+        self
+    }
+
+    /// Enables or disables LTE-adaptive lead placement for backward
+    /// pipelining.
+    #[must_use]
+    pub fn with_bp_adaptive_lead(mut self, adaptive: bool) -> Self {
+        self.bp_adaptive_lead = adaptive;
+        self
+    }
+
+    /// Sets the backward-pipelining growth gate.
+    #[must_use]
+    pub fn with_bp_growth_gate(mut self, gate: f64) -> Self {
+        self.bp_growth_gate = gate;
+        self
+    }
+
+    /// Sets the backward-pipelining stride budget slack.
+    #[must_use]
+    pub fn with_bp_budget_slack(mut self, slack: f64) -> Self {
+        self.bp_budget_slack = slack;
+        self
+    }
+
+    /// Number of pipeline lanes the thread budget affords: `threads` when
+    /// stamping is serial, `threads / stamp_workers` (at least 1) under the
+    /// two-level split.
+    pub fn lanes(&self) -> usize {
+        let threads = self.threads.max(1);
+        match threads.checked_div(self.stamp_workers) {
+            None => threads,
+            Some(lanes) => lanes.max(1),
+        }
+    }
+
+    /// Engine options for one pipeline lane: the embedded [`SimOptions`]
+    /// with the per-lane stamp worker count applied.
+    pub fn lane_sim(&self) -> SimOptions {
+        let mut sim = self.sim.clone();
+        sim.stamp_workers = self.stamp_workers;
+        sim
+    }
+
     /// Number of concurrent point-solves a round may issue.
     pub fn width(&self) -> usize {
         match self.scheme {
             Scheme::Serial => 1,
-            _ => self.threads.max(1),
+            _ => self.lanes(),
         }
     }
 }
@@ -135,9 +246,38 @@ mod tests {
 
     #[test]
     fn width_is_one_for_serial() {
-        let o = WavePipeOptions::new(Scheme::Serial, 8);
+        // `with_stamp_workers(0)` pins the tests against the ambient
+        // `WAVEPIPE_STAMP_WORKERS` override, which `default()` inherits.
+        let o = WavePipeOptions::new(Scheme::Serial, 8).with_stamp_workers(0);
         assert_eq!(o.width(), 1);
-        assert_eq!(WavePipeOptions::new(Scheme::Backward, 3).width(), 3);
+        assert_eq!(WavePipeOptions::new(Scheme::Backward, 3).with_stamp_workers(0).width(), 3);
+    }
+
+    #[test]
+    fn thread_budget_splits_into_lanes_and_stamp_workers() {
+        let o = WavePipeOptions::new(Scheme::Backward, 4).with_stamp_workers(0);
+        assert_eq!(o.lanes(), 4);
+        let o = o.with_stamp_workers(2);
+        assert_eq!(o.lanes(), 2, "4 threads = 2 lanes x 2 stamp workers");
+        assert_eq!(o.width(), 2);
+        assert_eq!(o.lane_sim().stamp_workers, 2);
+        // Oversubscribed stamp workers still leave one lane.
+        assert_eq!(WavePipeOptions::new(Scheme::Backward, 2).with_stamp_workers(8).lanes(), 1);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let o = WavePipeOptions::default()
+            .with_scheme(Scheme::Forward)
+            .with_threads(6)
+            .with_stamp_workers(3)
+            .with_fp_refine_iters(7)
+            .with_bp_adaptive_lead(false);
+        assert_eq!(o.scheme, Scheme::Forward);
+        assert_eq!(o.threads, 6);
+        assert_eq!(o.lanes(), 2);
+        assert_eq!(o.fp_refine_iters, 7);
+        assert!(!o.bp_adaptive_lead);
     }
 
     #[test]

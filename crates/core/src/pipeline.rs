@@ -163,8 +163,11 @@ impl Driver {
         let run_start = Instant::now();
         let sys = Arc::new(MnaSystem::compile(circuit)?);
         let width = wp.width();
-        let mut lead = PointSolver::new(Arc::clone(&sys), wp.sim.clone());
-        let pool = WorkerPool::new(&sys, &wp.sim, width.saturating_sub(1));
+        // Each lane (lead + pool workers) gets the per-lane engine options,
+        // so the thread budget splits lanes x stamp workers.
+        let lane_sim = wp.lane_sim();
+        let mut lead = PointSolver::new(Arc::clone(&sys), lane_sim.clone());
+        let pool = WorkerPool::new(&sys, &lane_sim, width.saturating_sub(1));
         let node_names: Vec<String> = sys.node_names().to_vec();
         let mut result = TransientResult::new(sys.n_unknowns(), node_names);
         result.set_branch_names(sys.branch_names().to_vec());
@@ -496,6 +499,8 @@ impl Driver {
             result,
             scheme,
             threads: self.wp.threads,
+            lanes: self.wp.lanes(),
+            stamp_workers: self.wp.stamp_workers,
             rounds: self.rounds,
             total: self.total,
             critical_work: self.critical_work,

@@ -20,8 +20,13 @@ pub struct WavePipeReport {
     pub result: TransientResult,
     /// The scheme that produced it.
     pub scheme: Scheme,
-    /// Threads configured.
+    /// Threads configured (total budget across lanes and stamp workers).
     pub threads: usize,
+    /// Pipeline lanes the budget afforded (equals `threads` unless the
+    /// two-level lanes x stamp-workers split is active).
+    pub lanes: usize,
+    /// Per-lane stamp workers (`0` when stamping ran serially).
+    pub stamp_workers: usize,
     /// Parallel rounds executed.
     pub rounds: usize,
     /// Work summed across all threads.
@@ -74,12 +79,18 @@ impl WavePipeReport {
         (self.lead_accepted + self.speculation_accepted) as f64 / total as f64
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. With the two-level split active the
+    /// thread count is shown as `lanes x stamp workers`.
     pub fn summary(&self) -> String {
+        let split = if self.stamp_workers > 0 {
+            format!("{}={}x{}", self.threads, self.lanes, self.stamp_workers)
+        } else {
+            format!("{}", self.threads)
+        };
         format!(
             "{} x{}: {} pts, {} rounds, cp {} units / {:.2} ms, accept {:.0}%",
             self.scheme,
-            self.threads,
+            split,
             self.result.len(),
             self.rounds,
             self.critical_work,
@@ -98,6 +109,8 @@ mod tests {
             result: TransientResult::new(1, vec!["a".into()]),
             scheme: Scheme::Backward,
             threads: 2,
+            lanes: 2,
+            stamp_workers: 0,
             rounds: 10,
             total: SimStats::new(),
             critical_work,
@@ -134,5 +147,14 @@ mod tests {
     #[test]
     fn summary_contains_scheme() {
         assert!(dummy_report(1).summary().contains("backward"));
+    }
+
+    #[test]
+    fn summary_shows_thread_split_when_stamping_in_parallel() {
+        let mut r = dummy_report(1);
+        r.threads = 4;
+        r.lanes = 2;
+        r.stamp_workers = 2;
+        assert!(r.summary().contains("x4=2x2"), "{}", r.summary());
     }
 }

@@ -11,6 +11,7 @@ use crate::error::{EngineError, Result};
 use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
 use crate::newton::{newton_solve, LinearCache};
 use crate::options::SimOptions;
+use crate::parstamp::StampExecutor;
 use crate::stats::SimStats;
 
 fn dc_input<'a>(
@@ -44,6 +45,7 @@ pub fn dc_operating_point(
     sys: &MnaSystem,
     ws: &mut MnaWorkspace,
     cache: &mut LinearCache,
+    mut exec: Option<&mut StampExecutor>,
     opts: &SimOptions,
     stats: &mut SimStats,
 ) -> Result<Vec<f64>> {
@@ -56,6 +58,7 @@ pub fn dc_operating_point(
         sys,
         ws,
         cache,
+        exec.as_deref_mut(),
         &dc_input(&zeros, &caps, opts, opts.gmin, 1.0),
         &zeros,
         opts.max_dc_iters,
@@ -77,6 +80,7 @@ pub fn dc_operating_point(
             sys,
             ws,
             cache,
+            exec.as_deref_mut(),
             &dc_input(&zeros, &caps, opts, gshunt, 1.0),
             &x,
             opts.max_dc_iters,
@@ -98,6 +102,7 @@ pub fn dc_operating_point(
             sys,
             ws,
             cache,
+            exec.as_deref_mut(),
             &dc_input(&zeros, &caps, opts, opts.gmin, 1.0),
             &x,
             opts.max_dc_iters,
@@ -120,6 +125,7 @@ pub fn dc_operating_point(
             sys,
             ws,
             cache,
+            exec.as_deref_mut(),
             &dc_input(&zeros, &caps, opts, opts.gmin, target),
             &x,
             opts.max_dc_iters,
@@ -159,7 +165,7 @@ pub fn format_dc_op(circuit: &wavepipe_circuit::Circuit, opts: &SimOptions) -> R
     let mut ws = sys.new_workspace();
     let mut cache = LinearCache::new();
     let mut stats = SimStats::new();
-    let x = dc_operating_point(&sys, &mut ws, &mut cache, opts, &mut stats)?;
+    let x = dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?;
     let mut out = String::new();
     let _ = writeln!(out, "DC operating point ({} newton iterations)", stats.newton_iterations);
     let _ = writeln!(out, "{:<20} {:>14}", "node", "voltage (V)");
@@ -186,8 +192,9 @@ mod tests {
         let mut ws = sys.new_workspace();
         let mut cache = LinearCache::new();
         let mut stats = SimStats::new();
-        let x = dc_operating_point(&sys, &mut ws, &mut cache, &SimOptions::default(), &mut stats)
-            .unwrap();
+        let x =
+            dc_operating_point(&sys, &mut ws, &mut cache, None, &SimOptions::default(), &mut stats)
+                .unwrap();
         (sys, x)
     }
 
@@ -290,9 +297,15 @@ mod tests {
             let mut ws = sys.new_workspace();
             let mut cache = LinearCache::new();
             let mut stats = SimStats::new();
-            let x =
-                dc_operating_point(&sys, &mut ws, &mut cache, &SimOptions::default(), &mut stats)
-                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let x = dc_operating_point(
+                &sys,
+                &mut ws,
+                &mut cache,
+                None,
+                &SimOptions::default(),
+                &mut stats,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(wavepipe_sparse::vector::all_finite(&x), "{}", b.name);
         }
     }

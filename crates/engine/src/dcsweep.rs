@@ -97,9 +97,7 @@ pub fn run_dc_sweep(
         return Err(EngineError::BadParameter { name: "values", value: 0.0 });
     }
     let mut sys = MnaSystem::compile(circuit)?;
-    if !sys.override_source(source, values[0]) {
-        return Err(EngineError::UnknownSource { name: source.to_string() });
-    }
+    sys.set_source(source, values[0])?;
     let n = sys.n_unknowns();
     let mut ws = sys.new_workspace();
     let mut cache = LinearCache::new();
@@ -109,11 +107,14 @@ pub fn run_dc_sweep(
 
     let mut data = Vec::with_capacity(values.len() * n);
     // First point with full continuation.
-    let mut x = dc_operating_point(&sys, &mut ws, &mut cache, opts, &mut stats)?;
+    //
+    // The sweep mutates `sys` between points, so the stamp executor's frozen
+    // snapshot would go stale: every solve here stays on the serial path.
+    let mut x = dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?;
     data.extend_from_slice(&x);
 
     for &v in &values[1..] {
-        sys.override_source(source, v);
+        sys.set_source(source, v)?;
         let input = StampInput {
             time: 0.0,
             coeffs: None,
@@ -131,6 +132,7 @@ pub fn run_dc_sweep(
             &sys,
             &mut ws,
             &mut cache,
+            None,
             &input,
             &x,
             opts.max_dc_iters,
@@ -140,7 +142,7 @@ pub fn run_dc_sweep(
         x = if out.converged {
             out.x
         } else {
-            dc_operating_point(&sys, &mut ws, &mut cache, opts, &mut stats)?
+            dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?
         };
         data.extend_from_slice(&x);
     }

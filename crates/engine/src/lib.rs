@@ -58,6 +58,7 @@ pub mod measure;
 pub mod mna;
 pub mod newton;
 mod options;
+pub mod parstamp;
 pub mod rawfile;
 mod result;
 pub mod sensitivity;
@@ -71,6 +72,7 @@ pub use error::{EngineError, Result};
 pub use integrate::{IntegCoeffs, Method};
 pub use mna::{MnaSystem, MnaWorkspace, StampInput};
 pub use options::SimOptions;
+pub use parstamp::StampExecutor;
 pub use result::TransientResult;
 pub use sensitivity::{run_dc_sensitivity, SensitivityResult};
 pub use stats::SimStats;

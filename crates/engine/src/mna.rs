@@ -186,11 +186,60 @@ pub struct MnaSystem {
     /// Independent source name -> index into `devices`.
     source_names: Vec<(String, usize)>,
     source_waves: Vec<Waveform>,
+    plan: StampPlan,
 }
 
-enum Sink<'a> {
-    Record(&'a mut Vec<(usize, usize)>),
-    Write { values: &'a mut [f64], slots: &'a [usize], cursor: usize },
+/// Compile-time plan for colored parallel stamping: per-device emission
+/// spans plus a conflict coloring that fixes the accumulation order.
+///
+/// Two devices *conflict* iff they write a shared matrix slot or RHS entry.
+/// Colors are assigned by *level*: a device's color is one more than the
+/// highest color among earlier (lower-index) devices it conflicts with. This
+/// is a proper coloring (conflicting devices never share a color), and it has
+/// the stronger property that replaying devices in color-then-element order
+/// visits every conflicting pair in element order — so each matrix slot and
+/// RHS entry receives its floating-point contributions in exactly the serial
+/// sequence, making parallel stamping bit-identical to serial.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StampPlan {
+    /// Per-device `[start, end)` of matrix emissions, in emission-cursor
+    /// space (indices into `MnaSystem::slots`; the node-shunt prologue
+    /// occupies cursors `0..n_nodes`).
+    pub mat_span: Vec<(u32, u32)>,
+    /// Per-device `[start, end)` into `rhs_targets`.
+    pub rhs_span: Vec<(u32, u32)>,
+    /// Unknown index of every non-ground RHS emission, in emission order.
+    pub rhs_targets: Vec<u32>,
+    /// Per-device color (stamp group).
+    pub color: Vec<u32>,
+    /// Device indices sorted color-then-element: `order[group[c]..group[c+1]]`
+    /// is color `c`'s group, ascending by element index within the group.
+    pub order: Vec<u32>,
+    /// Color group boundaries into `order` (`n_colors + 1` entries).
+    pub group: Vec<u32>,
+}
+
+impl StampPlan {
+    /// Number of stamp colors (conflict-free device groups).
+    pub fn n_colors(&self) -> usize {
+        self.group.len().saturating_sub(1)
+    }
+}
+
+/// Where a stamping pass delivers its emissions. All three variants share the
+/// same ground-skip rule, so the emission *sequence* (and hence the slot
+/// table and the per-device spans) is identical across them.
+pub(crate) enum Sink<'a> {
+    /// Pattern pass: records matrix positions and RHS target unknowns.
+    Record { mat: &'a mut Vec<(usize, usize)>, rhs: &'a mut Vec<u32> },
+    /// Serial stamp: scatters through the slot table into the workspace.
+    Write { values: &'a mut [f64], slots: &'a [usize], cursor: usize, rhs: &'a mut [f64] },
+    /// Parallel evaluation: writes values densely in emission order into
+    /// pre-sized buffers (the plan spans fix every count up-front, so plain
+    /// cursor stores suffice — no `push` capacity checks on the hot path);
+    /// the accumulator later scatters them through the slot table in the
+    /// fixed color-then-element order.
+    Buffer { mat: &'a mut [f64], mat_cursor: usize, rhs: &'a mut [f64], rhs_cursor: usize },
 }
 
 impl Sink<'_> {
@@ -200,19 +249,62 @@ impl Sink<'_> {
             return;
         }
         match self {
-            Sink::Record(entries) => entries.push((r, c)),
-            Sink::Write { values, slots, cursor } => {
+            Sink::Record { mat, .. } => mat.push((r, c)),
+            Sink::Write { values, slots, cursor, .. } => {
                 values[slots[*cursor]] += v;
                 *cursor += 1;
+            }
+            Sink::Buffer { mat, mat_cursor, .. } => {
+                mat[*mat_cursor] = v;
+                *mat_cursor += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn rhs(&mut self, u: usize, v: f64) {
+        if u == GND {
+            return;
+        }
+        match self {
+            Sink::Record { rhs, .. } => rhs.push(u as u32),
+            Sink::Write { rhs, .. } => rhs[u] += v,
+            Sink::Buffer { rhs, rhs_cursor, .. } => {
+                rhs[*rhs_cursor] = v;
+                *rhs_cursor += 1;
             }
         }
     }
 }
 
-#[inline]
-fn rhs_add(rhs: &mut [f64], u: usize, v: f64) {
-    if u != GND {
-        rhs[u] += v;
+/// How a stamping pass reads and writes the `pnjlim` junction memory.
+///
+/// Serial stamping updates the workspace in place. Parallel evaluation reads
+/// an immutable pre-stamp snapshot and records its writes so the accumulator
+/// can replay them; every junction slot is owned by exactly one device, so
+/// the replay order across devices is irrelevant.
+pub(crate) enum Junction<'a> {
+    /// Serial stamp: the workspace's junction state, updated in place.
+    InPlace(&'a mut [f64]),
+    /// Parallel evaluation: snapshot reads, recorded writes.
+    Buffered { snapshot: &'a [f64], writes: &'a mut Vec<(u32, f64)> },
+}
+
+impl Junction<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            Junction::InPlace(j) => j[i],
+            Junction::Buffered { snapshot, .. } => snapshot[i],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: f64) {
+        match self {
+            Junction::InPlace(j) => j[i] = v,
+            Junction::Buffered { writes, .. } => writes.push((i as u32, v)),
+        }
     }
 }
 
@@ -403,19 +495,21 @@ impl MnaSystem {
             branch_names,
             source_names,
             source_waves,
+            plan: StampPlan::default(),
         };
         sys.build_pattern();
         Ok(sys)
     }
 
     /// Emission pass that records every matrix position a stamp can touch,
-    /// then freezes the CSC pattern and the per-emission slot table.
+    /// then freezes the CSC pattern, the per-emission slot table, and the
+    /// per-device conflict coloring for the parallel stamp path.
     fn build_pattern(&mut self) {
         let mut entries = Vec::new();
+        let mut rhs_targets: Vec<u32> = Vec::new();
         let zeros = vec![0.0_f64; self.n_unknowns];
         let caps = vec![0.0_f64; self.n_cap_states];
         let mut junction = vec![0.0_f64; self.n_junctions];
-        let mut rhs = vec![0.0_f64; self.n_unknowns];
         let mut limited = false;
         let input = StampInput {
             time: 0.0,
@@ -428,9 +522,29 @@ impl MnaSystem {
             source_scale: 1.0,
             ic_mode: false,
         };
+        let mut mat_span = Vec::with_capacity(self.devices.len());
+        let mut rhs_span = Vec::with_capacity(self.devices.len());
         {
-            let mut sink = Sink::Record(&mut entries);
-            self.emit(&input, &zeros, &mut junction, &mut limited, &mut rhs, &mut sink);
+            let mut jct = Junction::InPlace(&mut junction);
+            let mut sink = Sink::Record { mat: &mut entries, rhs: &mut rhs_targets };
+            // Shunt prologue occupies emission cursors 0..n_nodes, exactly as
+            // in `emit`.
+            for i in 0..self.n_nodes {
+                sink.mat(i, i, 0.0);
+            }
+            for dev in &self.devices {
+                let (m0, r0) = match &sink {
+                    Sink::Record { mat, rhs } => (mat.len() as u32, rhs.len() as u32),
+                    _ => unreachable!(),
+                };
+                Self::emit_device(dev, &input, &zeros, &mut jct, &mut limited, &mut sink);
+                let (m1, r1) = match &sink {
+                    Sink::Record { mat, rhs } => (mat.len() as u32, rhs.len() as u32),
+                    _ => unreachable!(),
+                };
+                mat_span.push((m0, m1));
+                rhs_span.push((r0, r1));
+            }
         }
         let n = self.n_unknowns;
         let mut coo = CooMatrix::with_capacity(n, n, entries.len());
@@ -443,6 +557,57 @@ impl MnaSystem {
             .map(|&(r, c)| pattern.find_index(r, c).expect("entry present in pattern"))
             .collect();
         self.pattern = pattern;
+        self.plan = self.build_plan(mat_span, rhs_span, rhs_targets);
+    }
+
+    /// Level-colors the device conflict graph and freezes the replay order.
+    fn build_plan(
+        &self,
+        mat_span: Vec<(u32, u32)>,
+        rhs_span: Vec<(u32, u32)>,
+        rhs_targets: Vec<u32>,
+    ) -> StampPlan {
+        let nd = self.devices.len();
+        // Running level per matrix slot / RHS entry: one more than the
+        // highest color among already-colored writers of that slot.
+        let mut slot_level = vec![0u32; self.pattern.nnz()];
+        let mut rhs_level = vec![0u32; self.n_unknowns];
+        let mut color = vec![0u32; nd];
+        for d in 0..nd {
+            let mut c = 0u32;
+            for cursor in mat_span[d].0..mat_span[d].1 {
+                c = c.max(slot_level[self.slots[cursor as usize]]);
+            }
+            for k in rhs_span[d].0..rhs_span[d].1 {
+                c = c.max(rhs_level[rhs_targets[k as usize] as usize]);
+            }
+            color[d] = c;
+            for cursor in mat_span[d].0..mat_span[d].1 {
+                let lvl = &mut slot_level[self.slots[cursor as usize]];
+                *lvl = (*lvl).max(c + 1);
+            }
+            for k in rhs_span[d].0..rhs_span[d].1 {
+                let lvl = &mut rhs_level[rhs_targets[k as usize] as usize];
+                *lvl = (*lvl).max(c + 1);
+            }
+        }
+        // Counting sort by color: stable, so each group stays ascending by
+        // element index.
+        let n_colors = color.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let mut group = vec![0u32; n_colors + 1];
+        for &c in &color {
+            group[c as usize + 1] += 1;
+        }
+        for i in 1..group.len() {
+            group[i] += group[i - 1];
+        }
+        let mut cursor: Vec<u32> = group[..n_colors].to_vec();
+        let mut order = vec![0u32; nd];
+        for (d, &c) in color.iter().enumerate() {
+            order[cursor[c as usize] as usize] = d as u32;
+            cursor[c as usize] += 1;
+        }
+        StampPlan { mat_span, rhs_span, rhs_targets, color, order, group }
     }
 
     /// Number of MNA unknowns (node voltages + branch currents).
@@ -502,19 +667,32 @@ impl MnaSystem {
 
     /// Replaces the named independent source's waveform with a DC value
     /// (the DC-sweep hot path — pattern and slot table are untouched).
-    /// Returns `false` if no independent source with that name exists.
-    pub fn override_source(&mut self, name: &str, value: f64) -> bool {
+    ///
+    /// The name lookup is case-insensitive, matching netlist conventions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::UnknownSource`] naming the missing
+    /// source if no independent source with that name exists.
+    pub fn set_source(&mut self, name: &str, value: f64) -> Result<()> {
+        let missing = || crate::EngineError::UnknownSource { name: name.to_string() };
         let Some(&(_, idx)) = self.source_names.iter().find(|(n, _)| n.eq_ignore_ascii_case(name))
         else {
-            return false;
+            return Err(missing());
         };
         match &mut self.devices[idx] {
             Dev::Vsrc { wave, .. } | Dev::Isrc { wave, .. } => {
                 *wave = Waveform::Dc(value);
-                true
+                Ok(())
             }
-            _ => false,
+            _ => Err(missing()),
         }
+    }
+
+    /// Deprecated boolean-returning predecessor of [`MnaSystem::set_source`].
+    #[deprecated(since = "0.2.0", note = "use `set_source`, which names the missing source")]
+    pub fn override_source(&mut self, name: &str, value: f64) -> bool {
+        self.set_source(name, value).is_ok()
     }
 
     /// All branch-current element names with their unknown indices.
@@ -552,8 +730,133 @@ impl MnaSystem {
         ws.rhs.fill(0.0);
         ws.limited = false;
         let MnaWorkspace { matrix, rhs, junction_state, limited } = ws;
-        let mut sink = Sink::Write { values: matrix.values_mut(), slots: &self.slots, cursor: 0 };
-        self.emit(input, x_iter, junction_state, limited, rhs, &mut sink)
+        let mut sink =
+            Sink::Write { values: matrix.values_mut(), slots: &self.slots, cursor: 0, rhs };
+        self.emit(input, x_iter, junction_state, limited, &mut sink)
+    }
+
+    /// The compile-time parallel-stamp plan (spans, coloring, replay order).
+    pub(crate) fn plan(&self) -> &StampPlan {
+        &self.plan
+    }
+
+    /// Rough relative evaluation cost of device `d`, used to balance
+    /// parallel stamp chunks (nonlinear model evaluations dominate; linear
+    /// stamps are almost free).
+    pub(crate) fn device_eval_weight(&self, d: usize) -> u64 {
+        match self.devices[d] {
+            Dev::Bjt { .. } => 10,
+            Dev::Mos { .. } => 8,
+            Dev::Diode { .. } => 5,
+            Dev::Jcap { .. } => 4,
+            Dev::Cap { .. } | Dev::Ind { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Number of stamp colors the conflict coloring produced.
+    pub fn stamp_color_count(&self) -> usize {
+        self.plan.n_colors()
+    }
+
+    /// Parallel-path master prologue: zeroes the workspace and applies the
+    /// node-shunt diagonal, exactly as the serial path's first `n_nodes`
+    /// emissions do.
+    pub(crate) fn stamp_prologue(&self, ws: &mut MnaWorkspace, input: &StampInput<'_>) {
+        ws.matrix.set_values_zero();
+        ws.rhs.fill(0.0);
+        ws.limited = false;
+        let values = ws.matrix.values_mut();
+        for i in 0..self.n_nodes {
+            values[self.slots[i]] += input.gshunt;
+        }
+    }
+
+    /// Worker-side evaluation of a device subset into dense buffers, in the
+    /// order given by `devices` (indices into the compiled device list).
+    /// Returns whether any junction voltage was limited.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_devices(
+        &self,
+        input: &StampInput<'_>,
+        x: &[f64],
+        junction_snapshot: &[f64],
+        devices: &[u32],
+        mat_out: &mut Vec<f64>,
+        rhs_out: &mut Vec<f64>,
+        jct_out: &mut Vec<(u32, f64)>,
+    ) -> bool {
+        // The plan spans fix the emission counts up-front, so the buffers
+        // can be sized once and filled with cursor stores.
+        let (mut mat_len, mut rhs_len) = (0usize, 0usize);
+        for &d in devices {
+            let (m0, m1) = self.plan.mat_span[d as usize];
+            mat_len += (m1 - m0) as usize;
+            let (r0, r1) = self.plan.rhs_span[d as usize];
+            rhs_len += (r1 - r0) as usize;
+        }
+        mat_out.resize(mat_len, 0.0);
+        rhs_out.resize(rhs_len, 0.0);
+        jct_out.clear();
+        let mut limited = false;
+        let mut jct = Junction::Buffered { snapshot: junction_snapshot, writes: jct_out };
+        let mut sink = Sink::Buffer { mat: mat_out, mat_cursor: 0, rhs: rhs_out, rhs_cursor: 0 };
+        for &d in devices {
+            Self::emit_device(
+                &self.devices[d as usize],
+                input,
+                x,
+                &mut jct,
+                &mut limited,
+                &mut sink,
+            );
+        }
+        debug_assert!(matches!(
+            sink,
+            Sink::Buffer { mat_cursor, rhs_cursor, .. }
+                if mat_cursor == mat_len && rhs_cursor == rhs_len
+        ));
+        limited
+    }
+
+    /// Master-side accumulation of one evaluated chunk into the workspace.
+    ///
+    /// `devices` must be the same slice (same order) the chunk was evaluated
+    /// with; chunks must be accumulated in ascending color-then-element
+    /// order for bit-identity with the serial path.
+    pub(crate) fn accumulate_devices(
+        &self,
+        ws: &mut MnaWorkspace,
+        devices: &[u32],
+        mat_vals: &[f64],
+        rhs_vals: &[f64],
+        jct_writes: &[(u32, f64)],
+        limited: bool,
+    ) {
+        let MnaWorkspace { matrix, rhs, junction_state, limited: ws_limited } = ws;
+        let values = matrix.values_mut();
+        let (mut mi, mut ri) = (0usize, 0usize);
+        for &d in devices {
+            let d = d as usize;
+            let (m0, m1) = self.plan.mat_span[d];
+            let span = &self.slots[m0 as usize..m1 as usize];
+            for (&slot, &v) in span.iter().zip(&mat_vals[mi..mi + span.len()]) {
+                values[slot] += v;
+            }
+            mi += span.len();
+            let (r0, r1) = self.plan.rhs_span[d];
+            let targets = &self.plan.rhs_targets[r0 as usize..r1 as usize];
+            for (&u, &v) in targets.iter().zip(&rhs_vals[ri..ri + targets.len()]) {
+                rhs[u as usize] += v;
+            }
+            ri += targets.len();
+        }
+        debug_assert_eq!(mi, mat_vals.len());
+        debug_assert_eq!(ri, rhs_vals.len());
+        for &(j, v) in jct_writes {
+            junction_state[j as usize] = v;
+        }
+        *ws_limited |= limited;
     }
 
     /// Capacitor currents at the newly accepted point, for the next step's
@@ -592,31 +895,44 @@ impl MnaSystem {
         out
     }
 
-    /// The single emission routine shared by the pattern pass and every
-    /// numeric stamp. Emission order and count are value-independent, which
-    /// is what keeps the slot table valid.
+    /// The serial emission routine shared by the pattern pass and the serial
+    /// numeric stamp: shunt prologue, then every device in element order.
     fn emit(
         &self,
         input: &StampInput<'_>,
         x: &[f64],
         junction: &mut [f64],
         limited: &mut bool,
-        rhs: &mut [f64],
         sink: &mut Sink<'_>,
     ) -> usize {
-        let mut evals = 0usize;
         // Node shunts: structural diagonal for every node row.
         for i in 0..self.n_nodes {
             sink.mat(i, i, input.gshunt);
         }
+        let mut jct = Junction::InPlace(junction);
+        for dev in &self.devices {
+            Self::emit_device(dev, input, x, &mut jct, limited, sink);
+        }
+        self.devices.len()
+    }
+
+    /// Evaluates and emits one device. Emission order and count are
+    /// value-independent, which is what keeps the slot table and the
+    /// per-device spans valid across the serial and parallel paths.
+    fn emit_device(
+        dev: &Dev,
+        input: &StampInput<'_>,
+        x: &[f64],
+        junction: &mut Junction<'_>,
+        limited: &mut bool,
+        sink: &mut Sink<'_>,
+    ) {
         let (a0, a1, a2, b1) = match input.coeffs {
             Some(c) => (c.a0, c.a1, c.a2, c.b1),
             None => (0.0, 0.0, 0.0, 0.0),
         };
         let dc = input.coeffs.is_none();
-
-        for dev in &self.devices {
-            evals += 1;
+        {
             match *dev {
                 Dev::Conductance { p, n, g } => {
                     sink.mat(p, p, g);
@@ -644,8 +960,8 @@ impl MnaSystem {
                     sink.mat(p, n, -geq);
                     sink.mat(n, p, -geq);
                     sink.mat(n, n, geq);
-                    rhs_add(rhs, p, -ieq);
-                    rhs_add(rhs, n, ieq);
+                    sink.rhs(p, -ieq);
+                    sink.rhs(n, ieq);
                 }
                 Dev::Jcap { p, n, cj0, vj, m, fc, state } => {
                     // Nonlinear charge companion: i = dq/dt with
@@ -672,8 +988,8 @@ impl MnaSystem {
                     sink.mat(p, n, -geq);
                     sink.mat(n, p, -geq);
                     sink.mat(n, n, geq);
-                    rhs_add(rhs, p, -ieq);
-                    rhs_add(rhs, n, ieq);
+                    sink.rhs(p, -ieq);
+                    sink.rhs(n, ieq);
                 }
                 Dev::Ind { p, n, l, branch, ic } => {
                     // KCL contributions of the branch current.
@@ -684,8 +1000,8 @@ impl MnaSystem {
                         sink.mat(branch, p, 0.0);
                         sink.mat(branch, n, 0.0);
                         sink.mat(branch, branch, -1.0);
-                        rhs_add(rhs, branch, -ic.unwrap_or(0.0));
-                        continue;
+                        sink.rhs(branch, -ic.unwrap_or(0.0));
+                        return;
                     }
                     // Branch equation: v_p - v_n - L*di/dt = 0.
                     sink.mat(branch, p, 1.0);
@@ -699,27 +1015,27 @@ impl MnaSystem {
                         (l * a0, l * (a1 * i_prev + a2 * i_prev2) + b1 * u_prev)
                     };
                     sink.mat(branch, branch, -leq);
-                    rhs_add(rhs, branch, rhs_b);
+                    sink.rhs(branch, rhs_b);
                 }
                 Dev::Vsrc { p, n, branch, ref wave, .. } => {
                     sink.mat(p, branch, 1.0);
                     sink.mat(n, branch, -1.0);
                     sink.mat(branch, p, 1.0);
                     sink.mat(branch, n, -1.0);
-                    rhs_add(rhs, branch, wave.value(input.time) * input.source_scale);
+                    sink.rhs(branch, wave.value(input.time) * input.source_scale);
                 }
                 Dev::Isrc { p, n, ref wave, .. } => {
                     let i = wave.value(input.time) * input.source_scale;
-                    rhs_add(rhs, p, -i);
-                    rhs_add(rhs, n, i);
+                    sink.rhs(p, -i);
+                    sink.rhs(n, i);
                 }
                 Dev::Diode { p, n, is, nvt, vcrit, jct } => {
                     let u_raw = volt(x, p) - volt(x, n);
-                    let u = pnjlim(u_raw, junction[jct], nvt, vcrit);
+                    let u = pnjlim(u_raw, junction.get(jct), nvt, vcrit);
                     if (u - u_raw).abs() > 1e-10 {
                         *limited = true;
                     }
-                    junction[jct] = u;
+                    junction.set(jct, u);
                     let (i_d, g_d) = diode_eval(u, is, nvt);
                     let g = g_d + input.gmin;
                     sink.mat(p, p, g);
@@ -727,8 +1043,8 @@ impl MnaSystem {
                     sink.mat(n, p, -g);
                     sink.mat(n, n, g);
                     let ieq = i_d - g_d * u;
-                    rhs_add(rhs, p, -ieq);
-                    rhs_add(rhs, n, ieq);
+                    sink.rhs(p, -ieq);
+                    sink.rhs(n, ieq);
                 }
                 Dev::Mos { d, g, s, b, ref params } => {
                     let (vd, vg, vs, vb) = (volt(x, d), volt(x, g), volt(x, s), volt(x, b));
@@ -750,8 +1066,8 @@ impl MnaSystem {
                     sink.mat(s, d, -input.gmin);
                     sink.mat(s, s, input.gmin);
                     let ieq = e.id - (e.g_dd * vd + e.g_dg * vg + e.g_ds * vs + e.g_db * vb);
-                    rhs_add(rhs, d, -ieq);
-                    rhs_add(rhs, s, ieq);
+                    sink.rhs(d, -ieq);
+                    sink.rhs(s, ieq);
                 }
                 Dev::Bjt { c, b, e, sign, is, bf, br, jct_be, jct_bc } => {
                     let (vc, vb, ve) = (volt(x, c), volt(x, b), volt(x, e));
@@ -759,13 +1075,13 @@ impl MnaSystem {
                     let vcrit = junction_vcrit(is, nvt);
                     let vbe_raw = sign * (vb - ve);
                     let vbc_raw = sign * (vb - vc);
-                    let vbe = pnjlim(vbe_raw, junction[jct_be], nvt, vcrit);
-                    let vbc = pnjlim(vbc_raw, junction[jct_bc], nvt, vcrit);
+                    let vbe = pnjlim(vbe_raw, junction.get(jct_be), nvt, vcrit);
+                    let vbc = pnjlim(vbc_raw, junction.get(jct_bc), nvt, vcrit);
                     if (vbe - vbe_raw).abs() > 1e-10 || (vbc - vbc_raw).abs() > 1e-10 {
                         *limited = true;
                     }
-                    junction[jct_be] = vbe;
-                    junction[jct_bc] = vbc;
+                    junction.set(jct_be, vbe);
+                    junction.set(jct_bc, vbc);
                     let ev = bjt_eval(vbe, vbc, sign, is, bf, br);
                     // Reconstruct limited node voltages for the equivalent
                     // currents: the linearisation point is (vbe, vbc) in the
@@ -796,9 +1112,9 @@ impl MnaSystem {
                     sink.mat(c, c, input.gmin);
                     let ieq_c = ev.ic - (ev.g_cc * vc_l + ev.g_cb * vb_l + ev.g_ce * ve_l);
                     let ieq_b = ev.ib - (ev.g_bc * vc_l + ev.g_bb * vb_l + ev.g_be * ve_l);
-                    rhs_add(rhs, c, -ieq_c);
-                    rhs_add(rhs, b, -ieq_b);
-                    rhs_add(rhs, e, ieq_c + ieq_b);
+                    sink.rhs(c, -ieq_c);
+                    sink.rhs(b, -ieq_b);
+                    sink.rhs(e, ieq_c + ieq_b);
                 }
                 Dev::Vcvs { p, n, cp, cn, gain, branch } => {
                     sink.mat(p, branch, 1.0);
@@ -816,7 +1132,6 @@ impl MnaSystem {
                 }
             }
         }
-        evals
     }
 }
 
@@ -949,5 +1264,93 @@ mod tests {
         // i = gm*vin = 2 mA out of `out` node -> v(out) = -2 V across 1k.
         let out_i = sys.node_unknown("out").unwrap();
         assert!((sol[out_i] + 2.0).abs() < 1e-4, "v(out) = {}", sol[out_i]);
+    }
+
+    /// For every matrix slot and RHS entry, collect the list of devices
+    /// writing it, in element order.
+    fn writers_of(sys: &MnaSystem) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let plan = &sys.plan;
+        let mut slot_writers: Vec<Vec<usize>> = vec![Vec::new(); sys.pattern.nnz()];
+        let mut rhs_writers: Vec<Vec<usize>> = vec![Vec::new(); sys.n_unknowns];
+        for d in 0..plan.mat_span.len() {
+            let mut seen = std::collections::HashSet::new();
+            for cursor in plan.mat_span[d].0..plan.mat_span[d].1 {
+                if seen.insert(sys.slots[cursor as usize]) {
+                    slot_writers[sys.slots[cursor as usize]].push(d);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for k in plan.rhs_span[d].0..plan.rhs_span[d].1 {
+                let u = plan.rhs_targets[k as usize] as usize;
+                if seen.insert(u) {
+                    rhs_writers[u].push(d);
+                }
+            }
+        }
+        (slot_writers, rhs_writers)
+    }
+
+    #[test]
+    fn coloring_never_co_groups_conflicting_elements() {
+        for b in wavepipe_circuit::generators::small_suite() {
+            let sys = MnaSystem::compile(&b.circuit).unwrap();
+            let plan = &sys.plan;
+            let (slot_writers, rhs_writers) = writers_of(&sys);
+            for writers in slot_writers.iter().chain(&rhs_writers) {
+                // Conflicting devices must get strictly increasing colors in
+                // element order — the property that makes color-then-element
+                // replay reproduce the serial per-slot addition order (and,
+                // a fortiori, a proper coloring).
+                for w in writers.windows(2) {
+                    assert!(
+                        plan.color[w[0]] < plan.color[w[1]],
+                        "{}: devices {} and {} share a slot but have colors {} >= {}",
+                        b.name,
+                        w[0],
+                        w[1],
+                        plan.color[w[0]],
+                        plan.color[w[1]],
+                    );
+                }
+            }
+            // The replay order must be a permutation grouped by ascending
+            // color, ascending element index within each group.
+            assert_eq!(plan.order.len(), sys.devices.len());
+            for c in 0..plan.n_colors() {
+                let grp = &plan.order[plan.group[c] as usize..plan.group[c + 1] as usize];
+                for w in grp.windows(2) {
+                    assert!(w[0] < w[1], "{}: group {c} not ascending", b.name);
+                }
+                for &d in grp {
+                    assert_eq!(plan.color[d as usize] as usize, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_source_names_the_missing_source() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, W::dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let mut sys = MnaSystem::compile(&ckt).unwrap();
+        assert!(sys.set_source("v1", 2.0).is_ok(), "lookup is case-insensitive");
+        match sys.set_source("Vnope", 2.0) {
+            Err(crate::EngineError::UnknownSource { name }) => assert_eq!(name, "Vnope"),
+            other => panic!("expected UnknownSource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn override_source_shim_still_reports_success() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, W::dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let mut sys = MnaSystem::compile(&ckt).unwrap();
+        assert!(sys.override_source("V1", 3.0));
+        assert!(!sys.override_source("R1", 3.0), "resistors are not sources");
     }
 }

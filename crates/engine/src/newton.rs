@@ -3,7 +3,9 @@
 use crate::error::Result;
 use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
 use crate::options::SimOptions;
+use crate::parstamp::StampExecutor;
 use crate::stats::SimStats;
+use std::time::Instant;
 use wavepipe_sparse::{LuOptions, SparseError, SparseLu};
 use wavepipe_telemetry::EventKind;
 
@@ -100,6 +102,10 @@ pub struct NewtonOutcome {
 /// SPICE per-unknown delta test (`vntol`/`reltol` on node voltages,
 /// `abstol`/`reltol` on branch currents).
 ///
+/// With `exec: Some(..)` the stamp runs on the executor's worker set
+/// (colored parallel device evaluation); the executor must have been built
+/// for the same `sys`. Results are bit-identical either way.
+///
 /// # Errors
 ///
 /// Returns [`crate::EngineError::Linear`] if the matrix is singular beyond repair.
@@ -110,18 +116,35 @@ pub fn newton_solve(
     sys: &MnaSystem,
     ws: &mut MnaWorkspace,
     cache: &mut LinearCache,
+    mut exec: Option<&mut StampExecutor>,
     input: &StampInput<'_>,
     x0: &[f64],
     max_iters: usize,
     opts: &SimOptions,
     stats: &mut SimStats,
 ) -> Result<NewtonOutcome> {
+    if let Some(e) = exec.as_deref() {
+        debug_assert!(
+            std::ptr::eq::<MnaSystem>(&**e.system(), sys),
+            "stamp executor built for a different system"
+        );
+    }
     let n_nodes = sys.n_nodes();
     let mut x = x0.to_vec();
     for it in 1..=max_iters {
         stats.newton_iterations += 1;
         opts.probe.emit(input.time, EventKind::NewtonIter { iteration: it as u32 });
-        stats.device_evals += sys.stamp(ws, input, &x);
+        stats.device_evals += match exec.as_deref_mut() {
+            Some(e) => e.stamp(ws, input, &x, &opts.probe, stats),
+            None => {
+                let t0 = Instant::now();
+                let evals = sys.stamp(ws, input, &x);
+                let ns = t0.elapsed().as_nanos();
+                stats.stamp_ns += ns;
+                stats.stamp_modeled_ns += ns;
+                evals
+            }
+        };
         if !wavepipe_sparse::vector::all_finite(&ws.rhs) {
             // Companion history produced a non-finite excitation: give up on
             // this point so the step controller backs off.
@@ -209,6 +232,7 @@ mod tests {
             &sys,
             &mut ws,
             &mut cache,
+            None,
             &dc_input(&zeros, &caps, &opts),
             &zeros,
             20,
@@ -244,6 +268,7 @@ mod tests {
             &sys,
             &mut ws,
             &mut cache,
+            None,
             &dc_input(&zeros, &caps, &opts),
             &zeros,
             100,
@@ -280,6 +305,7 @@ mod tests {
             &sys,
             &mut ws,
             &mut cache,
+            None,
             &dc_input(&zeros, &caps, &opts),
             &zeros,
             1,

@@ -51,6 +51,18 @@ pub struct SimOptions {
     /// emission a single branch; attach a recording probe to capture the
     /// event stream. Probes only observe — they never alter the solution.
     pub probe: ProbeHandle,
+    /// Intra-step stamp workers for graph-colored parallel device
+    /// evaluation. `0` (the default) stamps serially on the solver thread;
+    /// `n >= 1` evaluates devices on `n` persistent worker threads and
+    /// accumulates in a fixed color-then-element order, producing results
+    /// bit-identical to the serial path. The default honours the
+    /// `WAVEPIPE_STAMP_WORKERS` environment variable so a whole test suite
+    /// can be forced onto the parallel path.
+    pub stamp_workers: usize,
+}
+
+fn default_stamp_workers() -> usize {
+    std::env::var("WAVEPIPE_STAMP_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
 impl Default for SimOptions {
@@ -71,14 +83,60 @@ impl Default for SimOptions {
             lte_abstol: 1e-6,
             use_ic: false,
             probe: ProbeHandle::none(),
+            stamp_workers: default_stamp_workers(),
         }
     }
 }
 
 impl SimOptions {
-    /// Options with a specific integration method.
-    pub fn with_method(method: Method) -> Self {
-        SimOptions { method, ..SimOptions::default() }
+    /// Builder: replaces the integration method.
+    #[must_use]
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Builder: replaces the relative tolerance (`RELTOL`).
+    #[must_use]
+    pub fn with_reltol(mut self, reltol: f64) -> Self {
+        self.reltol = reltol;
+        self
+    }
+
+    /// Builder: replaces the absolute voltage tolerance (`VNTOL`).
+    #[must_use]
+    pub fn with_vntol(mut self, vntol: f64) -> Self {
+        self.vntol = vntol;
+        self
+    }
+
+    /// Builder: replaces the maximum step-growth ratio.
+    #[must_use]
+    pub fn with_rmax(mut self, rmax: f64) -> Self {
+        self.rmax = rmax;
+        self
+    }
+
+    /// Builder: starts the transient from element initial conditions (`UIC`)
+    /// instead of the DC operating point.
+    #[must_use]
+    pub fn with_use_ic(mut self, use_ic: bool) -> Self {
+        self.use_ic = use_ic;
+        self
+    }
+
+    /// Builder: attaches a telemetry probe.
+    #[must_use]
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Builder: sets the number of intra-step stamp workers (`0` = serial).
+    #[must_use]
+    pub fn with_stamp_workers(mut self, stamp_workers: usize) -> Self {
+        self.stamp_workers = stamp_workers;
+        self
     }
 
     /// Minimum step for a run to `tstop`.
@@ -115,8 +173,26 @@ mod tests {
 
     #[test]
     fn with_method_overrides_only_method() {
-        let o = SimOptions::with_method(Method::Gear2);
+        let o = SimOptions::default().with_method(Method::Gear2);
         assert_eq!(o.method, Method::Gear2);
         assert_eq!(o.reltol, SimOptions::default().reltol);
+    }
+
+    #[test]
+    fn builders_chain_and_override_only_their_field() {
+        let base = SimOptions::default();
+        let o = SimOptions::default()
+            .with_method(Method::Gear2)
+            .with_reltol(1e-4)
+            .with_rmax(4.0)
+            .with_use_ic(true)
+            .with_stamp_workers(3);
+        assert_eq!(o.method, Method::Gear2);
+        assert_eq!(o.reltol, 1e-4);
+        assert_eq!(o.rmax, 4.0);
+        assert!(o.use_ic);
+        assert_eq!(o.stamp_workers, 3);
+        assert_eq!(o.vntol, base.vntol);
+        assert_eq!(o.gmin, base.gmin);
     }
 }

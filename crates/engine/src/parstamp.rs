@@ -1,0 +1,379 @@
+//! Intra-step parallel device evaluation: the colored stamp executor.
+//!
+//! [`MnaSystem::compile`] level-colors the device conflict graph (two
+//! devices conflict iff they write a shared matrix slot or RHS entry). The
+//! executor built here evaluates device chunks concurrently on a small
+//! persistent worker set — evaluation is pure apart from device-owned
+//! junction state, so chunks from *different* colors can be in flight at
+//! once — and then accumulates the buffered results into the workspace
+//! serially, in the fixed color-then-element order the coloring guarantees
+//! matches the serial per-slot addition order. The result is bit-identical
+//! to [`MnaSystem::stamp`], independent of worker count and scheduling.
+//!
+//! Timing: [`SimStats::stamp_ns`] gets the actual wall time of each call,
+//! while [`SimStats::stamp_modeled_ns`] gets the critical-path model (the
+//! busiest worker's evaluation time plus the master-serial snapshot and
+//! accumulation overhead) — what an otherwise-idle machine with enough cores
+//! would realise. The repo's speedup reports are built from the model, per
+//! the convention documented in EXPERIMENTS.md.
+
+use crate::integrate::IntegCoeffs;
+use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
+use crate::stats::SimStats;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use wavepipe_telemetry::{EventKind, ProbeHandle};
+
+/// Per-chunk scratch buffers, recycled across stamp calls.
+#[derive(Debug, Default)]
+struct ChunkBufs {
+    mat: Vec<f64>,
+    rhs: Vec<f64>,
+    jct: Vec<(u32, f64)>,
+}
+
+/// One dispatched evaluation job: a contiguous span of the replay order.
+struct Job {
+    ctx: Arc<CallCtx>,
+    chunk_id: u32,
+    /// `[start, end)` into `StampPlan::order`.
+    start: u32,
+    end: u32,
+    bufs: ChunkBufs,
+}
+
+/// A finished chunk, sent back to the master.
+struct ChunkOut {
+    chunk_id: u32,
+    bufs: ChunkBufs,
+    limited: bool,
+    eval_ns: u64,
+}
+
+/// Owned snapshot of one stamp call's borrowed inputs. Workers hold it via
+/// `Arc`; the buffers are recycled call-to-call to avoid reallocation.
+#[derive(Default)]
+struct CallCtx {
+    time: f64,
+    coeffs: Option<IntegCoeffs>,
+    x_prev: Vec<f64>,
+    x_prev2: Vec<f64>,
+    cap_currents: Vec<f64>,
+    gmin: f64,
+    gshunt: f64,
+    source_scale: f64,
+    ic_mode: bool,
+    x_iter: Vec<f64>,
+    junction: Vec<f64>,
+}
+
+impl CallCtx {
+    fn capture(&mut self, input: &StampInput<'_>, x_iter: &[f64], junction: &[f64]) {
+        self.time = input.time;
+        self.coeffs = input.coeffs;
+        self.x_prev.clear();
+        self.x_prev.extend_from_slice(input.x_prev);
+        self.x_prev2.clear();
+        self.x_prev2.extend_from_slice(input.x_prev2);
+        self.cap_currents.clear();
+        self.cap_currents.extend_from_slice(input.cap_currents);
+        self.gmin = input.gmin;
+        self.gshunt = input.gshunt;
+        self.source_scale = input.source_scale;
+        self.ic_mode = input.ic_mode;
+        self.x_iter.clear();
+        self.x_iter.extend_from_slice(x_iter);
+        self.junction.clear();
+        self.junction.extend_from_slice(junction);
+    }
+
+    fn input(&self) -> StampInput<'_> {
+        StampInput {
+            time: self.time,
+            coeffs: self.coeffs,
+            x_prev: &self.x_prev,
+            x_prev2: &self.x_prev2,
+            cap_currents: &self.cap_currents,
+            gmin: self.gmin,
+            gshunt: self.gshunt,
+            source_scale: self.source_scale,
+            ic_mode: self.ic_mode,
+        }
+    }
+}
+
+/// One precomputed chunk of the replay order.
+#[derive(Debug, Clone, Copy)]
+struct ChunkSpec {
+    /// `[start, end)` into `StampPlan::order`.
+    start: u32,
+    end: u32,
+    /// Worker the chunk is pinned to (round-robin at plan time).
+    worker: u32,
+}
+
+/// Persistent worker set evaluating stamp chunks concurrently.
+///
+/// Created once per solver (the workers and all buffers are reused across
+/// every Newton iteration); dropped workers shut down when their job channel
+/// closes. The executor snapshots the system at construction via `Arc`, so
+/// the system must not be mutated afterwards (use the serial path for
+/// workflows like DC sweeps that edit sources between solves).
+pub struct StampExecutor {
+    sys: Arc<MnaSystem>,
+    n_workers: usize,
+    chunks: Vec<ChunkSpec>,
+    job_txs: Vec<Sender<Job>>,
+    result_rx: Receiver<ChunkOut>,
+    handles: Vec<JoinHandle<()>>,
+    /// Reorder buffer: finished chunks land here until their turn.
+    pending: Vec<Option<ChunkOut>>,
+    /// Recycled per-chunk buffers, indexed by chunk id.
+    spare: Vec<Option<ChunkBufs>>,
+    /// Recycled snapshot (taken back from workers each call via `Arc`
+    /// reference-count collapse; re-allocated only if a worker still holds it).
+    ctx: Option<Arc<CallCtx>>,
+    /// Per-worker busy nanoseconds within the current call.
+    worker_busy: Vec<u64>,
+    /// Calibration mode (`WAVEPIPE_STAMP_SEQUENTIAL=1`): dispatch chunks one
+    /// at a time so each chunk's evaluation is timed without the other
+    /// workers competing for cores. Results are bit-identical either way —
+    /// only the timing quality changes. Benchmarks use this on oversubscribed
+    /// hosts, where concurrent chunk wall times would overstate the critical
+    /// path that [`SimStats::stamp_modeled_ns`] models.
+    sequential: bool,
+}
+
+impl fmt::Debug for StampExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StampExecutor")
+            .field("workers", &self.n_workers)
+            .field("chunks", &self.chunks.len())
+            .field("colors", &self.sys.stamp_color_count())
+            .finish()
+    }
+}
+
+/// Rough per-device evaluation cost used to balance chunks (model
+/// evaluations dominate; linear stamps are almost free).
+fn device_cost(sys: &MnaSystem, d: u32) -> u64 {
+    sys.device_eval_weight(d as usize)
+}
+
+impl StampExecutor {
+    /// Spawns `workers` evaluation threads for `sys`. Returns `None` when
+    /// `workers == 0` (serial stamping) or the system has no devices.
+    pub fn new(sys: &Arc<MnaSystem>, workers: usize) -> Option<Self> {
+        let plan_len = sys.plan().order.len();
+        if workers == 0 || plan_len == 0 {
+            return None;
+        }
+        let n_workers = workers;
+        // One contiguous span of the replay order per worker, balanced by
+        // estimated cost. A single chunk per worker minimises the per-stamp
+        // channel round-trips, which dominate overhead on small circuits;
+        // the cost weights keep the spans even enough without work stealing.
+        let n_chunks = n_workers.min(plan_len);
+        let total_cost: u64 = (0..plan_len as u32).map(|d| device_cost(sys, d)).sum();
+        let target = total_cost.max(1).div_ceil(n_chunks as u64);
+        let order = &sys.plan().order;
+        let mut chunks: Vec<ChunkSpec> = Vec::with_capacity(n_chunks);
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, &d) in order.iter().enumerate() {
+            acc += device_cost(sys, d);
+            let remaining_chunks = n_chunks - chunks.len();
+            let remaining_items = plan_len - i - 1;
+            if (acc >= target || remaining_items < remaining_chunks) && i + 1 > start {
+                chunks.push(ChunkSpec {
+                    start: start as u32,
+                    end: (i + 1) as u32,
+                    worker: (chunks.len() % n_workers) as u32,
+                });
+                start = i + 1;
+                acc = 0;
+                if chunks.len() == n_chunks {
+                    break;
+                }
+            }
+        }
+        if start < plan_len {
+            // Fold any tail into the last chunk.
+            match chunks.last_mut() {
+                Some(last) => last.end = plan_len as u32,
+                None => chunks.push(ChunkSpec { start: 0, end: plan_len as u32, worker: 0 }),
+            }
+        }
+        let (result_tx, result_rx) = channel::<ChunkOut>();
+        let mut job_txs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = channel::<Job>();
+            job_txs.push(tx);
+            let out = result_tx.clone();
+            let sys = Arc::clone(sys);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(mut job) = rx.recv() {
+                    let t0 = Instant::now();
+                    let devices = &sys.plan().order[job.start as usize..job.end as usize];
+                    let limited = sys.eval_devices(
+                        &job.ctx.input(),
+                        &job.ctx.x_iter,
+                        &job.ctx.junction,
+                        devices,
+                        &mut job.bufs.mat,
+                        &mut job.bufs.rhs,
+                        &mut job.bufs.jct,
+                    );
+                    let eval_ns = t0.elapsed().as_nanos() as u64;
+                    drop(job.ctx);
+                    if out
+                        .send(ChunkOut { chunk_id: job.chunk_id, bufs: job.bufs, limited, eval_ns })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+        let n_chunks = chunks.len();
+        Some(StampExecutor {
+            sys: Arc::clone(sys),
+            n_workers,
+            chunks,
+            job_txs,
+            result_rx,
+            handles,
+            pending: (0..n_chunks).map(|_| None).collect(),
+            spare: (0..n_chunks).map(|_| Some(ChunkBufs::default())).collect(),
+            ctx: Some(Arc::new(CallCtx::default())),
+            worker_busy: vec![0; n_workers],
+            sequential: std::env::var_os("WAVEPIPE_STAMP_SEQUENTIAL").is_some_and(|v| v != "0"),
+        })
+    }
+
+    /// The system this executor was built for.
+    pub fn system(&self) -> &Arc<MnaSystem> {
+        &self.sys
+    }
+
+    /// Number of evaluation workers.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Parallel equivalent of [`MnaSystem::stamp`]: bit-identical results,
+    /// concurrent device evaluation. Returns the number of device
+    /// evaluations; records actual and critical-path-modeled stamp time
+    /// into `stats` and emits per-color spans through `probe` when enabled.
+    pub fn stamp(
+        &mut self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x_iter: &[f64],
+        probe: &ProbeHandle,
+        stats: &mut SimStats,
+    ) -> usize {
+        let t_call = Instant::now();
+        // Snapshot the borrowed inputs so they can cross into the workers.
+        let mut ctx_arc = self.ctx.take().and_then(|a| Arc::try_unwrap(a).ok()).unwrap_or_default();
+        ctx_arc.capture(input, x_iter, &ws.junction_state);
+        let ctx = Arc::new(ctx_arc);
+        self.sys.stamp_prologue(ws, input);
+        let serial_ns = t_call.elapsed().as_nanos() as u64;
+
+        // Dispatch every chunk up-front: evaluation is safe across colors
+        // (workers write only private buffers and device-owned junction
+        // entries); only the *accumulation* below is ordered. In calibration
+        // mode each dispatch waits for its result so chunk evaluations are
+        // timed one at a time (same results, uncontended timing).
+        for (id, chunk) in self.chunks.iter().enumerate() {
+            let bufs = self.spare[id].take().unwrap_or_default();
+            let job = Job {
+                ctx: Arc::clone(&ctx),
+                chunk_id: id as u32,
+                start: chunk.start,
+                end: chunk.end,
+                bufs,
+            };
+            self.job_txs[chunk.worker as usize].send(job).expect("stamp worker alive");
+            if self.sequential {
+                let out = self.result_rx.recv().expect("stamp worker alive");
+                let done = out.chunk_id as usize;
+                self.pending[done] = Some(out);
+            }
+        }
+        self.ctx = Some(ctx);
+
+        // Accumulate strictly in chunk order (= color-then-element order),
+        // emitting a span per color group as it is folded in.
+        self.worker_busy.fill(0);
+        let mut acc_ns = 0u64;
+        let mut evals = 0usize;
+        let plan = self.sys.plan();
+        let mut open_color: Option<(u32, u32)> = None;
+        for next in 0..self.chunks.len() {
+            while self.pending[next].is_none() {
+                let out = self.result_rx.recv().expect("stamp worker alive");
+                let id = out.chunk_id as usize;
+                self.pending[id] = Some(out);
+            }
+            let out = self.pending[next].take().expect("just filled");
+            let chunk = self.chunks[next];
+            self.worker_busy[chunk.worker as usize] += out.eval_ns;
+            let t_acc = Instant::now();
+            let devices = &plan.order[chunk.start as usize..chunk.end as usize];
+            if probe.enabled() {
+                for &d in devices {
+                    let c = plan.color[d as usize];
+                    match open_color {
+                        Some((open, n)) if open == c => open_color = Some((open, n + 1)),
+                        Some((open, n)) => {
+                            probe.emit(
+                                input.time,
+                                EventKind::StampColorEnd { color: open, devices: n },
+                            );
+                            probe.emit(input.time, EventKind::StampColorStart { color: c });
+                            open_color = Some((c, 1));
+                        }
+                        None => {
+                            probe.emit(input.time, EventKind::StampColorStart { color: c });
+                            open_color = Some((c, 1));
+                        }
+                    }
+                }
+            }
+            self.sys.accumulate_devices(
+                ws,
+                devices,
+                &out.bufs.mat,
+                &out.bufs.rhs,
+                &out.bufs.jct,
+                out.limited,
+            );
+            evals += devices.len();
+            acc_ns += t_acc.elapsed().as_nanos() as u64;
+            self.spare[next] = Some(out.bufs);
+        }
+        if let Some((open, n)) = open_color {
+            probe.emit(input.time, EventKind::StampColorEnd { color: open, devices: n });
+        }
+
+        let busiest = self.worker_busy.iter().copied().max().unwrap_or(0);
+        stats.stamp_ns += t_call.elapsed().as_nanos();
+        stats.stamp_modeled_ns += u128::from(busiest + serial_ns + acc_ns);
+        evals
+    }
+}
+
+impl Drop for StampExecutor {
+    fn drop(&mut self) {
+        self.job_txs.clear(); // close channels: workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

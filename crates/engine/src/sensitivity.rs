@@ -99,7 +99,7 @@ pub fn run_dc_sensitivity(
     let mut ws = sys.new_workspace();
     let mut cache = LinearCache::new();
     let mut stats = SimStats::new();
-    let x = crate::dcop::dc_operating_point(&sys, &mut ws, &mut cache, opts, &mut stats)?;
+    let x = crate::dcop::dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?;
 
     // Re-stamp the Jacobian at the converged operating point and factor it.
     let n = sys.n_unknowns();

@@ -30,6 +30,15 @@ pub struct SimStats {
     pub device_evals: usize,
     /// Wall-clock time spent, nanoseconds.
     pub wall_ns: u128,
+    /// Wall-clock time spent inside `MnaSystem::stamp` (serial or parallel
+    /// path), nanoseconds.
+    pub stamp_ns: u128,
+    /// Critical-path model of the stamp time, nanoseconds: on the parallel
+    /// path this is the busiest worker's evaluation time plus the
+    /// master-serial snapshot/accumulate overhead — what an otherwise-idle
+    /// machine with enough cores would realise. On the serial path it equals
+    /// [`SimStats::stamp_ns`].
+    pub stamp_modeled_ns: u128,
 }
 
 impl SimStats {
@@ -86,6 +95,8 @@ impl Add for SimStats {
             solves: self.solves + rhs.solves,
             device_evals: self.device_evals + rhs.device_evals,
             wall_ns: self.wall_ns + rhs.wall_ns,
+            stamp_ns: self.stamp_ns + rhs.stamp_ns,
+            stamp_modeled_ns: self.stamp_modeled_ns + rhs.stamp_modeled_ns,
         }
     }
 }
@@ -128,6 +139,15 @@ mod tests {
         assert_eq!(s.wall_time(), Duration::from_nanos(u64::MAX));
         let exact = SimStats { wall_ns: 1_500_000_000, ..SimStats::new() };
         assert_eq!(exact.wall_time(), Duration::new(1, 500_000_000));
+    }
+
+    #[test]
+    fn stamp_timings_accumulate() {
+        let a = SimStats { stamp_ns: 100, stamp_modeled_ns: 60, ..SimStats::new() };
+        let b = SimStats { stamp_ns: 50, stamp_modeled_ns: 20, ..SimStats::new() };
+        let c = a + b;
+        assert_eq!(c.stamp_ns, 150);
+        assert_eq!(c.stamp_modeled_ns, 80);
     }
 
     #[test]

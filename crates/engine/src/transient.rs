@@ -18,6 +18,7 @@ use crate::lte::lte_step_control;
 use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
 use crate::newton::{newton_solve, LinearCache};
 use crate::options::SimOptions;
+use crate::parstamp::StampExecutor;
 use crate::result::TransientResult;
 use crate::stats::SimStats;
 use std::sync::Arc;
@@ -227,19 +228,43 @@ pub struct PointSolution {
 ///
 /// Owns the per-thread mutable state (matrix values, RHS, LU factors), while
 /// the compiled [`MnaSystem`] is shared. Clone one per WavePipe thread.
-#[derive(Debug, Clone)]
+///
+/// With [`SimOptions::stamp_workers`] `>= 1` each solver also owns a
+/// [`StampExecutor`] — a private worker set evaluating devices in parallel
+/// during every stamp, with bit-identical results to the serial path.
+#[derive(Debug)]
 pub struct PointSolver {
     sys: Arc<MnaSystem>,
     opts: SimOptions,
     ws: MnaWorkspace,
     cache: LinearCache,
+    exec: Option<StampExecutor>,
+}
+
+impl Clone for PointSolver {
+    fn clone(&self) -> Self {
+        // Worker threads are not shareable state: each clone gets its own
+        // executor so WavePipe lanes never contend on one worker set.
+        PointSolver {
+            sys: Arc::clone(&self.sys),
+            opts: self.opts.clone(),
+            ws: self.ws.clone(),
+            cache: self.cache.clone(),
+            exec: self.exec.as_ref().and_then(|e| StampExecutor::new(&self.sys, e.workers())),
+        }
+    }
 }
 
 impl PointSolver {
     /// Creates a solver for a compiled system.
     pub fn new(sys: Arc<MnaSystem>, opts: SimOptions) -> Self {
         let ws = sys.new_workspace();
-        PointSolver { sys, opts, ws, cache: LinearCache::new() }
+        let exec = if opts.stamp_workers >= 1 {
+            StampExecutor::new(&sys, opts.stamp_workers)
+        } else {
+            None
+        };
+        PointSolver { sys, opts, ws, cache: LinearCache::new(), exec }
     }
 
     /// The compiled system.
@@ -258,7 +283,14 @@ impl PointSolver {
     ///
     /// See [`dc_operating_point`].
     pub fn dc_op(&mut self, stats: &mut SimStats) -> Result<Vec<f64>> {
-        dc_operating_point(&self.sys, &mut self.ws, &mut self.cache, &self.opts, stats)
+        dc_operating_point(
+            &self.sys,
+            &mut self.ws,
+            &mut self.cache,
+            self.exec.as_mut(),
+            &self.opts,
+            stats,
+        )
     }
 
     /// Computes the transient starting state: the DC operating point, or —
@@ -291,6 +323,7 @@ impl PointSolver {
             &self.sys,
             &mut self.ws,
             &mut self.cache,
+            self.exec.as_mut(),
             &input,
             &zeros,
             self.opts.max_dc_iters,
@@ -356,6 +389,7 @@ impl PointSolver {
             &self.sys,
             &mut self.ws,
             &mut self.cache,
+            self.exec.as_mut(),
             &input,
             &guess,
             max_iters,
@@ -617,7 +651,7 @@ mod tests {
         let ckt = rc_circuit(1e3, 1e-9);
         let mut results = Vec::new();
         for m in [Method::BackwardEuler, Method::Trapezoidal, Method::Gear2] {
-            let opts = SimOptions::with_method(m);
+            let opts = SimOptions::default().with_method(m);
             results.push(run_transient(&ckt, 1e-8, 3e-6, &opts).unwrap());
         }
         let b = results[0].unknown_of("b").unwrap();

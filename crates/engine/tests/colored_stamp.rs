@@ -1,0 +1,136 @@
+//! Bit-identity of colored parallel stamping against the serial path.
+//!
+//! The parallel stamp executor must produce *exactly* the same matrix
+//! values, RHS, junction state, and limiting flag as [`MnaSystem::stamp`] —
+//! not merely numerically close — at every worker count. These tests enforce
+//! that at the single-stamp level (randomized iterates, property-based) and
+//! at the whole-waveform level (full transient runs over the generator
+//! suite).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wavepipe_circuit::generators;
+use wavepipe_engine::{
+    run_transient_compiled, MnaSystem, ProbeHandle, SimOptions, SimStats, StampExecutor, StampInput,
+};
+
+/// Deterministic pseudo-random iterate: enough structure to push junctions
+/// into different regions without platform-dependent RNG state.
+fn iterate(n: usize, seed: f64) -> Vec<f64> {
+    (0..n).map(|i| seed * (0.7 * i as f64 + seed).sin()).collect()
+}
+
+fn dc_input<'a>(zeros: &'a [f64], caps: &'a [f64], gshunt: f64) -> StampInput<'a> {
+    StampInput {
+        time: 0.0,
+        coeffs: None,
+        x_prev: zeros,
+        x_prev2: zeros,
+        cap_currents: caps,
+        gmin: 1e-12,
+        gshunt,
+        source_scale: 1.0,
+        ic_mode: false,
+    }
+}
+
+/// Stamps the same two consecutive iterates serially and through an
+/// executor, asserting bitwise identity after each stamp (the second stamp
+/// exercises the junction-state handoff of the first).
+fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64, workers: usize) {
+    let sys = Arc::new(MnaSystem::compile(&b.circuit).expect("compile"));
+    let n = sys.n_unknowns();
+    let zeros = vec![0.0; n];
+    let caps = vec![0.0; sys.cap_state_count()];
+    let input = dc_input(&zeros, &caps, gshunt);
+
+    let mut ws_ser = sys.new_workspace();
+    let mut ws_par = sys.new_workspace();
+    let Some(mut exec) = StampExecutor::new(&sys, workers) else {
+        return; // no devices: nothing to compare
+    };
+    let probe = ProbeHandle::none();
+    let mut stats = SimStats::new();
+
+    for step in 0..2 {
+        let x = iterate(n, seed + step as f64);
+        let evals_ser = sys.stamp(&mut ws_ser, &input, &x);
+        let evals_par = exec.stamp(&mut ws_par, &input, &x, &probe, &mut stats);
+        assert_eq!(evals_ser, evals_par, "{}: eval count", b.name);
+        let ctx = format!("{} step {step} workers {workers}", b.name);
+        assert_eq!(ws_ser.limited, ws_par.limited, "{ctx}: limited flag");
+        for (i, (a, p)) in ws_ser.matrix.values().iter().zip(ws_par.matrix.values()).enumerate() {
+            assert_eq!(a.to_bits(), p.to_bits(), "{ctx}: matrix value {i}: {a:e} vs {p:e}");
+        }
+        for (i, (a, p)) in ws_ser.rhs.iter().zip(&ws_par.rhs).enumerate() {
+            assert_eq!(a.to_bits(), p.to_bits(), "{ctx}: rhs {i}: {a:e} vs {p:e}");
+        }
+        for (i, (a, p)) in ws_ser.junction_state.iter().zip(&ws_par.junction_state).enumerate() {
+            assert_eq!(a.to_bits(), p.to_bits(), "{ctx}: junction {i}: {a:e} vs {p:e}");
+        }
+    }
+}
+
+/// Runs a full transient serially and with `workers` stamp workers and
+/// asserts the accepted times and every solution vector are bit-identical.
+fn assert_waveforms_bit_identical(b: &generators::Benchmark, workers: usize) {
+    let sys = Arc::new(MnaSystem::compile(&b.circuit).expect("compile"));
+    let serial = SimOptions::default().with_stamp_workers(0);
+    let par = SimOptions::default().with_stamp_workers(workers);
+    let r0 = run_transient_compiled(&sys, b.tstep, b.tstop, &serial).expect("serial run");
+    let rw = run_transient_compiled(&sys, b.tstep, b.tstop, &par).expect("parallel run");
+    assert_eq!(r0.times(), rw.times(), "{} x{workers}: accepted times differ", b.name);
+    for k in 0..r0.len() {
+        for (i, (a, p)) in r0.solution(k).iter().zip(rw.solution(k)).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                p.to_bits(),
+                "{} x{workers}: point {k} unknown {i}: {a:e} vs {p:e}",
+                b.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn stamps_bit_identical_across_suite(
+        seed in -2.0f64..2.0,
+        gshunt_idx in 0usize..3,
+        workers in 1usize..=4,
+    ) {
+        let gshunt = [0.0f64, 1e-6, 1e-2][gshunt_idx];
+        for b in generators::small_suite() {
+            assert_stamps_bit_identical(&b, seed, gshunt, workers);
+        }
+    }
+
+    #[test]
+    fn transient_waveforms_bit_identical(
+        bench in 0usize..16,
+        workers in 1usize..=4,
+    ) {
+        let suite = generators::small_suite();
+        let b = &suite[bench % suite.len()];
+        assert_waveforms_bit_identical(b, workers);
+    }
+}
+
+#[test]
+fn every_generator_circuit_is_bit_identical_at_two_workers() {
+    // Deterministic sweep of the full suite (the proptests sample it): the
+    // canonical 2-worker configuration must be exact on every circuit.
+    for b in generators::small_suite() {
+        assert_waveforms_bit_identical(&b, 2);
+    }
+}
+
+#[test]
+fn executor_declines_zero_workers_and_empty_systems() {
+    let b = generators::rc_ladder(3);
+    let sys = Arc::new(MnaSystem::compile(&b.circuit).unwrap());
+    assert!(StampExecutor::new(&sys, 0).is_none());
+    assert!(StampExecutor::new(&sys, 2).is_some());
+}

@@ -79,7 +79,7 @@ proptest! {
         let tau = case.r * case.c;
         let mut finals = Vec::new();
         for m in [Method::BackwardEuler, Method::Trapezoidal, Method::Gear2] {
-            let res = run_transient(&ckt, tau / 50.0, 3.0 * tau, &SimOptions::with_method(m))
+            let res = run_transient(&ckt, tau / 50.0, 3.0 * tau, &SimOptions::default().with_method(m))
                 .expect("run");
             let b = res.unknown_of("b").expect("node");
             finals.push(res.sample(b, 3.0 * tau));

@@ -116,6 +116,18 @@ pub enum EventKind {
         /// `true` = forward pipelining, `false` = backward.
         forward: bool,
     },
+    /// The parallel stamp path began accumulating one color group.
+    StampColorStart {
+        /// 0-based stamp color (conflict-free device group).
+        color: u32,
+    },
+    /// The parallel stamp path finished accumulating one color group.
+    StampColorEnd {
+        /// 0-based stamp color (conflict-free device group).
+        color: u32,
+        /// Devices in the group.
+        devices: u32,
+    },
 }
 
 impl EventKind {
@@ -137,6 +149,8 @@ impl EventKind {
             EventKind::SpeculationAccepted => "speculation_accepted",
             EventKind::SpeculationDiscarded { .. } => "speculation_discarded",
             EventKind::AdaptiveChoice { .. } => "adaptive_choice",
+            EventKind::StampColorStart { .. } => "stamp_color_start",
+            EventKind::StampColorEnd { .. } => "stamp_color_end",
         }
     }
 }
@@ -184,6 +198,8 @@ mod tests {
             EventKind::SpeculationAccepted,
             EventKind::SpeculationDiscarded { reason: DiscardReason::PredictionFar },
             EventKind::AdaptiveChoice { forward: true },
+            EventKind::StampColorStart { color: 0 },
+            EventKind::StampColorEnd { color: 0, devices: 4 },
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

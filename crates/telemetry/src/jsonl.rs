@@ -59,6 +59,12 @@ pub fn event_to_json(ev: &Event) -> String {
         EventKind::AdaptiveChoice { forward } => {
             let _ = write!(s, ",\"forward\":{forward}");
         }
+        EventKind::StampColorStart { color } => {
+            let _ = write!(s, ",\"color\":{color}");
+        }
+        EventKind::StampColorEnd { color, devices } => {
+            let _ = write!(s, ",\"color\":{color},\"devices\":{devices}");
+        }
     }
     s.push('}');
     s
@@ -158,6 +164,13 @@ pub fn event_from_json(text: &str, line: usize) -> Result<Event, JsonlError> {
                 .and_then(JsonValue::as_bool)
                 .ok_or_else(|| JsonlError { line, msg: "missing `forward`".to_string() })?,
         },
+        "stamp_color_start" => {
+            EventKind::StampColorStart { color: field_u64(&v, "color", line)? as u32 }
+        }
+        "stamp_color_end" => EventKind::StampColorEnd {
+            color: field_u64(&v, "color", line)? as u32,
+            devices: field_u64(&v, "devices", line)? as u32,
+        },
         other => return Err(JsonlError { line, msg: format!("unknown kind `{other}`") }),
     };
     Ok(Event {
@@ -205,6 +218,8 @@ mod tests {
             EventKind::SpeculationAccepted,
             EventKind::SpeculationDiscarded { reason: DiscardReason::PredictionFar },
             EventKind::AdaptiveChoice { forward: false },
+            EventKind::StampColorStart { color: 3 },
+            EventKind::StampColorEnd { color: 3, devices: 17 },
             EventKind::RoundEnd { committed: 2 },
         ];
         kinds

@@ -45,6 +45,10 @@ pub struct TelemetrySummary {
     pub speculation_discarded: u64,
     /// Discard reasons across leads and speculations, descending by count.
     pub discard_reasons: Vec<(String, u64)>,
+    /// Stamp color groups accumulated by the parallel stamp path.
+    pub stamp_color_groups: u64,
+    /// Wall time inside stamp-color spans, nanoseconds (all lanes summed).
+    pub stamp_span_ns: u64,
 }
 
 impl TelemetrySummary {
@@ -68,9 +72,12 @@ impl TelemetrySummary {
             speculation_accepted: 0,
             speculation_discarded: 0,
             discard_reasons: Vec::new(),
+            stamp_color_groups: 0,
+            stamp_span_ns: 0,
         };
         // Open solve span per lane, open round start, per-round (max, sum).
         let mut open_solve: HashMap<u32, u64> = HashMap::new();
+        let mut open_stamp: HashMap<u32, u64> = HashMap::new();
         let mut open_round: Option<u64> = None;
         let mut round_spans: HashMap<u64, (u64, u64)> = HashMap::new();
         let mut reasons: HashMap<&'static str, u64> = HashMap::new();
@@ -126,6 +133,15 @@ impl TelemetrySummary {
                     *reasons.entry(reason.name()).or_insert(0) += 1;
                 }
                 EventKind::AdaptiveChoice { .. } => {}
+                EventKind::StampColorStart { .. } => {
+                    open_stamp.insert(ev.lane, ev.ts_ns);
+                }
+                EventKind::StampColorEnd { .. } => {
+                    s.stamp_color_groups += 1;
+                    if let Some(start) = open_stamp.remove(&ev.lane) {
+                        s.stamp_span_ns += ev.ts_ns.saturating_sub(start);
+                    }
+                }
             }
         }
         for (mx, sum) in round_spans.values() {
@@ -177,6 +193,14 @@ impl fmt::Display for TelemetrySummary {
             self.speculation_accepted,
             self.speculation_discarded
         )?;
+        if self.stamp_color_groups > 0 {
+            writeln!(
+                f,
+                "  stamp colors: {} groups, {:.3} ms in spans",
+                self.stamp_color_groups,
+                self.stamp_span_ns as f64 / 1e6
+            )?;
+        }
         if !self.discard_reasons.is_empty() {
             write!(f, "  discards:")?;
             for (name, n) in &self.discard_reasons {
@@ -231,6 +255,20 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("2 lanes active"));
         assert!(text.contains("lte_rejected=1"));
+    }
+
+    #[test]
+    fn stamp_color_spans_aggregate() {
+        let events = vec![
+            ev(10, 1, 0, EventKind::StampColorStart { color: 0 }),
+            ev(25, 1, 0, EventKind::StampColorEnd { color: 0, devices: 8 }),
+            ev(25, 1, 0, EventKind::StampColorStart { color: 1 }),
+            ev(30, 1, 0, EventKind::StampColorEnd { color: 1, devices: 2 }),
+        ];
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.stamp_color_groups, 2);
+        assert_eq!(s.stamp_span_ns, 20);
+        assert!(s.to_string().contains("stamp colors: 2 groups"));
     }
 
     #[test]

@@ -117,7 +117,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut opts = WavePipeOptions::new(scheme, threads);
     let probe = trace_path.as_ref().map(|_| RecordingProbe::shared());
     if let Some(p) = &probe {
-        opts.sim.probe = ProbeHandle::new(Arc::clone(p) as Arc<dyn wavepipe::telemetry::Probe>);
+        opts =
+            opts.with_probe(ProbeHandle::new(Arc::clone(p) as Arc<dyn wavepipe::telemetry::Probe>));
     }
     let report = run_wavepipe(&parsed.circuit, tran.tstep, tran.tstop, &opts)?;
     println!("run     : {}", report.summary());

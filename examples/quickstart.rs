@@ -3,9 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wavepipe::circuit::{Circuit, Waveform};
-use wavepipe::core::{run_wavepipe, verify, Scheme, WavePipeOptions};
-use wavepipe::engine::{run_transient, SimOptions};
+use wavepipe::core::verify;
+use wavepipe::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Build the circuit: a pulse source driving an RC low-pass. ---

@@ -16,11 +16,12 @@
 //!
 //! # Quickstart
 //!
-//! ```
-//! use wavepipe::circuit::{Circuit, Waveform};
-//! use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
+//! The [`prelude`] brings the everyday names into scope in one line:
 //!
-//! # fn main() -> Result<(), wavepipe::engine::EngineError> {
+//! ```
+//! use wavepipe::prelude::*;
+//!
+//! # fn main() -> Result<(), EngineError> {
 //! let mut ckt = Circuit::new("rc lowpass");
 //! let inp = ckt.node("in");
 //! let out = ckt.node("out");
@@ -59,3 +60,24 @@ pub use wavepipe_core as core;
 /// Structured event tracing, histograms, and trace exporters (re-export of
 /// `wavepipe-telemetry`).
 pub use wavepipe_telemetry as telemetry;
+
+/// The everyday names, importable in one line: `use wavepipe::prelude::*;`.
+///
+/// Covers building a circuit ([`Circuit`], [`Waveform`]), configuring a run
+/// ([`SimOptions`], [`WavePipeOptions`], [`Scheme`]), running it
+/// ([`run_transient`], [`run_wavepipe`]), and handling failures
+/// ([`EngineError`]).
+///
+/// [`Circuit`]: prelude::Circuit
+/// [`Waveform`]: prelude::Waveform
+/// [`SimOptions`]: prelude::SimOptions
+/// [`WavePipeOptions`]: prelude::WavePipeOptions
+/// [`Scheme`]: prelude::Scheme
+/// [`run_transient`]: prelude::run_transient
+/// [`run_wavepipe`]: prelude::run_wavepipe
+/// [`EngineError`]: prelude::EngineError
+pub mod prelude {
+    pub use wavepipe_circuit::{Circuit, Waveform};
+    pub use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+    pub use wavepipe_engine::{run_transient, EngineError, SimOptions};
+}

@@ -36,8 +36,7 @@ fn recording_probe_never_perturbs_the_run() {
         let r_plain = run_wavepipe(&b.circuit, b.tstep, b.tstop, &plain).unwrap();
 
         let probe = RecordingProbe::shared();
-        let mut traced = WavePipeOptions::new(scheme, 3);
-        traced.sim.probe = ProbeHandle::new(probe.clone());
+        let traced = WavePipeOptions::new(scheme, 3).with_probe(ProbeHandle::new(probe.clone()));
         let r_traced = run_wavepipe(&b.circuit, b.tstep, b.tstop, &traced).unwrap();
 
         assert_eq!(

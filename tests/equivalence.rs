@@ -23,7 +23,7 @@ fn assert_equivalent(bench: &generators::Benchmark, scheme: Scheme, threads: usi
         &bench.circuit,
         bench.tstep,
         bench.tstop,
-        &SimOptions::with_method(Method::Gear2),
+        &SimOptions::default().with_method(Method::Gear2),
     )
     .unwrap_or_else(|e| panic!("{}: gear2 failed: {e}", bench.name));
     let floor = verify::compare(&serial, &gear).rms_rel();

@@ -193,7 +193,7 @@ R1 a 0 2k
 .end";
     let parsed = parse_netlist(deck).expect("parse");
     let tran = parsed.tran.expect("tran");
-    let opts = SimOptions { use_ic: true, ..SimOptions::default() };
+    let opts = SimOptions::default().with_use_ic(true);
     let res = run_transient(&parsed.circuit, tran.tstep, tran.tstop, &opts).expect("uic run");
     let a = res.unknown_of("a").expect("node");
     assert!((res.sample(a, 0.0) - 3.0).abs() < 1e-2);

@@ -14,8 +14,7 @@ fn traced_run(
 ) -> (Arc<RecordingProbe>, wavepipe::core::WavePipeReport) {
     let b = generators::rc_ladder(8);
     let probe = RecordingProbe::shared();
-    let mut opts = WavePipeOptions::new(scheme, threads);
-    opts.sim.probe = ProbeHandle::new(probe.clone());
+    let opts = WavePipeOptions::new(scheme, threads).with_probe(ProbeHandle::new(probe.clone()));
     let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
     (probe, rep)
 }
@@ -83,10 +82,7 @@ fn serial_engine_emits_balanced_solve_spans() {
     // emits paired SolveStart/SolveEnd and per-point accept events.
     let b = generators::rc_ladder(6);
     let probe = RecordingProbe::shared();
-    let opts = wavepipe::engine::SimOptions {
-        probe: ProbeHandle::new(probe.clone()),
-        ..Default::default()
-    };
+    let opts = wavepipe::engine::SimOptions::default().with_probe(ProbeHandle::new(probe.clone()));
     let res = wavepipe::engine::run_transient(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
 
     let events = probe.events();
