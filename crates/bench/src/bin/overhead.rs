@@ -1,0 +1,35 @@
+//! Fault-tolerance overhead probe: times the serial engine and the backward
+//! scheme on the largest Table-1 circuit (`power_grid(12,12)`), fault-free,
+//! printing best-of-N wall times in microseconds. Build this binary from two
+//! checkouts to bound the overhead a runtime change puts on the hot path.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wavepipe_circuit::generators;
+use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
+use wavepipe_engine::{run_transient, SimOptions};
+
+const REPS: usize = 7;
+
+fn main() {
+    let b = generators::power_grid(12, 12);
+    let sim = SimOptions::default().with_stamp_workers(0);
+    let wp = WavePipeOptions::new(Scheme::Backward, 2).with_stamp_workers(0);
+
+    // Warm-up: fault the allocator and branch predictors equally.
+    black_box(run_transient(&b.circuit, b.tstep, b.tstop, &sim).unwrap());
+    black_box(run_wavepipe(&b.circuit, b.tstep, b.tstop, &wp).unwrap());
+
+    let mut serial_best = u128::MAX;
+    let mut backward_best = u128::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        black_box(run_transient(&b.circuit, b.tstep, b.tstop, &sim).unwrap());
+        serial_best = serial_best.min(t0.elapsed().as_micros());
+
+        let t0 = Instant::now();
+        black_box(run_wavepipe(&b.circuit, b.tstep, b.tstop, &wp).unwrap());
+        backward_best = backward_best.min(t0.elapsed().as_micros());
+    }
+    println!("circuit {} serial_us {serial_best} backward2_us {backward_best}", b.name);
+}

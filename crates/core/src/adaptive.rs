@@ -17,7 +17,7 @@ use crate::backward::backward_round;
 use crate::forward::forward_round;
 use crate::options::{Scheme, WavePipeOptions};
 use crate::pipeline::Driver;
-use crate::report::WavePipeReport;
+use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::Result;
 use wavepipe_telemetry::EventKind;
@@ -40,25 +40,51 @@ pub fn run_adaptive(
     tstop: f64,
     wp: &WavePipeOptions,
 ) -> Result<WavePipeReport> {
+    run_adaptive_recoverable(circuit, tstep, tstop, wp)?.into_result()
+}
+
+/// Fault-tolerant variant of [`run_adaptive`]: a mid-run failure (deadline,
+/// cancellation, lead-solver loss) yields the report over the accepted
+/// prefix alongside the error.
+///
+/// # Errors
+///
+/// Pre-run failures only (bad parameters, compile, DC operating point).
+pub fn run_adaptive_recoverable(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    wp: &WavePipeOptions,
+) -> Result<RunOutcome> {
     let mut drv = Driver::new(circuit, tstep, tstop, wp)?;
     let width = wp.width();
     // Efficiency estimates: committed points per 1000 critical work units.
     // Start equal so the first probes decide.
     let mut eff = [1.0_f64, 1.0];
     let mut round_idx = 0usize;
+    let mut error = None;
 
     while !drv.done() {
+        if let Err(e) = drv.check_budget() {
+            error = Some(e);
+            break;
+        }
         let forward_better = eff[1] > eff[0];
         let probe = round_idx % PROBE_PERIOD == PROBE_PERIOD - 1;
         // Normally play the winner; on probe rounds, play the loser.
         let use_forward = forward_better != probe;
         drv.wp.sim.probe.emit(drv.hw.t(), EventKind::AdaptiveChoice { forward: use_forward });
 
+        let w = drv.round_width(width);
         let cw0 = drv.critical_work;
-        let committed = if use_forward {
-            forward_round(&mut drv, width)?
-        } else {
-            backward_round(&mut drv, width)?
+        let outcome =
+            if use_forward { forward_round(&mut drv, w) } else { backward_round(&mut drv, w) };
+        let committed = match outcome {
+            Ok(c) => c,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
         };
         let dcw = (drv.critical_work - cw0).max(1);
         let e = committed as f64 * 1000.0 / dcw as f64;
@@ -67,7 +93,7 @@ pub fn run_adaptive(
         round_idx += 1;
     }
 
-    Ok(drv.finish(Scheme::Adaptive))
+    Ok(RunOutcome { report: drv.finish(Scheme::Adaptive), error })
 }
 
 #[cfg(test)]

@@ -25,10 +25,10 @@
 
 use crate::options::Scheme;
 use crate::options::WavePipeOptions;
-use crate::pipeline::{Commit, Driver, Task};
-use crate::report::WavePipeReport;
+use crate::pipeline::{drive, usable_prefix, Commit, Driver, Task};
+use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
-use wavepipe_engine::{Result, SimStats};
+use wavepipe_engine::Result;
 use wavepipe_telemetry::{DiscardReason, EventKind};
 
 /// Runs a backward-pipelined transient analysis.
@@ -43,12 +43,26 @@ pub fn run_backward(
     tstop: f64,
     wp: &WavePipeOptions,
 ) -> Result<WavePipeReport> {
+    run_backward_recoverable(circuit, tstep, tstop, wp)?.into_result()
+}
+
+/// Fault-tolerant variant of [`run_backward`]: a mid-run failure (deadline,
+/// cancellation, lead-solver loss) yields the report over the accepted
+/// prefix alongside the error.
+///
+/// # Errors
+///
+/// Pre-run failures only (bad parameters, compile, DC operating point).
+pub fn run_backward_recoverable(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    wp: &WavePipeOptions,
+) -> Result<RunOutcome> {
     let mut drv = Driver::new(circuit, tstep, tstop, wp)?;
     let width = wp.width();
-    while !drv.done() {
-        backward_round(&mut drv, width)?;
-    }
-    Ok(drv.finish(Scheme::Backward))
+    let error = drive(&mut drv, width, backward_round);
+    Ok(RunOutcome { report: drv.finish(Scheme::Backward), error })
 }
 
 /// One backward-pipelined round: build the ladder, solve concurrently,
@@ -69,17 +83,11 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
     // All tasks share the same (true) history snapshot.
     let tasks: Vec<Task> =
         targets.iter().map(|&t| Task { hw: drv.hw.clone(), t, guess: None }).collect();
-    let sols = drv.solve_round(tasks, wp.sim.max_newton_iters);
+    let sols = drv.solve_round(tasks, wp.sim.max_newton_iters)?;
 
-    // Account the concurrent work before looking at outcomes.
-    let mut costs: Vec<SimStats> = Vec::with_capacity(sols.len());
-    let mut solutions = Vec::with_capacity(sols.len());
-    for s in sols {
-        let s = s?;
-        costs.push(s.stats);
-        solutions.push(s);
-    }
-    drv.account_parallel(&costs);
+    // Account the concurrent work and drop anything past a lost worker —
+    // every pool task is speculative, so truncation is always safe.
+    let (solutions, _truncated) = usable_prefix(drv, sols, usize::MAX)?;
 
     // Left-to-right commit under serial-identical tests.
     let mut committed = 0usize;

@@ -9,10 +9,10 @@
 
 use crate::forward::{prediction_close, speculate_next};
 use crate::options::{Scheme, WavePipeOptions};
-use crate::pipeline::{Commit, Driver, Task};
-use crate::report::WavePipeReport;
+use crate::pipeline::{drive, usable_prefix, Commit, Driver, Task};
+use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
-use wavepipe_engine::{Result, SimStats};
+use wavepipe_engine::Result;
 use wavepipe_telemetry::{DiscardReason, EventKind};
 
 /// Runs the combined backward+forward pipelined transient analysis.
@@ -30,15 +30,45 @@ pub fn run_combined(
     tstop: f64,
     wp: &WavePipeOptions,
 ) -> Result<WavePipeReport> {
+    run_combined_recoverable(circuit, tstep, tstop, wp)?.into_result()
+}
+
+/// Fault-tolerant variant of [`run_combined`]: a mid-run failure (deadline,
+/// cancellation, lead-solver loss) yields the report over the accepted
+/// prefix alongside the error.
+///
+/// # Errors
+///
+/// Pre-run failures only (bad parameters, compile, DC operating point).
+pub fn run_combined_recoverable(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    wp: &WavePipeOptions,
+) -> Result<RunOutcome> {
     if wp.width() < 3 {
-        let mut rep = crate::backward::run_backward(circuit, tstep, tstop, wp)?;
-        rep.scheme = Scheme::Combined;
-        return Ok(rep);
+        let mut out = crate::backward::run_backward_recoverable(circuit, tstep, tstop, wp)?;
+        out.report.scheme = Scheme::Combined;
+        return Ok(out);
     }
     let mut drv = Driver::new(circuit, tstep, tstop, wp)?;
-    let bp_width = wp.width() - 1;
+    let width = wp.width();
+    let error = drive(&mut drv, width, combined_round);
+    Ok(RunOutcome { report: drv.finish(Scheme::Combined), error })
+}
 
-    while !drv.done() {
+/// One combined round: backward ladder of `width - 1` plus (in growth
+/// phases) one forward speculative point. Returns the number of committed
+/// points. Worker losses may shrink `width` down to 1 across the run, in
+/// which case this degenerates to base-only backward rounds.
+///
+/// # Errors
+///
+/// Same failure modes as the serial engine.
+pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
+    let wp = drv.wp.clone();
+    let bp_width = width.saturating_sub(1).max(1);
+    {
         drv.h = drv.h.clamp(drv.hmin, drv.hmax);
         // Backward ladder (LTE-budget-limited) plus one forward target —
         // but only when the ladder actually has leads: on base-only
@@ -73,24 +103,20 @@ pub fn run_combined(
         let mut lead_prediction: Option<Vec<f64>> = None;
         if has_fwd {
             let lead_t = targets[n_bp_targets - 1];
-            let (spec_hw, pred) = speculate_next(&drv, &drv.hw, lead_t);
+            let (spec_hw, pred) = speculate_next(drv, &drv.hw, lead_t);
             lead_prediction = Some(pred);
             tasks.push(Task { hw: spec_hw, t: targets[n_bp_targets], guess: None });
         }
 
-        let sols = drv.solve_round(tasks, wp.sim.max_newton_iters);
-        let mut costs: Vec<SimStats> = Vec::with_capacity(sols.len());
-        let mut solutions = Vec::with_capacity(sols.len());
-        for s in sols {
-            let s = s?;
-            costs.push(s.stats);
-            solutions.push(s);
-        }
-        drv.account_parallel(&costs);
+        let sols = drv.solve_round(tasks, wp.sim.max_newton_iters)?;
+        // Everything past a lost worker is dropped; ladder slots that went
+        // missing simply leave the round short (`committed` stays below
+        // `n_bp_targets`, so the forward point is discarded too).
+        let (solutions, _truncated) = usable_prefix(drv, sols, n_bp_targets)?;
 
         // Commit the backward ladder left to right.
         let mut committed = 0usize;
-        for (i, sol) in solutions[..n_bp_targets].iter().enumerate() {
+        for (i, sol) in solutions[..solutions.len().min(n_bp_targets)].iter().enumerate() {
             let h_attempt = sol.coeffs.h;
             match drv.try_commit(sol) {
                 Commit::Accepted { h_next } => {
@@ -133,17 +159,19 @@ pub fn run_combined(
         let ladder_complete = committed == n_bp_targets;
 
         // Forward point: valid only if the whole ladder committed and the
-        // lead prediction was close to the true lead solution.
+        // lead prediction was close to the true lead solution. A truncated
+        // round may have dropped the forward slot entirely.
         let mut committed_all = ladder_complete;
-        if has_fwd {
+        if has_fwd && solutions.len() <= n_bp_targets {
+            committed_all = false;
+        } else if has_fwd {
             let spec = &solutions[n_bp_targets];
             let lead_true = &solutions[n_bp_targets - 1].x;
             let pred_ok = ladder_complete
                 && spec.converged
-                && lead_prediction.as_deref().is_some_and(|p| prediction_close(&drv, p, lead_true));
+                && lead_prediction.as_deref().is_some_and(|p| prediction_close(drv, p, lead_true));
             if pred_ok {
-                let refined =
-                    drv.lead.solve_point(&drv.hw, spec.t, Some(&spec.x), wp.fp_refine_iters)?;
+                let refined = drv.refine_solve(spec.t, &spec.x, wp.fp_refine_iters)?;
                 drv.account_sequential(&refined.stats);
                 match drv.try_commit(&refined) {
                     Commit::Accepted { h_next } => {
@@ -191,9 +219,8 @@ pub fn run_combined(
             drv.handle_breakpoint_landing();
         }
         wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
+        Ok(committed)
     }
-
-    Ok(drv.finish(Scheme::Combined))
 }
 
 #[cfg(test)]

@@ -20,10 +20,10 @@
 //! LTE test as the serial engine.
 
 use crate::options::{Scheme, WavePipeOptions};
-use crate::pipeline::{Commit, Driver, Task};
-use crate::report::WavePipeReport;
+use crate::pipeline::{drive, usable_prefix, Commit, Driver, Task};
+use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
-use wavepipe_engine::{HistoryWindow, PointSolution, Result, SimStats};
+use wavepipe_engine::{HistoryWindow, PointSolution, Result};
 use wavepipe_sparse::vector::wrms_norm;
 use wavepipe_telemetry::{DiscardReason, EventKind};
 
@@ -77,12 +77,26 @@ pub fn run_forward(
     tstop: f64,
     wp: &WavePipeOptions,
 ) -> Result<WavePipeReport> {
+    run_forward_recoverable(circuit, tstep, tstop, wp)?.into_result()
+}
+
+/// Fault-tolerant variant of [`run_forward`]: a mid-run failure (deadline,
+/// cancellation, lead-solver loss) yields the report over the accepted
+/// prefix alongside the error.
+///
+/// # Errors
+///
+/// Pre-run failures only (bad parameters, compile, DC operating point).
+pub fn run_forward_recoverable(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    wp: &WavePipeOptions,
+) -> Result<RunOutcome> {
     let mut drv = Driver::new(circuit, tstep, tstop, wp)?;
     let width = wp.width();
-    while !drv.done() {
-        forward_round(&mut drv, width)?;
-    }
-    Ok(drv.finish(Scheme::Forward))
+    let error = drive(&mut drv, width, forward_round);
+    Ok(RunOutcome { report: drv.finish(Scheme::Forward), error })
 }
 
 /// One forward-pipelined round: solve the base point plus a speculative
@@ -123,15 +137,10 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             }
         }
 
-        let sols = drv.solve_round(tasks, wp.sim.max_newton_iters);
-        let mut costs: Vec<SimStats> = Vec::with_capacity(sols.len());
-        let mut solutions = Vec::with_capacity(sols.len());
-        for s in sols {
-            let s = s?;
-            costs.push(s.stats);
-            solutions.push(s);
-        }
-        drv.account_parallel(&costs);
+        let sols = drv.solve_round(tasks, wp.sim.max_newton_iters)?;
+        // Chain slots past a lost worker are dropped (slots >= 1 are all
+        // speculative here); the surviving prefix commits normally.
+        let (solutions, truncated) = usable_prefix(drv, sols, 1)?;
 
         // Commit the base point under serial semantics.
         let base = &solutions[0];
@@ -161,7 +170,7 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             }
         };
         let mut committed = 1usize;
-        let mut committed_all = true;
+        let mut committed_all = !truncated;
 
         // Walk the speculative chain: validate prediction, refine, commit.
         for (i, spec_sol) in solutions.iter().enumerate().skip(1) {
@@ -181,8 +190,7 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             // speculative iterate, under a short iteration budget — if the
             // warm start cannot converge within it, the speculation was not
             // close enough to pay off. Sequential: goes on the critical path.
-            let refined =
-                drv.lead.solve_point(&drv.hw, spec_sol.t, Some(&spec_sol.x), wp.fp_refine_iters)?;
+            let refined = drv.refine_solve(spec_sol.t, &spec_sol.x, wp.fp_refine_iters)?;
             drv.account_sequential(&refined.stats);
             if !refined.converged {
                 // Not an error and not a step problem: the point will be

@@ -53,11 +53,11 @@ mod report;
 pub mod verify;
 
 pub use options::{Scheme, WavePipeOptions};
-pub use report::WavePipeReport;
+pub use report::{RunOutcome, WavePipeReport};
 pub use wavepipe_telemetry as telemetry;
 
 use wavepipe_circuit::Circuit;
-use wavepipe_engine::{run_transient, Result};
+use wavepipe_engine::{run_transient_recoverable, Result};
 
 /// Runs a transient analysis with the configured pipelining scheme.
 ///
@@ -73,12 +73,35 @@ pub fn run_wavepipe(
     tstop: f64,
     opts: &WavePipeOptions,
 ) -> Result<WavePipeReport> {
+    run_wavepipe_recoverable(circuit, tstep, tstop, opts)?.into_result()
+}
+
+/// Fault-tolerant variant of [`run_wavepipe`]: instead of discarding the
+/// whole analysis on a mid-run failure (deadline, cancellation, lead-solver
+/// panic), the returned [`RunOutcome`] carries the report over every point
+/// accepted before the run ended alongside the terminal error.
+///
+/// Worker-lane panics and injected faults are *not* terminal — they are
+/// absorbed (the pool respawns or shrinks, ultimately to a serial schedule)
+/// and only show up as [`WavePipeReport::workers_lost`].
+///
+/// # Errors
+///
+/// Pre-run failures only: bad parameters, circuit compilation, or the DC
+/// operating-point solve — before there is any partial result to keep.
+pub fn run_wavepipe_recoverable(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    opts: &WavePipeOptions,
+) -> Result<RunOutcome> {
     match opts.scheme {
         Scheme::Serial => {
             // Serial in the lane dimension only: stamp_workers still applies.
-            let result = run_transient(circuit, tstep, tstop, &opts.lane_sim())?;
+            let outcome = run_transient_recoverable(circuit, tstep, tstop, &opts.lane_sim())?;
+            let result = outcome.result;
             let total = *result.stats();
-            Ok(WavePipeReport {
+            let report = WavePipeReport {
                 scheme: Scheme::Serial,
                 threads: 1 + opts.stamp_workers,
                 lanes: 1,
@@ -92,12 +115,14 @@ pub fn run_wavepipe(
                 lead_rejected: 0,
                 speculation_accepted: 0,
                 speculation_rejected: 0,
+                workers_lost: 0,
                 telemetry: opts.sim.probe.summary(),
-            })
+            };
+            Ok(RunOutcome { report, error: outcome.error })
         }
-        Scheme::Backward => backward::run_backward(circuit, tstep, tstop, opts),
-        Scheme::Forward => forward::run_forward(circuit, tstep, tstop, opts),
-        Scheme::Combined => combined::run_combined(circuit, tstep, tstop, opts),
-        Scheme::Adaptive => adaptive::run_adaptive(circuit, tstep, tstop, opts),
+        Scheme::Backward => backward::run_backward_recoverable(circuit, tstep, tstop, opts),
+        Scheme::Forward => forward::run_forward_recoverable(circuit, tstep, tstop, opts),
+        Scheme::Combined => combined::run_combined_recoverable(circuit, tstep, tstop, opts),
+        Scheme::Adaptive => adaptive::run_adaptive_recoverable(circuit, tstep, tstop, opts),
     }
 }

@@ -88,6 +88,12 @@ pub struct WavePipeOptions {
     /// `infinity` (always launch the full ladder) — see Figure D2 for the
     /// measured trade-off.
     pub bp_budget_slack: f64,
+    /// How many times a lost pool worker (panicked solve) may be respawned
+    /// before its lane is retired for good and rounds run narrower. All
+    /// pool tasks are speculative, so worker loss never affects results —
+    /// this only bounds how much respawn churn a persistently-faulting
+    /// lane may cause. Default `1`.
+    pub worker_respawns: usize,
     /// Engine options (tolerances, method, step limits).
     pub sim: SimOptions,
 }
@@ -109,6 +115,7 @@ impl Default for WavePipeOptions {
             bp_adaptive_lead: true,
             bp_growth_gate: 0.0,
             bp_budget_slack: f64::INFINITY,
+            worker_respawns: 1,
             sim,
         }
     }
@@ -196,6 +203,38 @@ impl WavePipeOptions {
     #[must_use]
     pub fn with_bp_budget_slack(mut self, slack: f64) -> Self {
         self.bp_budget_slack = slack;
+        self
+    }
+
+    /// Sets the per-worker respawn budget after a panicked solve
+    /// (`0` retires a lost lane immediately).
+    #[must_use]
+    pub fn with_worker_respawns(mut self, respawns: usize) -> Self {
+        self.worker_respawns = respawns;
+        self
+    }
+
+    /// Gives the run a wall-clock deadline (armed when stepping starts, after
+    /// the DC solve). See [`SimOptions::with_deadline`].
+    #[must_use]
+    pub fn with_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.sim = self.sim.with_deadline(budget);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token checked at round boundaries
+    /// and inside Newton. See [`SimOptions::with_cancel_token`].
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: wavepipe_engine::CancelToken) -> Self {
+        self.sim = self.sim.with_cancel_token(token);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (testing aid). See
+    /// [`SimOptions::with_faults`].
+    #[must_use]
+    pub fn with_faults(mut self, plan: wavepipe_engine::FaultPlan) -> Self {
+        self.sim = self.sim.with_faults(plan);
         self
     }
 

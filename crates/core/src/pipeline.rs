@@ -4,15 +4,27 @@
 
 use crate::options::{Scheme, WavePipeOptions};
 use crate::report::WavePipeReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::lte::lte_step_control;
 use wavepipe_engine::{
-    EngineError, HistoryWindow, MnaSystem, PointSolution, PointSolver, Result, SimStats,
-    TransientResult,
+    EngineError, HistoryWindow, MnaSystem, PointSolution, PointSolver, Result, SimOptions,
+    SimStats, TransientResult,
 };
-use wavepipe_telemetry::EventKind;
+use wavepipe_telemetry::{DiscardReason, EventKind};
+
+/// Renders a `catch_unwind` payload as a human-readable cause string.
+pub(crate) fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
 
 /// One concurrent point-solve request.
 pub(crate) struct Task {
@@ -32,61 +44,156 @@ struct Job {
     slot: usize,
 }
 
+/// One pool lane: the job channel and thread handle, plus the remaining
+/// respawn budget. `sender` is `None` while the worker is dead.
+struct WorkerSlot {
+    sender: Option<std::sync::mpsc::Sender<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    respawns_left: usize,
+}
+
 /// A pool of persistent worker threads, each owning its own [`PointSolver`]
 /// (matrix values, LU factors, junction state survive across rounds, so the
 /// refactorization fast path stays warm). Compared to spawning scoped
 /// threads per round, this removes thread-creation latency from every
 /// round's wall time.
+///
+/// Fault tolerance: each worker runs its solves under `catch_unwind` and
+/// *always* replies to a received job — a panic is reported as
+/// [`EngineError::WorkerLost`] before the worker retires — so the master's
+/// result collection can never hang on a dead lane. Lost workers are
+/// respawned up to [`WavePipeOptions::worker_respawns`] times per slot;
+/// past that budget the pool shrinks and the driver runs narrower rounds,
+/// degrading ultimately to the serial single-lane schedule.
 pub(crate) struct WorkerPool {
-    senders: Vec<std::sync::mpsc::Sender<Job>>,
+    slots: Vec<WorkerSlot>,
     results: std::sync::mpsc::Receiver<(usize, Result<PointSolution>)>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Kept so the result channel can never disconnect (workers hold clones)
+    /// and so respawned workers can be handed a sender.
+    result_tx: std::sync::mpsc::Sender<(usize, Result<PointSolution>)>,
+    sys: Arc<MnaSystem>,
+    lane_sim: SimOptions,
 }
 
 impl WorkerPool {
-    /// Spawns `n` workers for the given compiled system.
-    fn new(sys: &Arc<MnaSystem>, sim: &wavepipe_engine::SimOptions, n: usize) -> Self {
+    /// Spawns `n` workers for the given compiled system, each with a respawn
+    /// budget of `respawns`.
+    fn new(sys: &Arc<MnaSystem>, sim: &SimOptions, n: usize, respawns: usize) -> Self {
         let (result_tx, results) = std::sync::mpsc::channel();
-        let mut senders = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
+        let mut pool = WorkerPool {
+            slots: Vec::with_capacity(n),
+            results,
+            result_tx,
+            sys: Arc::clone(sys),
+            lane_sim: sim.clone(),
+        };
         for i in 0..n {
-            let (tx, rx) = std::sync::mpsc::channel::<Job>();
-            let out = result_tx.clone();
-            // Worker i solves the (i+1)-th task of every round; tag its
-            // probe with that lane so traces show the pipelining overlap.
-            let mut worker_sim = sim.clone();
-            worker_sim.probe = sim.probe.with_lane(i as u32 + 1);
-            let mut solver = PointSolver::new(Arc::clone(sys), worker_sim);
-            handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    let r = solver.solve_point(
+            let (tx, handle) = pool.spawn_worker(i);
+            pool.slots.push(WorkerSlot {
+                sender: Some(tx),
+                handle: Some(handle),
+                respawns_left: respawns,
+            });
+        }
+        pool
+    }
+
+    /// Spawns the thread for pool slot `i` (fresh solver, lane `i + 1`).
+    fn spawn_worker(
+        &self,
+        i: usize,
+    ) -> (std::sync::mpsc::Sender<Job>, std::thread::JoinHandle<()>) {
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let out = self.result_tx.clone();
+        // Worker i solves the (i+1)-th task of every round; tag its probe
+        // (and fault handle) with that lane so traces show the pipelining
+        // overlap and injected faults can target individual lanes.
+        let lane = i as u32 + 1;
+        let mut worker_sim = self.lane_sim.clone();
+        worker_sim.probe = self.lane_sim.probe.with_lane(lane);
+        worker_sim.faults = self.lane_sim.faults.with_lane(lane);
+        let mut solver = PointSolver::new(Arc::clone(&self.sys), worker_sim);
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                // Contain panics (organic or injected): always reply, then
+                // retire — the solver's internal state cannot be trusted
+                // after an unwind through it.
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    solver.solve_point(
                         &job.task.hw,
                         job.task.t,
                         job.task.guess.as_deref(),
                         job.max_iters,
-                    );
-                    if out.send((job.slot, r)).is_err() {
+                    )
+                }));
+                match solved {
+                    Ok(r) => {
+                        if out.send((job.slot, r)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        let cause = panic_cause(payload);
+                        let _ = out.send((job.slot, Err(EngineError::WorkerLost { lane, cause })));
                         break;
                     }
                 }
-            }));
-            senders.push(tx);
-        }
-        WorkerPool { senders, results, handles }
+            }
+        });
+        (tx, handle)
     }
 
     fn len(&self) -> usize {
-        self.senders.len()
+        self.slots.len()
+    }
+
+    /// Number of workers currently accepting jobs.
+    fn alive(&self) -> usize {
+        self.slots.iter().filter(|s| s.sender.is_some()).count()
+    }
+
+    /// Respawns every dead slot that still has respawn budget. Returns how
+    /// many workers were brought back.
+    fn respawn_dead(&mut self) -> usize {
+        let mut respawned = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].sender.is_some() || self.slots[i].respawns_left == 0 {
+                continue;
+            }
+            self.slots[i].respawns_left -= 1;
+            // The retired thread exited after replying; reap it first.
+            if let Some(h) = self.slots[i].handle.take() {
+                let _ = h.join();
+            }
+            let (tx, handle) = self.spawn_worker(i);
+            self.slots[i].sender = Some(tx);
+            self.slots[i].handle = Some(handle);
+            respawned += 1;
+        }
+        respawned
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the job channels lets every worker's recv() fail and the
-        // thread exit; join to avoid leaking threads across runs.
-        self.senders.clear();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // thread exit; join to avoid leaking threads across runs. A panic
+        // payload escaping a worker (outside the per-solve catch) is
+        // surfaced rather than silently dropped.
+        for s in &mut self.slots {
+            s.sender = None;
+        }
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if let Some(h) = s.handle.take() {
+                if let Err(payload) = h.join() {
+                    let lane = i as u32 + 1;
+                    self.lane_sim.probe.with_lane(lane).emit(0.0, EventKind::WorkerLost { lane });
+                    eprintln!(
+                        "wavepipe: worker lane {lane} panicked outside a solve: {}",
+                        panic_cause(payload)
+                    );
+                }
+            }
         }
     }
 }
@@ -147,6 +254,11 @@ pub(crate) struct Driver {
     pub lead_rejected: usize,
     pub spec_accepted: usize,
     pub spec_rejected: usize,
+    /// Worker-loss events observed (a respawned-then-lost worker counts
+    /// each time).
+    pub workers_lost: usize,
+    /// `FallbackSerial` has been emitted (the pool shrank to nothing).
+    serial_fallback_emitted: bool,
     run_start: Instant,
 }
 
@@ -167,7 +279,7 @@ impl Driver {
         // so the thread budget splits lanes x stamp workers.
         let lane_sim = wp.lane_sim();
         let mut lead = PointSolver::new(Arc::clone(&sys), lane_sim.clone());
-        let pool = WorkerPool::new(&sys, &lane_sim, width.saturating_sub(1));
+        let pool = WorkerPool::new(&sys, &lane_sim, width.saturating_sub(1), wp.worker_respawns);
         let node_names: Vec<String> = sys.node_names().to_vec();
         let mut result = TransientResult::new(sys.n_unknowns(), node_names);
         result.set_branch_names(sys.branch_names().to_vec());
@@ -177,6 +289,9 @@ impl Driver {
         let x0 = lead.initial_state(&mut dc_stats)?;
         dc_stats.wall_ns = dc_start.elapsed().as_nanos();
         result.push(0.0, &x0);
+        // Arm the deadline only now, after the DC solve, mirroring the serial
+        // engine: a zero budget still yields the `t = 0` point.
+        wp.sim.arm_deadline();
         let hw = HistoryWindow::start(x0, sys.cap_state_count());
 
         let bps = sys.breakpoints(tstop);
@@ -213,25 +328,47 @@ impl Driver {
             lead_rejected: 0,
             spec_accepted: 0,
             spec_rejected: 0,
+            workers_lost: 0,
+            serial_fallback_emitted: false,
             run_start,
         })
     }
 
     /// Solves up to `1 + pool_size` tasks concurrently: task 0 on the
     /// coordinating thread, the rest on the persistent workers. Results are
-    /// returned in task order.
+    /// returned in task order; a task whose worker was lost (panic, dead
+    /// channel) yields [`EngineError::WorkerLost`] in its slot instead of
+    /// tearing the run down. Dead workers are respawned afterwards while
+    /// their budget lasts.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Internal`] when more tasks are submitted than the pool
+    /// has solver lanes (a scheme bug, not a simulation failure).
     pub fn solve_round(
         &mut self,
         tasks: Vec<Task>,
         max_iters: usize,
-    ) -> Vec<Result<PointSolution>> {
-        assert!(tasks.len() <= 1 + self.pool.len(), "more tasks than solvers");
+    ) -> Result<Vec<Result<PointSolution>>> {
+        if tasks.len() > 1 + self.pool.len() {
+            return Err(EngineError::Internal {
+                context: format!(
+                    "round of {} tasks exceeds {} solver lanes",
+                    tasks.len(),
+                    1 + self.pool.len()
+                ),
+            });
+        }
         let n = tasks.len();
         let mut out: Vec<Option<Result<PointSolution>>> = (0..n).map(|_| None).collect();
+        // Which pool slot each task slot went to, for marking dead workers
+        // when their reply says they are gone.
+        let mut slot_worker: Vec<Option<usize>> = vec![None; n];
         let mut iter = tasks.into_iter().enumerate();
         let first = iter.next();
         let mut dispatched = 0usize;
-        for ((slot, task), tx) in iter.zip(&self.pool.senders) {
+        let mut cursor = 0usize;
+        for (slot, task) in iter {
             // Stamp the task's lane span at *dispatch*: the worker's own
             // SolveStart marks execution start, but the Chrome exporter keeps
             // the earliest start per lane, so traces show the round's tasks
@@ -242,18 +379,132 @@ impl Driver {
                 .probe
                 .with_lane(slot as u32)
                 .emit(task.t, EventKind::SolveStart { h: task.t - task.hw.t() });
-            tx.send(Job { task, max_iters, slot }).expect("worker alive");
-            dispatched += 1;
+            let mut job = Job { task, max_iters, slot };
+            let mut placed = false;
+            while cursor < self.pool.slots.len() {
+                let w = cursor;
+                cursor += 1;
+                let Some(tx) = self.pool.slots[w].sender.as_ref() else {
+                    continue;
+                };
+                match tx.send(job) {
+                    Ok(()) => {
+                        slot_worker[slot] = Some(w);
+                        dispatched += 1;
+                        placed = true;
+                        break;
+                    }
+                    Err(returned) => {
+                        // Channel closed: the worker died since last round.
+                        job = returned.0;
+                        self.note_worker_lost(w, job.task.t);
+                    }
+                }
+            }
+            if !placed {
+                out[slot] = Some(Err(EngineError::WorkerLost {
+                    lane: slot as u32,
+                    cause: "worker pool exhausted".to_string(),
+                }));
+            }
         }
         if let Some((slot, task)) = first {
-            out[slot] =
-                Some(self.lead.solve_point(&task.hw, task.t, task.guess.as_deref(), max_iters));
+            out[slot] = Some(self.lead_solve(&task.hw, task.t, task.guess.as_deref(), max_iters));
         }
         for _ in 0..dispatched {
-            let (slot, r) = self.pool.results.recv().expect("worker alive");
-            out[slot] = Some(r);
+            let received = self.pool.results.recv();
+            match received {
+                Ok((slot, r)) => {
+                    if matches!(r, Err(EngineError::WorkerLost { .. })) {
+                        if let Some(w) = slot_worker[slot] {
+                            self.note_worker_lost(w, 0.0);
+                        }
+                    }
+                    out[slot] = Some(r);
+                }
+                Err(_) => break, // cannot happen (pool holds a sender); stop waiting
+            }
         }
-        out.into_iter().map(|o| o.expect("every task produced a result")).collect()
+        // Bring lost workers back while their respawn budget lasts, so a
+        // transient fault costs one narrow round rather than the whole run.
+        self.pool.respawn_dead();
+        if self.pool.len() > 0 && self.pool.alive() == 0 && !self.serial_fallback_emitted {
+            self.serial_fallback_emitted = true;
+            self.wp.sim.probe.emit(self.hw.t(), EventKind::FallbackSerial);
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| {
+                    Err(EngineError::Internal {
+                        context: "round task produced no result".to_string(),
+                    })
+                })
+            })
+            .collect())
+    }
+
+    /// Records one observed worker loss: marks the pool slot dead, counts
+    /// it, and emits [`EventKind::WorkerLost`] for the lane.
+    fn note_worker_lost(&mut self, w: usize, t: f64) {
+        self.pool.slots[w].sender = None;
+        self.workers_lost += 1;
+        let lane = w as u32 + 1;
+        self.wp.sim.probe.with_lane(lane).emit(t, EventKind::WorkerLost { lane });
+    }
+
+    /// Runs a solve on the coordinating thread's solver with panic isolation:
+    /// an unwind out of the solver surfaces as [`EngineError::WorkerLost`]
+    /// on lane 0 (terminal for the run — the lead solver's state cannot be
+    /// trusted afterwards) instead of aborting the process.
+    pub fn lead_solve(
+        &mut self,
+        hw: &HistoryWindow,
+        t: f64,
+        guess: Option<&[f64]>,
+        max_iters: usize,
+    ) -> Result<PointSolution> {
+        match catch_unwind(AssertUnwindSafe(|| self.lead.solve_point(hw, t, guess, max_iters))) {
+            Ok(r) => r,
+            Err(payload) => Err(EngineError::WorkerLost { lane: 0, cause: panic_cause(payload) }),
+        }
+    }
+
+    /// [`Driver::lead_solve`] against the driver's own (true) history —
+    /// the case of speculative refinements, which always integrate from it.
+    ///
+    /// # Errors
+    ///
+    /// Engine solve failures, or [`EngineError::WorkerLost`] (lane 0) when
+    /// the solve panicked.
+    pub fn refine_solve(
+        &mut self,
+        t: f64,
+        guess: &[f64],
+        max_iters: usize,
+    ) -> Result<PointSolution> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.lead.solve_point(&self.hw, t, Some(guess), max_iters)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(EngineError::WorkerLost { lane: 0, cause: panic_cause(payload) }),
+        }
+    }
+
+    /// Clamps a requested round width to what the pool can still serve:
+    /// the coordinating lane plus the live workers. Shrinks to 1 (serial
+    /// schedule) once every worker is gone.
+    pub fn round_width(&self, requested: usize) -> usize {
+        requested.min(1 + self.pool.alive()).max(1)
+    }
+
+    /// Checks the run's cancellation token / deadline at a round boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cancelled`] or [`EngineError::DeadlineExceeded`].
+    pub fn check_budget(&self) -> Result<()> {
+        self.wp.sim.check_budget(self.hw.t())
     }
 
     /// `true` once the simulation reached `tstop`.
@@ -509,7 +760,81 @@ impl Driver {
             lead_rejected: self.lead_rejected,
             speculation_accepted: self.spec_accepted,
             speculation_rejected: self.spec_rejected,
+            workers_lost: self.workers_lost,
             telemetry: self.wp.sim.probe.summary(),
         }
     }
+}
+
+/// Splits a round's per-slot results into the usable prefix of solutions,
+/// accounting every completed solve's cost. A slot-0 error is structural
+/// (the base solve is not speculative) and propagates; an error at slot
+/// `i > 0` truncates the round there — every pool task is speculative, so
+/// discarding it and everything after is always safe; the committed prefix
+/// stays serial-identical. Returns the solutions and whether truncation
+/// happened. Slots below `spec_from` emit [`EventKind::LeadDiscarded`],
+/// the rest [`EventKind::SpeculationDiscarded`].
+///
+/// # Errors
+///
+/// The slot-0 error, when the round's base solve itself failed.
+pub(crate) fn usable_prefix(
+    drv: &mut Driver,
+    sols: Vec<Result<PointSolution>>,
+    spec_from: usize,
+) -> Result<(Vec<PointSolution>, bool)> {
+    let mut costs: Vec<SimStats> = Vec::with_capacity(sols.len());
+    let mut solutions: Vec<PointSolution> = Vec::with_capacity(sols.len());
+    let mut truncated = false;
+    for (i, s) in sols.into_iter().enumerate() {
+        match s {
+            Ok(sol) => {
+                costs.push(sol.stats);
+                if truncated {
+                    // Solved fine, but an earlier slot is missing and commits
+                    // walk left to right — the chain is broken here.
+                    emit_discard(drv, sol.t, i, spec_from, DiscardReason::ChainBroken);
+                } else {
+                    solutions.push(sol);
+                }
+            }
+            Err(e) if i == 0 => return Err(e),
+            Err(_) => {
+                emit_discard(drv, drv.hw.t(), i, spec_from, DiscardReason::WorkerLost);
+                truncated = true;
+            }
+        }
+    }
+    drv.account_parallel(&costs);
+    Ok((solutions, truncated))
+}
+
+fn emit_discard(drv: &Driver, t: f64, slot: usize, spec_from: usize, reason: DiscardReason) {
+    let kind = if slot >= spec_from {
+        EventKind::SpeculationDiscarded { reason }
+    } else {
+        EventKind::LeadDiscarded { reason }
+    };
+    drv.wp.sim.probe.emit(t, kind);
+}
+
+/// The shared scheme loop: rounds until `tstop`, checking the deadline /
+/// cancellation token at every round boundary and narrowing the round width
+/// to what the worker pool can still serve. Returns the terminal error of a
+/// partial run, or `None` when the run completed.
+pub(crate) fn drive(
+    drv: &mut Driver,
+    width: usize,
+    mut round: impl FnMut(&mut Driver, usize) -> Result<usize>,
+) -> Option<EngineError> {
+    while !drv.done() {
+        if let Err(e) = drv.check_budget() {
+            return Some(e);
+        }
+        let w = drv.round_width(width);
+        if let Err(e) = round(drv, w) {
+            return Some(e);
+        }
+    }
+    None
 }

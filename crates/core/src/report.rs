@@ -1,7 +1,7 @@
 //! Run reports: work accounting and speedup computation.
 
 use crate::options::Scheme;
-use wavepipe_engine::{SimStats, TransientResult};
+use wavepipe_engine::{EngineError, Result, SimStats, TransientResult};
 use wavepipe_telemetry::TelemetrySummary;
 
 /// Outcome of a WavePipe run: the waveform plus parallel work accounting.
@@ -44,6 +44,10 @@ pub struct WavePipeReport {
     pub speculation_accepted: usize,
     /// Forward pipelining: speculative solves discarded.
     pub speculation_rejected: usize,
+    /// Pool workers lost to panics during the run (each loss of a respawned
+    /// worker counts again). Worker loss never affects the waveform — lost
+    /// tasks are speculative and are simply discarded.
+    pub workers_lost: usize,
     /// Aggregated telemetry (`None` unless a probe with summary support —
     /// e.g. [`wavepipe_telemetry::RecordingProbe`] — was attached to the run).
     pub telemetry: Option<TelemetrySummary>,
@@ -87,16 +91,50 @@ impl WavePipeReport {
         } else {
             format!("{}", self.threads)
         };
+        let faults = if self.workers_lost > 0 {
+            format!(", {} workers lost", self.workers_lost)
+        } else {
+            String::new()
+        };
         format!(
-            "{} x{}: {} pts, {} rounds, cp {} units / {:.2} ms, accept {:.0}%",
+            "{} x{}: {} pts, {} rounds, cp {} units / {:.2} ms, accept {:.0}%{}",
             self.scheme,
             split,
             self.result.len(),
             self.rounds,
             self.critical_work,
             self.critical_ns as f64 / 1e6,
-            self.accept_rate() * 100.0
+            self.accept_rate() * 100.0,
+            faults
         )
+    }
+}
+
+/// Outcome of a fault-tolerant WavePipe run
+/// ([`crate::run_wavepipe_recoverable`]): the report built from every point
+/// accepted before the run ended, together with the terminal error if any —
+/// a deadline hit or cancellation mid-run keeps the waveform prefix instead
+/// of discarding the whole analysis.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Report over the accepted prefix (the full run when `error` is `None`).
+    pub report: WavePipeReport,
+    /// `None` for a clean run to `tstop`; otherwise the terminal error.
+    pub error: Option<EngineError>,
+}
+
+impl RunOutcome {
+    /// Collapses to the classic all-or-nothing view: the full report on a
+    /// clean run, the terminal error (partial report dropped) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the terminal error of a partial run.
+    pub fn into_result(self) -> Result<WavePipeReport> {
+        match self.error {
+            None => Ok(self.report),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -119,6 +157,7 @@ mod tests {
             lead_rejected: 2,
             speculation_accepted: 0,
             speculation_rejected: 0,
+            workers_lost: 0,
             telemetry: None,
         }
     }
@@ -147,6 +186,25 @@ mod tests {
     #[test]
     fn summary_contains_scheme() {
         assert!(dummy_report(1).summary().contains("backward"));
+    }
+
+    #[test]
+    fn summary_reports_lost_workers_only_when_any() {
+        let mut r = dummy_report(1);
+        assert!(!r.summary().contains("workers lost"));
+        r.workers_lost = 2;
+        assert!(r.summary().contains("2 workers lost"), "{}", r.summary());
+    }
+
+    #[test]
+    fn outcome_into_result_round_trips() {
+        let clean = RunOutcome { report: dummy_report(1), error: None };
+        assert!(clean.into_result().is_ok());
+        let partial = RunOutcome {
+            report: dummy_report(1),
+            error: Some(EngineError::Cancelled { time: 1e-9 }),
+        };
+        assert!(matches!(partial.into_result(), Err(EngineError::Cancelled { .. })));
     }
 
     #[test]

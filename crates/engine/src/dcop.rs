@@ -65,10 +65,12 @@ pub fn dc_operating_point(
         opts,
         stats,
     );
-    if let Ok(out) = &direct {
-        if out.converged {
-            return Ok(out.x.clone());
-        }
+    match direct {
+        Ok(out) if out.converged => return Ok(out.x),
+        // Cancellation / deadline: the caller asked us to stop; the
+        // continuation ladder must not burn more wall time.
+        Err(e) if e.is_budget() => return Err(e),
+        _ => {}
     }
 
     // --- 2. Gmin stepping. ---
@@ -89,6 +91,7 @@ pub fn dc_operating_point(
         );
         match out {
             Ok(o) if o.converged => x = o.x,
+            Err(e) if e.is_budget() => return Err(e),
             _ => {
                 ok = false;
                 break;
@@ -138,6 +141,7 @@ pub fn dc_operating_point(
                 scale = target;
                 step = (step * 1.5).min(0.25);
             }
+            Err(e) if e.is_budget() => return Err(e),
             _ => {
                 step /= 4.0;
                 failures += 1;

@@ -1,10 +1,16 @@
 //! Engine error types.
 
 use std::fmt;
+use std::time::Duration;
 use wavepipe_sparse::SparseError;
 
 /// Error produced by DC or transient analysis.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a fallthrough
+/// arm so new failure modes (worker loss, budgets, ...) are not semver
+/// breaks.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The linear solver failed (singular matrix, dimension bug, ...).
     Linear(SparseError),
@@ -45,6 +51,46 @@ pub enum EngineError {
         /// The missing source name.
         name: String,
     },
+    /// A pool or stamp worker died (panicked or disappeared) while holding a
+    /// task. The runtime drains the round, retires the worker, and continues
+    /// on the surviving lanes; this error only escapes when the *lead* lane
+    /// is the one that died.
+    WorkerLost {
+        /// Lane (0 = lead/serial, 1.. = pool workers) that was lost.
+        lane: u32,
+        /// Stringified panic payload, or a description of the disappearance.
+        cause: String,
+    },
+    /// The wall-clock budget set via `SimOptions::with_deadline` expired.
+    /// The accepted prefix of the waveform is recoverable through the
+    /// `*_recoverable` entry points.
+    DeadlineExceeded {
+        /// Simulated time reached when the budget ran out.
+        time: f64,
+        /// The budget that was configured.
+        budget: Duration,
+    },
+    /// The run was cancelled through its `CancelToken`.
+    Cancelled {
+        /// Simulated time reached when cancellation was observed.
+        time: f64,
+    },
+    /// An internal scheduling invariant was violated — a scheme-logic bug,
+    /// reported as a typed error instead of a release-mode panic.
+    Internal {
+        /// Description of the violated invariant.
+        context: String,
+    },
+}
+
+impl EngineError {
+    /// True for the cooperative-budget errors ([`EngineError::Cancelled`],
+    /// [`EngineError::DeadlineExceeded`]): retry ladders must propagate
+    /// these immediately instead of trying another strategy — the caller
+    /// asked the run to stop.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, EngineError::Cancelled { .. } | EngineError::DeadlineExceeded { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -66,6 +112,18 @@ impl fmt::Display for EngineError {
             }
             EngineError::UnknownSource { name } => {
                 write!(f, "no independent source named {name}")
+            }
+            EngineError::WorkerLost { lane, cause } => {
+                write!(f, "worker on lane {lane} lost: {cause}")
+            }
+            EngineError::DeadlineExceeded { time, budget } => {
+                write!(f, "deadline of {budget:?} exceeded at t={time:.3e}")
+            }
+            EngineError::Cancelled { time } => {
+                write!(f, "run cancelled at t={time:.3e}")
+            }
+            EngineError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
             }
         }
     }
@@ -117,5 +175,23 @@ mod tests {
         let e: EngineError = SparseError::Singular { column: 2 }.into();
         assert!(matches!(e, EngineError::Linear(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn fault_tolerance_variants_format_usefully() {
+        let samples = [
+            EngineError::WorkerLost { lane: 3, cause: "boom".into() },
+            EngineError::DeadlineExceeded { time: 1e-9, budget: Duration::from_millis(5) },
+            EngineError::Cancelled { time: 2e-9 },
+            EngineError::Internal { context: "too many tasks".into() },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+        let e = EngineError::WorkerLost { lane: 3, cause: "boom".into() };
+        assert!(e.to_string().contains("lane 3"));
+        assert!(e.to_string().contains("boom"));
     }
 }

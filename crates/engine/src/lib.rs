@@ -48,10 +48,12 @@
 #![forbid(unsafe_code)]
 
 pub mod ac;
+pub mod cancel;
 pub mod dcop;
 pub mod dcsweep;
 pub mod devices;
 mod error;
+pub mod fault;
 pub mod integrate;
 pub mod lte;
 pub mod measure;
@@ -67,8 +69,10 @@ mod stats;
 pub mod transient;
 
 pub use ac::{run_ac, AcResult, Phasor};
+pub use cancel::CancelToken;
 pub use dcsweep::{run_dc_sweep, DcSweepResult};
 pub use error::{EngineError, Result};
+pub use fault::{FaultHandle, FaultKind, FaultPlan};
 pub use integrate::{IntegCoeffs, Method};
 pub use mna::{MnaSystem, MnaWorkspace, StampInput};
 pub use options::SimOptions;
@@ -77,7 +81,9 @@ pub use result::TransientResult;
 pub use sensitivity::{run_dc_sensitivity, SensitivityResult};
 pub use stats::SimStats;
 pub use transient::{
-    run_transient, run_transient_compiled, HistoryWindow, PointSolution, PointSolver,
+    run_transient, run_transient_compiled, run_transient_recoverable,
+    run_transient_recoverable_compiled, HistoryWindow, PointSolution, PointSolver,
+    TransientOutcome,
 };
 pub use wavepipe_telemetry as telemetry;
 pub use wavepipe_telemetry::{Probe, ProbeHandle, RecordingProbe};

@@ -132,6 +132,9 @@ pub fn newton_solve(
     let n_nodes = sys.n_nodes();
     let mut x = x0.to_vec();
     for it in 1..=max_iters {
+        // Cooperative budget check once per iteration: a runaway solve stops
+        // within one stamp+factor of the deadline instead of at `max_iters`.
+        opts.check_budget(input.time)?;
         stats.newton_iterations += 1;
         opts.probe.emit(input.time, EventKind::NewtonIter { iteration: it as u32 });
         stats.device_evals += match exec.as_deref_mut() {

@@ -1,7 +1,11 @@
 //! Simulation options shared by DC and transient analysis.
 
+use crate::cancel::CancelToken;
+use crate::error::{EngineError, Result};
+use crate::fault::{FaultHandle, FaultPlan};
 use crate::integrate::Method;
-use wavepipe_telemetry::ProbeHandle;
+use std::time::Duration;
+use wavepipe_telemetry::{EventKind, ProbeHandle};
 
 /// Tolerances and control knobs for the simulation engine.
 ///
@@ -59,6 +63,24 @@ pub struct SimOptions {
     /// `WAVEPIPE_STAMP_WORKERS` environment variable so a whole test suite
     /// can be forced onto the parallel path.
     pub stamp_workers: usize,
+    /// Wall-clock budget for one analysis run. `None` (default) runs to
+    /// completion. The budget is armed after the DC/initial solve and
+    /// checked cooperatively (step and round boundaries, every Newton
+    /// iteration), so even a zero budget yields the `t = 0` point and the
+    /// accepted prefix stays bit-identical to an unbudgeted run. Expiry
+    /// surfaces as [`EngineError::DeadlineExceeded`]; pair with the
+    /// `*_recoverable` entry points to keep the partial waveform.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token shared with the caller. `None`
+    /// (default) is uncancellable; [`SimOptions::with_deadline`] installs
+    /// one automatically. Cancelling surfaces as [`EngineError::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Fault-injection handle for testing the fault-tolerant runtime. The
+    /// default honours the `WAVEPIPE_FAULT_SEED` environment variable
+    /// (deterministic chaos); otherwise inert. Attach an explicit
+    /// [`FaultPlan`] via [`SimOptions::with_faults`] — an empty plan pins a
+    /// run fault-free even under the env override.
+    pub faults: FaultHandle,
 }
 
 fn default_stamp_workers() -> usize {
@@ -84,6 +106,9 @@ impl Default for SimOptions {
             use_ic: false,
             probe: ProbeHandle::none(),
             stamp_workers: default_stamp_workers(),
+            deadline: None,
+            cancel: None,
+            faults: FaultHandle::from_env_cached(),
         }
     }
 }
@@ -137,6 +162,63 @@ impl SimOptions {
     pub fn with_stamp_workers(mut self, stamp_workers: usize) -> Self {
         self.stamp_workers = stamp_workers;
         self
+    }
+
+    /// Builder: sets a wall-clock budget and installs a fresh
+    /// [`CancelToken`] (if none is attached yet) so the budget has a place
+    /// to live. Clones of these options share the token, which is what lets
+    /// one armed deadline stop every lane of a parallel run.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        if self.cancel.is_none() {
+            self.cancel = Some(CancelToken::new());
+        }
+        self
+    }
+
+    /// Builder: attaches a caller-owned cancellation token.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Builder: attaches a fault-injection plan (an empty plan pins the run
+    /// fault-free, overriding `WAVEPIPE_FAULT_SEED`).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultHandle::new(plan);
+        self
+    }
+
+    /// Arms the configured deadline (if any) on the attached token. Called
+    /// by analysis entry points once the initial solution is in hand.
+    pub fn arm_deadline(&self) {
+        if let (Some(budget), Some(token)) = (self.deadline, &self.cancel) {
+            token.arm_deadline(budget);
+        }
+    }
+
+    /// Cooperative budget check: returns [`EngineError::Cancelled`] when the
+    /// token was cancelled, [`EngineError::DeadlineExceeded`] when the armed
+    /// deadline passed, and `Ok(())` otherwise. `time` is the simulated time
+    /// to report. Emits a [`EventKind::DeadlineHit`] telemetry event when
+    /// the budget expires.
+    #[inline]
+    pub fn check_budget(&self, time: f64) -> Result<()> {
+        let Some(token) = &self.cancel else { return Ok(()) };
+        if token.is_cancelled() {
+            return Err(EngineError::Cancelled { time });
+        }
+        if token.deadline_expired() {
+            self.probe.emit(time, EventKind::DeadlineHit);
+            return Err(EngineError::DeadlineExceeded {
+                time,
+                budget: self.deadline.unwrap_or(Duration::ZERO),
+            });
+        }
+        Ok(())
     }
 
     /// Minimum step for a run to `tstop`.
@@ -194,5 +276,43 @@ mod tests {
         assert_eq!(o.stamp_workers, 3);
         assert_eq!(o.vntol, base.vntol);
         assert_eq!(o.gmin, base.gmin);
+    }
+
+    #[test]
+    fn with_deadline_installs_a_token() {
+        let o = SimOptions::default().with_deadline(Duration::from_millis(5));
+        assert_eq!(o.deadline, Some(Duration::from_millis(5)));
+        assert!(o.cancel.is_some());
+        // An existing token is kept.
+        let t = CancelToken::new();
+        let o = SimOptions::default()
+            .with_cancel_token(t.clone())
+            .with_deadline(Duration::from_secs(1));
+        assert_eq!(o.cancel.as_ref(), Some(&t));
+    }
+
+    #[test]
+    fn check_budget_passes_without_a_token() {
+        assert!(SimOptions::default().with_faults(FaultPlan::new()).check_budget(0.0).is_ok());
+    }
+
+    #[test]
+    fn check_budget_reports_cancellation_and_expiry() {
+        let o = SimOptions::default().with_deadline(Duration::from_secs(3600));
+        o.arm_deadline();
+        assert!(o.check_budget(0.0).is_ok());
+        o.cancel.as_ref().unwrap().cancel();
+        assert!(matches!(o.check_budget(1e-9), Err(EngineError::Cancelled { .. })));
+
+        let o = SimOptions::default().with_deadline(Duration::ZERO);
+        o.arm_deadline();
+        let err = o.check_budget(2e-9).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn explicit_empty_fault_plan_is_inert() {
+        let o = SimOptions::default().with_faults(FaultPlan::new());
+        assert!(!o.faults.enabled());
     }
 }

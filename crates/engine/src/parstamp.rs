@@ -16,11 +16,21 @@
 //! accumulation overhead) — what an otherwise-idle machine with enough cores
 //! would realise. The repo's speedup reports are built from the model, per
 //! the convention documented in EXPERIMENTS.md.
+//!
+//! Fault tolerance: worker evaluation runs under `catch_unwind`. A panic in
+//! a worker (organic or injected via [`crate::fault::FaultPlan`]) retires
+//! that worker; the master evaluates the affected chunks inline from the
+//! retained snapshot — same devices, same order, bit-identical results —
+//! and then degrades the executor permanently to the serial
+//! [`MnaSystem::stamp`] path, emitting [`EventKind::WorkerLost`] and
+//! [`EventKind::FallbackSerial`] once.
 
+use crate::fault::FaultHandle;
 use crate::integrate::IntegCoeffs;
 use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
 use crate::stats::SimStats;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,6 +61,9 @@ struct ChunkOut {
     bufs: ChunkBufs,
     limited: bool,
     eval_ns: u64,
+    /// The worker panicked evaluating this chunk; `bufs` is empty and the
+    /// worker has retired. The master re-evaluates the chunk inline.
+    failed: bool,
 }
 
 /// Owned snapshot of one stamp call's borrowed inputs. Workers hold it via
@@ -138,6 +151,15 @@ pub struct StampExecutor {
     ctx: Option<Arc<CallCtx>>,
     /// Per-worker busy nanoseconds within the current call.
     worker_busy: Vec<u64>,
+    /// Fault-injection handle shared with the owning solver (inert outside
+    /// tests unless `WAVEPIPE_FAULT_SEED` is set).
+    faults: FaultHandle,
+    /// Workers observed dead (send failed or a failed [`ChunkOut`] arrived).
+    worker_dead: Vec<bool>,
+    /// Permanently degraded: every future call takes the serial path.
+    broken: bool,
+    /// `WorkerLost`/`FallbackSerial` have been emitted (once per executor).
+    fallback_logged: bool,
     /// Calibration mode (`WAVEPIPE_STAMP_SEQUENTIAL=1`): dispatch chunks one
     /// at a time so each chunk's evaluation is timed without the other
     /// workers competing for cores. Results are bit-identical either way —
@@ -166,7 +188,9 @@ fn device_cost(sys: &MnaSystem, d: u32) -> u64 {
 impl StampExecutor {
     /// Spawns `workers` evaluation threads for `sys`. Returns `None` when
     /// `workers == 0` (serial stamping) or the system has no devices.
-    pub fn new(sys: &Arc<MnaSystem>, workers: usize) -> Option<Self> {
+    /// `faults` is the owning solver's fault-injection handle; pass
+    /// [`FaultHandle::none`] outside a simulation context.
+    pub fn new(sys: &Arc<MnaSystem>, workers: usize, faults: &FaultHandle) -> Option<Self> {
         let plan_len = sys.plan().order.len();
         if workers == 0 || plan_len == 0 {
             return None;
@@ -210,31 +234,61 @@ impl StampExecutor {
         let (result_tx, result_rx) = channel::<ChunkOut>();
         let mut job_txs = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
-        for _ in 0..n_workers {
+        for widx in 0..n_workers {
             let (tx, rx) = channel::<Job>();
             job_txs.push(tx);
             let out = result_tx.clone();
             let sys = Arc::clone(sys);
+            let faults = faults.clone();
             handles.push(std::thread::spawn(move || {
+                let mut calls = 0u64;
                 while let Ok(mut job) = rx.recv() {
                     let t0 = Instant::now();
-                    let devices = &sys.plan().order[job.start as usize..job.end as usize];
-                    let limited = sys.eval_devices(
-                        &job.ctx.input(),
-                        &job.ctx.x_iter,
-                        &job.ctx.junction,
-                        devices,
-                        &mut job.bufs.mat,
-                        &mut job.bufs.rhs,
-                        &mut job.bufs.jct,
-                    );
+                    let call = calls;
+                    calls += 1;
+                    let chunk_id = job.chunk_id;
+                    // Contain panics (organic or injected) to this worker:
+                    // evaluation writes only job-private buffers, so a caught
+                    // unwind leaves no shared state to corrupt.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if faults.stamp_panic(widx, call) {
+                            panic!("injected fault: stamp worker {widx} panics at call {call}");
+                        }
+                        let devices = &sys.plan().order[job.start as usize..job.end as usize];
+                        let limited = sys.eval_devices(
+                            &job.ctx.input(),
+                            &job.ctx.x_iter,
+                            &job.ctx.junction,
+                            devices,
+                            &mut job.bufs.mat,
+                            &mut job.bufs.rhs,
+                            &mut job.bufs.jct,
+                        );
+                        drop(job.ctx);
+                        (job.bufs, limited)
+                    }));
                     let eval_ns = t0.elapsed().as_nanos() as u64;
-                    drop(job.ctx);
-                    if out
-                        .send(ChunkOut { chunk_id: job.chunk_id, bufs: job.bufs, limited, eval_ns })
-                        .is_err()
-                    {
-                        break;
+                    match result {
+                        Ok((bufs, limited)) => {
+                            if out
+                                .send(ChunkOut { chunk_id, bufs, limited, eval_ns, failed: false })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Report the failure (best effort) and retire so
+                            // the master falls back to serial evaluation.
+                            let _ = out.send(ChunkOut {
+                                chunk_id,
+                                bufs: ChunkBufs::default(),
+                                limited: false,
+                                eval_ns,
+                                failed: true,
+                            });
+                            break;
+                        }
                     }
                 }
             }));
@@ -251,6 +305,10 @@ impl StampExecutor {
             spare: (0..n_chunks).map(|_| Some(ChunkBufs::default())).collect(),
             ctx: Some(Arc::new(CallCtx::default())),
             worker_busy: vec![0; n_workers],
+            faults: faults.clone(),
+            worker_dead: vec![false; n_workers],
+            broken: false,
+            fallback_logged: false,
             sequential: std::env::var_os("WAVEPIPE_STAMP_SEQUENTIAL").is_some_and(|v| v != "0"),
         })
     }
@@ -277,6 +335,9 @@ impl StampExecutor {
         probe: &ProbeHandle,
         stats: &mut SimStats,
     ) -> usize {
+        if self.broken {
+            return self.stamp_serial(ws, input, x_iter, stats);
+        }
         let t_call = Instant::now();
         // Snapshot the borrowed inputs so they can cross into the workers.
         let mut ctx_arc = self.ctx.take().and_then(|a| Arc::try_unwrap(a).ok()).unwrap_or_default();
@@ -291,6 +352,10 @@ impl StampExecutor {
         // mode each dispatch waits for its result so chunk evaluations are
         // timed one at a time (same results, uncontended timing).
         for (id, chunk) in self.chunks.iter().enumerate() {
+            let w = chunk.worker as usize;
+            if self.worker_dead[w] {
+                continue; // evaluated inline during accumulation
+            }
             let bufs = self.spare[id].take().unwrap_or_default();
             let job = Job {
                 ctx: Arc::clone(&ctx),
@@ -299,11 +364,24 @@ impl StampExecutor {
                 end: chunk.end,
                 bufs,
             };
-            self.job_txs[chunk.worker as usize].send(job).expect("stamp worker alive");
+            if let Err(returned) = self.job_txs[w].send(job) {
+                // Channel closed: the worker died earlier. Reclaim the
+                // buffers; the accumulation pass evaluates the chunk inline.
+                self.worker_dead[w] = true;
+                self.spare[id] = Some(returned.0.bufs);
+                continue;
+            }
             if self.sequential {
-                let out = self.result_rx.recv().expect("stamp worker alive");
-                let done = out.chunk_id as usize;
-                self.pending[done] = Some(out);
+                match self.result_rx.recv() {
+                    Ok(out) => {
+                        let id = out.chunk_id as usize;
+                        if out.failed {
+                            self.worker_dead[self.chunks[id].worker as usize] = true;
+                        }
+                        self.pending[id] = Some(out);
+                    }
+                    Err(_) => self.worker_dead.iter_mut().for_each(|d| *d = true),
+                }
             }
         }
         self.ctx = Some(ctx);
@@ -316,16 +394,52 @@ impl StampExecutor {
         let plan = self.sys.plan();
         let mut open_color: Option<(u32, u32)> = None;
         for next in 0..self.chunks.len() {
-            while self.pending[next].is_none() {
-                let out = self.result_rx.recv().expect("stamp worker alive");
-                let id = out.chunk_id as usize;
-                self.pending[id] = Some(out);
-            }
-            let out = self.pending[next].take().expect("just filled");
             let chunk = self.chunks[next];
-            self.worker_busy[chunk.worker as usize] += out.eval_ns;
-            let t_acc = Instant::now();
+            let w = chunk.worker as usize;
+            while self.pending[next].is_none() && !self.worker_dead[w] {
+                match self.result_rx.recv() {
+                    Ok(out) => {
+                        let id = out.chunk_id as usize;
+                        if out.failed {
+                            self.worker_dead[self.chunks[id].worker as usize] = true;
+                        }
+                        self.pending[id] = Some(out);
+                    }
+                    Err(_) => self.worker_dead.iter_mut().for_each(|d| *d = true),
+                }
+            }
             let devices = &plan.order[chunk.start as usize..chunk.end as usize];
+            let out = match self.pending[next].take() {
+                Some(out) if !out.failed => out,
+                lost => {
+                    // Worker lost: evaluate the chunk inline from the
+                    // retained snapshot. Same devices, same inputs, same
+                    // order — the accumulated result stays bit-identical.
+                    if !self.fallback_logged {
+                        self.fallback_logged = true;
+                        probe.emit(input.time, EventKind::WorkerLost { lane: self.faults.lane() });
+                        probe.emit(input.time, EventKind::FallbackSerial);
+                    }
+                    let mut bufs = lost.map(|o| o.bufs).unwrap_or_default();
+                    let t0 = Instant::now();
+                    let ctx_ref: &CallCtx = self.ctx.as_deref().expect("snapshot retained");
+                    let limited = self.sys.eval_devices(
+                        &ctx_ref.input(),
+                        &ctx_ref.x_iter,
+                        &ctx_ref.junction,
+                        devices,
+                        &mut bufs.mat,
+                        &mut bufs.rhs,
+                        &mut bufs.jct,
+                    );
+                    // Inline evaluation runs on the master thread, so it
+                    // belongs to the serial critical path, not worker time.
+                    acc_ns += t0.elapsed().as_nanos() as u64;
+                    ChunkOut { chunk_id: next as u32, bufs, limited, eval_ns: 0, failed: false }
+                }
+            };
+            self.worker_busy[w] += out.eval_ns;
+            let t_acc = Instant::now();
             if probe.enabled() {
                 for &d in devices {
                     let c = plan.color[d as usize];
@@ -362,10 +476,43 @@ impl StampExecutor {
             probe.emit(input.time, EventKind::StampColorEnd { color: open, devices: n });
         }
 
+        if self.worker_dead.iter().any(|&d| d) {
+            // Degrade permanently: close the job channels so the surviving
+            // workers exit, and take the serial path from now on. Keeping a
+            // half-dead pool would re-balance chunks and change timing for no
+            // benefit — correctness is already guaranteed by the serial path.
+            self.broken = true;
+            self.job_txs.clear();
+        }
+
         let busiest = self.worker_busy.iter().copied().max().unwrap_or(0);
         stats.stamp_ns += t_call.elapsed().as_nanos();
         stats.stamp_modeled_ns += u128::from(busiest + serial_ns + acc_ns);
         evals
+    }
+
+    /// Serial fallback once a worker has been lost: delegates to
+    /// [`MnaSystem::stamp`], the very path parallel stamping is bit-identical
+    /// to, so degradation never changes results.
+    fn stamp_serial(
+        &mut self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x_iter: &[f64],
+        stats: &mut SimStats,
+    ) -> usize {
+        let t0 = Instant::now();
+        let evals = self.sys.stamp(ws, input, x_iter);
+        let ns = t0.elapsed().as_nanos();
+        stats.stamp_ns += ns;
+        stats.stamp_modeled_ns += ns;
+        evals
+    }
+
+    /// True once a worker has been lost and the executor has fallen back to
+    /// serial stamping for good.
+    pub fn is_degraded(&self) -> bool {
+        self.broken
     }
 }
 

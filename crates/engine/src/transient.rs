@@ -13,6 +13,7 @@
 
 use crate::dcop::dc_operating_point;
 use crate::error::{EngineError, Result};
+use crate::fault::FaultKind;
 use crate::integrate::{IntegCoeffs, Method};
 use crate::lte::lte_step_control;
 use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
@@ -239,6 +240,9 @@ pub struct PointSolver {
     ws: MnaWorkspace,
     cache: LinearCache,
     exec: Option<StampExecutor>,
+    /// Monotone per-solver solve counter — together with the fault handle's
+    /// lane tag, the deterministic coordinate fault injection keys on.
+    solve_seq: u64,
 }
 
 impl Clone for PointSolver {
@@ -250,7 +254,11 @@ impl Clone for PointSolver {
             opts: self.opts.clone(),
             ws: self.ws.clone(),
             cache: self.cache.clone(),
-            exec: self.exec.as_ref().and_then(|e| StampExecutor::new(&self.sys, e.workers())),
+            exec: self
+                .exec
+                .as_ref()
+                .and_then(|e| StampExecutor::new(&self.sys, e.workers(), &self.opts.faults)),
+            solve_seq: self.solve_seq,
         }
     }
 }
@@ -260,11 +268,11 @@ impl PointSolver {
     pub fn new(sys: Arc<MnaSystem>, opts: SimOptions) -> Self {
         let ws = sys.new_workspace();
         let exec = if opts.stamp_workers >= 1 {
-            StampExecutor::new(&sys, opts.stamp_workers)
+            StampExecutor::new(&sys, opts.stamp_workers, &opts.faults)
         } else {
             None
         };
-        PointSolver { sys, opts, ws, cache: LinearCache::new(), exec }
+        PointSolver { sys, opts, ws, cache: LinearCache::new(), exec, solve_seq: 0 }
     }
 
     /// The compiled system.
@@ -368,6 +376,48 @@ impl PointSolver {
         let method = hw.effective_method(self.opts.method);
         let h_prev = hw.h_prev().unwrap_or(h);
         let coeffs = IntegCoeffs::new(method, h, h_prev);
+        // Deterministic fault injection, keyed on (lane, solve index). An
+        // inert handle reduces this to one branch.
+        let injected = {
+            let seq = self.solve_seq;
+            self.solve_seq = self.solve_seq.wrapping_add(1);
+            self.opts.faults.solve_fault(seq)
+        };
+        match injected {
+            Some(FaultKind::PanicWorker) => {
+                panic!(
+                    "injected fault: worker panic on lane {} at solve {}",
+                    self.opts.faults.lane(),
+                    self.solve_seq - 1
+                );
+            }
+            Some(FaultKind::SlowSolve { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            Some(FaultKind::SingularMatrix) => {
+                // Behave exactly like a genuinely singular companion matrix
+                // (the `EngineError::Linear` branch below): unconverged
+                // result, poisoned factorization dropped.
+                self.cache.invalidate();
+                let mut stats = SimStats::new();
+                stats.wall_ns += start.elapsed().as_nanos();
+                self.opts.probe.emit(
+                    t_new,
+                    EventKind::SolveEnd { iterations: max_iters as u32, converged: false },
+                );
+                return Ok(PointSolution {
+                    t: t_new,
+                    x: hw.xs[0].clone(),
+                    method,
+                    coeffs,
+                    converged: false,
+                    iterations: max_iters,
+                    cap_currents: Vec::new(),
+                    stats,
+                });
+            }
+            _ => {}
+        }
         let x_prev2 = if hw.xs.len() >= 2 { &hw.xs[1] } else { &hw.xs[0] };
         let input = StampInput {
             time: t_new,
@@ -420,6 +470,12 @@ impl PointSolver {
             }
             Err(e) => return Err(e),
         };
+        let mut outcome = outcome;
+        if matches!(injected, Some(FaultKind::NanSolution)) && outcome.converged {
+            // The solve itself succeeded; poison the answer so the commit
+            // machinery's finiteness test has something real to catch.
+            outcome.x.iter_mut().for_each(|v| *v = f64::NAN);
+        }
         let cap_currents = if outcome.converged {
             let sc = state_coeffs(hw, t_new);
             self.sys.cap_currents_after(&sc, &outcome.x, &hw.xs[0], x_prev2, &hw.cap_currents)
@@ -447,6 +503,33 @@ impl PointSolver {
     }
 }
 
+/// A transient run's result together with the error (if any) that ended it:
+/// the fault-tolerant view of an analysis, where a mid-run failure keeps the
+/// waveform prefix accepted before it.
+#[derive(Debug, Clone)]
+pub struct TransientOutcome {
+    /// Every point accepted before the run ended (always holds at least the
+    /// `t = 0` point).
+    pub result: TransientResult,
+    /// `None` for a clean run to `tstop`; otherwise the terminal error.
+    pub error: Option<EngineError>,
+}
+
+impl TransientOutcome {
+    /// Collapses to the classic all-or-nothing view: the full result on a
+    /// clean run, the terminal error (partial waveform dropped) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the terminal error of a partial run.
+    pub fn into_result(self) -> Result<TransientResult> {
+        match self.error {
+            None => Ok(self.result),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 /// Runs a serial variable-step transient analysis of `circuit` from 0 to
 /// `tstop`.
 ///
@@ -459,14 +542,16 @@ impl PointSolver {
 /// * [`EngineError::Circuit`] for invalid netlists.
 /// * [`EngineError::NoConvergence`] if the DC operating point fails.
 /// * [`EngineError::TimestepTooSmall`] if error control collapses the step.
+/// * [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`] when a
+///   configured budget ends the run early (use
+///   [`run_transient_recoverable`] to keep the partial waveform).
 pub fn run_transient(
     circuit: &Circuit,
     tstep: f64,
     tstop: f64,
     opts: &SimOptions,
 ) -> Result<TransientResult> {
-    let sys = Arc::new(MnaSystem::compile(circuit)?);
-    run_transient_compiled(&sys, tstep, tstop, opts)
+    run_transient_recoverable(circuit, tstep, tstop, opts)?.into_result()
 }
 
 /// [`run_transient`] on an already-compiled system (avoids recompilation
@@ -481,6 +566,39 @@ pub fn run_transient_compiled(
     tstop: f64,
     opts: &SimOptions,
 ) -> Result<TransientResult> {
+    run_transient_recoverable_compiled(sys, tstep, tstop, opts)?.into_result()
+}
+
+/// [`run_transient`], keeping the accepted waveform prefix when the run ends
+/// early: a `TimestepTooSmall` at `t = 0.9 * tstop` (or an expired deadline)
+/// returns 90% of the waveform plus the error instead of nothing.
+///
+/// # Errors
+///
+/// Only for failures *before* any stepping happens — bad parameters, an
+/// invalid circuit, or an unconverged initial state. Every later failure is
+/// reported through [`TransientOutcome::error`].
+pub fn run_transient_recoverable(
+    circuit: &Circuit,
+    tstep: f64,
+    tstop: f64,
+    opts: &SimOptions,
+) -> Result<TransientOutcome> {
+    let sys = Arc::new(MnaSystem::compile(circuit)?);
+    run_transient_recoverable_compiled(&sys, tstep, tstop, opts)
+}
+
+/// [`run_transient_recoverable`] on an already-compiled system.
+///
+/// # Errors
+///
+/// Same as [`run_transient_recoverable`].
+pub fn run_transient_recoverable_compiled(
+    sys: &Arc<MnaSystem>,
+    tstep: f64,
+    tstop: f64,
+    opts: &SimOptions,
+) -> Result<TransientOutcome> {
     if !(tstop > 0.0 && tstop.is_finite()) {
         return Err(EngineError::BadParameter { name: "tstop", value: tstop });
     }
@@ -499,6 +617,10 @@ pub fn run_transient_compiled(
     result.push(0.0, &x0);
     let mut hw = HistoryWindow::start(x0, sys.cap_state_count());
 
+    // The wall-clock budget starts now — after the initial solve, so even a
+    // zero budget yields the `t = 0` point.
+    opts.arm_deadline();
+
     let bps = sys.breakpoints(tstop);
     let mut next_bp = 0usize;
     let hmin = opts.hmin(tstop);
@@ -510,95 +632,102 @@ pub fn run_transient_compiled(
     // divided differences). Escape by restarting integration with the
     // damped order-1 method instead of shrinking the step forever.
     let mut lte_reject_streak = 0usize;
-    while hw.t() < tstop - 0.5 * hmin {
-        if !h.is_finite() {
-            return Err(EngineError::NumericalBlowup { time: hw.t() });
-        }
-        h = h.clamp(hmin, hmax);
-        // Propose the next time, snapping onto breakpoints.
-        let mut t_new = hw.t() + h;
-        let mut hit_bp = false;
-        while next_bp < bps.len() && bps[next_bp] <= hw.t() + 0.5 * hmin {
-            next_bp += 1; // skip already-passed breakpoints
-        }
-        if next_bp < bps.len() && t_new >= bps[next_bp] - 0.5 * hmin {
-            t_new = bps[next_bp];
-            hit_bp = true;
-        }
-        if t_new > tstop {
-            t_new = tstop;
-        }
-
-        let sol = solver.solve_point(&hw, t_new, None, opts.max_newton_iters)?;
-        stats += sol.stats;
-        let h_attempt = t_new - hw.t();
-        if !sol.converged {
-            stats.steps_rejected_newton += 1;
-            h = h_attempt * opts.nr_shrink;
-            if h < hmin {
-                return Err(EngineError::TimestepTooSmall { time: hw.t(), step: h, hmin });
+    // The stepping loop proper, with every mid-run failure funnelled into a
+    // captured error so the accepted prefix survives.
+    let loop_outcome = (|| -> Result<()> {
+        while hw.t() < tstop - 0.5 * hmin {
+            opts.check_budget(hw.t())?;
+            if !h.is_finite() {
+                return Err(EngineError::NumericalBlowup { time: hw.t() });
             }
-            continue;
-        }
-        if !wavepipe_sparse::vector::all_finite(&sol.x) {
-            return Err(EngineError::NumericalBlowup { time: t_new });
-        }
+            h = h.clamp(hmin, hmax);
+            // Propose the next time, snapping onto breakpoints.
+            let mut t_new = hw.t() + h;
+            let mut hit_bp = false;
+            while next_bp < bps.len() && bps[next_bp] <= hw.t() + 0.5 * hmin {
+                next_bp += 1; // skip already-passed breakpoints
+            }
+            if next_bp < bps.len() && t_new >= bps[next_bp] - 0.5 * hmin {
+                t_new = bps[next_bp];
+                hit_bp = true;
+            }
+            if t_new > tstop {
+                t_new = tstop;
+            }
 
-        // LTE accept/reject when enough smooth history exists.
-        let needed = sol.method.order() + 1;
-        if hw.usable_for_lte() >= needed {
-            let refs: Vec<&[f64]> = hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
-            let d = lte_step_control(
-                sol.method,
-                t_new,
-                &sol.x,
-                h_attempt,
-                &hw.times()[..needed],
-                &refs,
-                opts,
-            );
-            if !d.accept && h_attempt > hmin * 1.01 {
-                stats.steps_rejected_lte += 1;
-                lte_reject_streak += 1;
-                // Two signatures of an error floor the step cannot buy out
-                // of: several rejections in a row, or a rejection while
-                // already crawling far below the natural step scale. Either
-                // way the estimate is dominated by point-to-point artifacts
-                // (trapezoidal ringing / solver noise), which shrinking h
-                // cannot fix — damp them with a backward-Euler restart.
-                let crawling = h_attempt < hmin * 1e3;
-                if lte_reject_streak >= 3 || crawling {
-                    hw.mark_discontinuity();
-                    lte_reject_streak = 0;
-                    h = h_attempt;
-                } else {
-                    h = d.h_new;
+            let sol = solver.solve_point(&hw, t_new, None, opts.max_newton_iters)?;
+            stats += sol.stats;
+            let h_attempt = t_new - hw.t();
+            if !sol.converged {
+                stats.steps_rejected_newton += 1;
+                h = h_attempt * opts.nr_shrink;
+                if h < hmin {
+                    return Err(EngineError::TimestepTooSmall { time: hw.t(), step: h, hmin });
                 }
                 continue;
             }
-            lte_reject_streak = 0;
-            h = d.h_new;
-        } else {
-            h = h_attempt * opts.rmax;
-        }
+            if !wavepipe_sparse::vector::all_finite(&sol.x) {
+                return Err(EngineError::NumericalBlowup { time: t_new });
+            }
 
-        opts.probe.emit(t_new, EventKind::PointAccepted { h: sol.coeffs.h });
-        hw.accept(&sol);
-        result.push(t_new, &sol.x);
-        stats.steps_accepted += 1;
+            // LTE accept/reject when enough smooth history exists.
+            let needed = sol.method.order() + 1;
+            if hw.usable_for_lte() >= needed {
+                let refs: Vec<&[f64]> =
+                    hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
+                let d = lte_step_control(
+                    sol.method,
+                    t_new,
+                    &sol.x,
+                    h_attempt,
+                    &hw.times()[..needed],
+                    &refs,
+                    opts,
+                );
+                if !d.accept && h_attempt > hmin * 1.01 {
+                    stats.steps_rejected_lte += 1;
+                    lte_reject_streak += 1;
+                    // Two signatures of an error floor the step cannot buy out
+                    // of: several rejections in a row, or a rejection while
+                    // already crawling far below the natural step scale. Either
+                    // way the estimate is dominated by point-to-point artifacts
+                    // (trapezoidal ringing / solver noise), which shrinking h
+                    // cannot fix — damp them with a backward-Euler restart.
+                    let crawling = h_attempt < hmin * 1e3;
+                    if lte_reject_streak >= 3 || crawling {
+                        hw.mark_discontinuity();
+                        lte_reject_streak = 0;
+                        h = h_attempt;
+                    } else {
+                        h = d.h_new;
+                    }
+                    continue;
+                }
+                lte_reject_streak = 0;
+                h = d.h_new;
+            } else {
+                h = h_attempt * opts.rmax;
+            }
 
-        if hit_bp {
-            next_bp += 1;
-            hw.mark_discontinuity();
-            // Restart cautiously after the corner.
-            let to_next = bps.get(next_bp).map_or(tstop - hw.t(), |&b| b - hw.t());
-            h = h.min(tstep * 0.25).min((to_next * 0.25).max(hmin));
+            opts.probe.emit(t_new, EventKind::PointAccepted { h: sol.coeffs.h });
+            hw.accept(&sol);
+            result.push(t_new, &sol.x);
+            stats.steps_accepted += 1;
+
+            if hit_bp {
+                next_bp += 1;
+                hw.mark_discontinuity();
+                // Restart cautiously after the corner.
+                let to_next = bps.get(next_bp).map_or(tstop - hw.t(), |&b| b - hw.t());
+                h = h.min(tstep * 0.25).min((to_next * 0.25).max(hmin));
+            }
         }
-    }
+        Ok(())
+    })();
 
     stats.wall_ns = run_start.elapsed().as_nanos();
     result.set_stats(stats);
-    Ok(result)
+    Ok(TransientOutcome { result, error: loop_outcome.err() })
 }
 
 fn nth_node_name(sys: &MnaSystem, unknown: usize) -> String {

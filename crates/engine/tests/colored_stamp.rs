@@ -11,7 +11,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use wavepipe_circuit::generators;
 use wavepipe_engine::{
-    run_transient_compiled, MnaSystem, ProbeHandle, SimOptions, SimStats, StampExecutor, StampInput,
+    run_transient_compiled, FaultHandle, MnaSystem, ProbeHandle, SimOptions, SimStats,
+    StampExecutor, StampInput,
 };
 
 /// Deterministic pseudo-random iterate: enough structure to push junctions
@@ -46,7 +47,7 @@ fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64
 
     let mut ws_ser = sys.new_workspace();
     let mut ws_par = sys.new_workspace();
-    let Some(mut exec) = StampExecutor::new(&sys, workers) else {
+    let Some(mut exec) = StampExecutor::new(&sys, workers, &FaultHandle::none()) else {
         return; // no devices: nothing to compare
     };
     let probe = ProbeHandle::none();
@@ -131,6 +132,6 @@ fn every_generator_circuit_is_bit_identical_at_two_workers() {
 fn executor_declines_zero_workers_and_empty_systems() {
     let b = generators::rc_ladder(3);
     let sys = Arc::new(MnaSystem::compile(&b.circuit).unwrap());
-    assert!(StampExecutor::new(&sys, 0).is_none());
-    assert!(StampExecutor::new(&sys, 2).is_some());
+    assert!(StampExecutor::new(&sys, 0, &FaultHandle::none()).is_none());
+    assert!(StampExecutor::new(&sys, 2, &FaultHandle::none()).is_some());
 }

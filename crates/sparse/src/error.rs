@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Error produced by sparse-matrix construction and factorization.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a fallthrough
+/// arm so new failure modes are not semver breaks.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SparseError {
     /// A row or column index was outside the matrix dimensions.
     ///

@@ -164,6 +164,16 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
                     }
                 }
             }
+            EventKind::WorkerLost { lane } => {
+                let args = format!("\"lost_lane\":{lane}");
+                instant(&mut objs, ev.lane, "worker_lost", ev.ts_ns, &args);
+            }
+            EventKind::FallbackSerial => {
+                instant(&mut objs, ev.lane, "fallback_serial", ev.ts_ns, "");
+            }
+            EventKind::DeadlineHit => {
+                instant(&mut objs, ROUNDS_TID, "deadline_hit", ev.ts_ns, "");
+            }
             // Per-iteration and per-factorization events are deliberately not
             // rendered: they are summary/JSONL material and would swamp the
             // timeline.
@@ -315,6 +325,29 @@ mod tests {
         let text = chrome_trace_string(&events);
         let doc = crate::json::parse(&text).expect("valid JSON");
         assert!(spans(&doc).is_empty());
+    }
+
+    #[test]
+    fn fault_events_render_as_instants() {
+        let events = vec![
+            ev(10, 1, 2, EventKind::WorkerLost { lane: 2 }),
+            ev(15, 1, 0, EventKind::FallbackSerial),
+            ev(20, 1, 0, EventKind::DeadlineHit),
+        ];
+        let text = chrome_trace_string(&events);
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let instants: Vec<_> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 3);
+        assert!(text.contains("worker_lost"));
+        assert!(text.contains("fallback_serial"));
+        assert!(text.contains("deadline_hit"));
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum DiscardReason {
     NewtonRejected,
     /// An earlier link of the speculative chain broke, invalidating this one.
     ChainBroken,
+    /// The worker holding the solve died; the task's result never arrived.
+    WorkerLost,
 }
 
 impl DiscardReason {
@@ -27,6 +29,7 @@ impl DiscardReason {
             DiscardReason::LteRejected => "lte_rejected",
             DiscardReason::NewtonRejected => "newton_rejected",
             DiscardReason::ChainBroken => "chain_broken",
+            DiscardReason::WorkerLost => "worker_lost",
         }
     }
 
@@ -39,6 +42,7 @@ impl DiscardReason {
             "lte_rejected" => DiscardReason::LteRejected,
             "newton_rejected" => DiscardReason::NewtonRejected,
             "chain_broken" => DiscardReason::ChainBroken,
+            "worker_lost" => DiscardReason::WorkerLost,
             _ => return None,
         })
     }
@@ -128,6 +132,19 @@ pub enum EventKind {
         /// Devices in the group.
         devices: u32,
     },
+    /// A worker thread (pool lane or stamp worker) panicked or disappeared
+    /// and was retired from service.
+    WorkerLost {
+        /// Lane the lost worker served.
+        lane: u32,
+    },
+    /// A parallel component degraded itself to its serial path (a lane pool
+    /// shrinking to the coordinating thread, or a stamp executor switching
+    /// to inline evaluation).
+    FallbackSerial,
+    /// The wall-clock budget expired; the run is stopping at the accepted
+    /// prefix.
+    DeadlineHit,
 }
 
 impl EventKind {
@@ -151,6 +168,9 @@ impl EventKind {
             EventKind::AdaptiveChoice { .. } => "adaptive_choice",
             EventKind::StampColorStart { .. } => "stamp_color_start",
             EventKind::StampColorEnd { .. } => "stamp_color_end",
+            EventKind::WorkerLost { .. } => "worker_lost",
+            EventKind::FallbackSerial => "fallback_serial",
+            EventKind::DeadlineHit => "deadline_hit",
         }
     }
 }
@@ -200,6 +220,9 @@ mod tests {
             EventKind::AdaptiveChoice { forward: true },
             EventKind::StampColorStart { color: 0 },
             EventKind::StampColorEnd { color: 0, devices: 4 },
+            EventKind::WorkerLost { lane: 1 },
+            EventKind::FallbackSerial,
+            EventKind::DeadlineHit,
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());
@@ -214,6 +237,7 @@ mod tests {
             DiscardReason::LteRejected,
             DiscardReason::NewtonRejected,
             DiscardReason::ChainBroken,
+            DiscardReason::WorkerLost,
         ] {
             assert_eq!(DiscardReason::from_name(r.name()), Some(r));
         }

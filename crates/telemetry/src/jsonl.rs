@@ -65,6 +65,10 @@ pub fn event_to_json(ev: &Event) -> String {
         EventKind::StampColorEnd { color, devices } => {
             let _ = write!(s, ",\"color\":{color},\"devices\":{devices}");
         }
+        EventKind::WorkerLost { lane } => {
+            let _ = write!(s, ",\"lost_lane\":{lane}");
+        }
+        EventKind::FallbackSerial | EventKind::DeadlineHit => {}
     }
     s.push('}');
     s
@@ -171,6 +175,9 @@ pub fn event_from_json(text: &str, line: usize) -> Result<Event, JsonlError> {
             color: field_u64(&v, "color", line)? as u32,
             devices: field_u64(&v, "devices", line)? as u32,
         },
+        "worker_lost" => EventKind::WorkerLost { lane: field_u64(&v, "lost_lane", line)? as u32 },
+        "fallback_serial" => EventKind::FallbackSerial,
+        "deadline_hit" => EventKind::DeadlineHit,
         other => return Err(JsonlError { line, msg: format!("unknown kind `{other}`") }),
     };
     Ok(Event {
@@ -220,6 +227,9 @@ mod tests {
             EventKind::AdaptiveChoice { forward: false },
             EventKind::StampColorStart { color: 3 },
             EventKind::StampColorEnd { color: 3, devices: 17 },
+            EventKind::WorkerLost { lane: 2 },
+            EventKind::FallbackSerial,
+            EventKind::DeadlineHit,
             EventKind::RoundEnd { committed: 2 },
         ];
         kinds

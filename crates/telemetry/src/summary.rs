@@ -49,6 +49,12 @@ pub struct TelemetrySummary {
     pub stamp_color_groups: u64,
     /// Wall time inside stamp-color spans, nanoseconds (all lanes summed).
     pub stamp_span_ns: u64,
+    /// Worker threads (pool lanes or stamp workers) lost to panics.
+    pub workers_lost: u64,
+    /// Serial-fallback transitions taken by parallel components.
+    pub serial_fallbacks: u64,
+    /// Wall-clock budget expirations observed.
+    pub deadline_hits: u64,
 }
 
 impl TelemetrySummary {
@@ -74,6 +80,9 @@ impl TelemetrySummary {
             discard_reasons: Vec::new(),
             stamp_color_groups: 0,
             stamp_span_ns: 0,
+            workers_lost: 0,
+            serial_fallbacks: 0,
+            deadline_hits: 0,
         };
         // Open solve span per lane, open round start, per-round (max, sum).
         let mut open_solve: HashMap<u32, u64> = HashMap::new();
@@ -142,6 +151,9 @@ impl TelemetrySummary {
                         s.stamp_span_ns += ev.ts_ns.saturating_sub(start);
                     }
                 }
+                EventKind::WorkerLost { .. } => s.workers_lost += 1,
+                EventKind::FallbackSerial => s.serial_fallbacks += 1,
+                EventKind::DeadlineHit => s.deadline_hits += 1,
             }
         }
         for (mx, sum) in round_spans.values() {
@@ -199,6 +211,13 @@ impl fmt::Display for TelemetrySummary {
                 "  stamp colors: {} groups, {:.3} ms in spans",
                 self.stamp_color_groups,
                 self.stamp_span_ns as f64 / 1e6
+            )?;
+        }
+        if self.workers_lost > 0 || self.serial_fallbacks > 0 || self.deadline_hits > 0 {
+            writeln!(
+                f,
+                "  faults: {} workers lost, {} serial fallbacks, {} deadline hits",
+                self.workers_lost, self.serial_fallbacks, self.deadline_hits
             )?;
         }
         if !self.discard_reasons.is_empty() {
@@ -269,6 +288,24 @@ mod tests {
         assert_eq!(s.stamp_color_groups, 2);
         assert_eq!(s.stamp_span_ns, 20);
         assert!(s.to_string().contains("stamp colors: 2 groups"));
+    }
+
+    #[test]
+    fn fault_events_aggregate_and_print() {
+        let events = vec![
+            ev(5, 1, 2, EventKind::WorkerLost { lane: 2 }),
+            ev(6, 1, 0, EventKind::FallbackSerial),
+            ev(7, 1, 0, EventKind::DeadlineHit),
+            ev(8, 2, 1, EventKind::WorkerLost { lane: 1 }),
+        ];
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.workers_lost, 2);
+        assert_eq!(s.serial_fallbacks, 1);
+        assert_eq!(s.deadline_hits, 1);
+        assert!(s.to_string().contains("2 workers lost"));
+        // A fault-free stream prints no fault line.
+        let clean = TelemetrySummary::from_events(&[]);
+        assert!(!clean.to_string().contains("workers lost"));
     }
 
     #[test]

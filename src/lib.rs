@@ -65,8 +65,11 @@ pub use wavepipe_telemetry as telemetry;
 ///
 /// Covers building a circuit ([`Circuit`], [`Waveform`]), configuring a run
 /// ([`SimOptions`], [`WavePipeOptions`], [`Scheme`]), running it
-/// ([`run_transient`], [`run_wavepipe`]), and handling failures
-/// ([`EngineError`]).
+/// ([`run_transient`], [`run_wavepipe`]), handling failures
+/// ([`EngineError`]), and the fault-tolerant entry points that keep the
+/// accepted waveform prefix on deadline/cancellation
+/// ([`run_transient_recoverable`], [`run_wavepipe_recoverable`],
+/// [`CancelToken`], [`FaultPlan`]).
 ///
 /// [`Circuit`]: prelude::Circuit
 /// [`Waveform`]: prelude::Waveform
@@ -76,8 +79,17 @@ pub use wavepipe_telemetry as telemetry;
 /// [`run_transient`]: prelude::run_transient
 /// [`run_wavepipe`]: prelude::run_wavepipe
 /// [`EngineError`]: prelude::EngineError
+/// [`run_transient_recoverable`]: prelude::run_transient_recoverable
+/// [`run_wavepipe_recoverable`]: prelude::run_wavepipe_recoverable
+/// [`CancelToken`]: prelude::CancelToken
+/// [`FaultPlan`]: prelude::FaultPlan
 pub mod prelude {
     pub use wavepipe_circuit::{Circuit, Waveform};
-    pub use wavepipe_core::{run_wavepipe, Scheme, WavePipeOptions};
-    pub use wavepipe_engine::{run_transient, EngineError, SimOptions};
+    pub use wavepipe_core::{
+        run_wavepipe, run_wavepipe_recoverable, RunOutcome, Scheme, WavePipeOptions,
+    };
+    pub use wavepipe_engine::{
+        run_transient, run_transient_recoverable, CancelToken, EngineError, FaultPlan, SimOptions,
+        TransientOutcome,
+    };
 }

@@ -1,10 +1,25 @@
 //! Failure injection: the error surface must be informative and stable —
 //! bad circuits and impossible analyses produce typed errors, not panics or
-//! garbage results.
+//! garbage results — and the fault-tolerant runtime must absorb worker
+//! panics, deadlines, and injected faults without corrupting the waveform.
 
-use wavepipe::circuit::{Circuit, DiodeModel, Waveform};
-use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
-use wavepipe::engine::{run_ac, run_dc_sweep, run_transient, EngineError, SimOptions};
+use std::time::Duration;
+use wavepipe::circuit::{generators, Circuit, DiodeModel, Waveform};
+use wavepipe::core::{run_wavepipe, run_wavepipe_recoverable, Scheme, WavePipeOptions};
+use wavepipe::engine::{
+    run_ac, run_dc_sweep, run_transient, run_transient_recoverable, CancelToken, EngineError,
+    FaultKind, FaultPlan, SimOptions, TransientResult,
+};
+
+/// Asserts two waveforms share the exact time grid and bit-identical
+/// solution vectors.
+fn assert_bit_identical(a: &TransientResult, b: &TransientResult, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: point counts differ");
+    assert_eq!(a.times(), b.times(), "{what}: time grids differ");
+    for k in 0..a.len() {
+        assert_eq!(a.solution(k), b.solution(k), "{what}: solutions differ at point {k}");
+    }
+}
 
 #[test]
 fn floating_node_is_rejected_before_simulation() {
@@ -98,6 +113,177 @@ fn antiparallel_diodes_with_huge_drive_still_converge_or_error_cleanly() {
             );
         }
     }
+}
+
+#[test]
+fn persistent_worker_panics_collapse_to_serial_identical_waveform() {
+    // Every pool lane panics on every solve, and keeps panicking after its
+    // respawn: the pool exhausts its budget, the driver falls back to the
+    // serial single-lane schedule, and — because pool tasks are speculative
+    // by construction — the committed grid must be bit-identical to the
+    // plain serial engine's.
+    let b = generators::rc_ladder(8);
+    let serial =
+        run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default().with_stamp_workers(0))
+            .unwrap();
+    let plan = FaultPlan::new().with_solve_fault(1, None, FaultKind::PanicWorker).with_solve_fault(
+        2,
+        None,
+        FaultKind::PanicWorker,
+    );
+    let opts = WavePipeOptions::new(Scheme::Backward, 3).with_stamp_workers(0).with_faults(plan);
+    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+    assert!(rep.workers_lost >= 2, "expected both pool lanes lost, got {}", rep.workers_lost);
+    assert!(rep.summary().contains("workers lost"), "{}", rep.summary());
+    assert_bit_identical(&serial.clone(), &rep.result, "panicking pool vs serial");
+}
+
+#[test]
+fn soft_faults_on_leads_leave_the_grid_serial_identical() {
+    // Singular factorizations and NaN solutions on the speculative lane are
+    // absorbed by the existing commit tests (unconverged / non-finite →
+    // discard); no worker dies and the accepted grid equals serial's.
+    let b = generators::rc_ladder(8);
+    let serial =
+        run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default().with_stamp_workers(0))
+            .unwrap();
+    for kind in [FaultKind::SingularMatrix, FaultKind::NanSolution] {
+        let plan = FaultPlan::new().with_solve_fault(1, None, kind);
+        let opts =
+            WavePipeOptions::new(Scheme::Backward, 2).with_stamp_workers(0).with_faults(plan);
+        let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+        assert_eq!(rep.workers_lost, 0, "{kind:?} must not kill a worker");
+        assert_eq!(rep.lead_accepted, 0, "{kind:?}: every lead should be discarded");
+        assert_bit_identical(&serial, &rep.result, "soft-faulted leads vs serial");
+    }
+}
+
+#[test]
+fn single_worker_panic_respawns_and_run_stays_accurate() {
+    // A panic at the pool lane's 5th solve: the lane is lost and respawned;
+    // the fresh solver's counter restarts, so its own 5th solve panics too
+    // and the respawn budget retires the lane for good (2 losses total).
+    // Either way the run completes with normal accuracy — worker loss only
+    // ever discards speculative work.
+    let b = generators::power_grid(4, 4);
+    let serial =
+        run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default().with_stamp_workers(0))
+            .unwrap();
+    let plan = FaultPlan::new().with_solve_fault(1, Some(5), FaultKind::PanicWorker);
+    let opts = WavePipeOptions::new(Scheme::Backward, 2).with_stamp_workers(0).with_faults(plan);
+    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+    assert_eq!(rep.workers_lost, 2, "initial worker and its respawn both hit solve #5");
+    assert!(rep.lead_accepted > 0, "solves before the fault should contribute leads");
+    let eq = wavepipe::core::verify::compare(&serial, &rep.result);
+    assert!(eq.rms_rel() < 0.02, "rms deviation after respawn = {}", eq.rms_rel());
+}
+
+#[test]
+fn zero_deadline_keeps_the_dc_point_as_partial_result() {
+    let b = generators::rc_ladder(6);
+    // Engine level.
+    let outcome = run_transient_recoverable(
+        &b.circuit,
+        b.tstep,
+        b.tstop,
+        &SimOptions::default().with_deadline(Duration::ZERO),
+    )
+    .unwrap();
+    assert!(
+        matches!(outcome.error, Some(EngineError::DeadlineExceeded { .. })),
+        "{:?}",
+        outcome.error
+    );
+    assert!(!outcome.result.is_empty(), "the t=0 point must survive a zero budget");
+    assert_eq!(outcome.result.times()[0], 0.0);
+
+    // WavePipe level, every parallel scheme.
+    for scheme in [Scheme::Backward, Scheme::Forward, Scheme::Combined, Scheme::Adaptive] {
+        let opts =
+            WavePipeOptions::new(scheme, 3).with_stamp_workers(0).with_deadline(Duration::ZERO);
+        let out = run_wavepipe_recoverable(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+        assert!(
+            matches!(out.error, Some(EngineError::DeadlineExceeded { .. })),
+            "{scheme}: {:?}",
+            out.error
+        );
+        assert!(!out.report.result.is_empty(), "{scheme}: t=0 point missing");
+        assert!(out.into_result().is_err(), "{scheme}: strict view must surface the error");
+    }
+}
+
+#[test]
+fn pre_cancelled_token_is_terminal_before_any_result() {
+    // Cancelling before the run starts aborts inside the DC solve — there is
+    // no partial result to keep, so the recoverable entry point reports it
+    // as a pre-run failure.
+    let b = generators::rc_ladder(4);
+    let token = CancelToken::new();
+    token.cancel();
+    let opts =
+        WavePipeOptions::new(Scheme::Backward, 2).with_stamp_workers(0).with_cancel_token(token);
+    let err = run_wavepipe_recoverable(&b.circuit, b.tstep, b.tstop, &opts).unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled { .. }), "got {err}");
+}
+
+#[test]
+fn mid_run_cancellation_keeps_the_accepted_prefix() {
+    // A slow lead solve gives a background cancel a deterministic window:
+    // the DC solve finishes in well under the 40 ms cancel delay, and the
+    // first post-DC solve sleeps 200 ms, so Newton's budget check observes
+    // the cancellation mid-solve.
+    let b = generators::rc_ladder(4);
+    let token = CancelToken::new();
+    let plan = FaultPlan::new().with_solve_fault(0, None, FaultKind::SlowSolve { millis: 200 });
+    let opts = WavePipeOptions::new(Scheme::Backward, 2)
+        .with_stamp_workers(0)
+        .with_cancel_token(token.clone())
+        .with_faults(plan);
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        token.cancel();
+    });
+    let out = run_wavepipe_recoverable(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+    canceller.join().unwrap();
+    assert!(matches!(out.error, Some(EngineError::Cancelled { .. })), "{:?}", out.error);
+    assert!(!out.report.result.is_empty(), "accepted prefix discarded on cancellation");
+}
+
+#[test]
+fn stamp_worker_panic_degrades_to_serial_stamping_identically() {
+    // A stamp worker panicking mid-run breaks the executor permanently; all
+    // later stamps run serially. Chunks are accumulated in a fixed order
+    // either way, so the waveform stays bit-identical to serial stamping.
+    let b = generators::rc_ladder(8);
+    let serial =
+        run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default().with_stamp_workers(0))
+            .unwrap();
+    let faulted = run_transient(
+        &b.circuit,
+        b.tstep,
+        b.tstop,
+        &SimOptions::default()
+            .with_stamp_workers(2)
+            .with_faults(FaultPlan::new().with_stamp_panic(0, 5)),
+    )
+    .unwrap();
+    assert_bit_identical(&serial, &faulted, "degraded parallel stamping vs serial");
+}
+
+#[test]
+fn chaos_seed_runs_complete_and_stay_accurate() {
+    // The CI chaos leg in miniature: a seeded plan spraying soft faults
+    // across the run must neither break completion nor accuracy.
+    let b = generators::power_grid(4, 4);
+    let serial =
+        run_transient(&b.circuit, b.tstep, b.tstop, &SimOptions::default().with_stamp_workers(0))
+            .unwrap();
+    let opts = WavePipeOptions::new(Scheme::Backward, 2)
+        .with_stamp_workers(0)
+        .with_faults(FaultPlan::seeded(0xC0FFEE));
+    let rep = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts).unwrap();
+    let eq = wavepipe::core::verify::compare(&serial, &rep.result);
+    assert!(eq.rms_rel() < 0.02, "rms deviation under chaos = {}", eq.rms_rel());
 }
 
 #[test]
