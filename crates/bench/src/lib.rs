@@ -463,6 +463,152 @@ pub fn stamp_scaling_to_json(groups: &[(&str, &[StampPoint])]) -> String {
     out
 }
 
+/// One caches-off / caches-on measurement pair — a row of the **Newton
+/// hot-path figure (E11)**.
+#[derive(Debug, Clone)]
+pub struct NewtonPathRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Best-of-repeats wall time with bypass, chord, and companion caching
+    /// all disabled, milliseconds.
+    pub off_ms: f64,
+    /// Best-of-repeats wall time with all three cache layers enabled,
+    /// milliseconds.
+    pub on_ms: f64,
+    /// End-to-end single-thread speedup, `off_ms / on_ms`.
+    pub speedup: f64,
+    /// Mean Newton-iteration cost without caching, microseconds.
+    pub us_per_iter_off: f64,
+    /// Mean Newton-iteration cost with caching, microseconds.
+    pub us_per_iter_on: f64,
+    /// Full numeric factorization passes without caching.
+    pub fact_off: usize,
+    /// Full numeric factorization passes with caching.
+    pub fact_on: usize,
+    /// Device evaluations skipped by the bypass over the cached run.
+    pub bypass_hits: usize,
+    /// Newton iterations solved against a reused LU over the cached run.
+    pub jacobian_reuses: usize,
+    /// Stamps that replayed the cached companion linearization.
+    pub companion_hits: usize,
+}
+
+/// **Newton hot-path figure (E11)** — end-to-end effect of the solver-cache
+/// layers (device bypass, chord Newton, companion caching) on single-thread
+/// transient runs: each benchmark is run with every cache disabled and with
+/// all of them enabled, `REPEATS` times each keeping the fastest, and the
+/// waveforms are cross-checked to stay within LTE-scale deviation.
+pub fn fig_newton_path(subjects: &[Benchmark]) -> (String, Vec<NewtonPathRow>) {
+    const REPEATS: usize = 3;
+    let off_opts = SimOptions::default()
+        .with_stamp_workers(0)
+        .with_bypass(false)
+        .with_chord_newton(false)
+        .with_companion_cache(false);
+    let on_opts = SimOptions::default()
+        .with_stamp_workers(0)
+        .with_bypass(true)
+        .with_chord_newton(true)
+        .with_companion_cache(true);
+    let best = |b: &Benchmark, opts: &SimOptions, what: &str| -> TransientResult {
+        let mut best: Option<TransientResult> = None;
+        for _ in 0..REPEATS {
+            let r = run_transient(&b.circuit, b.tstep, b.tstop, opts)
+                .unwrap_or_else(|e| panic!("{} {what}: {e}", b.name));
+            if best.as_ref().is_none_or(|p| r.stats().wall_ns < p.stats().wall_ns) {
+                best = Some(r);
+            }
+        }
+        best.expect("at least one repeat")
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "Newton hot path: solver caches off vs on (single-thread)");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>9} {:>8} {:>11} {:>11} {:>8} {:>8} {:>9}",
+        "circuit",
+        "off (ms)",
+        "on (ms)",
+        "speedup",
+        "us/it off",
+        "us/it on",
+        "fact",
+        "reuses",
+        "bypassed"
+    );
+    let mut rows = Vec::with_capacity(subjects.len());
+    for b in subjects {
+        let off = best(b, &off_opts, "caches off");
+        let on = best(b, &on_opts, "caches on");
+        // Accuracy guard: a speedup that moved the waveform is not a result.
+        // The rms-relative-to-peak metric of E5 tolerates the per-stage edge
+        // jitter that accumulates down deep chains; 2% is the same bound the
+        // fault-chaos tests accept.
+        let rms = verify::compare(&off, &on).rms_rel();
+        assert!(rms < 0.02, "{}: cached waveform rms deviation {rms:e} > 2%", b.name);
+        let (so, sn) = (off.stats(), on.stats());
+        let row = NewtonPathRow {
+            name: b.name.clone(),
+            off_ms: so.wall_ns as f64 / 1e6,
+            on_ms: sn.wall_ns as f64 / 1e6,
+            speedup: so.wall_ns as f64 / sn.wall_ns.max(1) as f64,
+            us_per_iter_off: so.wall_ns as f64 / 1e3 / so.newton_iterations.max(1) as f64,
+            us_per_iter_on: sn.wall_ns as f64 / 1e3 / sn.newton_iterations.max(1) as f64,
+            fact_off: so.factorizations,
+            fact_on: sn.factorizations,
+            bypass_hits: sn.bypass_hits,
+            jacobian_reuses: sn.jacobian_reuses,
+            companion_hits: sn.companion_hits,
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>9.2} {:>9.2} {:>7.2}x {:>11.2} {:>11.2} {:>3}/{:<4} {:>8} {:>9}",
+            row.name,
+            row.off_ms,
+            row.on_ms,
+            row.speedup,
+            row.us_per_iter_off,
+            row.us_per_iter_on,
+            row.fact_on,
+            row.fact_off,
+            row.jacobian_reuses,
+            row.bypass_hits,
+        );
+        rows.push(row);
+    }
+    (out, rows)
+}
+
+/// Machine-readable form of the Newton hot-path rows — written by the
+/// `newton_path` binary as `BENCH_newton.json`.
+pub fn newton_path_to_json(rows: &[NewtonPathRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"name\":\"{}\",\"off_ms\":{},\"on_ms\":{},\"speedup\":{},\
+             \"us_per_iter_off\":{},\"us_per_iter_on\":{},\"fact_off\":{},\"fact_on\":{},\
+             \"bypass_hits\":{},\"jacobian_reuses\":{},\"companion_hits\":{}}}",
+            json::escape(&r.name),
+            json::fmt_f64(r.off_ms),
+            json::fmt_f64(r.on_ms),
+            json::fmt_f64(r.speedup),
+            json::fmt_f64(r.us_per_iter_off),
+            json::fmt_f64(r.us_per_iter_on),
+            r.fact_off,
+            r.fact_on,
+            r.bypass_hits,
+            r.jacobian_reuses,
+            r.companion_hits,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Like [`run_scheme`] but with a [`RecordingProbe`] attached: returns the
 /// report plus the recorded telemetry event stream (for `--trace` in the
 /// bench binaries).

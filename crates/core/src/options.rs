@@ -238,6 +238,30 @@ impl WavePipeOptions {
         self
     }
 
+    /// Enables or disables SPICE3-style device bypass in every lane's
+    /// solver. See [`SimOptions::with_bypass`].
+    #[must_use]
+    pub fn with_bypass(mut self, on: bool) -> Self {
+        self.sim = self.sim.with_bypass(on);
+        self
+    }
+
+    /// Enables or disables chord/modified-Newton LU reuse in every lane's
+    /// solver. See [`SimOptions::with_chord_newton`].
+    #[must_use]
+    pub fn with_chord_newton(mut self, on: bool) -> Self {
+        self.sim = self.sim.with_chord_newton(on);
+        self
+    }
+
+    /// Enables or disables the step-size-keyed companion (linear-stamp)
+    /// cache. See [`SimOptions::with_companion_cache`].
+    #[must_use]
+    pub fn with_companion_cache(mut self, on: bool) -> Self {
+        self.sim = self.sim.with_companion_cache(on);
+        self
+    }
+
     /// Number of pipeline lanes the thread budget affords: `threads` when
     /// stamping is serial, `threads / stamp_workers` (at least 1) under the
     /// two-level split.

@@ -74,8 +74,8 @@ pub use dcsweep::{run_dc_sweep, DcSweepResult};
 pub use error::{EngineError, Result};
 pub use fault::{FaultHandle, FaultKind, FaultPlan};
 pub use integrate::{IntegCoeffs, Method};
-pub use mna::{MnaSystem, MnaWorkspace, StampInput};
-pub use options::SimOptions;
+pub use mna::{MnaSystem, MnaWorkspace, StampInput, StampResult};
+pub use options::{CacheCtl, SimOptions};
 pub use parstamp::StampExecutor;
 pub use result::TransientResult;
 pub use sensitivity::{run_dc_sensitivity, SensitivityResult};

@@ -13,6 +13,7 @@ use crate::devices::{
 };
 use crate::error::Result;
 use crate::integrate::IntegCoeffs;
+use crate::options::CacheCtl;
 use wavepipe_circuit::{Circuit, Element, MosPolarity, Node, Waveform};
 use wavepipe_sparse::{CooMatrix, CscMatrix};
 
@@ -123,6 +124,38 @@ pub(crate) enum Dev {
     },
 }
 
+impl Dev {
+    /// Whether this device's stamp depends on the Newton iterate `x` (and so
+    /// must be emitted in the nonlinear phase).
+    fn is_nonlinear(&self) -> bool {
+        matches!(self, Dev::Diode { .. } | Dev::Mos { .. } | Dev::Bjt { .. } | Dev::Jcap { .. })
+    }
+
+    /// Appends the controlling terminal unknowns of a *bypassable* device
+    /// (ground encoded as `u32::MAX`) and reports whether the device is
+    /// bypassable at all. `Jcap` is deliberately not bypassable: its stamp
+    /// also depends on the integration coefficients and the charge history,
+    /// not just the iterate.
+    fn push_ctrl_terminals(&self, out: &mut Vec<u32>) -> bool {
+        let enc = |u: usize| if u == GND { u32::MAX } else { u as u32 };
+        match *self {
+            Dev::Diode { p, n, .. } => {
+                out.extend([enc(p), enc(n)]);
+                true
+            }
+            Dev::Mos { d, g, s, b, .. } => {
+                out.extend([enc(d), enc(g), enc(s), enc(b)]);
+                true
+            }
+            Dev::Bjt { c, b, e, .. } => {
+                out.extend([enc(c), enc(b), enc(e)]);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
 /// Inputs to a stamping pass: the time point, discretisation, history, and
 /// continuation knobs.
 #[derive(Debug, Clone, Copy)]
@@ -154,7 +187,7 @@ pub struct StampInput<'a> {
 }
 
 /// Mutable per-solver state: matrix values, right-hand side, junction
-/// voltage memory for `pnjlim`.
+/// voltage memory for `pnjlim`, and the solver caches.
 #[derive(Debug, Clone)]
 pub struct MnaWorkspace {
     /// The MNA matrix (fixed pattern, values restamped each call).
@@ -169,6 +202,83 @@ pub struct MnaWorkspace {
     /// falsely converge with dead junctions (tiny currents below the delta
     /// tolerance while the limiter is still climbing).
     pub limited: bool,
+    /// Device-bypass and companion caches (see [`StampCaches`]).
+    pub(crate) caches: StampCaches,
+}
+
+/// Key identifying which assembled *linear* matrix (node shunts, resistors,
+/// sources, reactive companion conductances) a cached copy corresponds to.
+/// Everything else a linear stamp's matrix entries depend on is compile-time
+/// constant; the RHS (time, history, `source_scale`) is always re-emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LinKey {
+    /// DC stamp (capacitors open, inductors short).
+    dc: bool,
+    /// Bit pattern of the leading integration coefficient `a0` (the only
+    /// coefficient that reaches matrix entries: `geq = c*a0`, `leq = l*a0`).
+    a0: u64,
+    /// Bit pattern of the continuation node shunt.
+    gshunt: u64,
+    /// `UIC` initial-condition stamp.
+    ic: bool,
+}
+
+impl LinKey {
+    /// The key the given stamp inputs select.
+    pub(crate) fn of(input: &StampInput<'_>) -> Self {
+        LinKey {
+            dc: input.coeffs.is_none(),
+            a0: input.coeffs.map_or(0, |c| c.a0.to_bits()),
+            gshunt: input.gshunt.to_bits(),
+            ic: input.ic_mode,
+        }
+    }
+}
+
+/// Per-workspace solver caches: SPICE3-style device bypass state plus the
+/// step-size-keyed companion (linear-matrix) cache.
+///
+/// The bypass decision is a pure function of the iterate and this state, and
+/// the state itself only changes on actual device evaluations — which the
+/// serial and parallel stamp paths perform for exactly the same devices with
+/// exactly the same inputs — so caching never breaks the parallel-vs-serial
+/// bit-identity property.
+#[derive(Debug, Clone)]
+pub(crate) struct StampCaches {
+    /// Per-device: the cached stamp may be replayed (the device was
+    /// evaluated, its junction limiter did not fire, and `gmin` has not
+    /// changed since).
+    valid: Vec<bool>,
+    /// Per-device bypass decision for the current stamp pass (recomputed
+    /// from `valid` + the iterate by `compute_bypass_mask`).
+    pub(crate) mask: Vec<bool>,
+    /// Controlling terminal voltages at the last actual evaluation, flat in
+    /// `MnaSystem::ctrl_span` order. Updated *only* on evaluation — updating
+    /// on bypassed passes would silently drift the linearisation reference.
+    ctrl: Vec<f64>,
+    /// Cached matrix emissions of every device, dense in emission-cursor
+    /// space (same length as the slot table).
+    mat: Vec<f64>,
+    /// Cached RHS emissions (same length as `StampPlan::rhs_targets`).
+    rhs: Vec<f64>,
+    /// Junction `gmin` the cached evaluations used.
+    gmin: f64,
+    /// Which assembled linear matrix `lin_mat` holds (`None` = invalid).
+    lin_key: Option<LinKey>,
+    /// Matrix values snapshot taken after the prologue + linear phase
+    /// (nonlinear slots still zero), replayed on a key hit.
+    lin_mat: Vec<f64>,
+}
+
+/// What one stamping pass did, for work accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StampResult {
+    /// Devices actually evaluated (linear + non-bypassed nonlinear).
+    pub evals: usize,
+    /// Nonlinear devices replayed from their bypass cache.
+    pub bypassed: usize,
+    /// Whether the linear matrix was replayed from the companion cache.
+    pub companion_hit: bool,
 }
 
 /// A compiled circuit: fixed MNA structure ready for repeated stamping.
@@ -187,6 +297,16 @@ pub struct MnaSystem {
     source_names: Vec<(String, usize)>,
     source_waves: Vec<Waveform>,
     plan: StampPlan,
+    /// Linear devices (stamp independent of the iterate), element order.
+    lin_elem: Vec<u32>,
+    /// Nonlinear devices, element order.
+    nl_elem: Vec<u32>,
+    /// Controlling terminal unknowns of bypassable devices, flat
+    /// (`u32::MAX` = ground).
+    ctrl_nodes: Vec<u32>,
+    /// Per-device `[start, end)` into `ctrl_nodes` (empty span = device is
+    /// not bypassable).
+    ctrl_span: Vec<(u32, u32)>,
 }
 
 /// Compile-time plan for colored parallel stamping: per-device emission
@@ -217,6 +337,12 @@ pub(crate) struct StampPlan {
     pub order: Vec<u32>,
     /// Color group boundaries into `order` (`n_colors + 1` entries).
     pub group: Vec<u32>,
+    /// `order` restricted to nonlinear devices — the subset the parallel
+    /// path actually farms out (linear devices are stamped by the master's
+    /// linear phase). Conflicting nonlinear pairs keep their strictly
+    /// increasing colors from the full coloring, so replaying `nl_order`
+    /// still visits them in element order.
+    pub nl_order: Vec<u32>,
 }
 
 impl StampPlan {
@@ -240,6 +366,10 @@ pub(crate) enum Sink<'a> {
     /// the accumulator later scatters them through the slot table in the
     /// fixed color-then-element order.
     Buffer { mat: &'a mut [f64], mat_cursor: usize, rhs: &'a mut [f64], rhs_cursor: usize },
+    /// Companion-cache hit: the matrix was already replayed wholesale, so
+    /// matrix emissions are dropped and only the (time/history-dependent)
+    /// RHS is re-emitted, exactly as `Write` would.
+    RhsOnly { rhs: &'a mut [f64] },
 }
 
 impl Sink<'_> {
@@ -258,6 +388,7 @@ impl Sink<'_> {
                 mat[*mat_cursor] = v;
                 *mat_cursor += 1;
             }
+            Sink::RhsOnly { .. } => {}
         }
     }
 
@@ -273,6 +404,7 @@ impl Sink<'_> {
                 rhs[*rhs_cursor] = v;
                 *rhs_cursor += 1;
             }
+            Sink::RhsOnly { rhs } => rhs[u] += v,
         }
     }
 }
@@ -483,6 +615,23 @@ impl MnaSystem {
         let n_unknowns = next_branch;
         let node_names: Vec<String> = circuit.signal_node_names().map(str::to_string).collect();
 
+        // Linear/nonlinear partition (element order within each class) and
+        // the controlling-terminal table for device bypass.
+        let mut lin_elem = Vec::new();
+        let mut nl_elem = Vec::new();
+        let mut ctrl_nodes = Vec::new();
+        let mut ctrl_span = Vec::with_capacity(devices.len());
+        for (d, dev) in devices.iter().enumerate() {
+            if dev.is_nonlinear() {
+                nl_elem.push(d as u32);
+            } else {
+                lin_elem.push(d as u32);
+            }
+            let c0 = ctrl_nodes.len() as u32;
+            dev.push_ctrl_terminals(&mut ctrl_nodes);
+            ctrl_span.push((c0, ctrl_nodes.len() as u32));
+        }
+
         let mut sys = MnaSystem {
             devices,
             n_nodes,
@@ -496,6 +645,10 @@ impl MnaSystem {
             source_names,
             source_waves,
             plan: StampPlan::default(),
+            lin_elem,
+            nl_elem,
+            ctrl_nodes,
+            ctrl_span,
         };
         sys.build_pattern();
         Ok(sys)
@@ -522,28 +675,39 @@ impl MnaSystem {
             source_scale: 1.0,
             ic_mode: false,
         };
-        let mut mat_span = Vec::with_capacity(self.devices.len());
-        let mut rhs_span = Vec::with_capacity(self.devices.len());
+        let mut mat_span = vec![(0u32, 0u32); self.devices.len()];
+        let mut rhs_span = vec![(0u32, 0u32); self.devices.len()];
         {
             let mut jct = Junction::InPlace(&mut junction);
             let mut sink = Sink::Record { mat: &mut entries, rhs: &mut rhs_targets };
             // Shunt prologue occupies emission cursors 0..n_nodes, exactly as
-            // in `emit`.
+            // in the stamp's linear phase.
             for i in 0..self.n_nodes {
                 sink.mat(i, i, 0.0);
             }
-            for dev in &self.devices {
+            // Stamp emission order: prologue, linear devices, nonlinear
+            // devices (element order within each class). Keeping the record
+            // pass and every numeric path on this one order is what keeps the
+            // slot table and the per-device spans valid everywhere.
+            for &d in self.lin_elem.iter().chain(&self.nl_elem) {
                 let (m0, r0) = match &sink {
                     Sink::Record { mat, rhs } => (mat.len() as u32, rhs.len() as u32),
                     _ => unreachable!(),
                 };
-                Self::emit_device(dev, &input, &zeros, &mut jct, &mut limited, &mut sink);
+                Self::emit_device(
+                    &self.devices[d as usize],
+                    &input,
+                    &zeros,
+                    &mut jct,
+                    &mut limited,
+                    &mut sink,
+                );
                 let (m1, r1) = match &sink {
                     Sink::Record { mat, rhs } => (mat.len() as u32, rhs.len() as u32),
                     _ => unreachable!(),
                 };
-                mat_span.push((m0, m1));
-                rhs_span.push((r0, r1));
+                mat_span[d as usize] = (m0, m1);
+                rhs_span[d as usize] = (r0, r1);
             }
         }
         let n = self.n_unknowns;
@@ -607,7 +771,18 @@ impl MnaSystem {
             order[cursor[c as usize] as usize] = d as u32;
             cursor[c as usize] += 1;
         }
-        StampPlan { mat_span, rhs_span, rhs_targets, color, order, group }
+        // Nonlinear projection of the replay order: same color-then-element
+        // sequence, linear devices dropped (the master's linear phase stamps
+        // those before any nonlinear accumulation).
+        let mut nl_order = Vec::with_capacity(self.nl_elem.len());
+        for c in 0..n_colors {
+            for &d in &order[group[c] as usize..group[c + 1] as usize] {
+                if self.devices[d as usize].is_nonlinear() {
+                    nl_order.push(d);
+                }
+            }
+        }
+        StampPlan { mat_span, rhs_span, rhs_targets, color, order, group, nl_order }
     }
 
     /// Number of MNA unknowns (node voltages + branch currents).
@@ -632,11 +807,22 @@ impl MnaSystem {
 
     /// Creates a fresh workspace for this system.
     pub fn new_workspace(&self) -> MnaWorkspace {
+        let nd = self.devices.len();
         MnaWorkspace {
             matrix: self.pattern.clone(),
             rhs: vec![0.0; self.n_unknowns],
             junction_state: vec![0.0; self.n_junctions],
             limited: false,
+            caches: StampCaches {
+                valid: vec![false; nd],
+                mask: vec![false; nd],
+                ctrl: vec![0.0; self.ctrl_nodes.len()],
+                mat: vec![0.0; self.slots.len()],
+                rhs: vec![0.0; self.plan.rhs_targets.len()],
+                gmin: 0.0,
+                lin_key: None,
+                lin_mat: vec![0.0; self.pattern.nnz()],
+            },
         }
     }
 
@@ -689,12 +875,6 @@ impl MnaSystem {
         }
     }
 
-    /// Deprecated boolean-returning predecessor of [`MnaSystem::set_source`].
-    #[deprecated(since = "0.2.0", note = "use `set_source`, which names the missing source")]
-    pub fn override_source(&mut self, name: &str, value: f64) -> bool {
-        self.set_source(name, value).is_ok()
-    }
-
     /// All branch-current element names with their unknown indices.
     pub fn branch_names(&self) -> &[(String, usize)] {
         &self.branch_names
@@ -721,18 +901,196 @@ impl MnaSystem {
         bp
     }
 
-    /// Stamps the linearised system at iterate `x_iter` into `ws`.
-    ///
-    /// Returns the number of device evaluations performed (for work
-    /// accounting).
+    /// Stamps the linearised system at iterate `x_iter` into `ws` with every
+    /// solver cache off. Equivalent to
+    /// `stamp_with(ws, input, x_iter, &CacheCtl::disabled())`; returns the
+    /// number of device evaluations performed (for work accounting).
     pub fn stamp(&self, ws: &mut MnaWorkspace, input: &StampInput<'_>, x_iter: &[f64]) -> usize {
-        ws.matrix.set_values_zero();
+        self.stamp_with(ws, input, x_iter, &CacheCtl::disabled()).evals
+    }
+
+    /// Stamps the linearised system at iterate `x_iter` into `ws`, using the
+    /// workspace's solver caches as `ctl` allows: the linear phase may replay
+    /// the companion-cached matrix, and nonlinear devices whose controlling
+    /// voltages are within the bypass tolerance replay their cached stamp.
+    ///
+    /// The emission order is fixed (node-shunt prologue, linear devices in
+    /// element order, nonlinear devices in element order) for every `ctl`
+    /// setting, and every cache decision is a deterministic function of the
+    /// iterate and the workspace state — so two runs with the same options
+    /// produce bitwise-identical results, serial or parallel.
+    pub fn stamp_with(
+        &self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x_iter: &[f64],
+        ctl: &CacheCtl,
+    ) -> StampResult {
+        self.compute_bypass_mask(&mut ws.caches, input, x_iter, ctl);
+        let companion_hit = self.stamp_linear_phase(ws, input, x_iter, ctl);
+        let (nl_evals, bypassed) = self.stamp_nonlinear_serial(ws, input, x_iter);
+        StampResult { evals: self.lin_elem.len() + nl_evals, bypassed, companion_hit }
+    }
+
+    /// Decides, per nonlinear device, whether its cached stamp may be
+    /// replayed this pass: the cache must be valid (evaluated, unlimited,
+    /// same `gmin`) and every controlling terminal voltage must be within
+    /// `vabs + vrel * max(|v|, |v_ref|)` of the evaluation reference.
+    /// Shared verbatim by the serial and parallel paths (the parallel master
+    /// computes the mask once and ships it to the workers).
+    pub(crate) fn compute_bypass_mask(
+        &self,
+        caches: &mut StampCaches,
+        input: &StampInput<'_>,
+        x: &[f64],
+        ctl: &CacheCtl,
+    ) {
+        if input.gmin != caches.gmin {
+            caches.valid.fill(false);
+            caches.gmin = input.gmin;
+        }
+        if !ctl.bypass {
+            caches.mask.fill(false);
+            return;
+        }
+        for &d in &self.nl_elem {
+            let du = d as usize;
+            let (c0, c1) = self.ctrl_span[du];
+            let mut ok = caches.valid[du] && c0 != c1;
+            for k in c0..c1 {
+                if !ok {
+                    break;
+                }
+                let t = self.ctrl_nodes[k as usize];
+                let v = if t == u32::MAX { 0.0 } else { x[t as usize] };
+                let vref = caches.ctrl[k as usize];
+                let tol = ctl.bypass_vabs + ctl.bypass_vrel * v.abs().max(vref.abs());
+                // NaN-safe: a non-finite iterate never bypasses.
+                ok = (v - vref).abs() <= tol;
+            }
+            caches.mask[du] = ok;
+        }
+    }
+
+    /// Linear phase: zeroes the workspace, applies the node-shunt prologue,
+    /// and stamps every linear device — replaying the assembled matrix from
+    /// the companion cache when the step-size key matches (the RHS carries
+    /// the time- and history-dependent terms, so it is always re-emitted).
+    /// Returns whether the cache hit.
+    pub(crate) fn stamp_linear_phase(
+        &self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x: &[f64],
+        ctl: &CacheCtl,
+    ) -> bool {
         ws.rhs.fill(0.0);
         ws.limited = false;
-        let MnaWorkspace { matrix, rhs, junction_state, limited } = ws;
-        let mut sink =
-            Sink::Write { values: matrix.values_mut(), slots: &self.slots, cursor: 0, rhs };
-        self.emit(input, x_iter, junction_state, limited, &mut sink)
+        let key = LinKey::of(input);
+        let MnaWorkspace { matrix, rhs, junction_state, limited, caches } = ws;
+        let hit = ctl.companion && caches.lin_key == Some(key);
+        let mut jct = Junction::InPlace(junction_state);
+        if hit {
+            // One memcpy restores prologue + linear matrix (and zeroes the
+            // nonlinear slots, which were zero in the snapshot).
+            matrix.values_mut().copy_from_slice(&caches.lin_mat);
+            let mut sink = Sink::RhsOnly { rhs };
+            for &d in &self.lin_elem {
+                Self::emit_device(
+                    &self.devices[d as usize],
+                    input,
+                    x,
+                    &mut jct,
+                    limited,
+                    &mut sink,
+                );
+            }
+        } else {
+            matrix.set_values_zero();
+            {
+                let values = matrix.values_mut();
+                for i in 0..self.n_nodes {
+                    values[self.slots[i]] += input.gshunt;
+                }
+                let mut sink =
+                    Sink::Write { values, slots: &self.slots, cursor: self.n_nodes, rhs };
+                for &d in &self.lin_elem {
+                    Self::emit_device(
+                        &self.devices[d as usize],
+                        input,
+                        x,
+                        &mut jct,
+                        limited,
+                        &mut sink,
+                    );
+                }
+            }
+            caches.lin_mat.copy_from_slice(matrix.values());
+            caches.lin_key = if ctl.companion { Some(key) } else { None };
+        }
+        hit
+    }
+
+    /// Serial nonlinear phase: element order, each device either replayed
+    /// from its bypass cache or evaluated into it, then scattered through
+    /// the slot table. Returns `(evaluated, bypassed)` counts.
+    fn stamp_nonlinear_serial(
+        &self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x: &[f64],
+    ) -> (usize, usize) {
+        let MnaWorkspace { matrix, rhs, junction_state, limited, caches } = ws;
+        let StampCaches { valid, mask, ctrl, mat: cmat, rhs: crhs, .. } = caches;
+        let values = matrix.values_mut();
+        let mut jct = Junction::InPlace(junction_state);
+        let (mut evals, mut bypassed) = (0usize, 0usize);
+        for &d in &self.nl_elem {
+            let du = d as usize;
+            let (m0, m1) = self.plan.mat_span[du];
+            let (r0, r1) = self.plan.rhs_span[du];
+            let (m0, m1, r0, r1) = (m0 as usize, m1 as usize, r0 as usize, r1 as usize);
+            if mask[du] {
+                bypassed += 1;
+            } else {
+                let mut dev_limited = false;
+                {
+                    let mut sink = Sink::Buffer {
+                        mat: &mut cmat[m0..m1],
+                        mat_cursor: 0,
+                        rhs: &mut crhs[r0..r1],
+                        rhs_cursor: 0,
+                    };
+                    Self::emit_device(
+                        &self.devices[du],
+                        input,
+                        x,
+                        &mut jct,
+                        &mut dev_limited,
+                        &mut sink,
+                    );
+                }
+                *limited |= dev_limited;
+                let (c0, c1) = self.ctrl_span[du];
+                if c0 != c1 {
+                    valid[du] = !dev_limited;
+                    for k in c0..c1 {
+                        let t = self.ctrl_nodes[k as usize];
+                        ctrl[k as usize] = if t == u32::MAX { 0.0 } else { x[t as usize] };
+                    }
+                }
+                evals += 1;
+            }
+            // Scatter the (fresh or replayed) emissions: same per-slot
+            // addition order either way.
+            for (k, &slot) in self.slots[m0..m1].iter().enumerate() {
+                values[slot] += cmat[m0 + k];
+            }
+            for (k, &u) in self.plan.rhs_targets[r0..r1].iter().enumerate() {
+                rhs[u as usize] += crhs[r0 + k];
+            }
+        }
+        (evals, bypassed)
     }
 
     /// The compile-time parallel-stamp plan (spans, coloring, replay order).
@@ -759,22 +1117,17 @@ impl MnaSystem {
         self.plan.n_colors()
     }
 
-    /// Parallel-path master prologue: zeroes the workspace and applies the
-    /// node-shunt diagonal, exactly as the serial path's first `n_nodes`
-    /// emissions do.
-    pub(crate) fn stamp_prologue(&self, ws: &mut MnaWorkspace, input: &StampInput<'_>) {
-        ws.matrix.set_values_zero();
-        ws.rhs.fill(0.0);
-        ws.limited = false;
-        let values = ws.matrix.values_mut();
-        for i in 0..self.n_nodes {
-            values[self.slots[i]] += input.gshunt;
-        }
+    /// Number of linear (always-evaluated) devices, for work accounting on
+    /// the parallel path whose master stamps the linear phase itself.
+    pub(crate) fn linear_device_count(&self) -> usize {
+        self.lin_elem.len()
     }
 
     /// Worker-side evaluation of a device subset into dense buffers, in the
-    /// order given by `devices` (indices into the compiled device list).
-    /// Returns whether any junction voltage was limited.
+    /// order given by `devices` (indices into the compiled device list),
+    /// skipping devices the bypass `mask` marks for replay. Per-device
+    /// limiter hits are appended to `limited_devs` (in chunk order); returns
+    /// whether any junction voltage was limited.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn eval_devices(
         &self,
@@ -782,14 +1135,19 @@ impl MnaSystem {
         x: &[f64],
         junction_snapshot: &[f64],
         devices: &[u32],
+        mask: &[bool],
         mat_out: &mut Vec<f64>,
         rhs_out: &mut Vec<f64>,
         jct_out: &mut Vec<(u32, f64)>,
+        limited_devs: &mut Vec<u32>,
     ) -> bool {
         // The plan spans fix the emission counts up-front, so the buffers
         // can be sized once and filled with cursor stores.
         let (mut mat_len, mut rhs_len) = (0usize, 0usize);
         for &d in devices {
+            if mask[d as usize] {
+                continue;
+            }
             let (m0, m1) = self.plan.mat_span[d as usize];
             mat_len += (m1 - m0) as usize;
             let (r0, r1) = self.plan.rhs_span[d as usize];
@@ -798,18 +1156,27 @@ impl MnaSystem {
         mat_out.resize(mat_len, 0.0);
         rhs_out.resize(rhs_len, 0.0);
         jct_out.clear();
+        limited_devs.clear();
         let mut limited = false;
         let mut jct = Junction::Buffered { snapshot: junction_snapshot, writes: jct_out };
         let mut sink = Sink::Buffer { mat: mat_out, mat_cursor: 0, rhs: rhs_out, rhs_cursor: 0 };
         for &d in devices {
+            if mask[d as usize] {
+                continue;
+            }
+            let mut dev_limited = false;
             Self::emit_device(
                 &self.devices[d as usize],
                 input,
                 x,
                 &mut jct,
-                &mut limited,
+                &mut dev_limited,
                 &mut sink,
             );
+            if dev_limited {
+                limited = true;
+                limited_devs.push(d);
+            }
         }
         debug_assert!(matches!(
             sink,
@@ -819,11 +1186,16 @@ impl MnaSystem {
         limited
     }
 
-    /// Master-side accumulation of one evaluated chunk into the workspace.
+    /// Master-side accumulation of one evaluated chunk into the workspace:
+    /// bypassed devices replay their cached emissions, evaluated ones are
+    /// recorded into the cache and scattered from it.
     ///
     /// `devices` must be the same slice (same order) the chunk was evaluated
-    /// with; chunks must be accumulated in ascending color-then-element
-    /// order for bit-identity with the serial path.
+    /// with, `limited_devs` the evaluator's per-device limiter hits (in
+    /// chunk order), and `x` the iterate the chunk was evaluated at; chunks
+    /// must be accumulated in ascending color-then-element order for
+    /// bit-identity with the serial path. Returns `(evaluated, bypassed)`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn accumulate_devices(
         &self,
         ws: &mut MnaWorkspace,
@@ -831,32 +1203,54 @@ impl MnaSystem {
         mat_vals: &[f64],
         rhs_vals: &[f64],
         jct_writes: &[(u32, f64)],
-        limited: bool,
-    ) {
-        let MnaWorkspace { matrix, rhs, junction_state, limited: ws_limited } = ws;
+        limited_devs: &[u32],
+        x: &[f64],
+    ) -> (usize, usize) {
+        let MnaWorkspace { matrix, rhs, junction_state, limited, caches } = ws;
+        let StampCaches { valid, mask, ctrl, mat: cmat, rhs: crhs, .. } = caches;
         let values = matrix.values_mut();
-        let (mut mi, mut ri) = (0usize, 0usize);
+        let (mut mi, mut ri, mut li) = (0usize, 0usize, 0usize);
+        let (mut evals, mut bypassed) = (0usize, 0usize);
         for &d in devices {
-            let d = d as usize;
-            let (m0, m1) = self.plan.mat_span[d];
-            let span = &self.slots[m0 as usize..m1 as usize];
-            for (&slot, &v) in span.iter().zip(&mat_vals[mi..mi + span.len()]) {
-                values[slot] += v;
+            let du = d as usize;
+            let (m0, m1) = self.plan.mat_span[du];
+            let (r0, r1) = self.plan.rhs_span[du];
+            let (m0, m1, r0, r1) = (m0 as usize, m1 as usize, r0 as usize, r1 as usize);
+            if mask[du] {
+                bypassed += 1;
+            } else {
+                cmat[m0..m1].copy_from_slice(&mat_vals[mi..mi + (m1 - m0)]);
+                crhs[r0..r1].copy_from_slice(&rhs_vals[ri..ri + (r1 - r0)]);
+                mi += m1 - m0;
+                ri += r1 - r0;
+                let dev_limited = li < limited_devs.len() && limited_devs[li] == d;
+                if dev_limited {
+                    li += 1;
+                    *limited = true;
+                }
+                let (c0, c1) = self.ctrl_span[du];
+                if c0 != c1 {
+                    valid[du] = !dev_limited;
+                    for k in c0..c1 {
+                        let t = self.ctrl_nodes[k as usize];
+                        ctrl[k as usize] = if t == u32::MAX { 0.0 } else { x[t as usize] };
+                    }
+                }
+                evals += 1;
             }
-            mi += span.len();
-            let (r0, r1) = self.plan.rhs_span[d];
-            let targets = &self.plan.rhs_targets[r0 as usize..r1 as usize];
-            for (&u, &v) in targets.iter().zip(&rhs_vals[ri..ri + targets.len()]) {
-                rhs[u as usize] += v;
+            for (k, &slot) in self.slots[m0..m1].iter().enumerate() {
+                values[slot] += cmat[m0 + k];
             }
-            ri += targets.len();
+            for (k, &u) in self.plan.rhs_targets[r0..r1].iter().enumerate() {
+                rhs[u as usize] += crhs[r0 + k];
+            }
         }
         debug_assert_eq!(mi, mat_vals.len());
         debug_assert_eq!(ri, rhs_vals.len());
         for &(j, v) in jct_writes {
             junction_state[j as usize] = v;
         }
-        *ws_limited |= limited;
+        (evals, bypassed)
     }
 
     /// Capacitor currents at the newly accepted point, for the next step's
@@ -893,27 +1287,6 @@ impl MnaSystem {
             }
         }
         out
-    }
-
-    /// The serial emission routine shared by the pattern pass and the serial
-    /// numeric stamp: shunt prologue, then every device in element order.
-    fn emit(
-        &self,
-        input: &StampInput<'_>,
-        x: &[f64],
-        junction: &mut [f64],
-        limited: &mut bool,
-        sink: &mut Sink<'_>,
-    ) -> usize {
-        // Node shunts: structural diagonal for every node row.
-        for i in 0..self.n_nodes {
-            sink.mat(i, i, input.gshunt);
-        }
-        let mut jct = Junction::InPlace(junction);
-        for dev in &self.devices {
-            Self::emit_device(dev, input, x, &mut jct, limited, sink);
-        }
-        self.devices.len()
     }
 
     /// Evaluates and emits one device. Emission order and count are
@@ -1340,17 +1713,5 @@ mod tests {
             Err(crate::EngineError::UnknownSource { name }) => assert_eq!(name, "Vnope"),
             other => panic!("expected UnknownSource, got {other:?}"),
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn override_source_shim_still_reports_success() {
-        let mut ckt = Circuit::new("t");
-        let a = ckt.node("a");
-        ckt.add_vsource("V1", a, Circuit::GROUND, W::dc(1.0)).unwrap();
-        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
-        let mut sys = MnaSystem::compile(&ckt).unwrap();
-        assert!(sys.override_source("V1", 3.0));
-        assert!(!sys.override_source("R1", 3.0), "resistors are not sources");
     }
 }

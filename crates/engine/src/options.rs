@@ -81,10 +81,74 @@ pub struct SimOptions {
     /// [`FaultPlan`] via [`SimOptions::with_faults`] — an empty plan pins a
     /// run fault-free even under the env override.
     pub faults: FaultHandle,
+    /// SPICE3-style device bypass: nonlinear devices whose controlling
+    /// voltages moved less than the bypass tolerance since their last
+    /// evaluation replay their cached stamp instead of re-evaluating the
+    /// model. Deterministic (the decision is a pure function of the iterate
+    /// and the per-workspace cache state) and identical on the serial and
+    /// parallel stamp paths. The default honours `WAVEPIPE_BYPASS`
+    /// (`0`/`false` disables); on otherwise.
+    pub bypass: bool,
+    /// Absolute bypass tolerance on controlling voltages, volts. Default
+    /// `1e-6` (equal to `VNTOL`).
+    pub bypass_vabs: f64,
+    /// Relative bypass tolerance on controlling voltages. Default `1e-5`
+    /// (two decades tighter than `RELTOL`).
+    pub bypass_vrel: f64,
+    /// Chord (modified) Newton: keep the current LU factors across
+    /// iterations — and across accepted time points — while the Newton
+    /// update keeps contracting by at least [`SimOptions::chord_theta`];
+    /// refactor on slow convergence, rejection, or step-size change.
+    /// Convergence *criteria* are untouched, only when a new factorization
+    /// is paid for. The default honours `WAVEPIPE_CHORD` (`0`/`false`
+    /// disables); on otherwise.
+    pub chord_newton: bool,
+    /// Chord contraction threshold: a reused-Jacobian update is accepted
+    /// only if `|dx|` shrank to at most this fraction of the previous
+    /// iteration's update. Default `0.5`.
+    pub chord_theta: f64,
+    /// Step-size-keyed companion cache: reuse the assembled linear part of
+    /// the matrix (resistors, sources, reactive companion conductances)
+    /// across stamps that share the same integration coefficients and
+    /// continuation shunt, re-emitting only the history-dependent RHS.
+    /// Default on.
+    pub companion_cache: bool,
+}
+
+/// Per-stamp control block for the solver caches, derived from
+/// [`SimOptions`] via [`SimOptions::cache_ctl`]. Passing
+/// [`CacheCtl::disabled`] reproduces the cache-free stamp exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheCtl {
+    /// Enable device bypass (see [`SimOptions::bypass`]).
+    pub bypass: bool,
+    /// Absolute bypass tolerance, volts.
+    pub bypass_vabs: f64,
+    /// Relative bypass tolerance.
+    pub bypass_vrel: f64,
+    /// Enable the step-size-keyed companion cache.
+    pub companion: bool,
+}
+
+impl CacheCtl {
+    /// A control block with every cache off: the stamp re-evaluates every
+    /// device and reassembles the full matrix each call.
+    pub fn disabled() -> Self {
+        CacheCtl { bypass: false, bypass_vabs: 0.0, bypass_vrel: 0.0, companion: false }
+    }
 }
 
 fn default_stamp_workers() -> usize {
     std::env::var("WAVEPIPE_STAMP_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// `WAVEPIPE_BYPASS=0`/`false` (or `WAVEPIPE_CHORD=...`) turns a default-on
+/// cache off for a whole test suite; anything else leaves it on.
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
 }
 
 impl Default for SimOptions {
@@ -109,6 +173,12 @@ impl Default for SimOptions {
             deadline: None,
             cancel: None,
             faults: FaultHandle::from_env_cached(),
+            bypass: env_flag("WAVEPIPE_BYPASS"),
+            bypass_vabs: 1e-6,
+            bypass_vrel: 1e-5,
+            chord_newton: env_flag("WAVEPIPE_CHORD"),
+            chord_theta: 0.5,
+            companion_cache: true,
         }
     }
 }
@@ -190,6 +260,39 @@ impl SimOptions {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = FaultHandle::new(plan);
         self
+    }
+
+    /// Builder: enables or disables device bypass (pins the run against the
+    /// `WAVEPIPE_BYPASS` environment override).
+    #[must_use]
+    pub fn with_bypass(mut self, bypass: bool) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
+    /// Builder: enables or disables chord (modified) Newton (pins the run
+    /// against the `WAVEPIPE_CHORD` environment override).
+    #[must_use]
+    pub fn with_chord_newton(mut self, chord: bool) -> Self {
+        self.chord_newton = chord;
+        self
+    }
+
+    /// Builder: enables or disables the step-size-keyed companion cache.
+    #[must_use]
+    pub fn with_companion_cache(mut self, companion: bool) -> Self {
+        self.companion_cache = companion;
+        self
+    }
+
+    /// The stamp-layer cache control block these options imply.
+    pub fn cache_ctl(&self) -> CacheCtl {
+        CacheCtl {
+            bypass: self.bypass,
+            bypass_vabs: self.bypass_vabs,
+            bypass_vrel: self.bypass_vrel,
+            companion: self.companion_cache,
+        }
     }
 
     /// Arms the configured deadline (if any) on the attached token. Called
@@ -314,5 +417,25 @@ mod tests {
     fn explicit_empty_fault_plan_is_inert() {
         let o = SimOptions::default().with_faults(FaultPlan::new());
         assert!(!o.faults.enabled());
+    }
+
+    #[test]
+    fn cache_knobs_pin_and_project_into_the_ctl() {
+        // Defaults are env-dependent (`WAVEPIPE_BYPASS`/`WAVEPIPE_CHORD`),
+        // so only the builder-pinned values are asserted.
+        let o = SimOptions::default().with_bypass(true).with_chord_newton(true);
+        assert!(o.bypass && o.chord_newton);
+        assert_eq!(o.bypass_vabs, 1e-6);
+        assert_eq!(o.bypass_vrel, 1e-5);
+        assert_eq!(o.chord_theta, 0.5);
+        let ctl = o.cache_ctl();
+        assert!(ctl.bypass && ctl.companion);
+        assert_eq!(ctl.bypass_vabs, o.bypass_vabs);
+
+        let off = o.with_bypass(false).with_chord_newton(false).with_companion_cache(false);
+        assert!(!off.bypass && !off.chord_newton && !off.companion_cache);
+        let ctl = off.cache_ctl();
+        assert!(!ctl.bypass && !ctl.companion);
+        assert_eq!(CacheCtl::disabled(), CacheCtl::disabled());
     }
 }

@@ -2,13 +2,18 @@
 //!
 //! [`MnaSystem::compile`] level-colors the device conflict graph (two
 //! devices conflict iff they write a shared matrix slot or RHS entry). The
-//! executor built here evaluates device chunks concurrently on a small
-//! persistent worker set — evaluation is pure apart from device-owned
-//! junction state, so chunks from *different* colors can be in flight at
-//! once — and then accumulates the buffered results into the workspace
-//! serially, in the fixed color-then-element order the coloring guarantees
-//! matches the serial per-slot addition order. The result is bit-identical
-//! to [`MnaSystem::stamp`], independent of worker count and scheduling.
+//! executor built here parallelises the *nonlinear* device evaluations (the
+//! expensive part): the master stamps the linear phase itself (optionally
+//! replayed from the step-size-keyed companion cache), while nonlinear
+//! chunks are evaluated concurrently on a small persistent worker set —
+//! evaluation is pure apart from device-owned junction state, so chunks
+//! from *different* colors can be in flight at once — and then accumulated
+//! into the workspace serially, in the fixed color-then-element order the
+//! coloring guarantees matches the serial per-slot addition order. Device
+//! bypass is decided on the master before dispatch (one mask per stamp
+//! call), so workers skip exactly the devices the serial path skips. The
+//! result is bit-identical to [`MnaSystem::stamp_with`], independent of
+//! worker count, scheduling, and cache knob settings.
 //!
 //! Timing: [`SimStats::stamp_ns`] gets the actual wall time of each call,
 //! while [`SimStats::stamp_modeled_ns`] gets the critical-path model (the
@@ -27,7 +32,8 @@
 
 use crate::fault::FaultHandle;
 use crate::integrate::IntegCoeffs;
-use crate::mna::{MnaSystem, MnaWorkspace, StampInput};
+use crate::mna::{MnaSystem, MnaWorkspace, StampInput, StampResult};
+use crate::options::CacheCtl;
 use crate::stats::SimStats;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -43,13 +49,16 @@ struct ChunkBufs {
     mat: Vec<f64>,
     rhs: Vec<f64>,
     jct: Vec<(u32, f64)>,
+    /// Devices (in chunk order) whose junction limiter fired.
+    limited_devs: Vec<u32>,
 }
 
-/// One dispatched evaluation job: a contiguous span of the replay order.
+/// One dispatched evaluation job: a contiguous span of the nonlinear replay
+/// order.
 struct Job {
     ctx: Arc<CallCtx>,
     chunk_id: u32,
-    /// `[start, end)` into `StampPlan::order`.
+    /// `[start, end)` into `StampPlan::nl_order`.
     start: u32,
     end: u32,
     bufs: ChunkBufs,
@@ -59,7 +68,6 @@ struct Job {
 struct ChunkOut {
     chunk_id: u32,
     bufs: ChunkBufs,
-    limited: bool,
     eval_ns: u64,
     /// The worker panicked evaluating this chunk; `bufs` is empty and the
     /// worker has retired. The master re-evaluates the chunk inline.
@@ -81,10 +89,13 @@ struct CallCtx {
     ic_mode: bool,
     x_iter: Vec<f64>,
     junction: Vec<f64>,
+    /// Per-device bypass decisions for this stamp call, computed once on the
+    /// master so every worker skips exactly the serial path's devices.
+    mask: Vec<bool>,
 }
 
 impl CallCtx {
-    fn capture(&mut self, input: &StampInput<'_>, x_iter: &[f64], junction: &[f64]) {
+    fn capture(&mut self, input: &StampInput<'_>, x_iter: &[f64], junction: &[f64], mask: &[bool]) {
         self.time = input.time;
         self.coeffs = input.coeffs;
         self.x_prev.clear();
@@ -101,6 +112,8 @@ impl CallCtx {
         self.x_iter.extend_from_slice(x_iter);
         self.junction.clear();
         self.junction.extend_from_slice(junction);
+        self.mask.clear();
+        self.mask.extend_from_slice(mask);
     }
 
     fn input(&self) -> StampInput<'_> {
@@ -118,10 +131,10 @@ impl CallCtx {
     }
 }
 
-/// One precomputed chunk of the replay order.
+/// One precomputed chunk of the nonlinear replay order.
 #[derive(Debug, Clone, Copy)]
 struct ChunkSpec {
-    /// `[start, end)` into `StampPlan::order`.
+    /// `[start, end)` into `StampPlan::nl_order`.
     start: u32,
     end: u32,
     /// Worker the chunk is pinned to (round-robin at plan time).
@@ -191,44 +204,51 @@ impl StampExecutor {
     /// `faults` is the owning solver's fault-injection handle; pass
     /// [`FaultHandle::none`] outside a simulation context.
     pub fn new(sys: &Arc<MnaSystem>, workers: usize, faults: &FaultHandle) -> Option<Self> {
-        let plan_len = sys.plan().order.len();
-        if workers == 0 || plan_len == 0 {
+        if workers == 0 || sys.plan().order.is_empty() {
             return None;
         }
         let n_workers = workers;
-        // One contiguous span of the replay order per worker, balanced by
-        // estimated cost. A single chunk per worker minimises the per-stamp
-        // channel round-trips, which dominate overhead on small circuits;
-        // the cost weights keep the spans even enough without work stealing.
-        let n_chunks = n_workers.min(plan_len);
-        let total_cost: u64 = (0..plan_len as u32).map(|d| device_cost(sys, d)).sum();
-        let target = total_cost.max(1).div_ceil(n_chunks as u64);
-        let order = &sys.plan().order;
-        let mut chunks: Vec<ChunkSpec> = Vec::with_capacity(n_chunks);
-        let mut start = 0usize;
-        let mut acc = 0u64;
-        for (i, &d) in order.iter().enumerate() {
-            acc += device_cost(sys, d);
-            let remaining_chunks = n_chunks - chunks.len();
-            let remaining_items = plan_len - i - 1;
-            if (acc >= target || remaining_items < remaining_chunks) && i + 1 > start {
-                chunks.push(ChunkSpec {
-                    start: start as u32,
-                    end: (i + 1) as u32,
-                    worker: (chunks.len() % n_workers) as u32,
-                });
-                start = i + 1;
-                acc = 0;
-                if chunks.len() == n_chunks {
-                    break;
+        // Only nonlinear devices are worth shipping to workers: linear
+        // stamps are almost free (and companion-cacheable), so the master
+        // keeps them. One contiguous span of the nonlinear replay order per
+        // worker, balanced by estimated cost. A single chunk per worker
+        // minimises the per-stamp channel round-trips, which dominate
+        // overhead on small circuits; the cost weights keep the spans even
+        // enough without work stealing. All-linear circuits get an empty
+        // chunk list: the executor still exists, the master just does
+        // everything itself.
+        let nl_len = sys.plan().nl_order.len();
+        let mut chunks: Vec<ChunkSpec> = Vec::new();
+        if nl_len > 0 {
+            let n_chunks = n_workers.min(nl_len);
+            let order = &sys.plan().nl_order;
+            let total_cost: u64 = order.iter().map(|&d| device_cost(sys, d)).sum();
+            let target = total_cost.max(1).div_ceil(n_chunks as u64);
+            let mut start = 0usize;
+            let mut acc = 0u64;
+            for (i, &d) in order.iter().enumerate() {
+                acc += device_cost(sys, d);
+                let remaining_chunks = n_chunks - chunks.len();
+                let remaining_items = nl_len - i - 1;
+                if (acc >= target || remaining_items < remaining_chunks) && i + 1 > start {
+                    chunks.push(ChunkSpec {
+                        start: start as u32,
+                        end: (i + 1) as u32,
+                        worker: (chunks.len() % n_workers) as u32,
+                    });
+                    start = i + 1;
+                    acc = 0;
+                    if chunks.len() == n_chunks {
+                        break;
+                    }
                 }
             }
-        }
-        if start < plan_len {
-            // Fold any tail into the last chunk.
-            match chunks.last_mut() {
-                Some(last) => last.end = plan_len as u32,
-                None => chunks.push(ChunkSpec { start: 0, end: plan_len as u32, worker: 0 }),
+            if start < nl_len {
+                // Fold any tail into the last chunk.
+                match chunks.last_mut() {
+                    Some(last) => last.end = nl_len as u32,
+                    None => chunks.push(ChunkSpec { start: 0, end: nl_len as u32, worker: 0 }),
+                }
             }
         }
         let (result_tx, result_rx) = channel::<ChunkOut>();
@@ -254,24 +274,26 @@ impl StampExecutor {
                         if faults.stamp_panic(widx, call) {
                             panic!("injected fault: stamp worker {widx} panics at call {call}");
                         }
-                        let devices = &sys.plan().order[job.start as usize..job.end as usize];
-                        let limited = sys.eval_devices(
+                        let devices = &sys.plan().nl_order[job.start as usize..job.end as usize];
+                        sys.eval_devices(
                             &job.ctx.input(),
                             &job.ctx.x_iter,
                             &job.ctx.junction,
                             devices,
+                            &job.ctx.mask,
                             &mut job.bufs.mat,
                             &mut job.bufs.rhs,
                             &mut job.bufs.jct,
+                            &mut job.bufs.limited_devs,
                         );
                         drop(job.ctx);
-                        (job.bufs, limited)
+                        job.bufs
                     }));
                     let eval_ns = t0.elapsed().as_nanos() as u64;
                     match result {
-                        Ok((bufs, limited)) => {
+                        Ok(bufs) => {
                             if out
-                                .send(ChunkOut { chunk_id, bufs, limited, eval_ns, failed: false })
+                                .send(ChunkOut { chunk_id, bufs, eval_ns, failed: false })
                                 .is_err()
                             {
                                 break;
@@ -283,7 +305,6 @@ impl StampExecutor {
                             let _ = out.send(ChunkOut {
                                 chunk_id,
                                 bufs: ChunkBufs::default(),
-                                limited: false,
                                 eval_ns,
                                 failed: true,
                             });
@@ -323,28 +344,30 @@ impl StampExecutor {
         self.n_workers
     }
 
-    /// Parallel equivalent of [`MnaSystem::stamp`]: bit-identical results,
-    /// concurrent device evaluation. Returns the number of device
-    /// evaluations; records actual and critical-path-modeled stamp time
-    /// into `stats` and emits per-color spans through `probe` when enabled.
+    /// Parallel equivalent of [`MnaSystem::stamp_with`]: bit-identical
+    /// results, concurrent nonlinear device evaluation. Records actual and
+    /// critical-path-modeled stamp time into `stats` and emits per-color
+    /// spans through `probe` when enabled.
     pub fn stamp(
         &mut self,
         ws: &mut MnaWorkspace,
         input: &StampInput<'_>,
         x_iter: &[f64],
+        ctl: &CacheCtl,
         probe: &ProbeHandle,
         stats: &mut SimStats,
-    ) -> usize {
+    ) -> StampResult {
         if self.broken {
-            return self.stamp_serial(ws, input, x_iter, stats);
+            return self.stamp_serial(ws, input, x_iter, ctl, stats);
         }
         let t_call = Instant::now();
-        // Snapshot the borrowed inputs so they can cross into the workers.
+        // Decide bypass on the master (exactly as the serial path does),
+        // then snapshot the borrowed inputs — mask included — so they can
+        // cross into the workers.
+        self.sys.compute_bypass_mask(&mut ws.caches, input, x_iter, ctl);
         let mut ctx_arc = self.ctx.take().and_then(|a| Arc::try_unwrap(a).ok()).unwrap_or_default();
-        ctx_arc.capture(input, x_iter, &ws.junction_state);
+        ctx_arc.capture(input, x_iter, &ws.junction_state, &ws.caches.mask);
         let ctx = Arc::new(ctx_arc);
-        self.sys.stamp_prologue(ws, input);
-        let serial_ns = t_call.elapsed().as_nanos() as u64;
 
         // Dispatch every chunk up-front: evaluation is safe across colors
         // (workers write only private buffers and device-owned junction
@@ -386,11 +409,18 @@ impl StampExecutor {
         }
         self.ctx = Some(ctx);
 
-        // Accumulate strictly in chunk order (= color-then-element order),
-        // emitting a span per color group as it is folded in.
+        // The master stamps the linear phase itself while the workers chew
+        // on the nonlinear chunks.
+        let companion_hit = self.sys.stamp_linear_phase(ws, input, x_iter, ctl);
+        let serial_ns = t_call.elapsed().as_nanos() as u64;
+
+        // Accumulate strictly in chunk order (= color-then-element order
+        // over the nonlinear devices), emitting a span per color group as it
+        // is folded in.
         self.worker_busy.fill(0);
         let mut acc_ns = 0u64;
-        let mut evals = 0usize;
+        let mut evals = self.sys.linear_device_count();
+        let mut bypassed = 0usize;
         let plan = self.sys.plan();
         let mut open_color: Option<(u32, u32)> = None;
         for next in 0..self.chunks.len() {
@@ -408,13 +438,14 @@ impl StampExecutor {
                     Err(_) => self.worker_dead.iter_mut().for_each(|d| *d = true),
                 }
             }
-            let devices = &plan.order[chunk.start as usize..chunk.end as usize];
+            let devices = &plan.nl_order[chunk.start as usize..chunk.end as usize];
             let out = match self.pending[next].take() {
                 Some(out) if !out.failed => out,
                 lost => {
                     // Worker lost: evaluate the chunk inline from the
                     // retained snapshot. Same devices, same inputs, same
-                    // order — the accumulated result stays bit-identical.
+                    // mask, same order — the accumulated result stays
+                    // bit-identical.
                     if !self.fallback_logged {
                         self.fallback_logged = true;
                         probe.emit(input.time, EventKind::WorkerLost { lane: self.faults.lane() });
@@ -423,19 +454,21 @@ impl StampExecutor {
                     let mut bufs = lost.map(|o| o.bufs).unwrap_or_default();
                     let t0 = Instant::now();
                     let ctx_ref: &CallCtx = self.ctx.as_deref().expect("snapshot retained");
-                    let limited = self.sys.eval_devices(
+                    self.sys.eval_devices(
                         &ctx_ref.input(),
                         &ctx_ref.x_iter,
                         &ctx_ref.junction,
                         devices,
+                        &ctx_ref.mask,
                         &mut bufs.mat,
                         &mut bufs.rhs,
                         &mut bufs.jct,
+                        &mut bufs.limited_devs,
                     );
                     // Inline evaluation runs on the master thread, so it
                     // belongs to the serial critical path, not worker time.
                     acc_ns += t0.elapsed().as_nanos() as u64;
-                    ChunkOut { chunk_id: next as u32, bufs, limited, eval_ns: 0, failed: false }
+                    ChunkOut { chunk_id: next as u32, bufs, eval_ns: 0, failed: false }
                 }
             };
             self.worker_busy[w] += out.eval_ns;
@@ -460,15 +493,17 @@ impl StampExecutor {
                     }
                 }
             }
-            self.sys.accumulate_devices(
+            let (ev, byp) = self.sys.accumulate_devices(
                 ws,
                 devices,
                 &out.bufs.mat,
                 &out.bufs.rhs,
                 &out.bufs.jct,
-                out.limited,
+                &out.bufs.limited_devs,
+                x_iter,
             );
-            evals += devices.len();
+            evals += ev;
+            bypassed += byp;
             acc_ns += t_acc.elapsed().as_nanos() as u64;
             self.spare[next] = Some(out.bufs);
         }
@@ -488,25 +523,27 @@ impl StampExecutor {
         let busiest = self.worker_busy.iter().copied().max().unwrap_or(0);
         stats.stamp_ns += t_call.elapsed().as_nanos();
         stats.stamp_modeled_ns += u128::from(busiest + serial_ns + acc_ns);
-        evals
+        StampResult { evals, bypassed, companion_hit }
     }
 
     /// Serial fallback once a worker has been lost: delegates to
-    /// [`MnaSystem::stamp`], the very path parallel stamping is bit-identical
-    /// to, so degradation never changes results.
+    /// [`MnaSystem::stamp_with`] with the *same* cache controls, the very
+    /// path parallel stamping is bit-identical to, so degradation never
+    /// changes results.
     fn stamp_serial(
         &mut self,
         ws: &mut MnaWorkspace,
         input: &StampInput<'_>,
         x_iter: &[f64],
+        ctl: &CacheCtl,
         stats: &mut SimStats,
-    ) -> usize {
+    ) -> StampResult {
         let t0 = Instant::now();
-        let evals = self.sys.stamp(ws, input, x_iter);
+        let res = self.sys.stamp_with(ws, input, x_iter, ctl);
         let ns = t0.elapsed().as_nanos();
         stats.stamp_ns += ns;
         stats.stamp_modeled_ns += ns;
-        evals
+        res
     }
 
     /// True once a worker has been lost and the executor has fallen back to

@@ -20,14 +20,26 @@ pub struct SimStats {
     pub steps_rejected_newton: usize,
     /// Total Newton iterations (each is one stamp + refactor + solve).
     pub newton_iterations: usize,
-    /// Full factorizations (with pivot search).
+    /// Numeric factorization passes of any kind (fresh pivot search *or*
+    /// frozen-pivot refactorization). Chord/modified-Newton iterations that
+    /// reuse an existing LU do not count here.
     pub factorizations: usize,
-    /// Fast refactorizations.
+    /// The subset of [`SimStats::factorizations`] that were fast
+    /// frozen-pivot refactorizations (no pivot search).
     pub refactorizations: usize,
     /// Triangular solves.
     pub solves: usize,
-    /// Individual device evaluations.
+    /// Individual device evaluations (bypassed devices are not counted).
     pub device_evals: usize,
+    /// Nonlinear device evaluations skipped by the SPICE3-style bypass
+    /// (cached stamp entries replayed instead).
+    pub bypass_hits: usize,
+    /// Newton iterations that reused the previous LU factors (chord /
+    /// modified-Newton steps) instead of factoring.
+    pub jacobian_reuses: usize,
+    /// Linear-stamp assemblies skipped because the step-size-keyed
+    /// companion cache matched.
+    pub companion_hits: usize,
     /// Wall-clock time spent, nanoseconds.
     pub wall_ns: u128,
     /// Wall-clock time spent inside `MnaSystem::stamp` (serial or parallel
@@ -54,8 +66,12 @@ impl SimStats {
         const FACTOR_COST: u64 = 40;
         const REFACTOR_COST: u64 = 12;
         const SOLVE_COST: u64 = 4;
+        // `refactorizations` is a subset of `factorizations`: charge the
+        // fresh-pivot passes at full cost and the frozen-pivot passes at the
+        // cheaper rate.
+        let fresh = (self.factorizations - self.refactorizations) as u64;
         self.device_evals as u64
-            + FACTOR_COST * self.factorizations as u64
+            + FACTOR_COST * fresh
             + REFACTOR_COST * self.refactorizations as u64
             + SOLVE_COST * self.solves as u64
     }
@@ -94,6 +110,9 @@ impl Add for SimStats {
             refactorizations: self.refactorizations + rhs.refactorizations,
             solves: self.solves + rhs.solves,
             device_evals: self.device_evals + rhs.device_evals,
+            bypass_hits: self.bypass_hits + rhs.bypass_hits,
+            jacobian_reuses: self.jacobian_reuses + rhs.jacobian_reuses,
+            companion_hits: self.companion_hits + rhs.companion_hits,
             wall_ns: self.wall_ns + rhs.wall_ns,
             stamp_ns: self.stamp_ns + rhs.stamp_ns,
             stamp_modeled_ns: self.stamp_modeled_ns + rhs.stamp_modeled_ns,
@@ -148,6 +167,26 @@ mod tests {
         let c = a + b;
         assert_eq!(c.stamp_ns, 150);
         assert_eq!(c.stamp_modeled_ns, 80);
+    }
+
+    #[test]
+    fn frozen_pivot_passes_are_charged_cheaper() {
+        // `refactorizations` is the frozen-pivot subset of `factorizations`.
+        let fresh = SimStats { factorizations: 2, ..SimStats::new() };
+        let frozen = SimStats { factorizations: 2, refactorizations: 2, ..SimStats::new() };
+        assert!(frozen.work_units() < fresh.work_units());
+    }
+
+    #[test]
+    fn caching_counters_accumulate() {
+        let a =
+            SimStats { bypass_hits: 5, jacobian_reuses: 2, companion_hits: 1, ..SimStats::new() };
+        let b =
+            SimStats { bypass_hits: 1, jacobian_reuses: 3, companion_hits: 4, ..SimStats::new() };
+        let c = a + b;
+        assert_eq!(c.bypass_hits, 6);
+        assert_eq!(c.jacobian_reuses, 5);
+        assert_eq!(c.companion_hits, 5);
     }
 
     #[test]

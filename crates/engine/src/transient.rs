@@ -480,6 +480,9 @@ impl PointSolver {
             let sc = state_coeffs(hw, t_new);
             self.sys.cap_currents_after(&sc, &outcome.x, &hw.xs[0], x_prev2, &hw.cap_currents)
         } else {
+            // The cached LU was computed along an abandoned Newton path:
+            // make chord reuse re-qualify through a fresh factorization.
+            self.cache.note_rejection();
             Vec::new()
         };
         stats.wall_ns += start.elapsed().as_nanos();

@@ -35,15 +35,20 @@ fn dc_input<'a>(zeros: &'a [f64], caps: &'a [f64], gshunt: f64) -> StampInput<'a
     }
 }
 
-/// Stamps the same two consecutive iterates serially and through an
-/// executor, asserting bitwise identity after each stamp (the second stamp
-/// exercises the junction-state handoff of the first).
+/// Stamps a sequence of iterates serially and through an executor with the
+/// device-bypass and companion caches enabled, asserting bitwise identity
+/// after each stamp. The sequence deliberately exercises the caches: later
+/// iterates repeat and then barely perturb an earlier one, so some stamps
+/// replay every nonlinear device from cache and some replay a mix.
 fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64, workers: usize) {
     let sys = Arc::new(MnaSystem::compile(&b.circuit).expect("compile"));
     let n = sys.n_unknowns();
     let zeros = vec![0.0; n];
     let caps = vec![0.0; sys.cap_state_count()];
     let input = dc_input(&zeros, &caps, gshunt);
+    // Pinned on (the CI caches-off leg flips the env defaults): bit-identity
+    // must hold with bypass and companion replay active.
+    let ctl = SimOptions::default().with_bypass(true).with_companion_cache(true).cache_ctl();
 
     let mut ws_ser = sys.new_workspace();
     let mut ws_par = sys.new_workspace();
@@ -53,12 +58,19 @@ fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64
     let probe = ProbeHandle::none();
     let mut stats = SimStats::new();
 
-    for step in 0..2 {
-        let x = iterate(n, seed + step as f64);
-        let evals_ser = sys.stamp(&mut ws_ser, &input, &x);
-        let evals_par = exec.stamp(&mut ws_par, &input, &x, &probe, &mut stats);
-        assert_eq!(evals_ser, evals_par, "{}: eval count", b.name);
+    let x0 = iterate(n, seed);
+    let x1 = iterate(n, seed + 1.0);
+    // Identical to x1: every valid nonlinear device bypasses.
+    let x2 = x1.clone();
+    // Mixed: even unknowns move within the bypass tolerance, odd ones far
+    // outside it.
+    let x3: Vec<f64> =
+        x1.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { 1e-9 } else { 1e-2 }).collect();
+    for (step, x) in [x0, x1, x2, x3].iter().enumerate() {
+        let res_ser = sys.stamp_with(&mut ws_ser, &input, x, &ctl);
+        let res_par = exec.stamp(&mut ws_par, &input, x, &ctl, &probe, &mut stats);
         let ctx = format!("{} step {step} workers {workers}", b.name);
+        assert_eq!(res_ser, res_par, "{ctx}: stamp result");
         assert_eq!(ws_ser.limited, ws_par.limited, "{ctx}: limited flag");
         for (i, (a, p)) in ws_ser.matrix.values().iter().zip(ws_par.matrix.values()).enumerate() {
             assert_eq!(a.to_bits(), p.to_bits(), "{ctx}: matrix value {i}: {a:e} vs {p:e}");
@@ -76,8 +88,12 @@ fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64
 /// asserts the accepted times and every solution vector are bit-identical.
 fn assert_waveforms_bit_identical(b: &generators::Benchmark, workers: usize) {
     let sys = Arc::new(MnaSystem::compile(&b.circuit).expect("compile"));
-    let serial = SimOptions::default().with_stamp_workers(0);
-    let par = SimOptions::default().with_stamp_workers(workers);
+    // Caches pinned on: degradation to serial must stay exact even while
+    // bypass and chord reuse are active.
+    let serial =
+        SimOptions::default().with_stamp_workers(0).with_bypass(true).with_chord_newton(true);
+    let par =
+        SimOptions::default().with_stamp_workers(workers).with_bypass(true).with_chord_newton(true);
     let r0 = run_transient_compiled(&sys, b.tstep, b.tstop, &serial).expect("serial run");
     let rw = run_transient_compiled(&sys, b.tstep, b.tstop, &par).expect("parallel run");
     assert_eq!(r0.times(), rw.times(), "{} x{workers}: accepted times differ", b.name);

@@ -180,6 +180,9 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
             EventKind::NewtonIter { .. }
             | EventKind::Factorization
             | EventKind::Refactorization
+            | EventKind::JacobianReuse
+            | EventKind::BypassedDevices { .. }
+            | EventKind::CompanionHit
             | EventKind::StepSizeChosen { .. }
             | EventKind::PointAccepted { .. } => {}
         }

@@ -78,10 +78,24 @@ pub enum EventKind {
         /// 1-based iteration index within the solve.
         iteration: u32,
     },
-    /// A full LU factorization with pivot search.
+    /// A numeric factorization pass of any kind (fresh pivot search or
+    /// frozen-pivot refactorization).
     Factorization,
-    /// A fast refactorization on the frozen pivot order.
+    /// A fast refactorization on the frozen pivot order (a subset of the
+    /// [`EventKind::Factorization`] passes — both events are emitted).
     Refactorization,
+    /// A chord/modified-Newton iteration reused the previous LU factors
+    /// without any numeric factorization pass.
+    JacobianReuse,
+    /// One stamp pass replayed `devices` nonlinear devices from their bypass
+    /// caches instead of re-evaluating the models.
+    BypassedDevices {
+        /// Devices bypassed in this stamp pass.
+        devices: u32,
+    },
+    /// The assembled linear matrix was replayed from the step-size-keyed
+    /// companion cache instead of being re-stamped.
+    CompanionHit,
     /// The LTE test rejected a candidate point.
     LteReject {
         /// Weighted error ratio (> 1).
@@ -158,6 +172,9 @@ impl EventKind {
             EventKind::NewtonIter { .. } => "newton_iter",
             EventKind::Factorization => "factorization",
             EventKind::Refactorization => "refactorization",
+            EventKind::JacobianReuse => "jacobian_reuse",
+            EventKind::BypassedDevices { .. } => "bypassed_devices",
+            EventKind::CompanionHit => "companion_hit",
             EventKind::LteReject { .. } => "lte_reject",
             EventKind::StepSizeChosen { .. } => "step_size_chosen",
             EventKind::PointAccepted { .. } => "point_accepted",
@@ -210,6 +227,9 @@ mod tests {
             EventKind::NewtonIter { iteration: 1 },
             EventKind::Factorization,
             EventKind::Refactorization,
+            EventKind::JacobianReuse,
+            EventKind::BypassedDevices { devices: 3 },
+            EventKind::CompanionHit,
             EventKind::LteReject { ratio: 2.0, h_retry: 0.5 },
             EventKind::StepSizeChosen { h: 1.0, ratio: 0.5 },
             EventKind::PointAccepted { h: 1.0 },

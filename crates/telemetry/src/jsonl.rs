@@ -37,7 +37,13 @@ pub fn event_to_json(ev: &Event) -> String {
         EventKind::NewtonIter { iteration } => {
             let _ = write!(s, ",\"iteration\":{iteration}");
         }
-        EventKind::Factorization | EventKind::Refactorization => {}
+        EventKind::Factorization
+        | EventKind::Refactorization
+        | EventKind::JacobianReuse
+        | EventKind::CompanionHit => {}
+        EventKind::BypassedDevices { devices } => {
+            let _ = write!(s, ",\"devices\":{devices}");
+        }
         EventKind::LteReject { ratio, h_retry } => {
             let _ = write!(
                 s,
@@ -149,6 +155,11 @@ pub fn event_from_json(text: &str, line: usize) -> Result<Event, JsonlError> {
         }
         "factorization" => EventKind::Factorization,
         "refactorization" => EventKind::Refactorization,
+        "jacobian_reuse" => EventKind::JacobianReuse,
+        "bypassed_devices" => {
+            EventKind::BypassedDevices { devices: field_u64(&v, "devices", line)? as u32 }
+        }
+        "companion_hit" => EventKind::CompanionHit,
         "lte_reject" => EventKind::LteReject {
             ratio: field_f64(&v, "ratio", line)?,
             h_retry: field_f64(&v, "h_retry", line)?,
@@ -216,6 +227,9 @@ mod tests {
             EventKind::NewtonIter { iteration: 1 },
             EventKind::Factorization,
             EventKind::Refactorization,
+            EventKind::JacobianReuse,
+            EventKind::BypassedDevices { devices: 9 },
+            EventKind::CompanionHit,
             EventKind::SolveEnd { iterations: 4, converged: true },
             EventKind::LteReject { ratio: 1.75, h_retry: 1.25e-9 },
             EventKind::StepSizeChosen { h: 3e-9, ratio: 0.4 },

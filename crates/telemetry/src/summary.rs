@@ -31,10 +31,18 @@ pub struct TelemetrySummary {
     pub points_accepted: u64,
     /// LTE rejections.
     pub lte_rejects: u64,
-    /// Full factorizations.
+    /// Numeric factorization passes of any kind.
     pub factorizations: u64,
-    /// Fast refactorizations.
+    /// Frozen-pivot refactorizations (a subset of `factorizations`).
     pub refactorizations: u64,
+    /// Chord/modified-Newton iterations that reused the previous LU factors.
+    pub jacobian_reuses: u64,
+    /// Nonlinear device evaluations skipped by the SPICE3-style bypass
+    /// (summed over `BypassedDevices` events).
+    pub bypassed_devices: u64,
+    /// Linear-stamp assemblies replayed from the step-size-keyed companion
+    /// cache.
+    pub companion_hits: u64,
     /// Backward leads committed.
     pub lead_accepted: u64,
     /// Backward leads discarded.
@@ -73,6 +81,9 @@ impl TelemetrySummary {
             lte_rejects: 0,
             factorizations: 0,
             refactorizations: 0,
+            jacobian_reuses: 0,
+            bypassed_devices: 0,
+            companion_hits: 0,
             lead_accepted: 0,
             lead_discarded: 0,
             speculation_accepted: 0,
@@ -125,6 +136,11 @@ impl TelemetrySummary {
                 EventKind::NewtonIter { .. } => {}
                 EventKind::Factorization => s.factorizations += 1,
                 EventKind::Refactorization => s.refactorizations += 1,
+                EventKind::JacobianReuse => s.jacobian_reuses += 1,
+                EventKind::BypassedDevices { devices } => {
+                    s.bypassed_devices += u64::from(devices);
+                }
+                EventKind::CompanionHit => s.companion_hits += 1,
                 EventKind::LteReject { .. } => s.lte_rejects += 1,
                 EventKind::StepSizeChosen { .. } => {}
                 EventKind::PointAccepted { h } => {
@@ -197,6 +213,13 @@ impl fmt::Display for TelemetrySummary {
             "  points {} accepted / {} lte-rejected; factor {} / refactor {}",
             self.points_accepted, self.lte_rejects, self.factorizations, self.refactorizations
         )?;
+        if self.jacobian_reuses > 0 || self.bypassed_devices > 0 || self.companion_hits > 0 {
+            writeln!(
+                f,
+                "  solver caches: {} jacobian reuses, {} bypassed device evals, {} companion hits",
+                self.jacobian_reuses, self.bypassed_devices, self.companion_hits
+            )?;
+        }
         writeln!(
             f,
             "  leads {}+/{}-; speculation {}+/{}-",
@@ -306,6 +329,24 @@ mod tests {
         // A fault-free stream prints no fault line.
         let clean = TelemetrySummary::from_events(&[]);
         assert!(!clean.to_string().contains("workers lost"));
+    }
+
+    #[test]
+    fn solver_cache_events_aggregate_and_print() {
+        let events = vec![
+            ev(1, 1, 0, EventKind::JacobianReuse),
+            ev(2, 1, 0, EventKind::BypassedDevices { devices: 7 }),
+            ev(3, 1, 0, EventKind::BypassedDevices { devices: 2 }),
+            ev(4, 1, 0, EventKind::CompanionHit),
+        ];
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.jacobian_reuses, 1);
+        assert_eq!(s.bypassed_devices, 9);
+        assert_eq!(s.companion_hits, 1);
+        assert!(s.to_string().contains("9 bypassed device evals"));
+        // A cache-free stream prints no solver-cache line.
+        let clean = TelemetrySummary::from_events(&[]);
+        assert!(!clean.to_string().contains("solver caches"));
     }
 
     #[test]

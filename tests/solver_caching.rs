@@ -1,0 +1,120 @@
+//! Solver-caching layers end to end: device bypass, chord Newton with LU
+//! reuse, and companion caching must speed the hot path up *without* moving
+//! the waveform beyond LTE-scale noise, and must compose with the fault
+//! ladder — a panic inside a bypassed-then-revalidated device still degrades
+//! to serial stamping bit-identically.
+
+use wavepipe::circuit::generators;
+use wavepipe::engine::{run_transient, FaultPlan, SimOptions, TransientResult};
+
+/// Knobs pinned explicitly: the CI caches-off leg flips the env defaults,
+/// and these tests must assert the same thing on every leg. The empty fault
+/// plan overrides `WAVEPIPE_FAULT_SEED`, keeping counter and bit-identity
+/// assertions deterministic on the chaos leg too.
+fn caches_off() -> SimOptions {
+    SimOptions::default()
+        .with_bypass(false)
+        .with_chord_newton(false)
+        .with_companion_cache(false)
+        .with_stamp_workers(0)
+        .with_faults(FaultPlan::new())
+}
+
+fn caches_on() -> SimOptions {
+    SimOptions::default()
+        .with_bypass(true)
+        .with_chord_newton(true)
+        .with_companion_cache(true)
+        .with_stamp_workers(0)
+        .with_faults(FaultPlan::new())
+}
+
+#[test]
+fn cached_waveform_stays_within_lte_scale_of_uncached() {
+    // Chord Newton converges linearly, so its final iterate carries an error
+    // bounded by the convergence tolerance rather than plain Newton's
+    // quadratically tiny one; bypass freezes device linearizations inside a
+    // voltage tolerance. Both effects must stay below the truncation-error
+    // scale the step controller already accepts.
+    for b in [generators::inverter_chain(8), generators::diode_rectifier()] {
+        let base = run_transient(&b.circuit, b.tstep, b.tstop, &caches_off())
+            .unwrap_or_else(|e| panic!("{} uncached: {e}", b.name));
+        let fast = run_transient(&b.circuit, b.tstep, b.tstop, &caches_on())
+            .unwrap_or_else(|e| panic!("{} cached: {e}", b.name));
+        for probe in &b.probes {
+            let u = base.unknown_of(probe).unwrap_or_else(|| panic!("probe {probe}"));
+            let dev = base.max_deviation(&fast, u);
+            // Relative to the probe's swing: sampling across two differently
+            // accepted grids turns tiny edge-timing shifts into millivolts on
+            // a rail-to-rail node, so the bound scales with the signal.
+            let tol = 5e-3 * base.peak(u).max(1.0);
+            assert!(
+                dev < tol,
+                "{} probe {probe}: deviation {dev:e} above LTE scale {tol:e}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn chord_newton_halves_factorizations_and_bypass_fires() {
+    // The acceptance criterion of the caching work: on an inverter chain the
+    // chord path must cut full factorization passes by at least 2x, and the
+    // bypass must find quiescent MOSFETs to skip.
+    let b = generators::inverter_chain(20);
+    let cold = run_transient(&b.circuit, b.tstep, b.tstop, &caches_off()).unwrap();
+    let warm = run_transient(&b.circuit, b.tstep, b.tstop, &caches_on()).unwrap();
+    let (sc, sw) = (cold.stats(), warm.stats());
+    assert_eq!(sc.jacobian_reuses, 0, "chord disabled must never reuse");
+    assert_eq!(sc.bypass_hits, 0, "bypass disabled must never skip");
+    assert!(sw.jacobian_reuses > 0, "chord enabled never reused a factorization");
+    assert!(sw.bypass_hits > 0, "bypass enabled never skipped a device");
+    assert!(sw.companion_hits > 0, "companion cache never hit on a repeated step size");
+    assert!(
+        sw.factorizations * 2 <= sc.factorizations,
+        "factorizations only dropped from {} to {}",
+        sc.factorizations,
+        sw.factorizations
+    );
+    // Cheaper in the abstract cost model too, not just by one counter.
+    assert!(sw.work_units() < sc.work_units(), "{} !< {}", sw.work_units(), sc.work_units());
+}
+
+#[test]
+fn counters_are_dark_when_knobs_are_off() {
+    let b = generators::diode_rectifier();
+    let res = run_transient(&b.circuit, b.tstep, b.tstop, &caches_off()).unwrap();
+    let s = res.stats();
+    assert_eq!(s.bypass_hits, 0);
+    assert_eq!(s.jacobian_reuses, 0);
+    assert_eq!(s.companion_hits, 0);
+}
+
+fn assert_bit_identical(a: &TransientResult, b: &TransientResult, what: &str) {
+    assert_eq!(a.times(), b.times(), "{what}: time grids differ");
+    for k in 0..a.len() {
+        assert_eq!(a.solution(k), b.solution(k), "{what}: solutions differ at point {k}");
+    }
+}
+
+#[test]
+fn stamp_worker_panic_with_bypass_active_still_degrades_identically() {
+    // PR3 ladder under the caching layers: a worker panic mid-run (after the
+    // caches have warmed up and devices have been bypassed and revalidated)
+    // breaks the executor permanently and all later stamps run serially. The
+    // bypass mask is computed on the master and device caches live in the
+    // workspace, so the degraded run must stay bit-identical to a serial run
+    // with the same knobs — on a MOSFET circuit where bypass actually fires.
+    let b = generators::inverter_chain(6);
+    let serial = run_transient(&b.circuit, b.tstep, b.tstop, &caches_on()).unwrap();
+    let faulted = run_transient(
+        &b.circuit,
+        b.tstep,
+        b.tstop,
+        &caches_on().with_stamp_workers(2).with_faults(FaultPlan::new().with_stamp_panic(0, 5)),
+    )
+    .unwrap();
+    assert!(serial.stats().bypass_hits > 0, "test premise: bypass must fire on this circuit");
+    assert_bit_identical(&serial, &faulted, "degraded cached stamping vs serial cached");
+}
