@@ -1,0 +1,20 @@
+//! `wavepipe-doctor` — run (or replay) an instrumented simulation and print
+//! the bottleneck report. All logic lives in [`wavepipe_bench::doctor`];
+//! this wrapper only parses `argv` and sets the exit code.
+
+fn main() {
+    let args = match wavepipe_bench::doctor::DoctorArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match wavepipe_bench::doctor::run_doctor(&args) {
+        Ok(report) => println!("{report}"),
+        Err(msg) => {
+            eprintln!("wavepipe-doctor: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `perf-gate` — CI performance-regression gate. Compares freshly emitted
+//! `BENCH_newton.json` / `BENCH_stamp.json` documents against the committed
+//! baselines on their ratio-type metrics (speedups), prints a delta table,
+//! and exits non-zero when any metric regressed beyond the tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf-gate --newton-baseline <file> --newton-fresh <file> \
+//!           --stamp-baseline <file>  --stamp-fresh <file> [--tolerance 0.15]
+//! ```
+
+use wavepipe_bench::perfgate::{gate, DEFAULT_TOLERANCE};
+
+fn required(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("perf-gate: missing required flag {flag} <file>");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut newton_baseline = None;
+    let mut newton_fresh = None;
+    let mut stamp_baseline = None;
+    let mut stamp_fresh = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--newton-baseline" => newton_baseline = args.next(),
+            "--newton-fresh" => newton_fresh = args.next(),
+            "--stamp-baseline" => stamp_baseline = args.next(),
+            "--stamp-fresh" => stamp_fresh = args.next(),
+            "--tolerance" => {
+                let t = args.next().and_then(|v| v.parse::<f64>().ok());
+                tolerance = t.unwrap_or_else(|| {
+                    eprintln!("perf-gate: --tolerance needs a number like 0.15");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("perf-gate: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let read = |name: &str, path: String| {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("perf-gate: cannot read {name} {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let nb = read("newton baseline", required("--newton-baseline", newton_baseline));
+    let nf = read("newton fresh", required("--newton-fresh", newton_fresh));
+    let sb = read("stamp baseline", required("--stamp-baseline", stamp_baseline));
+    let sf = read("stamp fresh", required("--stamp-fresh", stamp_fresh));
+
+    match gate(&nb, &nf, &sb, &sf, tolerance) {
+        Ok(report) => {
+            print!("{}", report.table());
+            if report.passed() {
+                println!("perf gate: PASS");
+            } else {
+                println!("perf gate: FAIL ({} regressed metrics)", report.failures().len());
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => {
+            eprintln!("perf-gate: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The `wavepipe-doctor` diagnostics harness: runs (or replays) a
+//! simulation with both the recording probe and the live metrics registry
+//! attached, then renders the bottleneck report.
+//!
+//! The report has two sections (see [`mod@wavepipe_telemetry::analyze`]): a
+//! **stable** section derived purely from event counts and metric counters
+//! (byte-reproducible across identical seeded runs at a fixed thread
+//! count — the determinism tests pin this), and a **timing** section
+//! derived from timestamps (varies run to run, suppressed by `--stable`).
+//!
+//! The binary (`cargo run -p wavepipe-bench --bin wavepipe-doctor`) is a
+//! thin wrapper over this module so the logic stays testable.
+
+use wavepipe_circuit::generators::{self, Benchmark};
+use wavepipe_core::WavePipeReport;
+use wavepipe_core::{run_wavepipe, MetricsHandle, MetricsRegistry, Scheme, WavePipeOptions};
+use wavepipe_telemetry::analyze::{analyze, class_cache_table, TraceAnalysis};
+use wavepipe_telemetry::metrics::Snapshot;
+use wavepipe_telemetry::{Event, ProbeHandle, RecordingProbe};
+
+/// Everything one instrumented run produces.
+#[derive(Debug)]
+pub struct DoctorRun {
+    /// The simulation report.
+    pub report: WavePipeReport,
+    /// The recorded telemetry event stream.
+    pub events: Vec<Event>,
+    /// End-of-run metrics snapshot.
+    pub snapshot: Snapshot,
+}
+
+/// Parses a circuit spec like `inverter_chain:120`, `power_grid:10,10` or
+/// `diode_rectifier` into a generated benchmark.
+///
+/// # Errors
+///
+/// Returns a message listing the known generators when the name or the
+/// argument list does not match.
+pub fn circuit_by_spec(spec: &str) -> Result<Benchmark, String> {
+    let (name, rest) = match spec.split_once(':') {
+        Some((n, r)) => (n, r),
+        None => (spec, ""),
+    };
+    let args: Vec<usize> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|a| a.trim().parse::<usize>().map_err(|_| format!("bad size `{a}` in `{spec}`")))
+            .collect::<Result<_, _>>()?
+    };
+    let one = |d: usize| args.first().copied().unwrap_or(d);
+    match (name, args.len()) {
+        ("rc_ladder", 0 | 1) => Ok(generators::rc_ladder(one(100))),
+        ("rlc_line", 0 | 1) => Ok(generators::rlc_line(one(40))),
+        ("power_grid", 0) => Ok(generators::power_grid(10, 10)),
+        ("power_grid", 2) => Ok(generators::power_grid(args[0], args[1])),
+        ("inverter_chain", 0 | 1) => Ok(generators::inverter_chain(one(120))),
+        ("ring_oscillator", 0 | 1) => Ok(generators::ring_oscillator(one(9))),
+        ("nand_chain", 0 | 1) => Ok(generators::nand_chain(one(40))),
+        ("amp_chain", 0 | 1) => Ok(generators::amp_chain(one(20))),
+        ("bjt_amp_chain", 0 | 1) => Ok(generators::bjt_amp_chain(one(20))),
+        ("diode_rectifier", 0) => Ok(generators::diode_rectifier()),
+        _ => Err(format!(
+            "unknown circuit spec `{spec}` — use one of rc_ladder[:n], rlc_line[:n], \
+             power_grid[:rows,cols], inverter_chain[:n], ring_oscillator[:n], nand_chain[:n], \
+             amp_chain[:n], bjt_amp_chain[:n], diode_rectifier"
+        )),
+    }
+}
+
+/// Parses a scheme name as used on bench command lines.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn scheme_by_name(name: &str) -> Result<Scheme, String> {
+    match name {
+        "serial" => Ok(Scheme::Serial),
+        "backward" => Ok(Scheme::Backward),
+        "forward" => Ok(Scheme::Forward),
+        "combined" => Ok(Scheme::Combined),
+        "adaptive" => Ok(Scheme::Adaptive),
+        other => Err(format!(
+            "unknown scheme `{other}` — use serial, backward, forward, combined or adaptive"
+        )),
+    }
+}
+
+/// Runs a benchmark with both the [`RecordingProbe`] and a fresh
+/// [`MetricsRegistry`] attached, returning report, events and the final
+/// metrics snapshot.
+///
+/// # Panics
+///
+/// Panics when the underlying simulation fails (bad circuit, DC failure) —
+/// the doctor has nothing to report on in that case.
+pub fn run_instrumented(b: &Benchmark, scheme: Scheme, threads: usize) -> DoctorRun {
+    let probe = RecordingProbe::shared();
+    let registry = MetricsRegistry::shared();
+    let opts = WavePipeOptions::new(scheme, threads)
+        .with_probe(ProbeHandle::new(probe.clone()))
+        .with_metrics(MetricsHandle::new(registry.clone()));
+    let report = run_wavepipe(&b.circuit, b.tstep, b.tstop, &opts)
+        .unwrap_or_else(|e| panic!("{}: doctor run {scheme} x{threads} failed: {e}", b.name));
+    DoctorRun { report, events: probe.events(), snapshot: registry.snapshot() }
+}
+
+/// Renders the doctor report as text: the stable section (event counts plus
+/// the per-class / per-cache tables from the metrics snapshot — all
+/// count-derived, so byte-reproducible), then — unless `stable_only` — the
+/// wall-clock timing section.
+pub fn doctor_text(
+    title: &str,
+    analysis: &TraceAnalysis,
+    snapshot: Option<&Snapshot>,
+    stable_only: bool,
+) -> String {
+    let mut out = analysis.stable_report(title);
+    if let Some(snap) = snapshot {
+        out.push_str(&class_cache_table(snap));
+    }
+    if !stable_only {
+        out.push_str(&analysis.timing_report());
+    }
+    out
+}
+
+/// Renders the doctor report as one JSON document:
+/// `{"title":..., "analysis":{...}, "metrics":{...}|null}`. With
+/// `stable_only` the analysis omits its timing object and the metrics
+/// snapshot is reduced to its count-derived sections (counters and labeled
+/// families) — gauges and series include wall-clock-derived values
+/// (`solve_us`, EMAs sampled at shutdown) that vary run to run.
+pub fn doctor_json(
+    title: &str,
+    analysis: &TraceAnalysis,
+    snapshot: Option<&Snapshot>,
+    stable_only: bool,
+) -> String {
+    let metrics = snapshot.map_or_else(
+        || "null".to_string(),
+        |s| if stable_only { stable_metrics_json(s) } else { s.to_json() },
+    );
+    format!(
+        "{{\"title\":\"{}\",\"analysis\":{},\"metrics\":{}}}",
+        wavepipe_telemetry::json::escape(title),
+        analysis.to_json(stable_only),
+        metrics
+    )
+}
+
+/// The byte-reproducible subset of a metrics snapshot: counters and labeled
+/// families only (all integer event counts).
+fn stable_metrics_json(s: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("},\"labeled\":[");
+    for (i, lv) in s.labeled.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"family\":\"{}\",\"label\":\"{}\",\"value\":{}}}",
+            wavepipe_telemetry::json::escape(lv.family),
+            wavepipe_telemetry::json::escape(&lv.label),
+            lv.value
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parsed command line of the `wavepipe-doctor` binary.
+#[derive(Debug)]
+pub struct DoctorArgs {
+    /// Circuit spec (`inverter_chain:120`); ignored with `--replay`.
+    pub spec: String,
+    /// Scheme to run.
+    pub scheme: Scheme,
+    /// Worker threads.
+    pub threads: usize,
+    /// Emit JSON instead of the text tables.
+    pub json: bool,
+    /// Suppress the timestamp-derived (unstable) section.
+    pub stable_only: bool,
+    /// Replay a recorded JSONL event stream instead of running live.
+    pub replay: Option<std::path::PathBuf>,
+}
+
+/// Usage string for the binary.
+pub const DOCTOR_USAGE: &str = "usage: wavepipe-doctor [<circuit-spec>] [options]\n\
+     \n\
+     circuit-spec       e.g. inverter_chain:120, power_grid:10,10 (default inverter_chain:120)\n\
+     --scheme <s>       serial | backward | forward | combined | adaptive (default combined)\n\
+     --threads <n>      worker threads (default 4)\n\
+     --json             emit one JSON document instead of text tables\n\
+     --stable           stable section only (byte-reproducible across identical runs)\n\
+     --replay <file>    analyze a recorded JSONL event stream instead of running\n";
+
+impl DoctorArgs {
+    /// Parses the binary's arguments (everything after argv\[0\]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut parsed = DoctorArgs {
+            spec: "inverter_chain:120".to_string(),
+            scheme: Scheme::Combined,
+            threads: 4,
+            json: false,
+            stable_only: false,
+            replay: None,
+        };
+        let mut spec_set = false;
+        let mut args = args;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scheme" => {
+                    let s = args.next().ok_or("--scheme needs a value")?;
+                    parsed.scheme = scheme_by_name(&s)?;
+                }
+                "--threads" => {
+                    let t = args.next().ok_or("--threads needs a value")?;
+                    parsed.threads = t.parse().map_err(|_| format!("bad thread count `{t}`"))?;
+                }
+                "--json" => parsed.json = true,
+                "--stable" => parsed.stable_only = true,
+                "--replay" => {
+                    let p = args.next().ok_or("--replay needs a file path")?;
+                    parsed.replay = Some(std::path::PathBuf::from(p));
+                }
+                "--help" | "-h" => return Err(DOCTOR_USAGE.to_string()),
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`\n{DOCTOR_USAGE}"))
+                }
+                spec if !spec_set => {
+                    circuit_by_spec(spec)?; // validate early for a clean error
+                    parsed.spec = spec.to_string();
+                    spec_set = true;
+                }
+                extra => return Err(format!("unexpected argument `{extra}`\n{DOCTOR_USAGE}")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The deterministic report title for this invocation.
+    pub fn title(&self) -> String {
+        match &self.replay {
+            Some(p) => format!("replay {}", p.display()),
+            None => format!("{}, {} x{}", self.spec, self.scheme, self.threads),
+        }
+    }
+}
+
+/// Executes a parsed invocation end to end and returns the rendered report.
+///
+/// # Errors
+///
+/// Returns a message when a replay file cannot be read or parsed.
+pub fn run_doctor(args: &DoctorArgs) -> Result<String, String> {
+    let title = args.title();
+    let (analysis, snapshot) = match &args.replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let events = wavepipe_telemetry::jsonl::parse_jsonl(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            (analyze(&events), None)
+        }
+        None => {
+            let b = circuit_by_spec(&args.spec)?;
+            let run = run_instrumented(&b, args.scheme, args.threads);
+            (analyze(&run.events), Some(run.snapshot))
+        }
+    };
+    Ok(if args.json {
+        doctor_json(&title, &analysis, snapshot.as_ref(), args.stable_only)
+    } else {
+        doctor_text(&title, &analysis, snapshot.as_ref(), args.stable_only)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> impl Iterator<Item = String> {
+        parts.iter().map(ToString::to_string).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn specs_parse_with_and_without_sizes() {
+        assert_eq!(circuit_by_spec("rc_ladder:12").unwrap().name, "rc_ladder(12)");
+        assert_eq!(circuit_by_spec("power_grid:3,4").unwrap().name, "power_grid(3x4)");
+        assert!(circuit_by_spec("diode_rectifier").is_ok());
+        assert!(circuit_by_spec("power_grid:3").is_err());
+        assert!(circuit_by_spec("no_such_circuit").is_err());
+        assert!(circuit_by_spec("rc_ladder:abc").is_err());
+    }
+
+    #[test]
+    fn args_parse_flags_and_reject_junk() {
+        let a = DoctorArgs::parse(argv(&[
+            "rc_ladder:6",
+            "--scheme",
+            "backward",
+            "--threads",
+            "2",
+            "--stable",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(a.spec, "rc_ladder:6");
+        assert_eq!(a.scheme, wavepipe_core::Scheme::Backward);
+        assert_eq!(a.threads, 2);
+        assert!(a.stable_only && a.json);
+        assert_eq!(a.title(), "rc_ladder:6, backward x2");
+        assert!(DoctorArgs::parse(argv(&["--scheme", "sideways"])).is_err());
+        assert!(DoctorArgs::parse(argv(&["--no-such-flag"])).is_err());
+        assert!(DoctorArgs::parse(argv(&["rc_ladder:6", "extra"])).is_err());
+    }
+
+    #[test]
+    fn instrumented_run_populates_events_and_metrics() {
+        let b = generators::rc_ladder(6);
+        let run = run_instrumented(&b, Scheme::Backward, 2);
+        assert!(run.report.result.len() > 5);
+        assert!(!run.events.is_empty());
+        assert!(run.snapshot.counter("points_accepted") > 0);
+        assert!(run.snapshot.counter("solves") > 0);
+        let a = analyze(&run.events);
+        assert_eq!(a.counts.points_accepted, run.snapshot.counter("points_accepted"));
+    }
+
+    #[test]
+    fn report_sections_respect_stable_flag() {
+        let b = generators::rc_ladder(6);
+        let run = run_instrumented(&b, Scheme::Backward, 2);
+        let a = analyze(&run.events);
+        let stable = doctor_text("t", &a, Some(&run.snapshot), true);
+        assert!(stable.contains("== stable"));
+        assert!(!stable.contains("== timing"));
+        let full = doctor_text("t", &a, Some(&run.snapshot), false);
+        assert!(full.contains("== timing"));
+        let json_doc = doctor_json("t", &a, Some(&run.snapshot), true);
+        let parsed = wavepipe_telemetry::json::parse(&json_doc).expect("doctor json parses");
+        assert!(parsed.get("analysis").is_some());
+        assert!(parsed.get("metrics").is_some());
+    }
+
+    #[test]
+    fn replay_round_trips_through_jsonl() {
+        let b = generators::rc_ladder(6);
+        let run = run_instrumented(&b, Scheme::Backward, 2);
+        let mut buf = Vec::new();
+        wavepipe_telemetry::jsonl::write_jsonl(&run.events, &mut buf).unwrap();
+        let dir = std::env::temp_dir().join("wavepipe_doctor_replay_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, &buf).unwrap();
+        let args = DoctorArgs {
+            spec: String::new(),
+            scheme: Scheme::Backward,
+            threads: 2,
+            json: false,
+            stable_only: true,
+            replay: Some(path.clone()),
+        };
+        let live = analyze(&run.events);
+        let replayed = run_doctor(&args).unwrap();
+        assert_eq!(replayed, doctor_text(&args.title(), &live, None, true));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -9,6 +9,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod doctor;
+pub mod perfgate;
+
 use std::fmt::Write as _;
 use wavepipe_circuit::generators::{self, Benchmark};
 use wavepipe_core::{run_wavepipe, verify, Scheme, WavePipeOptions, WavePipeReport};

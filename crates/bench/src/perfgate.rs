@@ -1,0 +1,299 @@
+//! CI performance-regression gate over the committed bench baselines.
+//!
+//! The `newton_path` and `stamp` binaries emit `BENCH_newton.json` /
+//! `BENCH_stamp.json`; the committed copies at the repo root are the
+//! baseline. The gate re-runs the benches, extracts the *ratio-type*
+//! metrics (speedups — wall-millisecond columns vary with host load, but a
+//! speedup is a same-host ratio and stays comparable), and fails when any
+//! drops below `1 - tolerance` of its baseline. Improvements never fail the
+//! gate; they only show up in the delta table as candidates for a baseline
+//! refresh.
+
+use std::fmt::Write as _;
+use wavepipe_telemetry::json::{self, JsonValue};
+
+/// Default relative tolerance: a metric may lose up to 15% before failing.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One comparable metric extracted from a bench JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable identifier, e.g. `newton/inverter_chain(120)/speedup`.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+}
+
+impl Metric {
+    /// Relative change, `fresh / baseline - 1` (negative = regression).
+    pub fn delta(&self) -> f64 {
+        if self.baseline == 0.0 {
+            return 0.0;
+        }
+        self.fresh / self.baseline - 1.0
+    }
+
+    /// Whether this metric regressed beyond the tolerance.
+    pub fn failed(&self, tolerance: f64) -> bool {
+        self.delta() < -tolerance
+    }
+}
+
+/// Extracts the speedup metrics from a `BENCH_newton.json` document
+/// (an array of per-circuit rows).
+///
+/// # Errors
+///
+/// Returns a message when the document does not parse or lacks the
+/// expected fields.
+pub fn newton_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = json::parse(doc).map_err(|e| format!("BENCH_newton.json: {e}"))?;
+    let rows = v.as_array().ok_or("BENCH_newton.json: expected a top-level array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("BENCH_newton.json: row without name")?;
+        let speedup = row
+            .get("speedup")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_newton.json: {name} lacks speedup"))?;
+        out.push((format!("newton/{name}/speedup"), speedup));
+    }
+    Ok(out)
+}
+
+/// Extracts the per-worker-count newton speedups from a `BENCH_stamp.json`
+/// document (`{circuit: [{workers, newton_speedup, ...}]}`).
+///
+/// # Errors
+///
+/// Returns a message when the document does not parse or lacks the
+/// expected fields.
+pub fn stamp_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = json::parse(doc).map_err(|e| format!("BENCH_stamp.json: {e}"))?;
+    let JsonValue::Obj(groups) = &v else {
+        return Err("BENCH_stamp.json: expected a top-level object".to_string());
+    };
+    let mut out = Vec::new();
+    for (circuit, points) in groups {
+        let points =
+            points.as_array().ok_or_else(|| format!("BENCH_stamp.json: {circuit} not an array"))?;
+        for p in points {
+            let workers = p
+                .get("workers")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("BENCH_stamp.json: {circuit} point without workers"))?;
+            let s = p
+                .get("newton_speedup")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("BENCH_stamp.json: {circuit} lacks newton_speedup"))?;
+            // workers=0 is the serial anchor (speedup identically 1).
+            if workers > 0.0 {
+                out.push((format!("stamp/{circuit}/w{workers}/newton_speedup"), s));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Pairs baseline and fresh metric lists by key. Keys present on only one
+/// side are reported (a renamed circuit must fail loudly, not vanish).
+///
+/// # Errors
+///
+/// Returns a message listing unmatched keys.
+pub fn pair(baseline: &[(String, f64)], fresh: &[(String, f64)]) -> Result<Vec<Metric>, String> {
+    let fresh_map: std::collections::BTreeMap<&str, f64> =
+        fresh.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let base_keys: std::collections::BTreeSet<&str> =
+        baseline.iter().map(|(k, _)| k.as_str()).collect();
+    let mut missing: Vec<&str> = Vec::new();
+    let mut out = Vec::new();
+    for (key, b) in baseline {
+        match fresh_map.get(key.as_str()) {
+            Some(&f) => out.push(Metric { key: key.clone(), baseline: *b, fresh: f }),
+            None => missing.push(key),
+        }
+    }
+    let extra: Vec<&str> =
+        fresh.iter().map(|(k, _)| k.as_str()).filter(|k| !base_keys.contains(k)).collect();
+    if !missing.is_empty() || !extra.is_empty() {
+        return Err(format!(
+            "metric sets diverge — missing from fresh run: {missing:?}; \
+             not in baseline: {extra:?} (refresh the committed BENCH_*.json)"
+        ));
+    }
+    Ok(out)
+}
+
+/// The gate verdict: the rendered delta table plus pass/fail.
+#[derive(Debug)]
+pub struct GateReport {
+    /// All compared metrics.
+    pub metrics: Vec<Metric>,
+    /// Tolerance used.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// Compares paired metrics under a tolerance.
+    pub fn new(metrics: Vec<Metric>, tolerance: f64) -> Self {
+        GateReport { metrics, tolerance }
+    }
+
+    /// The metrics that regressed beyond the tolerance.
+    pub fn failures(&self) -> Vec<&Metric> {
+        self.metrics.iter().filter(|m| m.failed(self.tolerance)).collect()
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Human-readable delta table, worst regression first.
+    pub fn table(&self) -> String {
+        let mut rows: Vec<&Metric> = self.metrics.iter().collect();
+        rows.sort_by(|a, b| a.delta().partial_cmp(&b.delta()).unwrap_or(std::cmp::Ordering::Equal));
+        let width = rows.iter().map(|m| m.key.len()).max().unwrap_or(6).max(6);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf gate (tolerance -{:.0}%): {} metrics, {} regressed",
+            self.tolerance * 100.0,
+            self.metrics.len(),
+            self.failures().len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>9}  {:>9}  {:>8}  verdict",
+            "metric", "base", "fresh", "delta"
+        );
+        for m in rows {
+            let verdict = if m.failed(self.tolerance) {
+                "FAIL"
+            } else if m.delta() >= 0.0 {
+                "ok +"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>9.3}  {:>9.3}  {:>7.1}%  {}",
+                m.key,
+                m.baseline,
+                m.fresh,
+                m.delta() * 100.0,
+                verdict
+            );
+        }
+        out
+    }
+}
+
+/// Runs the full gate over baseline/fresh document pairs.
+///
+/// # Errors
+///
+/// Returns a message when a document is malformed or the metric sets
+/// diverge — both are gate failures distinct from a perf regression.
+pub fn gate(
+    newton_baseline: &str,
+    newton_fresh: &str,
+    stamp_baseline: &str,
+    stamp_fresh: &str,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    let mut base = newton_metrics(newton_baseline)?;
+    base.extend(stamp_metrics(stamp_baseline)?);
+    let mut fresh = newton_metrics(newton_fresh)?;
+    fresh.extend(stamp_metrics(stamp_fresh)?);
+    Ok(GateReport::new(pair(&base, &fresh)?, tolerance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEWTON: &str = r#"[
+      {"name":"a","speedup":1.6,"off_ms":10.0,"on_ms":6.0},
+      {"name":"b","speedup":1.3,"off_ms":20.0,"on_ms":15.0}
+    ]"#;
+    const STAMP: &str = r#"{
+      "a": [
+        {"workers":0,"newton_speedup":1.0,"stamp_ms":5.0},
+        {"workers":2,"newton_speedup":1.2,"stamp_ms":4.0}
+      ]
+    }"#;
+
+    fn scaled_newton(factor: f64) -> String {
+        format!(
+            r#"[{{"name":"a","speedup":{},"off_ms":10.0,"on_ms":6.0}},
+                {{"name":"b","speedup":{},"off_ms":20.0,"on_ms":15.0}}]"#,
+            1.6 * factor,
+            1.3 * factor
+        )
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let r = gate(NEWTON, NEWTON, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        assert!(r.passed(), "{}", r.table());
+        assert_eq!(r.metrics.len(), 3); // 2 newton + 1 non-serial stamp point
+    }
+
+    #[test]
+    fn injected_twenty_percent_slowdown_fails() {
+        // The acceptance scenario: a 20% speedup loss must trip a 15% gate.
+        let slow = scaled_newton(0.8);
+        let r = gate(NEWTON, &slow, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        assert!(!r.passed());
+        assert_eq!(r.failures().len(), 2);
+        let table = r.table();
+        assert!(table.contains("FAIL"), "{table}");
+        assert!(table.contains("newton/a/speedup"), "{table}");
+        assert!(table.contains("-20.0%"), "{table}");
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let slight = scaled_newton(0.9); // -10% on a 15% gate
+        let r = gate(NEWTON, &slight, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        assert!(r.passed(), "{}", r.table());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let faster = scaled_newton(1.5);
+        let r = gate(NEWTON, &faster, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        assert!(r.passed(), "{}", r.table());
+        assert!(r.table().contains("ok +"));
+    }
+
+    #[test]
+    fn diverging_metric_sets_are_an_error() {
+        let renamed = NEWTON.replace("\"a\"", "\"renamed\"");
+        let err = gate(NEWTON, &renamed, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("newton/a/speedup"), "{err}");
+        assert!(err.contains("renamed"), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_an_error() {
+        assert!(newton_metrics("{not json").is_err());
+        assert!(newton_metrics("{}").is_err());
+        assert!(stamp_metrics("[]").is_err());
+        assert!(newton_metrics(r#"[{"name":"x"}]"#).is_err());
+    }
+
+    #[test]
+    fn serial_anchor_points_are_skipped() {
+        let ms = stamp_metrics(STAMP).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].0, "stamp/a/w2/newton_speedup");
+    }
+}

@@ -20,7 +20,7 @@ use crate::pipeline::Driver;
 use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::Result;
-use wavepipe_telemetry::EventKind;
+use wavepipe_telemetry::{EventKind, Family};
 
 /// How strongly new rounds update the efficiency estimate.
 const EMA_ALPHA: f64 = 0.25;
@@ -74,6 +74,8 @@ pub fn run_adaptive_recoverable(
         // Normally play the winner; on probe rounds, play the loser.
         let use_forward = forward_better != probe;
         drv.wp.sim.probe.emit(drv.hw.t(), EventKind::AdaptiveChoice { forward: use_forward });
+        let choice = if use_forward { "adaptive_forward" } else { "adaptive_backward" };
+        drv.wp.sim.metrics.add_labeled(Family::RoundsByScheme, choice, 1);
 
         let w = drv.round_width(width);
         let cw0 = drv.critical_work;

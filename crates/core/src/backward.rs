@@ -29,7 +29,7 @@ use crate::pipeline::{drive, usable_prefix, Commit, Driver, Task};
 use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::Result;
-use wavepipe_telemetry::{DiscardReason, EventKind};
+use wavepipe_telemetry::{Counter, DiscardReason, EventKind};
 
 /// Runs a backward-pipelined transient analysis.
 ///
@@ -100,6 +100,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                     drv.lead_accepted += 1;
                     drv.note_lead(true);
                     wp.sim.probe.emit(sol.t, EventKind::LeadAccepted);
+                    wp.sim.metrics.inc(Counter::LeadAccepted);
                 }
                 drv.h = h_next;
             }
@@ -113,6 +114,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                         sol.t,
                         EventKind::LeadDiscarded { reason: DiscardReason::LteRejected },
                     );
+                    wp.sim.metrics.inc(Counter::LeadDiscarded);
                     // The accepted prefix stands. The failed lead's retry
                     // proposal is relative to its larger stride, so it must
                     // not override a smaller base proposal.
@@ -130,6 +132,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                         sol.t,
                         EventKind::LeadDiscarded { reason: DiscardReason::NewtonRejected },
                     );
+                    wp.sim.metrics.inc(Counter::LeadDiscarded);
                 }
                 break;
             }

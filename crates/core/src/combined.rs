@@ -13,7 +13,7 @@ use crate::pipeline::{drive, usable_prefix, Commit, Driver, Task};
 use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::Result;
-use wavepipe_telemetry::{DiscardReason, EventKind};
+use wavepipe_telemetry::{Counter, DiscardReason, EventKind};
 
 /// Runs the combined backward+forward pipelined transient analysis.
 ///
@@ -124,6 +124,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                     if i > 0 {
                         drv.lead_accepted += 1;
                         wp.sim.probe.emit(sol.t, EventKind::LeadAccepted);
+                        wp.sim.metrics.inc(Counter::LeadAccepted);
                     }
                     drv.h = h_next;
                 }
@@ -137,6 +138,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                             sol.t,
                             EventKind::LeadDiscarded { reason: DiscardReason::LteRejected },
                         );
+                        wp.sim.metrics.inc(Counter::LeadDiscarded);
                         drv.h = drv.h.min(h_retry).max(drv.hmin);
                     }
                     break;
@@ -151,6 +153,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                             sol.t,
                             EventKind::LeadDiscarded { reason: DiscardReason::NewtonRejected },
                         );
+                        wp.sim.metrics.inc(Counter::LeadDiscarded);
                     }
                     break;
                 }
@@ -177,6 +180,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                     Commit::Accepted { h_next } => {
                         drv.spec_accepted += 1;
                         wp.sim.probe.emit(refined.t, EventKind::SpeculationAccepted);
+                        wp.sim.metrics.inc(Counter::SpeculationAccepted);
                         drv.h = h_next;
                         committed += 1;
                     }
@@ -187,6 +191,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                             refined.t,
                             EventKind::SpeculationDiscarded { reason: DiscardReason::LteRejected },
                         );
+                        wp.sim.metrics.inc(Counter::SpeculationDiscarded);
                         drv.h = h_retry;
                         committed_all = false;
                     }
@@ -198,6 +203,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                                 reason: DiscardReason::NewtonRejected,
                             },
                         );
+                        wp.sim.metrics.inc(Counter::SpeculationDiscarded);
                         committed_all = false;
                     }
                 }
@@ -211,6 +217,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                     DiscardReason::PredictionFar
                 };
                 wp.sim.probe.emit(spec.t, EventKind::SpeculationDiscarded { reason });
+                wp.sim.metrics.inc(Counter::SpeculationDiscarded);
                 committed_all = false;
             }
         }

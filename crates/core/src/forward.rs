@@ -25,7 +25,7 @@ use crate::report::{RunOutcome, WavePipeReport};
 use wavepipe_circuit::Circuit;
 use wavepipe_engine::{HistoryWindow, PointSolution, Result};
 use wavepipe_sparse::vector::wrms_norm;
-use wavepipe_telemetry::{DiscardReason, EventKind};
+use wavepipe_telemetry::{Counter, DiscardReason, EventKind};
 
 /// Emits one [`EventKind::SpeculationDiscarded`] for the broken link `i` with
 /// its own `reason`, plus [`DiscardReason::ChainBroken`] for every deeper link
@@ -39,6 +39,7 @@ fn emit_chain_discard(drv: &Driver, solutions: &[PointSolution], i: usize, reaso
             .probe
             .emit(sol.t, EventKind::SpeculationDiscarded { reason: DiscardReason::ChainBroken });
     }
+    drv.wp.sim.metrics.add(Counter::SpeculationDiscarded, (solutions.len() - i) as u64);
 }
 
 /// Builds the speculative window for the next chain link: the current
@@ -204,6 +205,7 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 Commit::Accepted { h_next } => {
                     drv.spec_accepted += 1;
                     wp.sim.probe.emit(refined.t, EventKind::SpeculationAccepted);
+                    wp.sim.metrics.inc(Counter::SpeculationAccepted);
                     committed += 1;
                     drv.h = h_next;
                     truth = refined.x.clone();

@@ -163,6 +163,15 @@ impl WavePipeOptions {
         self
     }
 
+    /// Attaches a live metrics registry to the embedded engine options.
+    /// Every lane publishes into the same registry (the handle is retagged
+    /// per lane), so a snapshot taken mid-run sees the whole pipeline.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: wavepipe_engine::MetricsHandle) -> Self {
+        self.sim.metrics = metrics;
+        self
+    }
+
     /// Sets the forward-pipelining acceptance pre-filter factor.
     #[must_use]
     pub fn with_fp_accept_factor(mut self, factor: f64) -> Self {

@@ -13,7 +13,19 @@ use wavepipe_engine::{
     EngineError, HistoryWindow, MnaSystem, PointSolution, PointSolver, Result, SimOptions,
     SimStats, TransientResult,
 };
-use wavepipe_telemetry::{DiscardReason, EventKind};
+use wavepipe_telemetry::{Counter, DiscardReason, EventKind, Family, Gauge, Series};
+
+/// Static label for a scheme, for metric families (avoids a per-point
+/// `to_string` allocation on the accept path).
+pub(crate) fn scheme_label(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Serial => "serial",
+        Scheme::Backward => "backward",
+        Scheme::Forward => "forward",
+        Scheme::Combined => "combined",
+        Scheme::Adaptive => "adaptive",
+    }
+}
 
 /// Renders a `catch_unwind` payload as a human-readable cause string.
 pub(crate) fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -111,6 +123,7 @@ impl WorkerPool {
         let lane = i as u32 + 1;
         let mut worker_sim = self.lane_sim.clone();
         worker_sim.probe = self.lane_sim.probe.with_lane(lane);
+        worker_sim.metrics = self.lane_sim.metrics.with_lane(lane);
         worker_sim.faults = self.lane_sim.faults.with_lane(lane);
         let mut solver = PointSolver::new(Arc::clone(&self.sys), worker_sim);
         let handle = std::thread::spawn(move || {
@@ -431,6 +444,7 @@ impl Driver {
         if self.pool.len() > 0 && self.pool.alive() == 0 && !self.serial_fallback_emitted {
             self.serial_fallback_emitted = true;
             self.wp.sim.probe.emit(self.hw.t(), EventKind::FallbackSerial);
+            self.wp.sim.metrics.inc(Counter::SerialFallbacks);
         }
         Ok(out
             .into_iter()
@@ -451,6 +465,7 @@ impl Driver {
         self.workers_lost += 1;
         let lane = w as u32 + 1;
         self.wp.sim.probe.with_lane(lane).emit(t, EventKind::WorkerLost { lane });
+        self.wp.sim.metrics.inc(Counter::WorkersLost);
     }
 
     /// Runs a solve on the coordinating thread's solver with panic isolation:
@@ -581,6 +596,14 @@ impl Driver {
 
     fn accept(&mut self, sol: &PointSolution) {
         self.wp.sim.probe.emit(sol.t, EventKind::PointAccepted { h: sol.coeffs.h });
+        let m = &self.wp.sim.metrics;
+        if m.enabled() {
+            m.inc(Counter::PointsAccepted);
+            m.add_lane(Family::PointsByLane, 1);
+            m.add_labeled(Family::PointsByScheme, scheme_label(self.wp.scheme), 1);
+            m.observe(Series::StepSize, sol.coeffs.h);
+            m.set_gauge(Gauge::CurrentH, sol.coeffs.h);
+        }
         self.hw.accept(sol);
         self.result.push(sol.t, &sol.x);
         self.total.steps_accepted += 1;
@@ -612,6 +635,12 @@ impl Driver {
         self.critical_work += max_work;
         self.critical_ns += max_ns;
         self.rounds += 1;
+        let m = &self.wp.sim.metrics;
+        if m.enabled() {
+            m.inc(Counter::Rounds);
+            m.add_labeled(Family::RoundsByScheme, scheme_label(self.wp.scheme), 1);
+            m.set_gauge(Gauge::RoundWidth, task_stats.len() as f64);
+        }
     }
 
     /// Adds inherently sequential work (speculation refinement, serial
@@ -693,6 +722,7 @@ impl Driver {
     /// (trapezoidal ringing / noise-dominated divided differences).
     pub fn base_lte_reject(&mut self, h_attempt: f64, h_retry: f64) {
         self.total.steps_rejected_lte += 1;
+        self.wp.sim.metrics.inc(Counter::LteRejects);
         self.lte_reject_streak += 1;
         let crawling = h_attempt < self.hmin * 1e3;
         if self.lte_reject_streak >= 3 || crawling {
@@ -714,6 +744,11 @@ impl Driver {
         } else if self.lead_ema < 0.25 {
             self.deep_mode = false;
         }
+        let m = &self.wp.sim.metrics;
+        if m.enabled() {
+            m.set_gauge(Gauge::LeadAcceptEma, self.lead_ema);
+            m.set_gauge(Gauge::DeepMode, if self.deep_mode { 1.0 } else { 0.0 });
+        }
     }
 
     /// Whether sustained lead success currently justifies deep ladders and
@@ -730,6 +765,7 @@ impl Driver {
     /// `hmin`.
     pub fn newton_backoff(&mut self, h_attempt: f64) -> Result<()> {
         self.total.steps_rejected_newton += 1;
+        self.wp.sim.metrics.inc(Counter::NewtonRejects);
         self.h = h_attempt * self.wp.sim.nr_shrink;
         if self.h < self.hmin {
             return Err(EngineError::TimestepTooSmall {
@@ -811,8 +847,10 @@ pub(crate) fn usable_prefix(
 
 fn emit_discard(drv: &Driver, t: f64, slot: usize, spec_from: usize, reason: DiscardReason) {
     let kind = if slot >= spec_from {
+        drv.wp.sim.metrics.inc(Counter::SpeculationDiscarded);
         EventKind::SpeculationDiscarded { reason }
     } else {
+        drv.wp.sim.metrics.inc(Counter::LeadDiscarded);
         EventKind::LeadDiscarded { reason }
     };
     drv.wp.sim.probe.emit(t, kind);

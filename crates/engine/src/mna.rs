@@ -131,6 +131,23 @@ impl Dev {
         matches!(self, Dev::Diode { .. } | Dev::Mos { .. } | Dev::Bjt { .. } | Dev::Jcap { .. })
     }
 
+    /// Stable device-class label for per-class metrics families.
+    pub(crate) fn class_name(&self) -> &'static str {
+        match self {
+            Dev::Conductance { .. } => "resistor",
+            Dev::Cap { .. } => "cap",
+            Dev::Jcap { .. } => "jcap",
+            Dev::Ind { .. } => "ind",
+            Dev::Vsrc { .. } => "vsrc",
+            Dev::Isrc { .. } => "isrc",
+            Dev::Diode { .. } => "diode",
+            Dev::Mos { .. } => "mos",
+            Dev::Bjt { .. } => "bjt",
+            Dev::Vcvs { .. } => "vcvs",
+            Dev::Vccs { .. } => "vccs",
+        }
+    }
+
     /// Appends the controlling terminal unknowns of a *bypassable* device
     /// (ground encoded as `u32::MAX`) and reports whether the device is
     /// bypassable at all. `Jcap` is deliberately not bypassable: its stamp
@@ -823,6 +840,42 @@ impl MnaSystem {
                 lin_key: None,
                 lin_mat: vec![0.0; self.pattern.nnz()],
             },
+        }
+    }
+
+    /// Number of nonlinear devices (the bypass-eligible population).
+    pub fn nonlinear_device_count(&self) -> usize {
+        self.nl_elem.len()
+    }
+
+    /// Publishes per-device-class evaluation / bypass tallies for one stamp
+    /// pass into a metrics registry, reading the bypass mask the pass just
+    /// computed. Purely observational — called by the Newton loop only when
+    /// metrics are enabled, never on the stamp hot path itself. Tallies are
+    /// accumulated locally first so the registry is touched once per class,
+    /// not once per device.
+    pub(crate) fn publish_class_metrics(
+        &self,
+        mask: &[bool],
+        metrics: &wavepipe_telemetry::MetricsHandle,
+    ) {
+        use wavepipe_telemetry::Family;
+        let mut evals: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        let mut bypassed = evals.clone();
+        for &d in &self.nl_elem {
+            let class = self.devices[d as usize].class_name();
+            if mask.get(d as usize).copied().unwrap_or(false) {
+                *bypassed.entry(class).or_insert(0) += 1;
+            } else {
+                *evals.entry(class).or_insert(0) += 1;
+            }
+        }
+        for (class, n) in evals {
+            metrics.add_labeled(Family::EvalsByClass, class, n);
+        }
+        for (class, n) in bypassed {
+            metrics.add_labeled(Family::BypassByClass, class, n);
         }
     }
 

@@ -7,7 +7,7 @@ use crate::parstamp::StampExecutor;
 use crate::stats::SimStats;
 use std::time::Instant;
 use wavepipe_sparse::{LuOptions, SparseError, SparseLu};
-use wavepipe_telemetry::EventKind;
+use wavepipe_telemetry::{Counter, EventKind, Family};
 
 /// Typed replacement for the old `expect("factorization present")`: the LU
 /// option is populated on every path that reaches a solve, so hitting this is
@@ -220,8 +220,9 @@ pub fn newton_solve(
         opts.check_budget(input.time)?;
         stats.newton_iterations += 1;
         opts.probe.emit(input.time, EventKind::NewtonIter { iteration: it as u32 });
+        opts.metrics.inc(Counter::NewtonIterations);
         let sres = match exec.as_deref_mut() {
-            Some(e) => e.stamp(ws, input, &x, &ctl, &opts.probe, stats),
+            Some(e) => e.stamp(ws, input, &x, &ctl, &opts.probe, &opts.metrics, stats),
             None => {
                 let t0 = Instant::now();
                 let res = sys.stamp_with(ws, input, &x, &ctl);
@@ -240,6 +241,9 @@ pub fn newton_solve(
         if sres.companion_hit {
             stats.companion_hits += 1;
             opts.probe.emit(input.time, EventKind::CompanionHit);
+        }
+        if opts.metrics.enabled() {
+            publish_stamp_metrics(sys, ws, opts, &sres);
         }
         if !wavepipe_sparse::vector::all_finite(&ws.rhs) {
             // Companion history produced a non-finite excitation: give up on
@@ -261,6 +265,14 @@ pub fn newton_solve(
         }
         for _ in pre_reuse..stats.jacobian_reuses {
             opts.probe.emit(input.time, EventKind::JacobianReuse);
+        }
+        if opts.metrics.enabled() {
+            publish_linear_metrics(
+                opts,
+                (stats.factorizations - pre_factor) as u64,
+                (stats.refactorizations - pre_refactor) as u64,
+                (stats.jacobian_reuses - pre_reuse) as u64,
+            );
         }
         if !solved {
             // Linear solve could not be verified: back off the step.
@@ -294,6 +306,55 @@ pub fn newton_solve(
         }
     }
     Ok(NewtonOutcome { x, iterations: max_iters, converged: false })
+}
+
+/// Mirrors one stamp pass into the metrics registry: scalar totals, the
+/// per-class breakdown (from the bypass mask the pass computed), and the
+/// bypass/companion cache layers. Kept out-of-line and `#[cold]` so the
+/// disabled path leaves the Newton loop body small — the registry is only
+/// touched when a handle is attached.
+#[cold]
+#[inline(never)]
+fn publish_stamp_metrics(
+    sys: &MnaSystem,
+    ws: &MnaWorkspace,
+    opts: &SimOptions,
+    sres: &crate::mna::StampResult,
+) {
+    opts.metrics.add(Counter::DeviceEvals, sres.evals as u64);
+    sys.publish_class_metrics(&ws.caches.mask, &opts.metrics);
+    let nl = sys.nonlinear_device_count() as u64;
+    if sres.bypassed > 0 {
+        opts.metrics.add(Counter::BypassedDevices, sres.bypassed as u64);
+        opts.metrics.add_labeled(Family::CacheHits, "bypass", sres.bypassed as u64);
+    }
+    if nl > sres.bypassed as u64 {
+        opts.metrics.add_labeled(Family::CacheMisses, "bypass", nl - sres.bypassed as u64);
+    }
+    if sres.companion_hit {
+        opts.metrics.inc(Counter::CompanionHits);
+        opts.metrics.add_labeled(Family::CacheHits, "companion", 1);
+    } else {
+        opts.metrics.add_labeled(Family::CacheMisses, "companion", 1);
+    }
+}
+
+/// Mirrors one `factor_and_solve` call's counter deltas (factorizations,
+/// refactorizations, chord reuses) into the registry's scalar counters and
+/// the `chord` cache layer. `#[cold]`/out-of-line for the same reason as
+/// [`publish_stamp_metrics`].
+#[cold]
+#[inline(never)]
+fn publish_linear_metrics(opts: &SimOptions, factored: u64, refactored: u64, reused: u64) {
+    opts.metrics.add(Counter::Factorizations, factored);
+    opts.metrics.add(Counter::Refactorizations, refactored);
+    if reused > 0 {
+        opts.metrics.add(Counter::JacobianReuses, reused);
+        opts.metrics.add_labeled(Family::CacheHits, "chord", reused);
+    }
+    if factored > 0 {
+        opts.metrics.add_labeled(Family::CacheMisses, "chord", factored);
+    }
 }
 
 #[cfg(test)]

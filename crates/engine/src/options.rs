@@ -5,7 +5,7 @@ use crate::error::{EngineError, Result};
 use crate::fault::{FaultHandle, FaultPlan};
 use crate::integrate::Method;
 use std::time::Duration;
-use wavepipe_telemetry::{EventKind, ProbeHandle};
+use wavepipe_telemetry::{EventKind, MetricsHandle, ProbeHandle};
 
 /// Tolerances and control knobs for the simulation engine.
 ///
@@ -55,6 +55,12 @@ pub struct SimOptions {
     /// emission a single branch; attach a recording probe to capture the
     /// event stream. Probes only observe — they never alter the solution.
     pub probe: ProbeHandle,
+    /// Live metrics sink, carried next to the probe: instrumented sites
+    /// publish the event *and* bump the matching registry cell, so the
+    /// registry can be snapshotted mid-run without draining the event
+    /// buffer. The default ([`MetricsHandle::none`]) makes every publish a
+    /// single branch. Like probes, metrics only observe.
+    pub metrics: MetricsHandle,
     /// Intra-step stamp workers for graph-colored parallel device
     /// evaluation. `0` (the default) stamps serially on the solver thread;
     /// `n >= 1` evaluates devices on `n` persistent worker threads and
@@ -169,6 +175,7 @@ impl Default for SimOptions {
             lte_abstol: 1e-6,
             use_ic: false,
             probe: ProbeHandle::none(),
+            metrics: MetricsHandle::none(),
             stamp_workers: default_stamp_workers(),
             deadline: None,
             cancel: None,
@@ -224,6 +231,13 @@ impl SimOptions {
     #[must_use]
     pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Builder: attaches a live metrics handle.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -316,6 +330,7 @@ impl SimOptions {
         }
         if token.deadline_expired() {
             self.probe.emit(time, EventKind::DeadlineHit);
+            self.metrics.inc(wavepipe_telemetry::Counter::DeadlineHits);
             return Err(EngineError::DeadlineExceeded {
                 time,
                 budget: self.deadline.unwrap_or(Duration::ZERO),

@@ -41,7 +41,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use wavepipe_telemetry::{EventKind, ProbeHandle};
+use wavepipe_telemetry::{Counter, EventKind, MetricsHandle, ProbeHandle};
 
 /// Per-chunk scratch buffers, recycled across stamp calls.
 #[derive(Debug, Default)]
@@ -346,8 +346,10 @@ impl StampExecutor {
 
     /// Parallel equivalent of [`MnaSystem::stamp_with`]: bit-identical
     /// results, concurrent nonlinear device evaluation. Records actual and
-    /// critical-path-modeled stamp time into `stats` and emits per-color
-    /// spans through `probe` when enabled.
+    /// critical-path-modeled stamp time into `stats`, emits per-color spans
+    /// through `probe` when enabled, and mirrors worker-loss / fallback
+    /// transitions into `metrics`.
+    #[allow(clippy::too_many_arguments)] // mirrors the serial stamp context plus observability handles
     pub fn stamp(
         &mut self,
         ws: &mut MnaWorkspace,
@@ -355,6 +357,7 @@ impl StampExecutor {
         x_iter: &[f64],
         ctl: &CacheCtl,
         probe: &ProbeHandle,
+        metrics: &MetricsHandle,
         stats: &mut SimStats,
     ) -> StampResult {
         if self.broken {
@@ -450,6 +453,8 @@ impl StampExecutor {
                         self.fallback_logged = true;
                         probe.emit(input.time, EventKind::WorkerLost { lane: self.faults.lane() });
                         probe.emit(input.time, EventKind::FallbackSerial);
+                        metrics.inc(Counter::WorkersLost);
+                        metrics.inc(Counter::SerialFallbacks);
                     }
                     let mut bufs = lost.map(|o| o.bufs).unwrap_or_default();
                     let t0 = Instant::now();

@@ -25,7 +25,7 @@ use crate::stats::SimStats;
 use std::sync::Arc;
 use std::time::Instant;
 use wavepipe_circuit::Circuit;
-use wavepipe_telemetry::EventKind;
+use wavepipe_telemetry::{Counter, EventKind, Family, Gauge, Series};
 
 /// Number of past points retained for companions, prediction, and LTE.
 const WINDOW: usize = 4;
@@ -405,6 +405,7 @@ impl PointSolver {
                     t_new,
                     EventKind::SolveEnd { iterations: max_iters as u32, converged: false },
                 );
+                self.publish_solve_metrics(max_iters, start);
                 return Ok(PointSolution {
                     t: t_new,
                     x: hw.xs[0].clone(),
@@ -457,6 +458,7 @@ impl PointSolver {
                     t_new,
                     EventKind::SolveEnd { iterations: max_iters as u32, converged: false },
                 );
+                self.publish_solve_metrics(max_iters, start);
                 return Ok(PointSolution {
                     t: t_new,
                     x: hw.xs[0].clone(),
@@ -493,6 +495,7 @@ impl PointSolver {
                 converged: outcome.converged,
             },
         );
+        self.publish_solve_metrics(outcome.iterations, start);
         Ok(PointSolution {
             t: t_new,
             x: outcome.x,
@@ -504,6 +507,43 @@ impl PointSolver {
             stats,
         })
     }
+
+    /// Mirrors a finished point-solve into the metrics registry: scalar and
+    /// per-lane solve counts plus the iteration / wall-time series. The
+    /// wall-time series is timing data — anything that promises byte
+    /// stability reads only the counts. The body is `#[cold]`/out-of-line so
+    /// the disabled path costs one branch without growing the solve path.
+    fn publish_solve_metrics(&self, iterations: usize, start: Instant) {
+        if self.opts.metrics.enabled() {
+            publish_solve_metrics_cold(&self.opts.metrics, iterations, start);
+        }
+    }
+}
+
+/// Out-of-line body of [`PointSolver::publish_solve_metrics`].
+#[cold]
+#[inline(never)]
+fn publish_solve_metrics_cold(
+    m: &wavepipe_telemetry::MetricsHandle,
+    iterations: usize,
+    start: Instant,
+) {
+    m.inc(Counter::Solves);
+    m.add_lane(Family::SolvesByLane, 1);
+    m.observe(Series::NewtonItersPerSolve, iterations as f64);
+    m.observe(Series::SolveMicros, start.elapsed().as_nanos() as f64 / 1e3);
+}
+
+/// Out-of-line publish of one accepted point: scalar and per-lane counts,
+/// the step-size series, and the live `current_h` gauge. `#[cold]` so the
+/// accept path of the step loop stays small when no registry is attached.
+#[cold]
+#[inline(never)]
+fn publish_accept_metrics(m: &wavepipe_telemetry::MetricsHandle, h_committed: f64, h_next: f64) {
+    m.inc(Counter::PointsAccepted);
+    m.add_lane(Family::PointsByLane, 1);
+    m.observe(Series::StepSize, h_committed);
+    m.set_gauge(Gauge::CurrentH, h_next);
 }
 
 /// A transient run's result together with the error (if any) that ended it:
@@ -663,6 +703,7 @@ pub fn run_transient_recoverable_compiled(
             let h_attempt = t_new - hw.t();
             if !sol.converged {
                 stats.steps_rejected_newton += 1;
+                opts.metrics.inc(Counter::NewtonRejects);
                 h = h_attempt * opts.nr_shrink;
                 if h < hmin {
                     return Err(EngineError::TimestepTooSmall { time: hw.t(), step: h, hmin });
@@ -689,6 +730,7 @@ pub fn run_transient_recoverable_compiled(
                 );
                 if !d.accept && h_attempt > hmin * 1.01 {
                     stats.steps_rejected_lte += 1;
+                    opts.metrics.inc(Counter::LteRejects);
                     lte_reject_streak += 1;
                     // Two signatures of an error floor the step cannot buy out
                     // of: several rejections in a row, or a rejection while
@@ -713,6 +755,9 @@ pub fn run_transient_recoverable_compiled(
             }
 
             opts.probe.emit(t_new, EventKind::PointAccepted { h: sol.coeffs.h });
+            if opts.metrics.enabled() {
+                publish_accept_metrics(&opts.metrics, sol.coeffs.h, h);
+            }
             hw.accept(&sol);
             result.push(t_new, &sol.x);
             stats.steps_accepted += 1;

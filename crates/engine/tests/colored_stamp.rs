@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use wavepipe_circuit::generators;
 use wavepipe_engine::{
-    run_transient_compiled, FaultHandle, MnaSystem, ProbeHandle, SimOptions, SimStats,
-    StampExecutor, StampInput,
+    run_transient_compiled, FaultHandle, MetricsHandle, MnaSystem, ProbeHandle, SimOptions,
+    SimStats, StampExecutor, StampInput,
 };
 
 /// Deterministic pseudo-random iterate: enough structure to push junctions
@@ -56,6 +56,7 @@ fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64
         return; // no devices: nothing to compare
     };
     let probe = ProbeHandle::none();
+    let metrics = MetricsHandle::none();
     let mut stats = SimStats::new();
 
     let x0 = iterate(n, seed);
@@ -68,7 +69,7 @@ fn assert_stamps_bit_identical(b: &generators::Benchmark, seed: f64, gshunt: f64
         x1.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { 1e-9 } else { 1e-2 }).collect();
     for (step, x) in [x0, x1, x2, x3].iter().enumerate() {
         let res_ser = sys.stamp_with(&mut ws_ser, &input, x, &ctl);
-        let res_par = exec.stamp(&mut ws_par, &input, x, &ctl, &probe, &mut stats);
+        let res_par = exec.stamp(&mut ws_par, &input, x, &ctl, &probe, &metrics, &mut stats);
         let ctx = format!("{} step {step} workers {workers}", b.name);
         assert_eq!(res_ser, res_par, "{ctx}: stamp result");
         assert_eq!(ws_ser.limited, ws_par.limited, "{ctx}: limited flag");

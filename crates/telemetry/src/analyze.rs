@@ -1,0 +1,766 @@
+//! Critical-path trace analysis: turns a recorded event stream (from a
+//! [`crate::RecordingProbe`] or a parsed JSONL file) into the bottleneck
+//! answers a human otherwise squints out of a Chrome trace.
+//!
+//! The analysis is split in two deliberately:
+//!
+//! * [`Counts`] — everything derived from event *counts*: speculation
+//!   accounting, Newton breakdown, cache hit rates, per-lane solve tallies.
+//!   For a fixed seed and thread count these are bit-reproducible, so the
+//!   [`TraceAnalysis::stable_report`] rendering is **byte-stable** across
+//!   identical runs — the auditability hook the determinism tests pin.
+//! * [`Timing`] — everything derived from timestamps: per-lane
+//!   busy/idle/blocked fractions and the critical-path decomposition of
+//!   wall time. Real nanoseconds differ run to run, so this section is
+//!   rendered separately and never enters the stable report.
+//!
+//! Ratios in the stable report are quantized to 0.1% by *integer*
+//! arithmetic (per-mille, truncated), so no floating-point formatting
+//! variance can leak into the stable bytes.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::Histogram;
+use crate::json;
+use crate::metrics::Snapshot;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Count-derived run statistics (byte-reproducible for a fixed seed and
+/// thread count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counts {
+    /// Pipelined rounds (RoundStart events).
+    pub rounds: u64,
+    /// Committed points.
+    pub points_accepted: u64,
+    /// Point-solves finished (SolveEnd events).
+    pub solves: u64,
+    /// Solves that ended unconverged.
+    pub solves_unconverged: u64,
+    /// `(lane, solves)` per lane, ascending by lane.
+    pub lane_solves: Vec<(u32, u64)>,
+    /// Newton iterations per solve (from SolveEnd).
+    pub newton_iters: Histogram,
+    /// Total Newton iterations across all solves.
+    pub newton_total: u64,
+    /// LTE rejections.
+    pub lte_rejects: u64,
+    /// Backward leads committed / discarded.
+    pub lead_accepted: u64,
+    /// Backward leads discarded.
+    pub lead_discarded: u64,
+    /// Forward speculations committed / discarded.
+    pub speculation_accepted: u64,
+    /// Forward speculations discarded.
+    pub speculation_discarded: u64,
+    /// Discard reasons across leads and speculations, descending by count
+    /// then name.
+    pub discard_reasons: Vec<(String, u64)>,
+    /// Numeric factorization passes of any kind.
+    pub factorizations: u64,
+    /// Frozen-pivot refactorizations (subset of `factorizations`).
+    pub refactorizations: u64,
+    /// Chord iterations that reused the previous LU.
+    pub jacobian_reuses: u64,
+    /// Nonlinear device evaluations skipped by the bypass.
+    pub bypassed_devices: u64,
+    /// Linear stamps replayed from the companion cache.
+    pub companion_hits: u64,
+    /// Adaptive rounds that chose forward pipelining.
+    pub adaptive_forward: u64,
+    /// Adaptive rounds that chose backward pipelining.
+    pub adaptive_backward: u64,
+    /// Stamp color groups accumulated by the parallel stamp path.
+    pub stamp_color_groups: u64,
+    /// Worker threads lost to panics.
+    pub workers_lost: u64,
+    /// Serial-fallback transitions.
+    pub serial_fallbacks: u64,
+    /// Wall-clock budget expirations.
+    pub deadline_hits: u64,
+}
+
+impl Counts {
+    /// Solves whose result was thrown away (discarded leads plus discarded
+    /// speculations).
+    pub fn wasted_solves(&self) -> u64 {
+        self.lead_discarded + self.speculation_discarded
+    }
+}
+
+/// Per-lane wall-time accounting, nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneTiming {
+    /// Lane id.
+    pub lane: u32,
+    /// Sum of solve spans (execution start → end; queue wait excluded).
+    pub busy_ns: u64,
+    /// Sum of dispatch-to-execution gaps (a task was assigned but had not
+    /// started running — the lane was blocked on scheduling).
+    pub blocked_ns: u64,
+}
+
+/// Timestamp-derived run statistics. **Not** byte-stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timing {
+    /// First-to-last event timestamp, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-lane busy/blocked accounting, ascending by lane.
+    pub lanes: Vec<LaneTiming>,
+    /// Busy time on lane 0 — the lead/commit lane that also runs base
+    /// solves and speculative refinements.
+    pub lead_ns: u64,
+    /// Busy time on lanes 1.. — the speculative pool solves.
+    pub speculative_ns: u64,
+    /// Sum over rounds of the solve-phase span (first solve start to last
+    /// solve end): the parallel part of the critical path.
+    pub solve_phase_ns: u64,
+    /// Sum over rounds of the tail between the last solve end and the
+    /// round end: commit, LTE bookkeeping, and scheduling.
+    pub commit_ns: u64,
+    /// Sum over rounds of the head between the round start and the first
+    /// solve start: task construction and dispatch.
+    pub launch_ns: u64,
+    /// Wall time inside rounds altogether.
+    pub rounds_ns: u64,
+    /// Wall time inside parallel stamp color spans (all lanes summed).
+    pub stamp_span_ns: u64,
+}
+
+impl Timing {
+    /// The dominant wall-time component as a `(label, fraction)` pair —
+    /// the headline of a doctor report.
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let wall = self.wall_ns.max(1) as f64;
+        let outside = self.wall_ns.saturating_sub(self.rounds_ns);
+        let cands = [
+            ("solve phase", self.solve_phase_ns),
+            ("commit tail", self.commit_ns),
+            ("round launch", self.launch_ns),
+            ("outside rounds", outside),
+        ];
+        let (label, ns) = cands.iter().max_by_key(|(_, ns)| *ns).copied().unwrap_or(("idle", 0));
+        (label, ns as f64 / wall)
+    }
+}
+
+/// The full analysis: stable counts plus unstable timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Count-derived statistics (byte-reproducible).
+    pub counts: Counts,
+    /// Timestamp-derived statistics (vary run to run).
+    pub timing: Timing,
+}
+
+/// Truncating per-mille ratio rendered as `"12.3%"` — integer arithmetic
+/// only, so equal counts always render equal bytes.
+pub fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        return "n/a".to_string();
+    }
+    let pm = num.saturating_mul(1000) / den;
+    format!("{}.{}%", pm / 10, pm % 10)
+}
+
+/// Analyzes a recorded event stream (in record order, as produced by
+/// [`crate::RecordingProbe::events`] or [`crate::jsonl::parse_jsonl`]).
+pub fn analyze(events: &[Event]) -> TraceAnalysis {
+    let mut c = Counts {
+        rounds: 0,
+        points_accepted: 0,
+        solves: 0,
+        solves_unconverged: 0,
+        lane_solves: Vec::new(),
+        newton_iters: Histogram::integer(20),
+        newton_total: 0,
+        lte_rejects: 0,
+        lead_accepted: 0,
+        lead_discarded: 0,
+        speculation_accepted: 0,
+        speculation_discarded: 0,
+        discard_reasons: Vec::new(),
+        factorizations: 0,
+        refactorizations: 0,
+        jacobian_reuses: 0,
+        bypassed_devices: 0,
+        companion_hits: 0,
+        adaptive_forward: 0,
+        adaptive_backward: 0,
+        stamp_color_groups: 0,
+        workers_lost: 0,
+        serial_fallbacks: 0,
+        deadline_hits: 0,
+    };
+    let mut lane_solves: HashMap<u32, u64> = HashMap::new();
+    let mut reasons: HashMap<&'static str, u64> = HashMap::new();
+
+    // Timing state. Solve spans use last-start-wins (dispatch stamps a
+    // SolveStart, execution stamps another; busy time must exclude the
+    // queue wait, which is tracked separately as `blocked`).
+    #[derive(Default, Clone, Copy)]
+    struct RoundAgg {
+        start: u64,
+        end: u64,
+        first_solve_start: u64,
+        last_solve_end: u64,
+    }
+    let mut open_solve: HashMap<u32, (u64, u64)> = HashMap::new(); // lane -> (first, last) start
+    let mut lane_busy: HashMap<u32, u64> = HashMap::new();
+    let mut lane_blocked: HashMap<u32, u64> = HashMap::new();
+    let mut open_stamp: HashMap<u32, u64> = HashMap::new();
+    let mut rounds: HashMap<u64, RoundAgg> = HashMap::new();
+    let mut stamp_span_ns = 0u64;
+    let (mut ts_min, mut ts_max) = (u64::MAX, 0u64);
+
+    for ev in events {
+        ts_min = ts_min.min(ev.ts_ns);
+        ts_max = ts_max.max(ev.ts_ns);
+        match ev.kind {
+            EventKind::RoundStart { .. } => {
+                c.rounds += 1;
+                let agg = rounds.entry(ev.round).or_default();
+                agg.start = ev.ts_ns;
+                agg.first_solve_start = u64::MAX;
+            }
+            EventKind::RoundEnd { .. } => {
+                rounds.entry(ev.round).or_default().end = ev.ts_ns;
+            }
+            EventKind::SolveStart { .. } => {
+                let entry = open_solve.entry(ev.lane).or_insert((ev.ts_ns, ev.ts_ns));
+                entry.1 = ev.ts_ns;
+                let agg = rounds.entry(ev.round).or_default();
+                if agg.first_solve_start == 0 {
+                    agg.first_solve_start = u64::MAX;
+                }
+                agg.first_solve_start = agg.first_solve_start.min(ev.ts_ns);
+            }
+            EventKind::SolveEnd { iterations, converged } => {
+                c.solves += 1;
+                if !converged {
+                    c.solves_unconverged += 1;
+                }
+                c.newton_total += u64::from(iterations);
+                c.newton_iters.observe(f64::from(iterations));
+                *lane_solves.entry(ev.lane).or_insert(0) += 1;
+                if let Some((first, last)) = open_solve.remove(&ev.lane) {
+                    *lane_busy.entry(ev.lane).or_insert(0) += ev.ts_ns.saturating_sub(last);
+                    *lane_blocked.entry(ev.lane).or_insert(0) += last.saturating_sub(first);
+                    let agg = rounds.entry(ev.round).or_default();
+                    agg.last_solve_end = agg.last_solve_end.max(ev.ts_ns);
+                }
+            }
+            EventKind::NewtonIter { .. } | EventKind::StepSizeChosen { .. } => {}
+            EventKind::Factorization => c.factorizations += 1,
+            EventKind::Refactorization => c.refactorizations += 1,
+            EventKind::JacobianReuse => c.jacobian_reuses += 1,
+            EventKind::BypassedDevices { devices } => c.bypassed_devices += u64::from(devices),
+            EventKind::CompanionHit => c.companion_hits += 1,
+            EventKind::LteReject { .. } => c.lte_rejects += 1,
+            EventKind::PointAccepted { .. } => c.points_accepted += 1,
+            EventKind::LeadAccepted => c.lead_accepted += 1,
+            EventKind::LeadDiscarded { reason } => {
+                c.lead_discarded += 1;
+                *reasons.entry(reason.name()).or_insert(0) += 1;
+            }
+            EventKind::SpeculationAccepted => c.speculation_accepted += 1,
+            EventKind::SpeculationDiscarded { reason } => {
+                c.speculation_discarded += 1;
+                *reasons.entry(reason.name()).or_insert(0) += 1;
+            }
+            EventKind::AdaptiveChoice { forward } => {
+                if forward {
+                    c.adaptive_forward += 1;
+                } else {
+                    c.adaptive_backward += 1;
+                }
+            }
+            EventKind::StampColorStart { .. } => {
+                open_stamp.insert(ev.lane, ev.ts_ns);
+            }
+            EventKind::StampColorEnd { .. } => {
+                c.stamp_color_groups += 1;
+                if let Some(start) = open_stamp.remove(&ev.lane) {
+                    stamp_span_ns += ev.ts_ns.saturating_sub(start);
+                }
+            }
+            EventKind::WorkerLost { .. } => c.workers_lost += 1,
+            EventKind::FallbackSerial => c.serial_fallbacks += 1,
+            EventKind::DeadlineHit => c.deadline_hits += 1,
+        }
+    }
+
+    let mut ls: Vec<(u32, u64)> = lane_solves.into_iter().collect();
+    ls.sort_unstable();
+    c.lane_solves = ls;
+    let mut reasons: Vec<(String, u64)> =
+        reasons.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    reasons.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    c.discard_reasons = reasons;
+
+    // Fold the per-round spans into the wall-time decomposition.
+    let (mut solve_phase, mut commit, mut launch, mut rounds_ns) = (0u64, 0u64, 0u64, 0u64);
+    for agg in rounds.values() {
+        if agg.end <= agg.start {
+            continue; // round never closed (e.g. truncated stream)
+        }
+        rounds_ns += agg.end - agg.start;
+        if agg.first_solve_start != u64::MAX && agg.last_solve_end > 0 {
+            let first = agg.first_solve_start.max(agg.start);
+            let last = agg.last_solve_end.clamp(first, agg.end);
+            launch += first - agg.start;
+            solve_phase += last - first;
+            commit += agg.end - last;
+        }
+    }
+    let mut lanes: Vec<LaneTiming> = lane_busy
+        .iter()
+        .map(|(&lane, &busy_ns)| LaneTiming {
+            lane,
+            busy_ns,
+            blocked_ns: lane_blocked.get(&lane).copied().unwrap_or(0),
+        })
+        .collect();
+    lanes.sort_unstable_by_key(|l| l.lane);
+    let lead_ns = lanes.iter().filter(|l| l.lane == 0).map(|l| l.busy_ns).sum();
+    let speculative_ns = lanes.iter().filter(|l| l.lane != 0).map(|l| l.busy_ns).sum();
+    let timing = Timing {
+        wall_ns: if ts_min == u64::MAX { 0 } else { ts_max - ts_min },
+        lanes,
+        lead_ns,
+        speculative_ns,
+        solve_phase_ns: solve_phase,
+        commit_ns: commit,
+        launch_ns: launch,
+        rounds_ns,
+        stamp_span_ns,
+    };
+    TraceAnalysis { counts: c, timing }
+}
+
+impl TraceAnalysis {
+    /// The count-derived report: byte-stable across identical seeded runs
+    /// at a fixed thread count. `title` names the run (circuit, scheme,
+    /// threads) and must itself be deterministic.
+    pub fn stable_report(&self, title: &str) -> String {
+        let c = &self.counts;
+        let mut out = String::new();
+        let _ = writeln!(out, "wavepipe-doctor: {title}");
+        let _ = writeln!(out, "== stable (count-derived; byte-reproducible) ==");
+        let _ = writeln!(out, "  rounds                    {:>10}", c.rounds);
+        let _ = writeln!(out, "  points accepted           {:>10}", c.points_accepted);
+        let _ = writeln!(
+            out,
+            "  solves                    {:>10}  ({} unconverged)",
+            c.solves, c.solves_unconverged
+        );
+        for &(lane, n) in &c.lane_solves {
+            let _ = writeln!(
+                out,
+                "    lane {lane:<3} solves         {:>10}  ({} of all solves)",
+                n,
+                pct(n, c.solves)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  newton iterations         {:>10}  (p50 {} / p99 {} per solve)",
+            c.newton_total,
+            quant(&c.newton_iters, 0.5),
+            quant(&c.newton_iters, 0.99)
+        );
+        let _ = writeln!(out, "  lte rejects               {:>10}", c.lte_rejects);
+        let lead_issued = c.lead_accepted + c.lead_discarded;
+        let spec_issued = c.speculation_accepted + c.speculation_discarded;
+        let _ = writeln!(
+            out,
+            "  leads issued              {:>10}  (accepted {}, discarded {})",
+            lead_issued, c.lead_accepted, c.lead_discarded
+        );
+        let _ = writeln!(
+            out,
+            "  speculations issued       {:>10}  (accepted {}, discarded {})",
+            spec_issued, c.speculation_accepted, c.speculation_discarded
+        );
+        let _ = writeln!(
+            out,
+            "  speculation waste         {:>10}  of all solves ({} wasted)",
+            pct(c.wasted_solves(), c.solves),
+            c.wasted_solves()
+        );
+        if !c.discard_reasons.is_empty() {
+            let _ = write!(out, "  discard reasons          ");
+            for (name, n) in &c.discard_reasons {
+                let _ = write!(out, " {name}={n}");
+            }
+            let _ = writeln!(out);
+        }
+        if c.adaptive_forward + c.adaptive_backward > 0 {
+            let _ = writeln!(
+                out,
+                "  adaptive choices          {:>10}  forward / {} backward",
+                c.adaptive_forward, c.adaptive_backward
+            );
+        }
+        let _ = writeln!(out, "  -- solver caches --");
+        let _ = writeln!(
+            out,
+            "  chord LU reuse            {:>10}  of linear solves ({} reuses / {} factor)",
+            pct(c.jacobian_reuses, c.jacobian_reuses + c.factorizations),
+            c.jacobian_reuses,
+            c.factorizations
+        );
+        let _ = writeln!(
+            out,
+            "  frozen-pivot refactor     {:>10}  of factorizations ({} of {})",
+            pct(c.refactorizations, c.factorizations),
+            c.refactorizations,
+            c.factorizations
+        );
+        let _ = writeln!(
+            out,
+            "  companion replay          {:>10}  of newton stamps ({} hits)",
+            pct(c.companion_hits, c.newton_total),
+            c.companion_hits
+        );
+        let _ = writeln!(out, "  bypassed device evals     {:>10}", c.bypassed_devices);
+        if c.stamp_color_groups > 0 {
+            let _ = writeln!(out, "  stamp color groups        {:>10}", c.stamp_color_groups);
+        }
+        if c.workers_lost + c.serial_fallbacks + c.deadline_hits > 0 {
+            let _ = writeln!(
+                out,
+                "  faults                    {:>10}  workers lost / {} fallbacks / {} deadlines",
+                c.workers_lost, c.serial_fallbacks, c.deadline_hits
+            );
+        }
+        out
+    }
+
+    /// The timestamp-derived report: per-lane utilization and the
+    /// critical-path decomposition. **Not** byte-stable across runs.
+    pub fn timing_report(&self) -> String {
+        let t = &self.timing;
+        let wall = t.wall_ns.max(1) as f64;
+        let mut out = String::new();
+        let _ = writeln!(out, "== timing (wall-clock; varies run to run) ==");
+        let (label, frac) = t.dominant();
+        let _ = writeln!(
+            out,
+            "  bottleneck: {} is {:.0}% of wall time ({:.3} ms total)",
+            label,
+            frac * 100.0,
+            t.wall_ns as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  critical path: launch {:.1}%  solve phase {:.1}%  commit tail {:.1}%  \
+             outside rounds {:.1}%",
+            t.launch_ns as f64 / wall * 100.0,
+            t.solve_phase_ns as f64 / wall * 100.0,
+            t.commit_ns as f64 / wall * 100.0,
+            t.wall_ns.saturating_sub(t.rounds_ns) as f64 / wall * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "  solve time: lead lane {:.3} ms, speculative lanes {:.3} ms",
+            t.lead_ns as f64 / 1e6,
+            t.speculative_ns as f64 / 1e6
+        );
+        if t.stamp_span_ns > 0 {
+            let _ = writeln!(
+                out,
+                "  stamp worker spans: {:.3} ms accumulated",
+                t.stamp_span_ns as f64 / 1e6
+            );
+        }
+        for l in &t.lanes {
+            let busy = l.busy_ns as f64 / wall;
+            let blocked = l.blocked_ns as f64 / wall;
+            let idle = (1.0 - busy - blocked).max(0.0);
+            let _ = writeln!(
+                out,
+                "  lane {:<3} busy {:>5.1}%  blocked {:>5.1}%  idle {:>5.1}%",
+                l.lane,
+                busy * 100.0,
+                blocked * 100.0,
+                idle * 100.0
+            );
+        }
+        out
+    }
+
+    /// Both sections.
+    pub fn report(&self, title: &str) -> String {
+        let mut out = self.stable_report(title);
+        out.push_str(&self.timing_report());
+        out
+    }
+
+    /// JSON encoding: a `stable` object always, plus a `timing` object
+    /// unless `stable_only` is set.
+    pub fn to_json(&self, stable_only: bool) -> String {
+        let c = &self.counts;
+        let mut out = String::from("{\"stable\":{");
+        let scalars: [(&str, u64); 18] = [
+            ("rounds", c.rounds),
+            ("points_accepted", c.points_accepted),
+            ("solves", c.solves),
+            ("solves_unconverged", c.solves_unconverged),
+            ("newton_iterations", c.newton_total),
+            ("lte_rejects", c.lte_rejects),
+            ("lead_accepted", c.lead_accepted),
+            ("lead_discarded", c.lead_discarded),
+            ("speculation_accepted", c.speculation_accepted),
+            ("speculation_discarded", c.speculation_discarded),
+            ("factorizations", c.factorizations),
+            ("refactorizations", c.refactorizations),
+            ("jacobian_reuses", c.jacobian_reuses),
+            ("bypassed_devices", c.bypassed_devices),
+            ("companion_hits", c.companion_hits),
+            ("stamp_color_groups", c.stamp_color_groups),
+            ("workers_lost", c.workers_lost),
+            ("deadline_hits", c.deadline_hits),
+        ];
+        for (i, (name, v)) in scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str(",\"lane_solves\":[");
+        for (i, &(lane, n)) in c.lane_solves.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"lane\":{lane},\"solves\":{n}}}");
+        }
+        out.push_str("],\"discard_reasons\":[");
+        for (i, (name, n)) in c.discard_reasons.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"reason\":\"{}\",\"count\":{n}}}", json::escape(name));
+        }
+        out.push_str("]}");
+        if !stable_only {
+            let t = &self.timing;
+            let _ = write!(
+                out,
+                ",\"timing\":{{\"wall_ns\":{},\"solve_phase_ns\":{},\"commit_ns\":{},\
+                 \"launch_ns\":{},\"rounds_ns\":{},\"lead_ns\":{},\"speculative_ns\":{},\
+                 \"stamp_span_ns\":{},\"lanes\":[",
+                t.wall_ns,
+                t.solve_phase_ns,
+                t.commit_ns,
+                t.launch_ns,
+                t.rounds_ns,
+                t.lead_ns,
+                t.speculative_ns,
+                t.stamp_span_ns
+            );
+            for (i, l) in t.lanes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"lane\":{},\"busy_ns\":{},\"blocked_ns\":{}}}",
+                    l.lane, l.busy_ns, l.blocked_ns
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders the per-device-class and per-cache-layer families of a metrics
+/// [`Snapshot`] as a stable table (counts only, deterministic): the piece
+/// of the doctor report the event stream alone cannot provide.
+pub fn class_cache_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let classes: Vec<&str> = snapshot
+        .labeled
+        .iter()
+        .filter(|lv| lv.family == "class_evals" || lv.family == "class_bypassed")
+        .map(|lv| lv.label.as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    if !classes.is_empty() {
+        let _ = writeln!(out, "  -- per device class --");
+        for class in classes {
+            let evals = snapshot.labeled_value("class_evals", class);
+            let byp = snapshot.labeled_value("class_bypassed", class);
+            let _ = writeln!(
+                out,
+                "  {class:<10} evals {evals:>10}  bypassed {byp:>10}  ({} bypass rate)",
+                pct(byp, byp + evals)
+            );
+        }
+    }
+    let caches: Vec<&str> = snapshot
+        .labeled
+        .iter()
+        .filter(|lv| lv.family == "cache_hits" || lv.family == "cache_misses")
+        .map(|lv| lv.label.as_str())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    if !caches.is_empty() {
+        let _ = writeln!(out, "  -- per cache layer --");
+        for cache in caches {
+            let hits = snapshot.labeled_value("cache_hits", cache);
+            let misses = snapshot.labeled_value("cache_misses", cache);
+            let _ = writeln!(
+                out,
+                "  {cache:<10} hits  {hits:>10}  misses   {misses:>10}  ({} hit rate)",
+                pct(hits, hits + misses)
+            );
+        }
+    }
+    out
+}
+
+/// Deterministic rendering of a histogram quantile for the stable report:
+/// the quantile interpolation is pure arithmetic on counts, so equal count
+/// vectors give equal strings.
+fn quant(h: &Histogram, q: f64) -> String {
+    match h.quantile(q) {
+        Some(v) => format!("{v:.1}"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DiscardReason;
+
+    fn ev(ts_ns: u64, round: u64, lane: u32, kind: EventKind) -> Event {
+        Event { ts_ns, round, lane, t_sim: 0.0, kind }
+    }
+
+    /// A two-round synthetic stream with dispatch+execution SolveStarts.
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            ev(0, 1, 0, EventKind::RoundStart { width: 2 }),
+            ev(5, 1, 1, EventKind::SolveStart { h: 1e-9 }), // dispatch
+            ev(10, 1, 0, EventKind::SolveStart { h: 1e-9 }),
+            ev(15, 1, 1, EventKind::SolveStart { h: 2e-9 }), // execution
+            ev(50, 1, 0, EventKind::SolveEnd { iterations: 3, converged: true }),
+            ev(80, 1, 1, EventKind::SolveEnd { iterations: 5, converged: true }),
+            ev(85, 1, 0, EventKind::PointAccepted { h: 1e-9 }),
+            ev(88, 1, 0, EventKind::LeadAccepted),
+            ev(95, 1, 0, EventKind::LeadDiscarded { reason: DiscardReason::LteRejected }),
+            ev(100, 1, 0, EventKind::RoundEnd { committed: 1 }),
+            ev(110, 2, 0, EventKind::RoundStart { width: 1 }),
+            ev(112, 2, 0, EventKind::SolveStart { h: 1e-9 }),
+            ev(160, 2, 0, EventKind::SolveEnd { iterations: 4, converged: false }),
+            ev(170, 2, 0, EventKind::RoundEnd { committed: 0 }),
+        ]
+    }
+
+    #[test]
+    fn counts_aggregate_and_lane_tables_sort() {
+        let a = analyze(&sample_stream());
+        let c = &a.counts;
+        assert_eq!(c.rounds, 2);
+        assert_eq!(c.points_accepted, 1);
+        assert_eq!(c.solves, 3);
+        assert_eq!(c.solves_unconverged, 1);
+        assert_eq!(c.newton_total, 12);
+        assert_eq!(c.lane_solves, vec![(0, 2), (1, 1)]);
+        assert_eq!(c.lead_accepted, 1);
+        assert_eq!(c.lead_discarded, 1);
+        assert_eq!(c.wasted_solves(), 1);
+        assert_eq!(c.discard_reasons, vec![("lte_rejected".to_string(), 1)]);
+    }
+
+    #[test]
+    fn timing_decomposes_rounds_and_tracks_blocked_time() {
+        let a = analyze(&sample_stream());
+        let t = &a.timing;
+        assert_eq!(t.wall_ns, 170);
+        // Round 1: launch 5 (start 0 -> first solve start 5), solve phase
+        // 75 (5 -> 80), commit 20 (80 -> 100). Round 2: launch 2, solve
+        // phase 48, commit 10.
+        assert_eq!(t.launch_ns, 7);
+        assert_eq!(t.solve_phase_ns, 123);
+        assert_eq!(t.commit_ns, 30);
+        assert_eq!(t.rounds_ns, 160);
+        // Lane 1 was dispatched at 5 and started at 15: 10 ns blocked,
+        // 65 ns busy. Lane 0 never re-started: no blocked time.
+        let lane1 = t.lanes.iter().find(|l| l.lane == 1).unwrap();
+        assert_eq!(lane1.blocked_ns, 10);
+        assert_eq!(lane1.busy_ns, 65);
+        let lane0 = t.lanes.iter().find(|l| l.lane == 0).unwrap();
+        assert_eq!(lane0.blocked_ns, 0);
+        assert_eq!(lane0.busy_ns, 40 + 48);
+        assert_eq!(t.lead_ns, 88);
+        assert_eq!(t.speculative_ns, 65);
+    }
+
+    #[test]
+    fn stable_report_is_identical_for_identical_counts() {
+        let a = analyze(&sample_stream());
+        let b = analyze(&sample_stream());
+        assert_eq!(a.stable_report("test"), b.stable_report("test"));
+        // Shifting every timestamp changes timing but not the stable bytes.
+        let shifted: Vec<Event> = sample_stream()
+            .into_iter()
+            .map(|mut e| {
+                e.ts_ns = e.ts_ns * 3 + 17;
+                e
+            })
+            .collect();
+        let s = analyze(&shifted);
+        assert_eq!(a.stable_report("test"), s.stable_report("test"));
+        assert_ne!(a.timing, s.timing);
+    }
+
+    #[test]
+    fn reports_render_expected_lines() {
+        let a = analyze(&sample_stream());
+        let stable = a.stable_report("rc_ladder, backward x2");
+        assert!(stable.contains("wavepipe-doctor: rc_ladder, backward x2"));
+        assert!(stable.contains("speculation waste"));
+        assert!(stable.contains("33.3%"), "1 wasted of 3 solves: {stable}");
+        let timing = a.timing_report();
+        assert!(timing.contains("bottleneck:"));
+        assert!(timing.contains("lane 0"));
+        let json_doc = a.to_json(false);
+        let parsed = json::parse(&json_doc).expect("doctor json parses");
+        assert_eq!(
+            parsed.get("stable").and_then(|s| s.get("solves")).and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert!(parsed.get("timing").is_some());
+        let stable_only = json::parse(&a.to_json(true)).expect("stable json parses");
+        assert!(stable_only.get("timing").is_none());
+    }
+
+    #[test]
+    fn pct_is_integer_quantized() {
+        assert_eq!(pct(1, 3), "33.3%");
+        assert_eq!(pct(2, 3), "66.6%"); // truncated, never rounded up
+        assert_eq!(pct(0, 5), "0.0%");
+        assert_eq!(pct(5, 5), "100.0%");
+        assert_eq!(pct(1, 0), "n/a");
+    }
+
+    #[test]
+    fn class_cache_table_renders_families() {
+        let reg = crate::metrics::MetricsRegistry::shared();
+        reg.add_labeled(crate::metrics::Family::EvalsByClass, "mos", 90);
+        reg.add_labeled(crate::metrics::Family::BypassByClass, "mos", 10);
+        reg.add_labeled(crate::metrics::Family::CacheHits, "chord", 3);
+        reg.add_labeled(crate::metrics::Family::CacheMisses, "chord", 1);
+        let table = class_cache_table(&reg.snapshot());
+        assert!(table.contains("mos"));
+        assert!(table.contains("10.0% bypass rate"), "{table}");
+        assert!(table.contains("75.0% hit rate"), "{table}");
+    }
+}

@@ -5,6 +5,10 @@
 //! and commit decisions (LTE rejections, lead/speculation outcomes) become
 //! instant events — so the pipelining overlap of a WavePipe run is literally
 //! visible as stacked spans on concurrent lanes.
+//!
+//! Three counter tracks (`"ph":"C"`) plot run health over time next to the
+//! spans: the speculation accept-rate EMA, the number of concurrently
+//! in-flight point-solves, and the device-bypass hit rate.
 
 use crate::event::{Event, EventKind};
 use crate::json;
@@ -51,6 +55,21 @@ fn instant(out: &mut Vec<String>, tid: u32, name: &str, ts_ns: u64, args: &str) 
     ));
 }
 
+fn counter(out: &mut Vec<String>, name: &str, ts_ns: u64, series: &str, value: f64) {
+    out.push(format!(
+        "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"{}\",\"ts\":{},\
+         \"args\":{{\"{}\":{}}}}}",
+        json::escape(name),
+        us(ts_ns),
+        json::escape(series),
+        json::fmt_f64(value)
+    ));
+}
+
+/// Smoothing factor of the accept-rate counter track: each lead/speculation
+/// outcome moves the EMA 8% of the way toward 1 (accepted) or 0 (discarded).
+const ACCEPT_EMA_ALPHA: f64 = 0.08;
+
 /// Renders the event stream as a Chrome trace-event JSON document.
 ///
 /// # Errors
@@ -84,6 +103,15 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
     let mut open_solve: Vec<Option<(u64, f64, f64)>> = vec![None; max_lane as usize + 1];
     let mut open_stamp: Vec<Option<(u64, u32)>> = vec![None; max_lane as usize + 1];
     let mut open_round: Option<(u64, u64, u32)> = None;
+    // Counter-track state: accept-rate EMA over lead/speculation outcomes,
+    // concurrently in-flight solves, and the bypass hit-rate proxy (total
+    // bypassed over bypass opportunities, taking the largest observed batch
+    // as the per-iteration nonlinear device count).
+    let mut accept_ema = 1.0f64;
+    let mut active_solves = 0u32;
+    let mut bypassed_total = 0u64;
+    let mut bypass_events = 0u64;
+    let mut max_bypass_batch = 0u64;
     for ev in events {
         match ev.kind {
             EventKind::SolveStart { h } => {
@@ -95,6 +123,14 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
                 let slot = &mut open_solve[ev.lane as usize];
                 if slot.is_none() {
                     *slot = Some((ev.ts_ns, ev.t_sim, h));
+                    active_solves += 1;
+                    counter(
+                        &mut objs,
+                        "active solves",
+                        ev.ts_ns,
+                        "solves",
+                        f64::from(active_solves),
+                    );
                 }
             }
             EventKind::SolveEnd { iterations, converged } => {
@@ -108,6 +144,14 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
                     );
                     let name = format!("solve t={t_sim:.4e}");
                     complete(&mut objs, ev.lane, &name, start, ev.ts_ns, &args);
+                    active_solves = active_solves.saturating_sub(1);
+                    counter(
+                        &mut objs,
+                        "active solves",
+                        ev.ts_ns,
+                        "solves",
+                        f64::from(active_solves),
+                    );
                 }
             }
             EventKind::RoundStart { width } => {
@@ -132,6 +176,8 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
             EventKind::LeadAccepted | EventKind::SpeculationAccepted => {
                 let args = format!("\"t_sim\":{}", json::fmt_f64(ev.t_sim));
                 instant(&mut objs, ev.lane, ev.kind.name(), ev.ts_ns, &args);
+                accept_ema += ACCEPT_EMA_ALPHA * (1.0 - accept_ema);
+                counter(&mut objs, "accept rate (ema)", ev.ts_ns, "rate", accept_ema);
             }
             EventKind::LeadDiscarded { reason } | EventKind::SpeculationDiscarded { reason } => {
                 let args = format!(
@@ -140,6 +186,8 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
                     reason.name()
                 );
                 instant(&mut objs, ev.lane, ev.kind.name(), ev.ts_ns, &args);
+                accept_ema -= ACCEPT_EMA_ALPHA * accept_ema;
+                counter(&mut objs, "accept rate (ema)", ev.ts_ns, "rate", accept_ema);
             }
             EventKind::AdaptiveChoice { forward } => {
                 let args = format!("\"forward\":{forward}");
@@ -174,6 +222,20 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
             EventKind::DeadlineHit => {
                 instant(&mut objs, ROUNDS_TID, "deadline_hit", ev.ts_ns, "");
             }
+            EventKind::BypassedDevices { devices } => {
+                // No span — just the hit-rate counter. The largest batch seen
+                // so far stands in for the circuit's nonlinear device count
+                // (the stream itself never carries it), so early samples may
+                // underestimate the denominator and start near 1.
+                bypassed_total += u64::from(devices);
+                bypass_events += 1;
+                max_bypass_batch = max_bypass_batch.max(u64::from(devices));
+                let denom = bypass_events * max_bypass_batch;
+                if denom > 0 {
+                    let rate = bypassed_total as f64 / denom as f64;
+                    counter(&mut objs, "bypass hit rate", ev.ts_ns, "rate", rate);
+                }
+            }
             // Per-iteration and per-factorization events are deliberately not
             // rendered: they are summary/JSONL material and would swamp the
             // timeline.
@@ -181,7 +243,6 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
             | EventKind::Factorization
             | EventKind::Refactorization
             | EventKind::JacobianReuse
-            | EventKind::BypassedDevices { .. }
             | EventKind::CompanionHit
             | EventKind::StepSizeChosen { .. }
             | EventKind::PointAccepted { .. } => {}
@@ -211,6 +272,7 @@ pub fn chrome_trace_string(events: &[Event]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::DiscardReason;
     use crate::json::JsonValue;
 
     fn ev(ts_ns: u64, round: u64, lane: u32, kind: EventKind) -> Event {
@@ -351,6 +413,78 @@ mod tests {
         assert!(text.contains("worker_lost"));
         assert!(text.contains("fallback_serial"));
         assert!(text.contains("deadline_hit"));
+    }
+
+    fn counters<'a>(doc: &'a JsonValue, name: &str) -> Vec<&'a JsonValue> {
+        doc.get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                    && e.get("name").and_then(JsonValue::as_str) == Some(name)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn active_solve_counter_tracks_inflight_solves() {
+        let events = vec![
+            ev(5, 1, 0, EventKind::SolveStart { h: 1e-9 }),
+            ev(10, 1, 1, EventKind::SolveStart { h: 1e-9 }),
+            ev(12, 1, 1, EventKind::SolveStart { h: 1e-9 }), // execution re-stamp
+            ev(50, 1, 1, EventKind::SolveEnd { iterations: 3, converged: true }),
+            ev(60, 1, 0, EventKind::SolveEnd { iterations: 2, converged: true }),
+        ];
+        let doc = crate::json::parse(&chrome_trace_string(&events)).expect("valid JSON");
+        let cs = counters(&doc, "active solves");
+        // Two starts (the re-stamp does not count) plus two ends.
+        let values: Vec<f64> = cs
+            .iter()
+            .map(|c| c.get("args").unwrap().get("solves").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(values, vec![1.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn accept_rate_counter_moves_with_outcomes() {
+        let events = vec![
+            ev(10, 1, 0, EventKind::LeadAccepted),
+            ev(20, 1, 0, EventKind::LeadDiscarded { reason: DiscardReason::LteRejected }),
+            ev(30, 1, 0, EventKind::SpeculationAccepted),
+            ev(40, 1, 0, EventKind::SpeculationDiscarded { reason: DiscardReason::ChainBroken }),
+        ];
+        let doc = crate::json::parse(&chrome_trace_string(&events)).expect("valid JSON");
+        let cs = counters(&doc, "accept rate (ema)");
+        let values: Vec<f64> = cs
+            .iter()
+            .map(|c| c.get("args").unwrap().get("rate").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(values.len(), 4);
+        // Starts at 1.0, so the first accept keeps it there; every sample
+        // stays a valid rate and discards pull it strictly down.
+        assert!(values.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(values[1] < values[0]);
+        assert!(values[2] > values[1]);
+        assert!(values[3] < values[2]);
+    }
+
+    #[test]
+    fn bypass_rate_counter_uses_largest_batch_as_denominator() {
+        let events = vec![
+            ev(10, 1, 0, EventKind::BypassedDevices { devices: 50 }),
+            ev(20, 1, 0, EventKind::BypassedDevices { devices: 100 }),
+            ev(30, 1, 0, EventKind::BypassedDevices { devices: 30 }),
+        ];
+        let doc = crate::json::parse(&chrome_trace_string(&events)).expect("valid JSON");
+        let cs = counters(&doc, "bypass hit rate");
+        let values: Vec<f64> = cs
+            .iter()
+            .map(|c| c.get("args").unwrap().get("rate").unwrap().as_f64().unwrap())
+            .collect();
+        // 50/50, then 150/200, then 180/300.
+        assert_eq!(values, vec![1.0, 0.75, 0.6]);
     }
 
     #[test]

@@ -98,9 +98,15 @@ impl Histogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
-    /// Approximate `q`-quantile (`0 <= q <= 1`) from the bucket counts: the
-    /// lower boundary of the bucket containing the quantile rank (clamped to
-    /// the observed min/max for the open-ended buckets).
+    /// Approximate `q`-quantile (`0 <= q <= 1`) from the bucket counts,
+    /// linearly interpolated *within* the bucket containing the quantile
+    /// rank.
+    ///
+    /// The bucket's edges are clamped to the observed min/max before
+    /// interpolating, so a population confined to a single bucket reports
+    /// quantiles between its actual extremes instead of the raw bucket
+    /// boundary (which over-reported p50/p99 whenever the boundary lay
+    /// beyond the observations, and collapsed every quantile to one edge).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -108,13 +114,69 @@ impl Histogram {
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
-                return Some(lo.clamp(self.min, self.max));
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                // Effective bucket edges: the nominal boundaries, tightened
+                // to the observed range (the open-ended under/overflow
+                // buckets have no finite nominal edge on one side).
+                let nominal_lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let nominal_hi = if i == self.bounds.len() { self.max } else { self.bounds[i] };
+                let lo = nominal_lo.clamp(self.min, self.max);
+                let hi = nominal_hi.clamp(self.min, self.max);
+                // Position of the rank within this bucket's population.
+                let frac = (rank - seen) as f64 / c as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+            seen += c;
         }
         Some(self.max)
+    }
+
+    /// Total of all observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The bucket boundaries this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative `(upper_bound, count_below_or_equal)` pairs in Prometheus
+    /// `le` convention; the final pair's bound is `+inf` and its count the
+    /// total.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cum += c;
+                let le = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (le, cum)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram with *identical* bucket boundaries into
+    /// this one: counts add, min/max/sum/count combine. Merging is
+    /// associative and commutative, so partial histograms from concurrent
+    /// lanes can be folded in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary vectors differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram merge requires identical boundaries");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Per-bucket `(lower_bound, count)` pairs for non-empty buckets; the
@@ -202,5 +264,130 @@ mod tests {
         let mut h = Histogram::linear(0.0, 1.0, 2);
         h.observe(f64::NAN);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_bucket_population_interpolates_between_extremes() {
+        // Everything lands in [4, 5): quantiles must stay inside the
+        // observed [4.2, 4.8], not report the 4.0 boundary (the old lower
+        // bound) or 5.0 (the upper boundary, beyond any observation).
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for v in [4.2, 4.4, 4.6, 4.8] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((4.2..=4.8).contains(&p50), "p50 = {p50}");
+        assert!((4.2..=4.8).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+
+        // Degenerate single-value population: every quantile is the value.
+        let mut one = Histogram::integer(4);
+        one.observe(2.5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(2.5));
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_inf_total() {
+        let mut h = Histogram::integer(2); // bounds 1,2,3
+        for v in [0.5, 1.5, 2.5, 9.0] {
+            h.observe(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.len(), 4);
+        assert_eq!(cum[0], (1.0, 1));
+        assert_eq!(cum[2], (3.0, 3));
+        assert!(cum[3].0.is_infinite());
+        assert_eq!(cum[3].1, 4);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let mut b = Histogram::linear(0.0, 10.0, 5);
+        a.observe(1.0);
+        a.observe(3.0);
+        b.observe(7.0);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(7.0));
+        assert_eq!(m.sum(), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical boundaries")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let b = Histogram::linear(0.0, 10.0, 2);
+        a.merge(&b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: integer-valued observations (exact in f64, so sums are
+    /// associative) spread across under/in/overflow of `linear(0, 32, 8)`.
+    fn observations() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec((0usize..56).prop_map(|v| v as f64 - 8.0), 1..64)
+    }
+
+    fn filled(vals: &[f64]) -> Histogram {
+        let mut h = Histogram::linear(0.0, 32.0, 8);
+        for &v in vals {
+            h.observe(v);
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn quantiles_are_monotone_in_q(vals in observations()) {
+            let h = filled(&vals);
+            let qs: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+            let mut prev = f64::NEG_INFINITY;
+            for q in qs {
+                let v = h.quantile(q).expect("non-empty");
+                prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+                prop_assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in observations(),
+            b in observations(),
+            c in observations(),
+        ) {
+            let (ha, hb, hc) = (filled(&a), filled(&b), filled(&c));
+            // (a + b) + c
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            // a + (b + c)
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+            // b + a == a + b
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(&ab, &ba);
+            // The merged histogram equals observing everything into one.
+            let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+            prop_assert_eq!(&left, &filled(&all));
+        }
     }
 }

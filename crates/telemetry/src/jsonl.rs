@@ -271,6 +271,28 @@ mod tests {
     }
 
     #[test]
+    fn every_kind_reserializes_to_identical_bytes() {
+        // Stronger than value equality: serialize -> parse -> serialize must
+        // reproduce every byte, so archived traces can be re-emitted (e.g.
+        // by a filter tool) without spurious diffs. Covers all 23 variants
+        // plus awkward float shapes (negative, subnormal-ish, integral).
+        let mut events = sample_events();
+        events.push(Event {
+            ts_ns: u64::MAX,
+            round: u64::MAX,
+            lane: u32::MAX,
+            t_sim: -1.5e-300,
+            kind: EventKind::LteReject { ratio: 1.0, h_retry: 4.9e-324 },
+        });
+        for ev in &events {
+            let first = event_to_json(ev);
+            let parsed = event_from_json(&first, 1).unwrap();
+            let second = event_to_json(&parsed);
+            assert_eq!(first, second, "re-serialization changed bytes for {:?}", ev.kind);
+        }
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let events = sample_events();
         let mut buf = Vec::new();

@@ -40,15 +40,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod chrome;
 mod event;
 mod histogram;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 mod probe;
 mod summary;
 
+pub use analyze::{analyze, TraceAnalysis};
 pub use event::{DiscardReason, Event, EventKind};
 pub use histogram::Histogram;
+pub use metrics::{
+    Counter, Family, Gauge, LabeledValue, MetricsHandle, MetricsRegistry, Series, Snapshot,
+};
 pub use probe::{NullProbe, Probe, ProbeHandle, RecordingProbe};
 pub use summary::TelemetrySummary;
