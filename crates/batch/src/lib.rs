@@ -1,0 +1,627 @@
+//! Batched many-scenario transient simulation for WavePipe.
+//!
+//! Corner sweeps, Monte Carlo runs, and parameter studies all simulate the
+//! *same topology* many times with different element values. The classic
+//! loop — build a circuit, [`MnaSystem::compile`] it, run it, repeat — pays
+//! for circuit validation, pattern construction, symbolic analysis, and
+//! stamp planning once **per instance**, even though none of those depend
+//! on element values.
+//!
+//! [`BatchSim`] amortises all of that across the batch:
+//!
+//! * **One compile.** The base circuit is compiled once; every instance is
+//!   derived through [`MnaSystem::with_values_from`], which re-lowers only
+//!   the element *values* and reuses the frozen sparse pattern, slot table,
+//!   and stamp plan by reference.
+//! * **One symbolic ordering.** The fill-reducing column ordering is a pure
+//!   function of the shared pattern, so it is computed once and injected
+//!   into every instance's Newton solver through
+//!   [`SolverHandle::batched`] — each instance still factors its own
+//!   values, but skips the symbolic analysis.
+//! * **Structure-of-arrays parameters.** Instance values are stored as one
+//!   contiguous column per parameter ([`BatchSim::add_instance`] appends a
+//!   row across all columns), keeping the sweep definition compact and the
+//!   per-instance patch loop cache-friendly.
+//! * **Thread-striped dispatch.** [`BatchSim::run`] distributes instances
+//!   over `threads / stamp_workers` batch workers (the same two-level
+//!   split as `wavepipe-core`), so intra-step stamp parallelism and
+//!   across-instance parallelism share one budget.
+//!
+//! # Determinism
+//!
+//! Each batched instance is **bit-identical** to running the classic
+//! single-run API on the same patched circuit: value re-lowering uses the
+//! same device-construction code path as a fresh compile, and the shared
+//! ordering is exactly the one a fresh [`wavepipe_sparse::SparseLu`]
+//! factorization would compute from the (shared) pattern. This is pinned by
+//! the property tests in `tests/bit_identity.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use wavepipe_batch::{BatchSim, ParamKind};
+//! use wavepipe_circuit::{Circuit, Waveform};
+//!
+//! # fn main() -> Result<(), wavepipe_batch::BatchError> {
+//! let mut ckt = Circuit::new("rc");
+//! let a = ckt.node("a");
+//! let b = ckt.node("b");
+//! ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+//! ckt.add_resistor("R1", a, b, 1e3).unwrap();
+//! ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+//!
+//! let mut batch = BatchSim::compile(&ckt, 1e-8, 2e-6)?.with_threads(2);
+//! batch.param("R1", ParamKind::Resistance)?;
+//! batch.param("C1", ParamKind::Capacitance)?;
+//! for (r, c) in [(0.9e3, 1e-9), (1e3, 1e-9), (1.1e3, 1.2e-9)] {
+//!     batch.add_instance(&[r, c])?;
+//! }
+//! let run = batch.run()?;
+//! assert_eq!(run.results().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use wavepipe_circuit::{Circuit, Element, Waveform};
+use wavepipe_engine::transient::run_transient_recoverable_compiled;
+use wavepipe_engine::{EngineError, MnaSystem, SimOptions, SolverHandle, TransientResult};
+use wavepipe_sparse::LuOptions;
+
+/// Which value of a named element a batch parameter column drives.
+///
+/// The kind is validated against the element when the column is registered
+/// ([`BatchSim::param`]), so a mismatch is a setup-time error rather than a
+/// mid-batch surprise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamKind {
+    /// Resistance of a `Resistor`, in ohms.
+    Resistance,
+    /// Capacitance of a `Capacitor`, in farads.
+    Capacitance,
+    /// Inductance of an `Inductor`, in henries.
+    Inductance,
+    /// DC value of a `VoltageSource` or `CurrentSource`; replaces the
+    /// waveform with [`Waveform::Dc`].
+    SourceDc,
+    /// Zero-bias threshold voltage `VTO` of a `Mosfet` model, in volts.
+    MosVt0,
+    /// Transconductance parameter `KP` of a `Mosfet` model, in A/V².
+    MosKp,
+    /// Saturation current `IS` of a `Diode` model, in amperes.
+    DiodeIs,
+}
+
+impl fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParamKind::Resistance => "resistance",
+            ParamKind::Capacitance => "capacitance",
+            ParamKind::Inductance => "inductance",
+            ParamKind::SourceDc => "source DC value",
+            ParamKind::MosVt0 => "MOSFET vt0",
+            ParamKind::MosKp => "MOSFET kp",
+            ParamKind::DiodeIs => "diode is",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ParamKind {
+    /// Whether this kind can drive the given element.
+    fn accepts(self, elem: &Element) -> bool {
+        matches!(
+            (self, elem),
+            (ParamKind::Resistance, Element::Resistor { .. })
+                | (ParamKind::Capacitance, Element::Capacitor { .. })
+                | (ParamKind::Inductance, Element::Inductor { .. })
+                | (ParamKind::SourceDc, Element::VoltageSource { .. })
+                | (ParamKind::SourceDc, Element::CurrentSource { .. })
+                | (ParamKind::MosVt0, Element::Mosfet { .. })
+                | (ParamKind::MosKp, Element::Mosfet { .. })
+                | (ParamKind::DiodeIs, Element::Diode { .. })
+        )
+    }
+
+    /// Write `value` into the element. Caller has already validated the
+    /// kind/element pairing via [`ParamKind::accepts`].
+    fn apply(self, elem: &mut Element, value: f64) {
+        match (self, elem) {
+            (ParamKind::Resistance, Element::Resistor { resistance, .. }) => *resistance = value,
+            (ParamKind::Capacitance, Element::Capacitor { capacitance, .. }) => {
+                *capacitance = value;
+            }
+            (ParamKind::Inductance, Element::Inductor { inductance, .. }) => *inductance = value,
+            (ParamKind::SourceDc, Element::VoltageSource { waveform, .. })
+            | (ParamKind::SourceDc, Element::CurrentSource { waveform, .. }) => {
+                *waveform = Waveform::Dc(value);
+            }
+            (ParamKind::MosVt0, Element::Mosfet { model, .. }) => model.vt0 = value,
+            (ParamKind::MosKp, Element::Mosfet { model, .. }) => model.kp = value,
+            (ParamKind::DiodeIs, Element::Diode { model, .. }) => model.is = value,
+            _ => unreachable!("param kind validated at registration"),
+        }
+    }
+}
+
+/// Error from batch setup or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BatchError {
+    /// Compiling the base circuit, or deriving an instance system, failed.
+    Engine(EngineError),
+    /// A parameter column referenced an element that does not exist in the
+    /// base circuit.
+    UnknownElement {
+        /// The missing element name.
+        name: String,
+    },
+    /// A parameter column referenced an element of the wrong kind (e.g.
+    /// [`ParamKind::Resistance`] on a capacitor).
+    WrongKind {
+        /// The element name.
+        name: String,
+        /// The requested parameter kind.
+        kind: ParamKind,
+    },
+    /// [`BatchSim::add_instance`] was given the wrong number of values for
+    /// the registered parameter columns.
+    ParamCountMismatch {
+        /// Registered parameter columns.
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
+    /// [`BatchSim::run`] was called with no instances added.
+    NoInstances,
+    /// One instance of the batch failed; the index identifies which row.
+    InstanceFailed {
+        /// Instance index (the order of [`BatchSim::add_instance`] calls).
+        index: usize,
+        /// The underlying engine failure.
+        source: EngineError,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Engine(e) => write!(f, "batch compile failed: {e}"),
+            BatchError::UnknownElement { name } => {
+                write!(f, "no element named {name} in the base circuit")
+            }
+            BatchError::WrongKind { name, kind } => {
+                write!(f, "element {name} cannot take a {kind} parameter")
+            }
+            BatchError::ParamCountMismatch { expected, found } => {
+                write!(f, "instance has {found} values but {expected} parameter columns")
+            }
+            BatchError::NoInstances => write!(f, "batch has no instances to run"),
+            BatchError::InstanceFailed { index, source } => {
+                write!(f, "instance {index} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Engine(e) | BatchError::InstanceFailed { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for BatchError {
+    fn from(e: EngineError) -> Self {
+        BatchError::Engine(e)
+    }
+}
+
+/// One registered parameter column: which element, which value.
+#[derive(Debug, Clone)]
+struct ParamSpec {
+    element: String,
+    kind: ParamKind,
+}
+
+/// A batched many-scenario transient simulation.
+///
+/// Built with [`BatchSim::compile`] (one compile of the base circuit),
+/// configured with the builder-style `with_*` methods, populated with
+/// [`BatchSim::param`] / [`BatchSim::add_instance`], and executed with
+/// [`BatchSim::run`]. See the [crate docs](crate) for what is shared across
+/// instances and the determinism contract.
+#[derive(Debug, Clone)]
+pub struct BatchSim {
+    sys: Arc<MnaSystem>,
+    base: Circuit,
+    tstep: f64,
+    tstop: f64,
+    sim: SimOptions,
+    threads: usize,
+    params: Vec<ParamSpec>,
+    /// SoA storage: `columns[p][i]` is the value of parameter column `p`
+    /// for instance `i`. All columns always have the same length.
+    columns: Vec<Vec<f64>>,
+    n_instances: usize,
+}
+
+impl BatchSim {
+    /// Compile the base circuit once and set the shared analysis window.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Engine`] when the circuit fails validation or MNA
+    /// compilation.
+    pub fn compile(circuit: &Circuit, tstep: f64, tstop: f64) -> Result<Self, BatchError> {
+        let sys = Arc::new(MnaSystem::compile(circuit)?);
+        Ok(BatchSim {
+            sys,
+            base: circuit.clone(),
+            tstep,
+            tstop,
+            sim: SimOptions::default(),
+            threads: 1,
+            params: Vec::new(),
+            columns: Vec::new(),
+            n_instances: 0,
+        })
+    }
+
+    /// Total thread budget for the batch (default 1). Instances are striped
+    /// over `threads / max(stamp_workers, 1)` batch workers, mirroring the
+    /// two-level split of `wavepipe-core`: intra-step stamp workers and
+    /// across-instance workers draw from one budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Per-instance simulation options (tolerances, integration method,
+    /// caches, probes). The solver handle inside is overridden per run with
+    /// the shared batched ordering; everything else is applied verbatim to
+    /// every instance.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimOptions) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Stamp workers per instance (forwarded to
+    /// [`SimOptions::with_stamp_workers`]). Part of the two-level thread
+    /// split; see [`BatchSim::with_threads`].
+    #[must_use]
+    pub fn with_stamp_workers(mut self, stamp_workers: usize) -> Self {
+        self.sim = self.sim.with_stamp_workers(stamp_workers);
+        self
+    }
+
+    /// Register a parameter column driving `kind` of the named element
+    /// (case-insensitive, like every name lookup in WavePipe). Returns the
+    /// column index, which is also the position the value takes in each
+    /// [`BatchSim::add_instance`] row.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownElement`] when no element has that name;
+    /// [`BatchError::WrongKind`] when the element cannot take that
+    /// parameter. Columns cannot be registered once instances exist
+    /// ([`BatchError::ParamCountMismatch`] — the existing rows would be
+    /// short).
+    pub fn param(&mut self, element: &str, kind: ParamKind) -> Result<usize, BatchError> {
+        if self.n_instances > 0 {
+            return Err(BatchError::ParamCountMismatch {
+                expected: self.params.len() + 1,
+                found: self.params.len(),
+            });
+        }
+        let elem = self
+            .base
+            .element(element)
+            .ok_or_else(|| BatchError::UnknownElement { name: element.to_string() })?;
+        if !kind.accepts(elem) {
+            return Err(BatchError::WrongKind { name: element.to_string(), kind });
+        }
+        self.params.push(ParamSpec { element: element.to_string(), kind });
+        self.columns.push(Vec::new());
+        Ok(self.params.len() - 1)
+    }
+
+    /// Append one instance: `values[p]` goes to parameter column `p`.
+    /// Returns the instance index.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::ParamCountMismatch`] when `values.len()` differs from
+    /// the number of registered columns.
+    pub fn add_instance(&mut self, values: &[f64]) -> Result<usize, BatchError> {
+        if values.len() != self.params.len() {
+            return Err(BatchError::ParamCountMismatch {
+                expected: self.params.len(),
+                found: values.len(),
+            });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        self.n_instances += 1;
+        Ok(self.n_instances - 1)
+    }
+
+    /// Number of registered parameter columns.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of instances added so far.
+    pub fn instance_count(&self) -> usize {
+        self.n_instances
+    }
+
+    /// The shared compiled system all instances derive from.
+    pub fn system(&self) -> &Arc<MnaSystem> {
+        &self.sys
+    }
+
+    /// Build the patched circuit for one instance (base circuit with every
+    /// registered column's value written in).
+    fn instance_circuit(&self, index: usize) -> Circuit {
+        let mut ckt = self.base.clone();
+        for (spec, col) in self.params.iter().zip(&self.columns) {
+            let elem =
+                ckt.element_mut(&spec.element).expect("validated at registration: element exists");
+            spec.kind.apply(elem, col[index]);
+        }
+        ckt
+    }
+
+    /// Solve one instance against the shared system and ordering.
+    fn run_instance(&self, index: usize, opts: &SimOptions) -> Result<TransientResult, BatchError> {
+        let ckt = self.instance_circuit(index);
+        let sys = Arc::new(
+            self.sys
+                .with_values_from(&ckt)
+                .map_err(|e| BatchError::InstanceFailed { index, source: e })?,
+        );
+        run_transient_recoverable_compiled(&sys, self.tstep, self.tstop, opts)
+            .and_then(|o| o.into_result())
+            .map_err(|e| BatchError::InstanceFailed { index, source: e })
+    }
+
+    /// Run every instance and collect the results in instance order.
+    ///
+    /// The fill-reducing ordering is computed once from the shared pattern
+    /// and injected into every instance through [`SolverHandle::batched`];
+    /// instances are striped round-robin over the batch workers. Failures
+    /// are deterministic: the lowest-index failing instance is reported.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::NoInstances`] for an empty batch;
+    /// [`BatchError::InstanceFailed`] when an instance cannot be derived or
+    /// does not converge.
+    pub fn run(&self) -> Result<BatchRun, BatchError> {
+        if self.n_instances == 0 {
+            return Err(BatchError::NoInstances);
+        }
+        let start = Instant::now();
+        let ordering = Arc::new(
+            wavepipe_sparse::ordering::order(self.sys.pattern(), LuOptions::default().ordering)
+                .map_err(|e| BatchError::Engine(EngineError::Linear(e)))?,
+        );
+        let opts = self.sim.clone().with_solver(SolverHandle::batched(ordering));
+        let workers = self.workers().min(self.n_instances);
+        let prep_ns = start.elapsed().as_nanos();
+
+        let mut slots: Vec<Option<Result<TransientResult, BatchError>>> =
+            (0..self.n_instances).map(|_| None).collect();
+        if workers <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.run_instance(i, &opts));
+            }
+        } else {
+            let shared = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let shared = &shared;
+                    let opts = &opts;
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, Result<TransientResult, BatchError>)> =
+                            Vec::new();
+                        let mut i = w;
+                        while i < self.n_instances {
+                            mine.push((i, self.run_instance(i, opts)));
+                            i += workers;
+                        }
+                        let mut guard = shared.lock().expect("result mutex poisoned");
+                        for (i, r) in mine {
+                            guard[i] = Some(r);
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut results = Vec::with_capacity(self.n_instances);
+        for slot in slots {
+            results.push(slot.expect("every stride covers its instances")?);
+        }
+        Ok(BatchRun { results, workers, prep_ns, wall_ns: start.elapsed().as_nanos() })
+    }
+
+    /// Batch workers implied by the two-level thread split:
+    /// `threads / max(stamp_workers, 1)`, at least 1.
+    pub fn workers(&self) -> usize {
+        (self.threads / self.sim.stamp_workers.max(1)).max(1)
+    }
+}
+
+/// The outcome of [`BatchSim::run`]: one [`TransientResult`] per instance,
+/// in the order the instances were added.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    results: Vec<TransientResult>,
+    workers: usize,
+    prep_ns: u128,
+    wall_ns: u128,
+}
+
+impl BatchRun {
+    /// Per-instance results, in [`BatchSim::add_instance`] order.
+    pub fn results(&self) -> &[TransientResult] {
+        &self.results
+    }
+
+    /// Consume the run and take ownership of the per-instance results.
+    pub fn into_results(self) -> Vec<TransientResult> {
+        self.results
+    }
+
+    /// Batch workers that executed the run.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Wall nanoseconds spent on shared preparation (the symbolic
+    /// ordering) before any instance ran.
+    pub fn prep_ns(&self) -> u128 {
+        self.prep_ns
+    }
+
+    /// Total wall nanoseconds for the whole batch, preparation included.
+    pub fn wall_ns(&self) -> u128 {
+        self.wall_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc_circuit() -> Circuit {
+        let mut ckt = Circuit::new("rc");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0)).unwrap();
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn unknown_element_is_a_setup_error() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        let err = batch.param("R99", ParamKind::Resistance).unwrap_err();
+        assert_eq!(err, BatchError::UnknownElement { name: "R99".into() });
+    }
+
+    #[test]
+    fn wrong_kind_is_a_setup_error() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        let err = batch.param("C1", ParamKind::Resistance).unwrap_err();
+        assert_eq!(err, BatchError::WrongKind { name: "C1".into(), kind: ParamKind::Resistance });
+        // Error message names both sides of the mismatch.
+        assert!(err.to_string().contains("C1"));
+        assert!(err.to_string().contains("resistance"));
+    }
+
+    #[test]
+    fn element_lookup_is_case_insensitive() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        assert_eq!(batch.param("r1", ParamKind::Resistance).unwrap(), 0);
+    }
+
+    #[test]
+    fn value_count_mismatch_is_rejected() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        let err = batch.add_instance(&[1e3, 2e3]).unwrap_err();
+        assert_eq!(err, BatchError::ParamCountMismatch { expected: 1, found: 2 });
+        assert_eq!(batch.instance_count(), 0);
+    }
+
+    #[test]
+    fn params_are_frozen_once_instances_exist() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        batch.add_instance(&[1e3]).unwrap();
+        assert!(matches!(
+            batch.param("C1", ParamKind::Capacitance),
+            Err(BatchError::ParamCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_refuses_to_run() {
+        let batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        assert_eq!(batch.run().unwrap_err(), BatchError::NoInstances);
+    }
+
+    #[test]
+    fn two_level_split_determines_workers() {
+        let batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6)
+            .unwrap()
+            .with_threads(8)
+            .with_stamp_workers(2);
+        assert_eq!(batch.workers(), 4);
+        let serial = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        assert_eq!(serial.workers(), 1);
+    }
+
+    #[test]
+    fn batch_matches_single_runs() {
+        // Pin serial stamping so a `WAVEPIPE_STAMP_WORKERS` CI leg cannot
+        // steal threads from the batch-level split.
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 2e-6)
+            .unwrap()
+            .with_threads(2)
+            .with_stamp_workers(0);
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        batch.param("C1", ParamKind::Capacitance).unwrap();
+        let corners = [(0.5e3, 1e-9), (1e3, 1e-9), (2e3, 2e-9)];
+        for (r, c) in corners {
+            batch.add_instance(&[r, c]).unwrap();
+        }
+        let run = batch.run().unwrap();
+        assert_eq!(run.results().len(), 3);
+        assert_eq!(run.workers(), 2);
+        for ((r, c), got) in corners.iter().zip(run.results()) {
+            let mut ckt = rc_circuit();
+            if let Some(Element::Resistor { resistance, .. }) = ckt.element_mut("R1") {
+                *resistance = *r;
+            }
+            if let Some(Element::Capacitor { capacitance, .. }) = ckt.element_mut("C1") {
+                *capacitance = *c;
+            }
+            let want =
+                wavepipe_engine::run_transient(&ckt, 1e-8, 2e-6, &SimOptions::default()).unwrap();
+            assert_eq!(got.times(), want.times(), "time grids diverged at R={r} C={c}");
+            for k in 0..want.len() {
+                assert_eq!(got.solution(k), want.solution(k), "solutions diverged at point {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn failing_instance_reports_its_index() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        batch.add_instance(&[1e3]).unwrap();
+        batch.add_instance(&[f64::NAN]).unwrap(); // poisons the matrix
+        let err = batch.run().unwrap_err();
+        assert!(
+            matches!(err, BatchError::InstanceFailed { index: 1, .. }),
+            "expected instance 1 to fail, got {err:?}"
+        );
+    }
+}

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! perf-gate --newton-baseline <file> --newton-fresh <file> \
-//!           --stamp-baseline <file>  --stamp-fresh <file> [--tolerance 0.15]
+//!           --stamp-baseline <file>  --stamp-fresh <file> \
+//!           --sweep-baseline <file>  --sweep-fresh <file> [--tolerance 0.15]
 //! ```
 
 use wavepipe_bench::perfgate::{gate, DEFAULT_TOLERANCE};
@@ -25,6 +26,8 @@ fn main() {
     let mut newton_fresh = None;
     let mut stamp_baseline = None;
     let mut stamp_fresh = None;
+    let mut sweep_baseline = None;
+    let mut sweep_fresh = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -32,6 +35,8 @@ fn main() {
             "--newton-fresh" => newton_fresh = args.next(),
             "--stamp-baseline" => stamp_baseline = args.next(),
             "--stamp-fresh" => stamp_fresh = args.next(),
+            "--sweep-baseline" => sweep_baseline = args.next(),
+            "--sweep-fresh" => sweep_fresh = args.next(),
             "--tolerance" => {
                 let t = args.next().and_then(|v| v.parse::<f64>().ok());
                 tolerance = t.unwrap_or_else(|| {
@@ -55,8 +60,10 @@ fn main() {
     let nf = read("newton fresh", required("--newton-fresh", newton_fresh));
     let sb = read("stamp baseline", required("--stamp-baseline", stamp_baseline));
     let sf = read("stamp fresh", required("--stamp-fresh", stamp_fresh));
+    let wb = read("sweep baseline", required("--sweep-baseline", sweep_baseline));
+    let wf = read("sweep fresh", required("--sweep-fresh", sweep_fresh));
 
-    match gate(&nb, &nf, &sb, &sf, tolerance) {
+    match gate(&nb, &nf, &sb, &sf, &wb, &wf, tolerance) {
         Ok(report) => {
             print!("{}", report.table());
             if report.passed() {

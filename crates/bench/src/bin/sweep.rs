@@ -1,0 +1,37 @@
+//! Prints the batched corner-sweep figure (BatchSim vs the independent
+//! one-run-at-a-time loop on a many-instance parameter sweep) and writes
+//! the row to `BENCH_sweep.json`.
+//!
+//! Usage: `cargo run --release -p wavepipe-bench --bin sweep [-- --small]`
+
+use wavepipe_bench::sweep::{fig_sweep, sweep_to_json};
+use wavepipe_circuit::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+
+    // The acceptance configuration: a 100-instance corner sweep of the
+    // 8-stage inverter chain on 8 modeled workers. `--small` shrinks both
+    // chain and corner count for the CI smoke leg.
+    let (subject, instances, workers) = if small {
+        (generators::inverter_chain(4), 10, 4)
+    } else {
+        (generators::inverter_chain(8), 100, 8)
+    };
+
+    let (txt, row) = fig_sweep(&subject, instances, workers);
+    println!("{txt}");
+
+    if !small {
+        assert!(
+            row.modeled_speedup >= 5.0,
+            "acceptance: modeled speedup {:.2}x below the 5x floor",
+            row.modeled_speedup
+        );
+    }
+
+    std::fs::write("BENCH_sweep.json", sweep_to_json(&[row]))?;
+    println!("wrote BENCH_sweep.json");
+    Ok(())
+}

@@ -11,6 +11,7 @@
 
 pub mod doctor;
 pub mod perfgate;
+pub mod sweep;
 
 use std::fmt::Write as _;
 use wavepipe_circuit::generators::{self, Benchmark};

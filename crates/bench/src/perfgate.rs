@@ -100,6 +100,38 @@ pub fn stamp_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Extracts the ratio-type metrics from a `BENCH_sweep.json` document (an
+/// array of per-configuration rows): the modeled batch throughput gain and
+/// the real single-core work ratio. Wall-millisecond columns are skipped
+/// for the usual reason — they vary with host load, ratios do not.
+///
+/// # Errors
+///
+/// Returns a message when the document does not parse or lacks the
+/// expected fields.
+pub fn sweep_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = json::parse(doc).map_err(|e| format!("BENCH_sweep.json: {e}"))?;
+    let rows = v.as_array().ok_or("BENCH_sweep.json: expected a top-level array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let circuit = row
+            .get("circuit")
+            .and_then(JsonValue::as_str)
+            .ok_or("BENCH_sweep.json: row without circuit")?;
+        let speedup = row
+            .get("modeled_speedup")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_sweep.json: {circuit} lacks modeled_speedup"))?;
+        let work = row
+            .get("work_ratio")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_sweep.json: {circuit} lacks work_ratio"))?;
+        out.push((format!("sweep/{circuit}/modeled_speedup"), speedup));
+        out.push((format!("sweep/{circuit}/work_ratio"), work));
+    }
+    Ok(out)
+}
+
 /// Pairs baseline and fresh metric lists by key. Keys present on only one
 /// side are reported (a renamed circuit must fail loudly, not vanish).
 ///
@@ -206,12 +238,16 @@ pub fn gate(
     newton_fresh: &str,
     stamp_baseline: &str,
     stamp_fresh: &str,
+    sweep_baseline: &str,
+    sweep_fresh: &str,
     tolerance: f64,
 ) -> Result<GateReport, String> {
     let mut base = newton_metrics(newton_baseline)?;
     base.extend(stamp_metrics(stamp_baseline)?);
+    base.extend(sweep_metrics(sweep_baseline)?);
     let mut fresh = newton_metrics(newton_fresh)?;
     fresh.extend(stamp_metrics(stamp_fresh)?);
+    fresh.extend(sweep_metrics(sweep_fresh)?);
     Ok(GateReport::new(pair(&base, &fresh)?, tolerance))
 }
 
@@ -229,6 +265,11 @@ mod tests {
         {"workers":2,"newton_speedup":1.2,"stamp_ms":4.0}
       ]
     }"#;
+    const SWEEP: &str = r#"[
+      {"circuit":"c","instances":100,"workers":8,"independent_ms":500.0,
+       "batched_cpu_ms":450.0,"batched_makespan_ms":65.0,
+       "work_ratio":1.11,"modeled_speedup":7.7}
+    ]"#;
 
     fn scaled_newton(factor: f64) -> String {
         format!(
@@ -241,16 +282,16 @@ mod tests {
 
     #[test]
     fn identical_runs_pass() {
-        let r = gate(NEWTON, NEWTON, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        let r = gate(NEWTON, NEWTON, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
         assert!(r.passed(), "{}", r.table());
-        assert_eq!(r.metrics.len(), 3); // 2 newton + 1 non-serial stamp point
+        assert_eq!(r.metrics.len(), 5); // 2 newton + 1 non-serial stamp + 2 sweep
     }
 
     #[test]
     fn injected_twenty_percent_slowdown_fails() {
         // The acceptance scenario: a 20% speedup loss must trip a 15% gate.
         let slow = scaled_newton(0.8);
-        let r = gate(NEWTON, &slow, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        let r = gate(NEWTON, &slow, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
         assert!(!r.passed());
         assert_eq!(r.failures().len(), 2);
         let table = r.table();
@@ -262,14 +303,14 @@ mod tests {
     #[test]
     fn slowdown_within_tolerance_passes() {
         let slight = scaled_newton(0.9); // -10% on a 15% gate
-        let r = gate(NEWTON, &slight, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        let r = gate(NEWTON, &slight, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
         assert!(r.passed(), "{}", r.table());
     }
 
     #[test]
     fn improvements_never_fail() {
         let faster = scaled_newton(1.5);
-        let r = gate(NEWTON, &faster, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap();
+        let r = gate(NEWTON, &faster, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
         assert!(r.passed(), "{}", r.table());
         assert!(r.table().contains("ok +"));
     }
@@ -277,7 +318,8 @@ mod tests {
     #[test]
     fn diverging_metric_sets_are_an_error() {
         let renamed = NEWTON.replace("\"a\"", "\"renamed\"");
-        let err = gate(NEWTON, &renamed, STAMP, STAMP, DEFAULT_TOLERANCE).unwrap_err();
+        let err =
+            gate(NEWTON, &renamed, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.contains("newton/a/speedup"), "{err}");
         assert!(err.contains("renamed"), "{err}");
     }
@@ -288,6 +330,8 @@ mod tests {
         assert!(newton_metrics("{}").is_err());
         assert!(stamp_metrics("[]").is_err());
         assert!(newton_metrics(r#"[{"name":"x"}]"#).is_err());
+        assert!(sweep_metrics("{}").is_err());
+        assert!(sweep_metrics(r#"[{"circuit":"x","work_ratio":1.0}]"#).is_err());
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! **Batched corner-sweep figure** — throughput of [`BatchSim`] against the
+//! classic one-run-at-a-time loop on a many-instance parameter sweep.
+//!
+//! Two quantities are reported, and they answer different questions:
+//!
+//! * `work_ratio` — real, single-core CPU-work saving: total wall of the
+//!   independent loop (recompile + re-order + solve per instance) divided
+//!   by the total wall of the batched engine (compile + order **once**,
+//!   value-patch + solve per instance). Both totals are measured on this
+//!   host, sequentially.
+//! * `modeled_speedup` — the throughput a `workers`-wide machine gets from
+//!   the batch: per-instance walls are measured individually (sequential
+//!   dispatch, so each measurement is contention-free), then striped
+//!   round-robin over the workers exactly as [`BatchSim::run`] stripes
+//!   instances; the modeled makespan is the shared prep plus the heaviest
+//!   worker's total. This is the same modeled-parallel-machine convention
+//!   used by the stamp-scaling figure and `CaseOutcome::wall_speedup`: on a
+//!   single-core CI host the round maxima approximate a real multi-core
+//!   box without timing noise from oversubscription.
+//!
+//! The figure also cross-checks correctness in passing: every batched
+//! instance must land on **exactly** the same time grid as its independent
+//! twin (the bit-identity property pinned ulp-level by
+//! `wavepipe-batch/tests/bit_identity.rs`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wavepipe_batch::{BatchSim, ParamKind};
+use wavepipe_circuit::generators::Benchmark;
+use wavepipe_circuit::{Circuit, Element};
+use wavepipe_engine::{run_transient, SimOptions};
+use wavepipe_telemetry::json;
+
+/// One measured sweep configuration — a row of `BENCH_sweep.json`.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Instances in the sweep.
+    pub instances: usize,
+    /// Modeled batch workers (round-robin striping).
+    pub workers: usize,
+    /// Total wall of the independent loop, milliseconds.
+    pub independent_ms: f64,
+    /// Total sequential wall of the batched engine, milliseconds.
+    pub batched_cpu_ms: f64,
+    /// Modeled makespan of the batch on `workers` workers, milliseconds.
+    pub batched_makespan_ms: f64,
+    /// Real single-core work saving, `independent_ms / batched_cpu_ms`.
+    pub work_ratio: f64,
+    /// Modeled throughput gain, `independent_ms / batched_makespan_ms`.
+    pub modeled_speedup: f64,
+}
+
+/// Deterministic corner multiplier stream: a tiny LCG (no external RNG in
+/// the bench path) yielding multipliers in `[0.9, 1.1)`.
+struct Corners {
+    state: u64,
+}
+
+impl Corners {
+    fn new(seed: u64) -> Self {
+        Corners { state: seed.max(1) }
+    }
+
+    fn next_mult(&mut self) -> f64 {
+        // Numerical Recipes LCG constants; top 32 bits for the mantissa.
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = (self.state >> 32) as f64 / 4294967296.0;
+        0.9 + 0.2 * u
+    }
+}
+
+/// The sweep parameter set for an inverter-chain-style benchmark: per stage
+/// `i`, the NMOS/PMOS transconductance of `Mn{i}`/`Mp{i}` and the load
+/// capacitance of `Cl{i}`. Stages are discovered by name probing so the
+/// figure works at any chain length.
+fn stage_count(ckt: &Circuit) -> usize {
+    let mut n = 0;
+    while ckt.element(&format!("Mn{n}")).is_some() {
+        n += 1;
+    }
+    assert!(n > 0, "sweep subject must be an inverter-chain-style circuit");
+    n
+}
+
+/// Nominal values for the swept parameters, read from the base circuit so
+/// corners perturb whatever the generator chose.
+fn nominals(ckt: &Circuit, stages: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(stages * 3);
+    for i in 0..stages {
+        let Some(Element::Mosfet { model, .. }) = ckt.element(&format!("Mn{i}")) else {
+            unreachable!("stage {i} probed above");
+        };
+        out.push(model.kp);
+        let Some(Element::Mosfet { model, .. }) = ckt.element(&format!("Mp{i}")) else {
+            panic!("stage {i} lacks Mp{i}");
+        };
+        out.push(model.kp);
+        let Some(Element::Capacitor { capacitance, .. }) = ckt.element(&format!("Cl{i}")) else {
+            panic!("stage {i} lacks Cl{i}");
+        };
+        out.push(*capacitance);
+    }
+    out
+}
+
+/// Patch one instance's values into a fresh copy of the base circuit (the
+/// independent loop's equivalent of a batch instance).
+fn patched(base: &Circuit, stages: usize, row: &[f64]) -> Circuit {
+    let mut ckt = base.clone();
+    for i in 0..stages {
+        if let Some(Element::Mosfet { model, .. }) = ckt.element_mut(&format!("Mn{i}")) {
+            model.kp = row[i * 3];
+        }
+        if let Some(Element::Mosfet { model, .. }) = ckt.element_mut(&format!("Mp{i}")) {
+            model.kp = row[i * 3 + 1];
+        }
+        if let Some(Element::Capacitor { capacitance, .. }) = ckt.element_mut(&format!("Cl{i}")) {
+            *capacitance = row[i * 3 + 2];
+        }
+    }
+    ckt
+}
+
+/// **Batched corner-sweep figure** — runs `instances` corners of the
+/// benchmark through the independent loop and through [`BatchSim`]
+/// (sequentially, for contention-free per-instance walls), cross-checks the
+/// time grids, and models the makespan on `workers` workers. See the
+/// module docs for what each reported number means.
+pub fn fig_sweep(b: &Benchmark, instances: usize, workers: usize) -> (String, SweepRow) {
+    assert!(instances >= 1 && workers >= 1);
+    let stages = stage_count(&b.circuit);
+    let noms = nominals(&b.circuit, stages);
+    let mut corners = Corners::new(0x5eed_cafe);
+    let rows: Vec<Vec<f64>> =
+        (0..instances).map(|_| noms.iter().map(|&v| v * corners.next_mult()).collect()).collect();
+    let opts = SimOptions::default().with_stamp_workers(0);
+
+    // Independent loop: rebuild + recompile + solve per instance, each
+    // timed individually.
+    let mut independent = Vec::with_capacity(instances);
+    let mut independent_ns = 0u128;
+    for row in &rows {
+        let ckt = patched(&b.circuit, stages, row);
+        let t0 = Instant::now();
+        let res = run_transient(&ckt, b.tstep, b.tstop, &opts)
+            .unwrap_or_else(|e| panic!("{}: independent run failed: {e}", b.name));
+        independent_ns += t0.elapsed().as_nanos();
+        independent.push(res);
+    }
+
+    // Batched engine, dispatched sequentially (one worker) so that each
+    // instance's wall is measured contention-free; the striping below
+    // models the parallel machine.
+    let t0 = Instant::now();
+    let mut batch = BatchSim::compile(&b.circuit, b.tstep, b.tstop)
+        .unwrap_or_else(|e| panic!("{}: batch compile failed: {e}", b.name))
+        .with_sim(opts.clone());
+    for i in 0..stages {
+        batch.param(&format!("Mn{i}"), ParamKind::MosKp).expect("Mn kp column");
+        batch.param(&format!("Mp{i}"), ParamKind::MosKp).expect("Mp kp column");
+        batch.param(&format!("Cl{i}"), ParamKind::Capacitance).expect("Cl column");
+    }
+    for row in &rows {
+        batch.add_instance(row).expect("instance row");
+    }
+    let run = batch.run().unwrap_or_else(|e| panic!("{}: batch run failed: {e}", b.name));
+    let batched_ns = t0.elapsed().as_nanos();
+
+    // Correctness cross-check: identical time grids instance by instance.
+    for (i, (got, want)) in run.results().iter().zip(&independent).enumerate() {
+        assert_eq!(
+            got.times(),
+            want.times(),
+            "{}: batched instance {i} diverged from its independent twin",
+            b.name
+        );
+    }
+
+    // Modeled makespan: stripe the measured per-instance walls round-robin
+    // over the workers (exactly BatchSim's assignment) and take the
+    // heaviest worker. Per-instance overhead not captured inside the
+    // solver wall (circuit patch, value re-lowering) is charged evenly.
+    let solve_ns: Vec<u128> = run.results().iter().map(|r| r.stats().wall_ns).collect();
+    let solve_total: u128 = solve_ns.iter().sum();
+    let prep_ns = run.prep_ns();
+    let patch_each =
+        (batched_ns.saturating_sub(prep_ns).saturating_sub(solve_total)) / instances as u128;
+    let stripe = workers.min(instances);
+    let mut per_worker = vec![0u128; stripe];
+    for (i, &ns) in solve_ns.iter().enumerate() {
+        per_worker[i % stripe] += ns + patch_each;
+    }
+    let makespan_ns = prep_ns + per_worker.iter().copied().max().unwrap_or(0);
+
+    let row = SweepRow {
+        circuit: b.name.clone(),
+        instances,
+        workers,
+        independent_ms: independent_ns as f64 / 1e6,
+        batched_cpu_ms: batched_ns as f64 / 1e6,
+        batched_makespan_ms: makespan_ns as f64 / 1e6,
+        work_ratio: independent_ns as f64 / batched_ns.max(1) as f64,
+        modeled_speedup: independent_ns as f64 / makespan_ns.max(1) as f64,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Batched corner sweep: BatchSim vs independent runs");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>5} {:>4} {:>12} {:>12} {:>13} {:>6} {:>8}",
+        "circuit", "inst", "wrk", "indep (ms)", "batch (ms)", "makespan (ms)", "work", "modeled"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>5} {:>4} {:>12.1} {:>12.1} {:>13.1} {:>5.2}x {:>7.2}x",
+        row.circuit,
+        row.instances,
+        row.workers,
+        row.independent_ms,
+        row.batched_cpu_ms,
+        row.batched_makespan_ms,
+        row.work_ratio,
+        row.modeled_speedup,
+    );
+    (out, row)
+}
+
+/// Machine-readable form of the sweep rows — written by the `sweep` binary
+/// as `BENCH_sweep.json`.
+pub fn sweep_to_json(rows: &[SweepRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"circuit\":\"{}\",\"instances\":{},\"workers\":{},\
+             \"independent_ms\":{},\"batched_cpu_ms\":{},\"batched_makespan_ms\":{},\
+             \"work_ratio\":{},\"modeled_speedup\":{}}}",
+            json::escape(&r.circuit),
+            r.instances,
+            r.workers,
+            json::fmt_f64(r.independent_ms),
+            json::fmt_f64(r.batched_cpu_ms),
+            json::fmt_f64(r.batched_makespan_ms),
+            json::fmt_f64(r.work_ratio),
+            json::fmt_f64(r.modeled_speedup),
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_circuit::generators;
+
+    #[test]
+    fn corners_are_deterministic_and_bounded() {
+        let mut a = Corners::new(7);
+        let mut b = Corners::new(7);
+        for _ in 0..100 {
+            let m = a.next_mult();
+            assert_eq!(m, b.next_mult());
+            assert!((0.9..1.1).contains(&m), "multiplier {m} out of band");
+        }
+    }
+
+    #[test]
+    fn small_sweep_produces_consistent_row() {
+        let b = generators::inverter_chain(2);
+        let (txt, row) = fig_sweep(&b, 3, 2);
+        assert!(txt.contains("inverter_chain(2)"));
+        assert_eq!(row.instances, 3);
+        assert_eq!(row.workers, 2);
+        assert!(row.independent_ms > 0.0);
+        assert!(row.batched_makespan_ms <= row.batched_cpu_ms * 1.01);
+        // The modeled speedup can never exceed work_ratio * workers.
+        assert!(row.modeled_speedup <= row.work_ratio * row.workers as f64 * 1.01);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let rows = vec![SweepRow {
+            circuit: "inverter_chain(8)".into(),
+            instances: 100,
+            workers: 8,
+            independent_ms: 1000.0,
+            batched_cpu_ms: 900.0,
+            batched_makespan_ms: 130.0,
+            work_ratio: 1.11,
+            modeled_speedup: 7.69,
+        }];
+        let doc = sweep_to_json(&rows);
+        let v = json::parse(&doc).expect("valid json");
+        let arr = v.as_array().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("workers").and_then(json::JsonValue::as_f64), Some(8.0));
+        assert_eq!(arr[0].get("modeled_speedup").and_then(json::JsonValue::as_f64), Some(7.69));
+    }
+}

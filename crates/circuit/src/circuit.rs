@@ -155,6 +155,20 @@ impl Circuit {
         &self.elements
     }
 
+    /// The named element, if present. The lookup is case-insensitive,
+    /// matching netlist conventions.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.elements.iter().find(|e| e.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Mutable access to the named element (case-insensitive), for patching
+    /// parameter values between compiles — the per-instance edit a batched
+    /// sweep applies. Structure (terminals, element kind) is fixed by the
+    /// element's variant; only its value fields can change through this.
+    pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.elements.iter_mut().find(|e| e.name().eq_ignore_ascii_case(name))
+    }
+
     /// Number of elements.
     pub fn element_count(&self) -> usize {
         self.elements.len()

@@ -152,7 +152,7 @@ impl AcResult {
 pub fn run_ac(circuit: &Circuit, freqs: &[f64], opts: &SimOptions) -> Result<AcResult> {
     let sys = MnaSystem::compile(circuit)?;
     let mut ws = sys.new_workspace();
-    let mut cache = LinearCache::new();
+    let mut cache = LinearCache::for_options(opts);
     let mut stats = SimStats::new();
     let x_op = crate::dcop::dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?;
     run_ac_at_op(&sys, &x_op, freqs, opts)

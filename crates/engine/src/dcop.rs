@@ -167,7 +167,7 @@ pub fn format_dc_op(circuit: &wavepipe_circuit::Circuit, opts: &SimOptions) -> R
     use std::fmt::Write as _;
     let sys = MnaSystem::compile(circuit)?;
     let mut ws = sys.new_workspace();
-    let mut cache = LinearCache::new();
+    let mut cache = LinearCache::for_options(opts);
     let mut stats = SimStats::new();
     let x = dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?;
     let mut out = String::new();
@@ -194,7 +194,7 @@ mod tests {
     fn op(ckt: &Circuit) -> (MnaSystem, Vec<f64>) {
         let sys = MnaSystem::compile(ckt).unwrap();
         let mut ws = sys.new_workspace();
-        let mut cache = LinearCache::new();
+        let mut cache = LinearCache::default();
         let mut stats = SimStats::new();
         let x =
             dc_operating_point(&sys, &mut ws, &mut cache, None, &SimOptions::default(), &mut stats)
@@ -299,7 +299,7 @@ mod tests {
         for b in generators::small_suite() {
             let sys = MnaSystem::compile(&b.circuit).unwrap();
             let mut ws = sys.new_workspace();
-            let mut cache = LinearCache::new();
+            let mut cache = LinearCache::default();
             let mut stats = SimStats::new();
             let x = dc_operating_point(
                 &sys,

@@ -100,7 +100,7 @@ pub fn run_dc_sweep(
     sys.set_source(source, values[0])?;
     let n = sys.n_unknowns();
     let mut ws = sys.new_workspace();
-    let mut cache = LinearCache::new();
+    let mut cache = LinearCache::for_options(opts);
     let mut stats = SimStats::new();
     let zeros = vec![0.0; n];
     let caps = vec![0.0; sys.cap_state_count()];

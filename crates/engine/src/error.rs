@@ -81,6 +81,13 @@ pub enum EngineError {
         /// Description of the violated invariant.
         context: String,
     },
+    /// A circuit offered for value-only recompilation
+    /// (`MnaSystem::with_values_from`) does not share the frozen topology:
+    /// differing node/device counts, kinds, or connectivity.
+    TopologyMismatch {
+        /// What differed between the compiled system and the new circuit.
+        context: String,
+    },
 }
 
 impl EngineError {
@@ -124,6 +131,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Internal { context } => {
                 write!(f, "internal invariant violated: {context}")
+            }
+            EngineError::TopologyMismatch { context } => {
+                write!(f, "circuit topology differs from the compiled system: {context}")
             }
         }
     }

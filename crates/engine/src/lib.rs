@@ -64,6 +64,7 @@ pub mod parstamp;
 pub mod rawfile;
 mod result;
 pub mod sensitivity;
+pub mod solver;
 pub mod spectrum;
 mod stats;
 pub mod transient;
@@ -79,6 +80,7 @@ pub use options::{CacheCtl, SimOptions};
 pub use parstamp::StampExecutor;
 pub use result::TransientResult;
 pub use sensitivity::{run_dc_sensitivity, SensitivityResult};
+pub use solver::{BatchedDirectLu, DirectLu, SolverBackend, SolverFactory, SolverHandle};
 pub use stats::SimStats;
 pub use transient::{
     run_transient, run_transient_compiled, run_transient_recoverable,

@@ -131,6 +131,51 @@ impl Dev {
         matches!(self, Dev::Diode { .. } | Dev::Mos { .. } | Dev::Bjt { .. } | Dev::Jcap { .. })
     }
 
+    /// Whether two compiled devices share kind, terminals, and state slots —
+    /// the structural identity under which they emit the *same* matrix/RHS
+    /// position sequence (emission order and count are value-independent),
+    /// so a system compiled from one can stamp values derived from the
+    /// other. Waveforms, model constants, and initial conditions are
+    /// deliberately ignored: those are the values a sweep varies.
+    fn same_shape(a: &Dev, b: &Dev) -> bool {
+        match (a, b) {
+            (Dev::Conductance { p, n, .. }, Dev::Conductance { p: p2, n: n2, .. }) => {
+                (p, n) == (p2, n2)
+            }
+            (Dev::Cap { p, n, state, .. }, Dev::Cap { p: p2, n: n2, state: s2, .. }) => {
+                (p, n, state) == (p2, n2, s2)
+            }
+            (Dev::Jcap { p, n, state, .. }, Dev::Jcap { p: p2, n: n2, state: s2, .. }) => {
+                (p, n, state) == (p2, n2, s2)
+            }
+            (Dev::Ind { p, n, branch, .. }, Dev::Ind { p: p2, n: n2, branch: b2, .. }) => {
+                (p, n, branch) == (p2, n2, b2)
+            }
+            (Dev::Vsrc { p, n, branch, .. }, Dev::Vsrc { p: p2, n: n2, branch: b2, .. }) => {
+                (p, n, branch) == (p2, n2, b2)
+            }
+            (Dev::Isrc { p, n, .. }, Dev::Isrc { p: p2, n: n2, .. }) => (p, n) == (p2, n2),
+            (Dev::Diode { p, n, jct, .. }, Dev::Diode { p: p2, n: n2, jct: j2, .. }) => {
+                (p, n, jct) == (p2, n2, j2)
+            }
+            (Dev::Mos { d, g, s, b, .. }, Dev::Mos { d: d2, g: g2, s: s2, b: b2, .. }) => {
+                (d, g, s, b) == (d2, g2, s2, b2)
+            }
+            (
+                Dev::Bjt { c, b, e, jct_be, jct_bc, .. },
+                Dev::Bjt { c: c2, b: b2, e: e2, jct_be: be2, jct_bc: bc2, .. },
+            ) => (c, b, e, jct_be, jct_bc) == (c2, b2, e2, be2, bc2),
+            (
+                Dev::Vcvs { p, n, cp, cn, branch, .. },
+                Dev::Vcvs { p: p2, n: n2, cp: cp2, cn: cn2, branch: b2, .. },
+            ) => (p, n, cp, cn, branch) == (p2, n2, cp2, cn2, b2),
+            (Dev::Vccs { p, n, cp, cn, .. }, Dev::Vccs { p: p2, n: n2, cp: cp2, cn: cn2, .. }) => {
+                (p, n, cp, cn) == (p2, n2, cp2, cn2)
+            }
+            _ => false,
+        }
+    }
+
     /// Stable device-class label for per-class metrics families.
     pub(crate) fn class_name(&self) -> &'static str {
         match self {
@@ -466,6 +511,28 @@ fn volt(x: &[f64], u: usize) -> f64 {
     }
 }
 
+/// The value-bearing half of a compiled system: everything `compile` derives
+/// from element parameters, separated from the frozen structural half
+/// (pattern, slot table, coloring) so a parameter sweep can rebuild only
+/// this part. Built by [`MnaSystem::build_devices`], the single derivation
+/// path shared by [`MnaSystem::compile`] and
+/// [`MnaSystem::with_values_from`] — sharing the code is what makes the
+/// derived constants (`g = 1/R`, `beta`, `vt0_eq`, ...) bit-identical
+/// between a fresh compile and a value-only rebuild.
+struct DeviceTables {
+    devices: Vec<Dev>,
+    branch_names: Vec<(String, usize)>,
+    source_names: Vec<(String, usize)>,
+    source_waves: Vec<Waveform>,
+    n_unknowns: usize,
+    n_cap_states: usize,
+    n_junctions: usize,
+    lin_elem: Vec<u32>,
+    nl_elem: Vec<u32>,
+    ctrl_nodes: Vec<u32>,
+    ctrl_span: Vec<(u32, u32)>,
+}
+
 impl MnaSystem {
     /// Compiles a circuit into a stamping-ready MNA system.
     ///
@@ -474,6 +541,35 @@ impl MnaSystem {
     /// Returns [`crate::EngineError::Circuit`] if the netlist fails validation.
     pub fn compile(circuit: &Circuit) -> Result<Self> {
         circuit.validate()?;
+        let n_nodes = circuit.node_count();
+        let t = Self::build_devices(circuit);
+        let node_names: Vec<String> = circuit.signal_node_names().map(str::to_string).collect();
+        let mut sys = MnaSystem {
+            devices: t.devices,
+            n_nodes,
+            n_unknowns: t.n_unknowns,
+            n_cap_states: t.n_cap_states,
+            n_junctions: t.n_junctions,
+            pattern: CscMatrix::zeros(0, 0),
+            slots: Vec::new(),
+            node_names,
+            branch_names: t.branch_names,
+            source_names: t.source_names,
+            source_waves: t.source_waves,
+            plan: StampPlan::default(),
+            lin_elem: t.lin_elem,
+            nl_elem: t.nl_elem,
+            ctrl_nodes: t.ctrl_nodes,
+            ctrl_span: t.ctrl_span,
+        };
+        sys.build_pattern();
+        Ok(sys)
+    }
+
+    /// Lowers every element of a validated circuit into the compiled device
+    /// tables (unknown indices, derived model constants, name maps, the
+    /// linear/nonlinear partition, and the bypass control-terminal table).
+    fn build_devices(circuit: &Circuit) -> DeviceTables {
         let n_nodes = circuit.node_count();
         let mut devices = Vec::new();
         let mut branch_names = Vec::new();
@@ -629,9 +725,6 @@ impl MnaSystem {
                 }
             }
         }
-        let n_unknowns = next_branch;
-        let node_names: Vec<String> = circuit.signal_node_names().map(str::to_string).collect();
-
         // Linear/nonlinear partition (element order within each class) and
         // the controlling-terminal table for device bypass.
         let mut lin_elem = Vec::new();
@@ -649,26 +742,91 @@ impl MnaSystem {
             ctrl_span.push((c0, ctrl_nodes.len() as u32));
         }
 
-        let mut sys = MnaSystem {
+        DeviceTables {
             devices,
-            n_nodes,
-            n_unknowns,
-            n_cap_states: next_cap,
-            n_junctions: next_jct,
-            pattern: CscMatrix::zeros(0, 0),
-            slots: Vec::new(),
-            node_names,
             branch_names,
             source_names,
             source_waves,
-            plan: StampPlan::default(),
+            n_unknowns: next_branch,
+            n_cap_states: next_cap,
+            n_junctions: next_jct,
             lin_elem,
             nl_elem,
             ctrl_nodes,
             ctrl_span,
-        };
-        sys.build_pattern();
-        Ok(sys)
+        }
+    }
+
+    /// Recompiles only the *values* of `circuit` against this system's
+    /// frozen structure: the device list is rebuilt through the same
+    /// derivation path as [`MnaSystem::compile`], while the pattern, slot
+    /// table, and conflict coloring are shared from `self`.
+    ///
+    /// This is the compile-once half of batched sweeps: the emission
+    /// sequence of every device is value-independent (kind and terminals
+    /// alone fix it), so a circuit with identical topology but different
+    /// parameter values stamps through the existing structure — and the
+    /// resulting system is bit-identical to a fresh
+    /// `MnaSystem::compile(circuit)`, which would rebuild the identical
+    /// pattern from the identical emission sequence.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::EngineError::Circuit`] if the netlist fails validation.
+    /// * [`crate::EngineError::TopologyMismatch`] if the circuit's node
+    ///   count, device count, device kinds, or connectivity differ from the
+    ///   compiled system (including value changes with structural effects,
+    ///   e.g. zeroing a MOS gate capacitance or a diode's `cj0`, which
+    ///   add/remove companion devices).
+    pub fn with_values_from(&self, circuit: &Circuit) -> Result<Self> {
+        circuit.validate()?;
+        let mismatch = |context: String| crate::EngineError::TopologyMismatch { context };
+        if circuit.node_count() != self.n_nodes {
+            return Err(mismatch(format!(
+                "node count {} != compiled {}",
+                circuit.node_count(),
+                self.n_nodes
+            )));
+        }
+        let t = Self::build_devices(circuit);
+        if t.devices.len() != self.devices.len() {
+            return Err(mismatch(format!(
+                "device count {} != compiled {} (a structural parameter changed?)",
+                t.devices.len(),
+                self.devices.len()
+            )));
+        }
+        for (i, (new, old)) in t.devices.iter().zip(&self.devices).enumerate() {
+            if !Dev::same_shape(new, old) {
+                return Err(mismatch(format!(
+                    "device {i} is a {} on different terminals or a {}",
+                    new.class_name(),
+                    old.class_name()
+                )));
+            }
+        }
+        debug_assert_eq!(t.n_unknowns, self.n_unknowns);
+        debug_assert_eq!(t.n_cap_states, self.n_cap_states);
+        debug_assert_eq!(t.n_junctions, self.n_junctions);
+        debug_assert_eq!(t.lin_elem, self.lin_elem);
+        Ok(MnaSystem {
+            devices: t.devices,
+            n_nodes: self.n_nodes,
+            n_unknowns: self.n_unknowns,
+            n_cap_states: self.n_cap_states,
+            n_junctions: self.n_junctions,
+            pattern: self.pattern.clone(),
+            slots: self.slots.clone(),
+            node_names: circuit.signal_node_names().map(str::to_string).collect(),
+            branch_names: t.branch_names,
+            source_names: t.source_names,
+            source_waves: t.source_waves,
+            plan: self.plan.clone(),
+            lin_elem: t.lin_elem,
+            nl_elem: t.nl_elem,
+            ctrl_nodes: t.ctrl_nodes,
+            ctrl_span: t.ctrl_span,
+        })
     }
 
     /// Emission pass that records every matrix position a stamp can touch,

@@ -1,28 +1,28 @@
 //! Newton–Raphson solution of the stamped MNA system.
 
-use crate::error::{EngineError, Result};
+use crate::error::Result;
 use crate::mna::{LinKey, MnaSystem, MnaWorkspace, StampInput};
 use crate::options::SimOptions;
 use crate::parstamp::StampExecutor;
+use crate::solver::{DirectLu, SolverBackend};
 use crate::stats::SimStats;
 use std::time::Instant;
-use wavepipe_sparse::{LuOptions, SparseError, SparseLu};
+use wavepipe_sparse::SparseError;
 use wavepipe_telemetry::{Counter, EventKind, Family};
 
-/// Typed replacement for the old `expect("factorization present")`: the LU
-/// option is populated on every path that reaches a solve, so hitting this is
-/// a solver-logic bug, reported as [`EngineError::Internal`] instead of a
-/// panic.
-fn missing_factors() -> EngineError {
-    EngineError::Internal { context: "LU factors missing after factorization pass".into() }
-}
-
-/// Cached linear-solver state: the LU factors (reused across stamps with the
-/// fixed pattern) and solve scratch buffers, plus the chord/modified-Newton
-/// bookkeeping that decides when the factors may be reused as-is.
-#[derive(Debug, Default, Clone)]
+/// Cached linear-solver state: the solver backend holding the current
+/// factorization (reused across stamps with the fixed pattern) and solve
+/// scratch buffers, plus the chord/modified-Newton bookkeeping that decides
+/// when the factors may be reused as-is.
+///
+/// All factor/refactor/solve traffic goes through the [`SolverBackend`]
+/// seam — the Newton loop itself never touches `SparseLu` directly. With
+/// the default [`DirectLu`] backend the behaviour (and every waveform bit)
+/// is identical to the historical direct calls; see
+/// [`crate::solver`] for the determinism contract.
+#[derive(Debug)]
 pub struct LinearCache {
-    lu: Option<SparseLu>,
+    backend: Box<dyn SolverBackend>,
     pub(crate) x_new: Vec<f64>,
     scratch: Vec<f64>,
     resid: Vec<f64>,
@@ -35,15 +35,57 @@ pub struct LinearCache {
     last_dx: Option<f64>,
 }
 
+impl Default for LinearCache {
+    fn default() -> Self {
+        LinearCache {
+            backend: Box::new(DirectLu::new()),
+            x_new: Vec::new(),
+            scratch: Vec::new(),
+            resid: Vec::new(),
+            key: None,
+            last_dx: None,
+        }
+    }
+}
+
+impl Clone for LinearCache {
+    fn clone(&self) -> Self {
+        LinearCache {
+            backend: self.backend.clone_box(),
+            x_new: self.x_new.clone(),
+            scratch: self.scratch.clone(),
+            resid: self.resid.clone(),
+            key: self.key,
+            last_dx: self.last_dx,
+        }
+    }
+}
+
 impl LinearCache {
-    /// Fresh cache with no factors.
+    /// Fresh cache with no factors and the default [`DirectLu`] backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct via `LinearCache::for_options` (or `with_backend`) so the \
+                solver backend stays injectable"
+    )]
     pub fn new() -> Self {
         LinearCache::default()
     }
 
+    /// Fresh cache whose backend is chosen by the options' solver handle
+    /// (the injectable path every analysis entry point uses).
+    pub fn for_options(opts: &SimOptions) -> Self {
+        LinearCache::with_backend(opts.solver.make())
+    }
+
+    /// Fresh cache around an explicit backend.
+    pub fn with_backend(backend: Box<dyn SolverBackend>) -> Self {
+        LinearCache { backend, ..LinearCache::default() }
+    }
+
     /// Drops the cached factorization (forces a fresh pivot search next time).
     pub fn invalidate(&mut self) {
-        self.lu = None;
+        self.backend.invalidate();
         self.key = None;
         self.last_dx = None;
     }
@@ -91,12 +133,11 @@ impl LinearCache {
         self.scratch.resize(n, 0.0);
         self.resid.resize(n, 0.0);
         let key = LinKey::of(input);
-        if opts.chord_newton && !ws.limited && self.lu.is_some() && self.key == Some(key) {
+        if opts.chord_newton && !ws.limited && self.backend.factored() && self.key == Some(key) {
             // Chord step: solve the delta form against the *stale* factors
             // but the *fresh* matrix/RHS, so the fixed point is unchanged.
             ws.matrix.residual_into(x, &ws.rhs, &mut self.resid)?;
-            let lu = self.lu.as_ref().ok_or_else(missing_factors)?;
-            lu.solve_with_scratch(&self.resid, &mut self.x_new, &mut self.scratch)?;
+            self.backend.solve(&self.resid, &mut self.x_new, &mut self.scratch)?;
             stats.solves += 1;
             let dxn = wavepipe_sparse::vector::norm_inf(&self.x_new);
             let contracting = match self.last_dx {
@@ -115,13 +156,12 @@ impl LinearCache {
             // the current Jacobian this iteration.
         }
         for attempt in 0..2 {
-            let fresh = self.lu.is_none() || attempt > 0;
+            let fresh = !self.backend.factored() || attempt > 0;
             if fresh {
-                self.lu = Some(SparseLu::factor(&ws.matrix, &LuOptions::default())?);
+                self.backend.factor(&ws.matrix)?;
                 stats.factorizations += 1;
             } else {
-                let lu = self.lu.as_mut().ok_or_else(missing_factors)?;
-                match lu.refactor(&ws.matrix) {
+                match self.backend.refactor(&ws.matrix) {
                     Ok(()) => {
                         // A frozen-pivot pass is still a numeric
                         // factorization: counted in both totals.
@@ -130,14 +170,13 @@ impl LinearCache {
                     }
                     Err(SparseError::PivotDegraded { .. }) => {
                         // Frozen pivot order went bad: re-pivot from scratch.
-                        self.lu = Some(SparseLu::factor(&ws.matrix, &LuOptions::default())?);
+                        self.backend.factor(&ws.matrix)?;
                         stats.factorizations += 1;
                     }
                     Err(e) => return Err(e.into()),
                 }
             }
-            let lu = self.lu.as_ref().ok_or_else(missing_factors)?;
-            lu.solve_with_scratch(&ws.rhs, &mut self.x_new, &mut self.scratch)?;
+            self.backend.solve(&ws.rhs, &mut self.x_new, &mut self.scratch)?;
             stats.solves += 1;
             // Backward-error verification.
             ws.matrix.residual_into(&self.x_new, &ws.rhs, &mut self.resid)?;
@@ -389,7 +428,7 @@ mod tests {
     fn solve_divider(opts: &SimOptions) -> (NewtonOutcome, SimStats) {
         let sys = MnaSystem::compile(&divider_circuit()).unwrap();
         let mut ws = sys.new_workspace();
-        let mut cache = LinearCache::new();
+        let mut cache = LinearCache::for_options(opts);
         let mut stats = SimStats::new();
         let zeros = vec![0.0; sys.n_unknowns()];
         let caps = vec![0.0; sys.cap_state_count()];
@@ -444,10 +483,10 @@ mod tests {
         ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel::default()).unwrap();
         let sys = MnaSystem::compile(&ckt).unwrap();
         let mut ws = sys.new_workspace();
-        let mut cache = LinearCache::new();
         // Chord/bypass pinned off: the KCL check below is tighter than the
         // `reltol` the chord iteration converges to.
         let opts = SimOptions::default().with_chord_newton(false).with_bypass(false);
+        let mut cache = LinearCache::for_options(&opts);
         let mut stats = SimStats::new();
         let zeros = vec![0.0; sys.n_unknowns()];
         let caps = vec![0.0; sys.cap_state_count()];
@@ -483,8 +522,8 @@ mod tests {
         ckt.add_diode("D1", d, Circuit::GROUND, DiodeModel::default()).unwrap();
         let sys = MnaSystem::compile(&ckt).unwrap();
         let mut ws = sys.new_workspace();
-        let mut cache = LinearCache::new();
         let opts = SimOptions::default();
+        let mut cache = LinearCache::for_options(&opts);
         let mut stats = SimStats::new();
         let zeros = vec![0.0; sys.n_unknowns()];
         let caps = vec![0.0; sys.cap_state_count()];

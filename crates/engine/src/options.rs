@@ -4,6 +4,7 @@ use crate::cancel::CancelToken;
 use crate::error::{EngineError, Result};
 use crate::fault::{FaultHandle, FaultPlan};
 use crate::integrate::Method;
+use crate::solver::SolverHandle;
 use std::time::Duration;
 use wavepipe_telemetry::{EventKind, MetricsHandle, ProbeHandle};
 
@@ -119,6 +120,12 @@ pub struct SimOptions {
     /// continuation shunt, re-emitting only the history-dependent RHS.
     /// Default on.
     pub companion_cache: bool,
+    /// Linear-solver backend selection for every Newton solve of the run.
+    /// The default ([`SolverHandle::direct`]) is the classic per-solver
+    /// `SparseLu`; [`SolverHandle::batched`] shares one symbolic ordering
+    /// across sweep instances. Both are bit-identical to each other — see
+    /// [`crate::solver`] for the determinism contract.
+    pub solver: SolverHandle,
 }
 
 /// Per-stamp control block for the solver caches, derived from
@@ -186,6 +193,7 @@ impl Default for SimOptions {
             chord_newton: env_flag("WAVEPIPE_CHORD"),
             chord_theta: 0.5,
             companion_cache: true,
+            solver: SolverHandle::direct(),
         }
     }
 }
@@ -296,6 +304,13 @@ impl SimOptions {
     #[must_use]
     pub fn with_companion_cache(mut self, companion: bool) -> Self {
         self.companion_cache = companion;
+        self
+    }
+
+    /// Builder: selects the linear-solver backend (see [`SolverHandle`]).
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverHandle) -> Self {
+        self.solver = solver;
         self
     }
 

@@ -97,7 +97,7 @@ pub fn run_dc_sensitivity(
         return Err(EngineError::UnknownSource { name: output_node.to_string() });
     };
     let mut ws = sys.new_workspace();
-    let mut cache = LinearCache::new();
+    let mut cache = LinearCache::for_options(opts);
     let mut stats = SimStats::new();
     let x = crate::dcop::dc_operating_point(&sys, &mut ws, &mut cache, None, opts, &mut stats)?;
 

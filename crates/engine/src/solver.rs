@@ -1,0 +1,385 @@
+//! Pluggable linear-solver backends behind the Newton loop.
+//!
+//! Historically [`crate::newton::LinearCache`] called [`SparseLu`] directly;
+//! that coupling is now behind the [`SolverBackend`] trait — the seam that
+//! lets batched sweeps share symbolic work across instances today and later
+//! admits SIMD/iterative/offloaded backends without touching the Newton
+//! iteration itself.
+//!
+//! # Determinism contract
+//!
+//! Every backend shipped by this crate is **bit-deterministic**: given the
+//! same sequence of `factor`/`refactor`/`solve` calls on the same matrices,
+//! it produces bitwise-identical solution vectors on every run. [`DirectLu`]
+//! is additionally pinned to be bit-identical to the historical direct
+//! `SparseLu` calls (same ordering, same pivoting, same triangular solves),
+//! so swapping the seam in changed no waveform anywhere. [`BatchedDirectLu`]
+//! shares one precomputed fill-reducing ordering across instances; because
+//! the orderings in [`wavepipe_sparse::ordering`] are pure functions of the
+//! matrix *pattern* — they never read values — an instance factored through
+//! it is bit-identical to the same instance factored through [`DirectLu`],
+//! which computes the identical permutation from the identical shared
+//! pattern. Custom backends that cannot honour bit-determinism must say so
+//! in their documentation: WavePipe's accuracy-equivalence tests pin the
+//! default paths bitwise.
+
+use std::fmt;
+use std::sync::Arc;
+use wavepipe_sparse::{CscMatrix, LuOptions, Permutation, Result, SparseError, SparseLu};
+
+/// A linear-solver backend for the Newton loop: numeric factorization and
+/// triangular solves over a fixed sparsity pattern.
+///
+/// The Newton cache drives a backend through a strict protocol:
+///
+/// 1. [`factor`](SolverBackend::factor) — full factorization with a fresh
+///    pivot search;
+/// 2. [`refactor`](SolverBackend::refactor) — numeric re-factorization
+///    replaying the frozen pivot order of the last `factor`, failing with
+///    [`SparseError::PivotDegraded`] when that order went numerically bad
+///    (the caller then falls back to `factor`);
+/// 3. [`solve`](SolverBackend::solve) — triangular solves against the most
+///    recent successful factorization.
+///
+/// See the [module docs](self) for the determinism contract.
+pub trait SolverBackend: fmt::Debug + Send {
+    /// Full numeric factorization of `a` with a fresh pivot search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures ([`SparseError::Singular`],
+    /// non-finite entries, shape mismatches). After an error the backend is
+    /// unfactored.
+    fn factor(&mut self, a: &CscMatrix) -> Result<()>;
+
+    /// Numeric refactorization of `a` replaying the frozen pivot order.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::PivotDegraded`] when the frozen order lost stability —
+    /// the caller should retry via [`SolverBackend::factor`]. Any other
+    /// error is terminal for this matrix.
+    fn refactor(&mut self, a: &CscMatrix) -> Result<()>;
+
+    /// Solves `A x = b` against the current factors using `scratch` as
+    /// intermediate storage.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::DimensionMismatch`] when no factorization is present
+    /// or the vector lengths disagree with it.
+    fn solve(&self, b: &[f64], x: &mut [f64], scratch: &mut [f64]) -> Result<()>;
+
+    /// Whether a usable factorization is currently held.
+    fn factored(&self) -> bool;
+
+    /// Drops the current factorization (forces a fresh pivot search next).
+    fn invalidate(&mut self);
+
+    /// Clones the backend, factors and all (backends are per-solver state;
+    /// WavePipe lanes clone their point solvers).
+    fn clone_box(&self) -> Box<dyn SolverBackend>;
+}
+
+/// The solve-layer error for operating on an unfactored backend.
+fn unfactored(n: usize) -> SparseError {
+    SparseError::DimensionMismatch { expected: n, found: 0 }
+}
+
+/// The default backend: one [`SparseLu`] per solver, exactly as the Newton
+/// loop historically used it. Bit-identical to the pre-trait direct calls —
+/// `factor` runs the default fill-reducing ordering and threshold pivoting,
+/// `refactor` replays frozen pivots KLU-style.
+#[derive(Debug, Default, Clone)]
+pub struct DirectLu {
+    lu: Option<SparseLu>,
+    opts: LuOptions,
+}
+
+impl DirectLu {
+    /// A fresh, unfactored backend with default [`LuOptions`].
+    pub fn new() -> Self {
+        DirectLu::default()
+    }
+
+    /// A fresh backend with explicit LU options.
+    pub fn with_options(opts: LuOptions) -> Self {
+        DirectLu { lu: None, opts }
+    }
+}
+
+impl SolverBackend for DirectLu {
+    fn factor(&mut self, a: &CscMatrix) -> Result<()> {
+        self.lu = None;
+        self.lu = Some(SparseLu::factor(a, &self.opts)?);
+        Ok(())
+    }
+
+    fn refactor(&mut self, a: &CscMatrix) -> Result<()> {
+        let lu = self.lu.as_mut().ok_or_else(|| unfactored(a.ncols()))?;
+        lu.refactor(a)
+    }
+
+    fn solve(&self, b: &[f64], x: &mut [f64], scratch: &mut [f64]) -> Result<()> {
+        let lu = self.lu.as_ref().ok_or_else(|| unfactored(b.len()))?;
+        lu.solve_with_scratch(b, x, scratch)
+    }
+
+    fn factored(&self) -> bool {
+        self.lu.is_some()
+    }
+
+    fn invalidate(&mut self) {
+        self.lu = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn SolverBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// The batched-sweep backend: like [`DirectLu`] but factoring through a
+/// *shared, precomputed* fill-reducing ordering instead of re-deriving one
+/// per fresh factorization.
+///
+/// Many sweep instances share one compiled MNA pattern; the symbolic
+/// ordering is a pure function of that pattern, so computing it once and
+/// handing an `Arc` of it to every instance's backend removes the
+/// per-instance symbolic cost while staying bit-identical to [`DirectLu`]
+/// (which would compute the same permutation from the same pattern — see
+/// the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct BatchedDirectLu {
+    ordering: Arc<Permutation>,
+    lu: Option<SparseLu>,
+    opts: LuOptions,
+}
+
+impl BatchedDirectLu {
+    /// A fresh backend factoring through the shared `ordering` (as computed
+    /// by [`wavepipe_sparse::ordering::order`] on the shared pattern).
+    pub fn new(ordering: Arc<Permutation>) -> Self {
+        BatchedDirectLu { ordering, lu: None, opts: LuOptions::default() }
+    }
+}
+
+impl SolverBackend for BatchedDirectLu {
+    fn factor(&mut self, a: &CscMatrix) -> Result<()> {
+        self.lu = None;
+        self.lu = Some(SparseLu::factor_with_ordering(a, &self.opts, (*self.ordering).clone())?);
+        Ok(())
+    }
+
+    fn refactor(&mut self, a: &CscMatrix) -> Result<()> {
+        let lu = self.lu.as_mut().ok_or_else(|| unfactored(a.ncols()))?;
+        lu.refactor(a)
+    }
+
+    fn solve(&self, b: &[f64], x: &mut [f64], scratch: &mut [f64]) -> Result<()> {
+        let lu = self.lu.as_ref().ok_or_else(|| unfactored(b.len()))?;
+        lu.solve_with_scratch(b, x, scratch)
+    }
+
+    fn factored(&self) -> bool {
+        self.lu.is_some()
+    }
+
+    fn invalidate(&mut self) {
+        self.lu = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn SolverBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// Factory for [`SolverBackend`] instances, shareable across solver threads.
+pub trait SolverFactory: fmt::Debug + Send + Sync {
+    /// Creates one fresh, unfactored backend.
+    fn make(&self) -> Box<dyn SolverBackend>;
+}
+
+#[derive(Debug)]
+struct BatchedFactory {
+    ordering: Arc<Permutation>,
+}
+
+impl SolverFactory for BatchedFactory {
+    fn make(&self) -> Box<dyn SolverBackend> {
+        Box::new(BatchedDirectLu::new(Arc::clone(&self.ordering)))
+    }
+}
+
+/// Handle selecting the linear-solver backend for an analysis, carried by
+/// [`crate::SimOptions`] like the probe/metrics/fault handles.
+///
+/// The default handle builds [`DirectLu`] — the classic serial behaviour.
+/// [`SolverHandle::batched`] builds [`BatchedDirectLu`] instances sharing
+/// one precomputed ordering; [`SolverHandle::new`] accepts any custom
+/// factory. Equality is identity-based (two handles are equal when they
+/// share the same factory allocation), mirroring the other handles on
+/// `SimOptions`.
+#[derive(Clone, Default)]
+pub struct SolverHandle {
+    factory: Option<Arc<dyn SolverFactory>>,
+}
+
+impl SolverHandle {
+    /// The default backend selection: a fresh [`DirectLu`] per solver.
+    pub fn direct() -> Self {
+        SolverHandle { factory: None }
+    }
+
+    /// Backends sharing one precomputed fill-reducing `ordering` (the
+    /// batched-sweep path; see [`BatchedDirectLu`]).
+    pub fn batched(ordering: Arc<Permutation>) -> Self {
+        SolverHandle { factory: Some(Arc::new(BatchedFactory { ordering })) }
+    }
+
+    /// A handle around a custom factory.
+    pub fn new(factory: Arc<dyn SolverFactory>) -> Self {
+        SolverHandle { factory: Some(factory) }
+    }
+
+    /// Builds one fresh backend according to this handle's selection.
+    pub fn make(&self) -> Box<dyn SolverBackend> {
+        match &self.factory {
+            None => Box::new(DirectLu::new()),
+            Some(f) => f.make(),
+        }
+    }
+
+    /// Whether this is the default (direct) selection.
+    pub fn is_direct(&self) -> bool {
+        self.factory.is_none()
+    }
+}
+
+impl fmt::Debug for SolverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.factory {
+            None => f.write_str("SolverHandle(direct)"),
+            Some(inner) => write!(f, "SolverHandle({inner:?})"),
+        }
+    }
+}
+
+impl PartialEq for SolverHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.factory, &other.factory) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavepipe_sparse::ordering::order;
+    use wavepipe_sparse::CooMatrix;
+
+    fn small_matrix(scale: f64) -> CscMatrix {
+        // A 4x4 asymmetric pattern with enough structure for the orderings
+        // to do something non-trivial.
+        let mut t = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            t.push(i, i, 4.0 * scale).unwrap();
+        }
+        t.push(0, 1, -scale).unwrap();
+        t.push(1, 0, -2.0 * scale).unwrap();
+        t.push(1, 2, -scale).unwrap();
+        t.push(2, 3, -1.5 * scale).unwrap();
+        t.push(3, 0, -0.5 * scale).unwrap();
+        t.to_csc()
+    }
+
+    fn solve_through(backend: &mut dyn SolverBackend, a: &CscMatrix, b: &[f64]) -> Vec<f64> {
+        backend.factor(a).unwrap();
+        let mut x = vec![0.0; b.len()];
+        let mut scratch = vec![0.0; b.len()];
+        backend.solve(b, &mut x, &mut scratch).unwrap();
+        x
+    }
+
+    #[test]
+    fn direct_lu_matches_raw_sparse_lu_bitwise() {
+        let a = small_matrix(1.0);
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let raw = SparseLu::factor(&a, &LuOptions::default()).unwrap().solve(&b).unwrap();
+        let mut backend = DirectLu::new();
+        let x = solve_through(&mut backend, &a, &b);
+        assert_eq!(x, raw, "DirectLu must be bit-identical to direct SparseLu use");
+    }
+
+    #[test]
+    fn batched_lu_with_shared_ordering_matches_direct_bitwise() {
+        let a = small_matrix(1.0);
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let q = Arc::new(order(&a, LuOptions::default().ordering).unwrap());
+        let mut direct = DirectLu::new();
+        let mut batched = BatchedDirectLu::new(q);
+        // Two "instances" with different values over the same pattern.
+        for scale in [1.0, 3.5] {
+            let ai = small_matrix(scale);
+            let xd = solve_through(&mut direct, &ai, &b);
+            let xb = solve_through(&mut batched, &ai, &b);
+            assert_eq!(xb, xd, "shared-ordering factorization diverged at scale {scale}");
+        }
+    }
+
+    #[test]
+    fn refactor_and_invalidate_protocol() {
+        let a = small_matrix(1.0);
+        let b = [1.0, 0.0, 0.0, 0.0];
+        let mut backend = DirectLu::new();
+        assert!(!backend.factored());
+        let mut x = vec![0.0; 4];
+        let mut scratch = vec![0.0; 4];
+        // Solving or refactoring before any factorization is an error, not a panic.
+        assert!(backend.solve(&b, &mut x, &mut scratch).is_err());
+        assert!(backend.refactor(&a).is_err());
+        backend.factor(&a).unwrap();
+        assert!(backend.factored());
+        // Refactor against new values over the same pattern.
+        let a2 = small_matrix(2.0);
+        backend.refactor(&a2).unwrap();
+        backend.solve(&b, &mut x, &mut scratch).unwrap();
+        let direct = SparseLu::factor(&a2, &LuOptions::default()).unwrap().solve(&b).unwrap();
+        // Frozen-pivot refactor of a uniformly scaled matrix keeps the same
+        // pivot sequence, so even this path is bitwise reproducible.
+        assert_eq!(x, direct);
+        backend.invalidate();
+        assert!(!backend.factored());
+    }
+
+    #[test]
+    fn handle_equality_is_identity_based() {
+        assert_eq!(SolverHandle::direct(), SolverHandle::direct());
+        assert_eq!(SolverHandle::default(), SolverHandle::direct());
+        let a = small_matrix(1.0);
+        let q = Arc::new(order(&a, LuOptions::default().ordering).unwrap());
+        let h = SolverHandle::batched(Arc::clone(&q));
+        assert_eq!(h, h.clone());
+        assert_ne!(h, SolverHandle::batched(q));
+        assert_ne!(h, SolverHandle::direct());
+        assert!(SolverHandle::direct().is_direct());
+        assert!(!h.is_direct());
+    }
+
+    #[test]
+    fn clone_box_preserves_factors() {
+        let a = small_matrix(1.0);
+        let b = [0.5, 1.5, -1.0, 2.0];
+        let mut backend = DirectLu::new();
+        backend.factor(&a).unwrap();
+        let cloned = backend.clone_box();
+        let mut x1 = vec![0.0; 4];
+        let mut x2 = vec![0.0; 4];
+        let mut scratch = vec![0.0; 4];
+        backend.solve(&b, &mut x1, &mut scratch).unwrap();
+        cloned.solve(&b, &mut x2, &mut scratch).unwrap();
+        assert_eq!(x1, x2);
+    }
+}

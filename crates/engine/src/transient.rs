@@ -272,7 +272,8 @@ impl PointSolver {
         } else {
             None
         };
-        PointSolver { sys, opts, ws, cache: LinearCache::new(), exec, solve_seq: 0 }
+        let cache = LinearCache::for_options(&opts);
+        PointSolver { sys, opts, ws, cache, exec, solve_seq: 0 }
     }
 
     /// The compiled system.

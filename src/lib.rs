@@ -57,6 +57,11 @@ pub use wavepipe_engine as engine;
 /// WavePipe parallel schemes (re-export of `wavepipe-core`).
 pub use wavepipe_core as core;
 
+/// Batched many-scenario simulation: compile once, run many parameter
+/// instances over a shared pattern, ordering, and stamp plan (re-export of
+/// `wavepipe-batch`).
+pub use wavepipe_batch as batch;
+
 /// Structured event tracing, histograms, and trace exporters (re-export of
 /// `wavepipe-telemetry`).
 pub use wavepipe_telemetry as telemetry;
@@ -69,7 +74,9 @@ pub use wavepipe_telemetry as telemetry;
 /// ([`EngineError`]), and the fault-tolerant entry points that keep the
 /// accepted waveform prefix on deadline/cancellation
 /// ([`run_transient_recoverable`], [`run_wavepipe_recoverable`],
-/// [`CancelToken`], [`FaultPlan`]).
+/// [`CancelToken`], [`FaultPlan`]), and batched many-scenario sweeps over a
+/// pluggable solver backend ([`BatchSim`], [`BatchRun`], [`ParamKind`],
+/// [`SolverBackend`], [`SolverHandle`]).
 ///
 /// [`Circuit`]: prelude::Circuit
 /// [`Waveform`]: prelude::Waveform
@@ -83,13 +90,19 @@ pub use wavepipe_telemetry as telemetry;
 /// [`run_wavepipe_recoverable`]: prelude::run_wavepipe_recoverable
 /// [`CancelToken`]: prelude::CancelToken
 /// [`FaultPlan`]: prelude::FaultPlan
+/// [`BatchSim`]: prelude::BatchSim
+/// [`BatchRun`]: prelude::BatchRun
+/// [`ParamKind`]: prelude::ParamKind
+/// [`SolverBackend`]: prelude::SolverBackend
+/// [`SolverHandle`]: prelude::SolverHandle
 pub mod prelude {
+    pub use wavepipe_batch::{BatchError, BatchRun, BatchSim, ParamKind};
     pub use wavepipe_circuit::{Circuit, Waveform};
     pub use wavepipe_core::{
         run_wavepipe, run_wavepipe_recoverable, RunOutcome, Scheme, WavePipeOptions,
     };
     pub use wavepipe_engine::{
         run_transient, run_transient_recoverable, CancelToken, EngineError, FaultPlan, SimOptions,
-        TransientOutcome,
+        SolverBackend, SolverHandle, TransientOutcome,
     };
 }
