@@ -26,6 +26,12 @@
 //!   over `threads / stamp_workers` batch workers (the same two-level
 //!   split as `wavepipe-core`), so intra-step stamp parallelism and
 //!   across-instance parallelism share one budget.
+//! * **Fault isolation.** Every instance runs under panic containment with
+//!   one degraded-cache retry; a failure quarantines that instance only.
+//!   [`BatchSim::run_outcome`] returns the completed waveforms alongside
+//!   structured [`QuarantineReport`]s, while [`BatchSim::run`] is the
+//!   abort-mode view that collapses any quarantine into
+//!   [`BatchError::InstanceFailed`] (carrying *all* failing indices).
 //!
 //! # Determinism
 //!
@@ -65,7 +71,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::any::Any;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -181,11 +189,18 @@ pub enum BatchError {
     },
     /// [`BatchSim::run`] was called with no instances added.
     NoInstances,
-    /// One instance of the batch failed; the index identifies which row.
+    /// One or more instances of the batch failed. Every instance still runs
+    /// to completion (quarantine-and-continue); this error is the abort-mode
+    /// summary assembled afterwards by [`BatchOutcome::into_run`].
     InstanceFailed {
-        /// Instance index (the order of [`BatchSim::add_instance`] calls).
+        /// Lowest failing instance index (the order of
+        /// [`BatchSim::add_instance`] calls) — kept as the headline so the
+        /// report is deterministic regardless of worker interleaving.
         index: usize,
-        /// The underlying engine failure.
+        /// *All* failing instance indices, ascending. Always contains
+        /// `index` as its first element.
+        indices: Vec<usize>,
+        /// The underlying engine failure of the lowest failing instance.
         source: EngineError,
     },
 }
@@ -204,8 +219,12 @@ impl fmt::Display for BatchError {
                 write!(f, "instance has {found} values but {expected} parameter columns")
             }
             BatchError::NoInstances => write!(f, "batch has no instances to run"),
-            BatchError::InstanceFailed { index, source } => {
-                write!(f, "instance {index} failed: {source}")
+            BatchError::InstanceFailed { index, indices, source } => {
+                write!(f, "instance {index} failed: {source}")?;
+                if indices.len() > 1 {
+                    write!(f, " ({} instances failed in total: {indices:?})", indices.len())?;
+                }
+                Ok(())
             }
         }
     }
@@ -386,31 +405,96 @@ impl BatchSim {
     }
 
     /// Solve one instance against the shared system and ordering.
-    fn run_instance(&self, index: usize, opts: &SimOptions) -> Result<TransientResult, BatchError> {
+    fn run_instance(
+        &self,
+        index: usize,
+        opts: &SimOptions,
+    ) -> Result<TransientResult, EngineError> {
         let ckt = self.instance_circuit(index);
-        let sys = Arc::new(
-            self.sys
-                .with_values_from(&ckt)
-                .map_err(|e| BatchError::InstanceFailed { index, source: e })?,
-        );
+        let sys = Arc::new(self.sys.with_values_from(&ckt)?);
         run_transient_recoverable_compiled(&sys, self.tstep, self.tstop, opts)
             .and_then(|o| o.into_result())
-            .map_err(|e| BatchError::InstanceFailed { index, source: e })
     }
 
-    /// Run every instance and collect the results in instance order.
+    /// Per-instance options: a configured deadline is a *per-instance*
+    /// budget, so each instance (and each retry) gets a fresh private token
+    /// — one slow instance must not spend its siblings' budget or cancel
+    /// them when it expires. A caller-owned cancel token *without* a
+    /// deadline stays shared: cancelling it stops the whole batch.
+    fn instance_opts(&self, base: &SimOptions) -> SimOptions {
+        let mut opts = base.clone();
+        if let Some(budget) = opts.deadline {
+            opts.cancel = None;
+            opts = opts.with_deadline(budget);
+        }
+        opts
+    }
+
+    /// One fault-isolated instance: panic containment, quarantine on
+    /// failure, and a single retry with degraded caches.
+    ///
+    /// The retry pins every value-reuse optimisation off (device bypass,
+    /// chord Newton, companion cache) and forces the transient recovery
+    /// ladder on — if the first failure was a poisoned cache or a
+    /// convergence cliff the caches papered over, the degraded re-run is
+    /// the rollback that clears it. Budget errors (cancellation, expired
+    /// per-instance deadline) quarantine immediately without a retry: the
+    /// caller asked this instance to stop.
+    fn run_instance_isolated(
+        &self,
+        index: usize,
+        base: &SimOptions,
+    ) -> Result<TransientResult, QuarantineReport> {
+        let attempt = |opts: &SimOptions| -> Result<TransientResult, (EngineError, bool)> {
+            catch_unwind(AssertUnwindSafe(|| self.run_instance(index, opts)))
+                .map_err(|p| {
+                    (EngineError::WorkerLost { lane: index as u32, cause: panic_message(&p) }, true)
+                })?
+                .map_err(|e| (e, false))
+        };
+
+        let (error, panicked) = match attempt(&self.instance_opts(base)) {
+            Ok(r) => return Ok(r),
+            Err(e) => e,
+        };
+        if !panicked && error.is_budget() {
+            return Err(QuarantineReport { index, error, retried: false, panicked });
+        }
+        let degraded = self
+            .instance_opts(base)
+            .with_bypass(false)
+            .with_chord_newton(false)
+            .with_companion_cache(false)
+            .with_recovery(true);
+        match attempt(&degraded) {
+            Ok(r) => Ok(r),
+            Err((error, p2)) => {
+                Err(QuarantineReport { index, error, retried: true, panicked: panicked || p2 })
+            }
+        }
+    }
+
+    /// Run every instance with per-instance fault isolation and collect
+    /// both the completed waveforms and the structured failure reports.
     ///
     /// The fill-reducing ordering is computed once from the shared pattern
     /// and injected into every instance through [`SolverHandle::batched`];
-    /// instances are striped round-robin over the batch workers. Failures
-    /// are deterministic: the lowest-index failing instance is reported.
+    /// instances are striped round-robin over the batch workers. A failing
+    /// (or panicking) instance is **quarantined**: it is retried once with
+    /// degraded caches (device bypass, chord Newton, and the companion
+    /// cache pinned off; the recovery ladder pinned on), and if the retry
+    /// also fails it lands in
+    /// [`BatchOutcome::quarantined`] while every other instance still runs
+    /// to completion. No-fault instances are bit-identical to a fault-free
+    /// run: isolation only changes what happens on the error path.
     ///
     /// # Errors
     ///
-    /// [`BatchError::NoInstances`] for an empty batch;
-    /// [`BatchError::InstanceFailed`] when an instance cannot be derived or
-    /// does not converge.
-    pub fn run(&self) -> Result<BatchRun, BatchError> {
+    /// [`BatchError::NoInstances`] for an empty batch, or
+    /// [`BatchError::Engine`] when the shared symbolic preparation fails.
+    /// Per-instance failures never error here — they are data, in the
+    /// returned [`BatchOutcome`].
+    pub fn run_outcome(&self) -> Result<BatchOutcome, BatchError> {
         if self.n_instances == 0 {
             return Err(BatchError::NoInstances);
         }
@@ -423,11 +507,11 @@ impl BatchSim {
         let workers = self.workers().min(self.n_instances);
         let prep_ns = start.elapsed().as_nanos();
 
-        let mut slots: Vec<Option<Result<TransientResult, BatchError>>> =
+        let mut slots: Vec<Option<Result<TransientResult, QuarantineReport>>> =
             (0..self.n_instances).map(|_| None).collect();
         if workers <= 1 {
             for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_instance(i, &opts));
+                *slot = Some(self.run_instance_isolated(i, &opts));
             }
         } else {
             let shared = Mutex::new(&mut slots);
@@ -436,11 +520,11 @@ impl BatchSim {
                     let shared = &shared;
                     let opts = &opts;
                     scope.spawn(move || {
-                        let mut mine: Vec<(usize, Result<TransientResult, BatchError>)> =
+                        let mut mine: Vec<(usize, Result<TransientResult, QuarantineReport>)> =
                             Vec::new();
                         let mut i = w;
                         while i < self.n_instances {
-                            mine.push((i, self.run_instance(i, opts)));
+                            mine.push((i, self.run_instance_isolated(i, opts)));
                             i += workers;
                         }
                         let mut guard = shared.lock().expect("result mutex poisoned");
@@ -453,10 +537,41 @@ impl BatchSim {
         }
 
         let mut results = Vec::with_capacity(self.n_instances);
+        let mut quarantined = Vec::new();
         for slot in slots {
-            results.push(slot.expect("every stride covers its instances")?);
+            match slot.expect("every stride covers its instances") {
+                Ok(r) => results.push(Some(r)),
+                Err(q) => {
+                    results.push(None);
+                    quarantined.push(q);
+                }
+            }
         }
-        Ok(BatchRun { results, workers, prep_ns, wall_ns: start.elapsed().as_nanos() })
+        Ok(BatchOutcome {
+            results,
+            quarantined,
+            workers,
+            prep_ns,
+            wall_ns: start.elapsed().as_nanos(),
+        })
+    }
+
+    /// Run every instance and collect the results in instance order,
+    /// aborting (after the full batch has run) if any instance failed.
+    ///
+    /// This is [`BatchSim::run_outcome`] in abort mode: the same
+    /// fault-isolated execution, collapsed through
+    /// [`BatchOutcome::into_run`]. Failures are deterministic — the
+    /// lowest-index failing instance is the headline and the error carries
+    /// every failing index.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::NoInstances`] for an empty batch;
+    /// [`BatchError::InstanceFailed`] when an instance cannot be derived or
+    /// does not converge (even after its degraded-cache retry).
+    pub fn run(&self) -> Result<BatchRun, BatchError> {
+        self.run_outcome()?.into_run()
     }
 
     /// Batch workers implied by the two-level thread split:
@@ -501,6 +616,133 @@ impl BatchRun {
     /// Total wall nanoseconds for the whole batch, preparation included.
     pub fn wall_ns(&self) -> u128 {
         self.wall_ns
+    }
+}
+
+/// Structured report for one quarantined batch instance: which row failed,
+/// how, and what the isolation machinery tried before giving up.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct QuarantineReport {
+    /// Instance index (the order of [`BatchSim::add_instance`] calls).
+    pub index: usize,
+    /// The failure of the **last** attempt. A panic is reported as
+    /// [`EngineError::WorkerLost`] with the stringified panic payload and
+    /// the instance index as the lane.
+    pub error: EngineError,
+    /// Whether the degraded-cache retry ran (and also failed). `false`
+    /// means the first failure was a budget error (cancellation or an
+    /// expired per-instance deadline), which is never retried.
+    pub retried: bool,
+    /// Whether any attempt panicked (as opposed to returning a typed
+    /// engine error). The panic was contained to this instance.
+    pub panicked: bool,
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance {} quarantined", self.index)?;
+        if self.panicked {
+            f.write_str(" (panicked)")?;
+        }
+        if self.retried {
+            f.write_str(" after degraded-cache retry")?;
+        }
+        write!(f, ": {}", self.error)
+    }
+}
+
+/// The outcome of [`BatchSim::run_outcome`]: completed waveforms alongside
+/// structured failure reports, one slot per instance.
+///
+/// A quarantined instance leaves a `None` in [`BatchOutcome::results`] and
+/// a [`QuarantineReport`] in [`BatchOutcome::quarantined`]; every other
+/// instance's waveform is exactly what a fault-free batch would have
+/// produced.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    results: Vec<Option<TransientResult>>,
+    quarantined: Vec<QuarantineReport>,
+    workers: usize,
+    prep_ns: u128,
+    wall_ns: u128,
+}
+
+impl BatchOutcome {
+    /// Per-instance slots in [`BatchSim::add_instance`] order: `Some` for
+    /// completed instances, `None` where a [`QuarantineReport`] stands in.
+    pub fn results(&self) -> &[Option<TransientResult>] {
+        &self.results
+    }
+
+    /// Completed `(index, waveform)` pairs, ascending by index.
+    pub fn completed(&self) -> impl Iterator<Item = (usize, &TransientResult)> {
+        self.results.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+    }
+
+    /// Quarantine reports, ascending by instance index.
+    pub fn quarantined(&self) -> &[QuarantineReport] {
+        &self.quarantined
+    }
+
+    /// True when every instance completed.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Batch workers that executed the run.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Wall nanoseconds spent on shared preparation (the symbolic
+    /// ordering) before any instance ran.
+    pub fn prep_ns(&self) -> u128 {
+        self.prep_ns
+    }
+
+    /// Total wall nanoseconds for the whole batch, preparation included.
+    pub fn wall_ns(&self) -> u128 {
+        self.wall_ns
+    }
+
+    /// Collapse to abort mode: a clean outcome becomes a [`BatchRun`]; any
+    /// quarantine becomes [`BatchError::InstanceFailed`] with the lowest
+    /// failing index as the headline and *all* failing indices attached.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::InstanceFailed`] when any instance was quarantined.
+    pub fn into_run(self) -> Result<BatchRun, BatchError> {
+        if let Some(first) = self.quarantined.first() {
+            return Err(BatchError::InstanceFailed {
+                index: first.index,
+                indices: self.quarantined.iter().map(|q| q.index).collect(),
+                source: first.error.clone(),
+            });
+        }
+        let results = self
+            .results
+            .into_iter()
+            .map(|r| r.expect("clean outcome has every slot filled"))
+            .collect();
+        Ok(BatchRun {
+            results,
+            workers: self.workers,
+            prep_ns: self.prep_ns,
+            wall_ns: self.wall_ns,
+        })
+    }
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "instance worker panicked".to_string()
     }
 }
 
@@ -623,5 +865,97 @@ mod tests {
             matches!(err, BatchError::InstanceFailed { index: 1, .. }),
             "expected instance 1 to fail, got {err:?}"
         );
+    }
+
+    #[test]
+    fn quarantine_keeps_siblings_and_reports_structure() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        batch.add_instance(&[1e3]).unwrap();
+        batch.add_instance(&[f64::NAN]).unwrap(); // poisons the matrix
+        batch.add_instance(&[2e3]).unwrap();
+        let out = batch.run_outcome().unwrap();
+        assert!(!out.is_clean());
+        assert_eq!(out.completed().count(), 2);
+        assert!(out.results()[0].is_some() && out.results()[2].is_some());
+        assert!(out.results()[1].is_none());
+        let [q] = out.quarantined() else { panic!("expected one quarantine") };
+        assert_eq!(q.index, 1);
+        assert!(q.retried, "an engine failure must get its degraded-cache retry");
+        assert!(!q.panicked);
+        assert!(q.to_string().contains("instance 1 quarantined"), "{q}");
+        // Abort mode: lowest index is the headline, all indices attached.
+        match out.into_run().unwrap_err() {
+            BatchError::InstanceFailed { index, indices, .. } => {
+                assert_eq!(index, 1);
+                assert_eq!(indices, vec![1]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_mode_carries_all_failed_indices() {
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6).unwrap();
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        for r in [f64::NAN, 1e3, f64::NAN, 2e3] {
+            batch.add_instance(&[r]).unwrap();
+        }
+        match batch.run().unwrap_err() {
+            BatchError::InstanceFailed { index, indices, .. } => {
+                assert_eq!(index, 0);
+                assert_eq!(indices, vec![0, 2]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hundred_instance_sweep_quarantines_only_the_poisoned() {
+        // The acceptance scenario: 100 instances, 3 poisoned. The 97 clean
+        // ones complete bit-identical to single runs; the 3 poisoned come
+        // back as structured quarantine reports instead of erroring.
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6)
+            .unwrap()
+            .with_threads(4)
+            .with_stamp_workers(0);
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        let poisoned = [7usize, 41, 88];
+        for i in 0..100 {
+            let r = if poisoned.contains(&i) { f64::NAN } else { 0.5e3 + 10.0 * i as f64 };
+            batch.add_instance(&[r]).unwrap();
+        }
+        let out = batch.run_outcome().unwrap();
+        assert_eq!(out.completed().count(), 97);
+        let qidx: Vec<usize> = out.quarantined().iter().map(|q| q.index).collect();
+        assert_eq!(qidx, poisoned);
+        for i in [0usize, 25, 50, 99] {
+            let mut ckt = rc_circuit();
+            if let Some(Element::Resistor { resistance, .. }) = ckt.element_mut("R1") {
+                *resistance = 0.5e3 + 10.0 * i as f64;
+            }
+            let want =
+                wavepipe_engine::run_transient(&ckt, 1e-8, 1e-6, &SimOptions::default()).unwrap();
+            let got = out.results()[i].as_ref().expect("clean instance completed");
+            assert_eq!(got.times(), want.times(), "time grids diverged at instance {i}");
+            for k in 0..want.len() {
+                assert_eq!(got.solution(k), want.solution(k), "instance {i} point {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_batch_quarantines_without_retry() {
+        let token = wavepipe_engine::CancelToken::new();
+        token.cancel();
+        let mut batch = BatchSim::compile(&rc_circuit(), 1e-8, 1e-6)
+            .unwrap()
+            .with_sim(SimOptions::default().with_cancel_token(token));
+        batch.param("R1", ParamKind::Resistance).unwrap();
+        batch.add_instance(&[1e3]).unwrap();
+        let out = batch.run_outcome().unwrap();
+        let [q] = out.quarantined() else { panic!("expected one quarantine") };
+        assert!(q.error.is_budget(), "expected a budget error, got {:?}", q.error);
+        assert!(!q.retried, "budget errors must not be retried");
     }
 }

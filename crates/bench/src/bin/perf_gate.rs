@@ -6,9 +6,10 @@
 //! Usage:
 //!
 //! ```text
-//! perf-gate --newton-baseline <file> --newton-fresh <file> \
-//!           --stamp-baseline <file>  --stamp-fresh <file> \
-//!           --sweep-baseline <file>  --sweep-fresh <file> [--tolerance 0.15]
+//! perf-gate --newton-baseline <file>   --newton-fresh <file> \
+//!           --stamp-baseline <file>    --stamp-fresh <file> \
+//!           --sweep-baseline <file>    --sweep-fresh <file> \
+//!           --overhead-baseline <file> --overhead-fresh <file> [--tolerance 0.15]
 //! ```
 
 use wavepipe_bench::perfgate::{gate, DEFAULT_TOLERANCE};
@@ -28,6 +29,8 @@ fn main() {
     let mut stamp_fresh = None;
     let mut sweep_baseline = None;
     let mut sweep_fresh = None;
+    let mut overhead_baseline = None;
+    let mut overhead_fresh = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -37,6 +40,8 @@ fn main() {
             "--stamp-fresh" => stamp_fresh = args.next(),
             "--sweep-baseline" => sweep_baseline = args.next(),
             "--sweep-fresh" => sweep_fresh = args.next(),
+            "--overhead-baseline" => overhead_baseline = args.next(),
+            "--overhead-fresh" => overhead_fresh = args.next(),
             "--tolerance" => {
                 let t = args.next().and_then(|v| v.parse::<f64>().ok());
                 tolerance = t.unwrap_or_else(|| {
@@ -62,8 +67,10 @@ fn main() {
     let sf = read("stamp fresh", required("--stamp-fresh", stamp_fresh));
     let wb = read("sweep baseline", required("--sweep-baseline", sweep_baseline));
     let wf = read("sweep fresh", required("--sweep-fresh", sweep_fresh));
+    let ob = read("overhead baseline", required("--overhead-baseline", overhead_baseline));
+    let of = read("overhead fresh", required("--overhead-fresh", overhead_fresh));
 
-    match gate(&nb, &nf, &sb, &sf, &wb, &wf, tolerance) {
+    match gate(&nb, &nf, &sb, &sf, &wb, &wf, &ob, &of, tolerance) {
         Ok(report) => {
             print!("{}", report.table());
             if report.passed() {

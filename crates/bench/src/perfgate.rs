@@ -132,6 +132,40 @@ pub fn sweep_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Extracts the ratio-type metrics from a `BENCH_overhead.json` document
+/// (an array of per-circuit rows from the `overhead` binary): the
+/// recovery-off/on wall-time ratio (≈1 when the ladder is free on clean
+/// runs; drops when arming it starts costing) and the rescue-free fraction
+/// of accepted points (exactly 1 on a clean run — any clean-run ladder
+/// engagement drops it deterministically, no timing noise involved).
+///
+/// # Errors
+///
+/// Returns a message when the document does not parse or lacks the
+/// expected fields.
+pub fn overhead_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = json::parse(doc).map_err(|e| format!("BENCH_overhead.json: {e}"))?;
+    let rows = v.as_array().ok_or("BENCH_overhead.json: expected a top-level array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let circuit = row
+            .get("circuit")
+            .and_then(JsonValue::as_str)
+            .ok_or("BENCH_overhead.json: row without circuit")?;
+        let ratio = row
+            .get("off_on_ratio")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_overhead.json: {circuit} lacks off_on_ratio"))?;
+        let rescue_free = row
+            .get("rescue_free_fraction")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_overhead.json: {circuit} lacks rescue_free_fraction"))?;
+        out.push((format!("recovery/{circuit}/off_on_ratio"), ratio));
+        out.push((format!("recovery/{circuit}/rescue_free_fraction"), rescue_free));
+    }
+    Ok(out)
+}
+
 /// Pairs baseline and fresh metric lists by key. Keys present on only one
 /// side are reported (a renamed circuit must fail loudly, not vanish).
 ///
@@ -233,6 +267,7 @@ impl GateReport {
 ///
 /// Returns a message when a document is malformed or the metric sets
 /// diverge — both are gate failures distinct from a perf regression.
+#[allow(clippy::too_many_arguments)]
 pub fn gate(
     newton_baseline: &str,
     newton_fresh: &str,
@@ -240,14 +275,18 @@ pub fn gate(
     stamp_fresh: &str,
     sweep_baseline: &str,
     sweep_fresh: &str,
+    overhead_baseline: &str,
+    overhead_fresh: &str,
     tolerance: f64,
 ) -> Result<GateReport, String> {
     let mut base = newton_metrics(newton_baseline)?;
     base.extend(stamp_metrics(stamp_baseline)?);
     base.extend(sweep_metrics(sweep_baseline)?);
+    base.extend(overhead_metrics(overhead_baseline)?);
     let mut fresh = newton_metrics(newton_fresh)?;
     fresh.extend(stamp_metrics(stamp_fresh)?);
     fresh.extend(sweep_metrics(sweep_fresh)?);
+    fresh.extend(overhead_metrics(overhead_fresh)?);
     Ok(GateReport::new(pair(&base, &fresh)?, tolerance))
 }
 
@@ -270,6 +309,11 @@ mod tests {
        "batched_cpu_ms":450.0,"batched_makespan_ms":65.0,
        "work_ratio":1.11,"modeled_speedup":7.7}
     ]"#;
+    const OVERHEAD: &str = r#"[
+      {"circuit":"g","serial_off_us":900,"serial_on_us":905,"backward2_us":600,
+       "off_on_ratio":0.9945,"recovery_attempts":0,"recovery_rescues":0,
+       "cache_rollbacks":0,"rescue_free_fraction":1.0}
+    ]"#;
 
     fn scaled_newton(factor: f64) -> String {
         format!(
@@ -282,16 +326,20 @@ mod tests {
 
     #[test]
     fn identical_runs_pass() {
-        let r = gate(NEWTON, NEWTON, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
+        let r =
+            gate(NEWTON, NEWTON, STAMP, STAMP, SWEEP, SWEEP, OVERHEAD, OVERHEAD, DEFAULT_TOLERANCE)
+                .unwrap();
         assert!(r.passed(), "{}", r.table());
-        assert_eq!(r.metrics.len(), 5); // 2 newton + 1 non-serial stamp + 2 sweep
+        assert_eq!(r.metrics.len(), 7); // 2 newton + 1 non-serial stamp + 2 sweep + 2 recovery
     }
 
     #[test]
     fn injected_twenty_percent_slowdown_fails() {
         // The acceptance scenario: a 20% speedup loss must trip a 15% gate.
         let slow = scaled_newton(0.8);
-        let r = gate(NEWTON, &slow, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
+        let r =
+            gate(NEWTON, &slow, STAMP, STAMP, SWEEP, SWEEP, OVERHEAD, OVERHEAD, DEFAULT_TOLERANCE)
+                .unwrap();
         assert!(!r.passed());
         assert_eq!(r.failures().len(), 2);
         let table = r.table();
@@ -303,14 +351,36 @@ mod tests {
     #[test]
     fn slowdown_within_tolerance_passes() {
         let slight = scaled_newton(0.9); // -10% on a 15% gate
-        let r = gate(NEWTON, &slight, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
+        let r = gate(
+            NEWTON,
+            &slight,
+            STAMP,
+            STAMP,
+            SWEEP,
+            SWEEP,
+            OVERHEAD,
+            OVERHEAD,
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
         assert!(r.passed(), "{}", r.table());
     }
 
     #[test]
     fn improvements_never_fail() {
         let faster = scaled_newton(1.5);
-        let r = gate(NEWTON, &faster, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap();
+        let r = gate(
+            NEWTON,
+            &faster,
+            STAMP,
+            STAMP,
+            SWEEP,
+            SWEEP,
+            OVERHEAD,
+            OVERHEAD,
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
         assert!(r.passed(), "{}", r.table());
         assert!(r.table().contains("ok +"));
     }
@@ -318,8 +388,18 @@ mod tests {
     #[test]
     fn diverging_metric_sets_are_an_error() {
         let renamed = NEWTON.replace("\"a\"", "\"renamed\"");
-        let err =
-            gate(NEWTON, &renamed, STAMP, STAMP, SWEEP, SWEEP, DEFAULT_TOLERANCE).unwrap_err();
+        let err = gate(
+            NEWTON,
+            &renamed,
+            STAMP,
+            STAMP,
+            SWEEP,
+            SWEEP,
+            OVERHEAD,
+            OVERHEAD,
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap_err();
         assert!(err.contains("newton/a/speedup"), "{err}");
         assert!(err.contains("renamed"), "{err}");
     }

@@ -89,8 +89,11 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
     // every pool task is speculative, so truncation is always safe.
     let (solutions, _truncated) = usable_prefix(drv, sols, usize::MAX)?;
 
-    // Left-to-right commit under serial-identical tests.
+    // Left-to-right commit under serial-identical tests. Rescued points
+    // (recovery ladder at the step floor) are counted separately: they are
+    // real commits, but never land on the horizon target.
     let mut committed = 0usize;
+    let mut rescued_commits = 0usize;
     for (i, sol) in solutions.iter().enumerate() {
         let h_attempt = sol.coeffs.h;
         match drv.try_commit(sol) {
@@ -124,7 +127,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
             }
             Commit::RejectedNewton => {
                 if i == 0 {
-                    drv.newton_backoff(h_attempt)?;
+                    rescued_commits += usize::from(drv.newton_backoff(h_attempt, sol.iterations)?);
                 } else {
                     drv.lead_rejected += 1;
                     drv.note_lead(false);
@@ -144,6 +147,7 @@ pub(crate) fn backward_round(drv: &mut Driver, width: usize) -> Result<usize> {
     if hit && committed == targets.len() {
         drv.handle_breakpoint_landing();
     }
+    let committed = committed + rescued_commits;
     wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
     Ok(committed)
 }

@@ -116,6 +116,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
 
         // Commit the backward ladder left to right.
         let mut committed = 0usize;
+        let mut rescued_commits = 0usize;
         for (i, sol) in solutions[..solutions.len().min(n_bp_targets)].iter().enumerate() {
             let h_attempt = sol.coeffs.h;
             match drv.try_commit(sol) {
@@ -145,7 +146,12 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 }
                 Commit::RejectedNewton => {
                     if i == 0 {
-                        drv.newton_backoff(h_attempt)?;
+                        // A rescued point counts toward the round's commits
+                        // but is *not* the ladder target, so it must not
+                        // mark the ladder complete (the forward window's
+                        // speculated history is invalid either way).
+                        rescued_commits +=
+                            usize::from(drv.newton_backoff(h_attempt, sol.iterations)?);
                     } else {
                         drv.lead_rejected += 1;
                         drv.note_lead(false);
@@ -225,6 +231,7 @@ pub(crate) fn combined_round(drv: &mut Driver, width: usize) -> Result<usize> {
         if hit && committed_all {
             drv.handle_breakpoint_landing();
         }
+        let committed = committed + rescued_commits;
         wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
         Ok(committed)
     }

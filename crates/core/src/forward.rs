@@ -165,9 +165,10 @@ pub(crate) fn forward_round(drv: &mut Driver, width: usize) -> Result<usize> {
                 if solutions.len() > 1 {
                     emit_chain_discard(drv, &solutions, 1, DiscardReason::ChainBroken);
                 }
-                drv.newton_backoff(h_attempt)?;
-                wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: 0 });
-                return Ok(0);
+                let rescued = drv.newton_backoff(h_attempt, base.iterations)?;
+                let committed = usize::from(rescued);
+                wp.sim.probe.emit(drv.hw.t(), EventKind::RoundEnd { committed: committed as u32 });
+                return Ok(committed);
             }
         };
         let mut committed = 1usize;

@@ -757,24 +757,51 @@ impl Driver {
         self.deep_mode
     }
 
-    /// Newton failure on the base point: shrink and retry.
+    /// Newton failure on the base point: shrink and retry — and when the
+    /// step has already collapsed to the floor, run the engine's convergence
+    /// recovery ladder on the *lead* lane (speculation was already discarded
+    /// by the caller; a rescued point commits through the same accept
+    /// machinery and restarts integration exactly as the serial loop does,
+    /// preserving waveform bit-identity with the serial recovery path).
+    /// `failed_iters` is the iteration count of the failing base solve, for
+    /// the failure report. Returns `true` when a rescued point was committed
+    /// (so callers can count it in the round's committed total).
     ///
     /// # Errors
     ///
-    /// [`EngineError::TimestepTooSmall`] when the retry step would go below
-    /// `hmin`.
-    pub fn newton_backoff(&mut self, h_attempt: f64) -> Result<()> {
+    /// * [`EngineError::TimestepTooSmall`] when the retry step would go
+    ///   below `hmin` and recovery is disabled.
+    /// * [`EngineError::NoConvergence`] when every recovery rung failed.
+    /// * Budget errors propagating out of a rescue solve.
+    pub fn newton_backoff(&mut self, h_attempt: f64, failed_iters: usize) -> Result<bool> {
         self.total.steps_rejected_newton += 1;
         self.wp.sim.metrics.inc(Counter::NewtonRejects);
         self.h = h_attempt * self.wp.sim.nr_shrink;
         if self.h < self.hmin {
-            return Err(EngineError::TimestepTooSmall {
-                time: self.hw.t(),
-                step: self.h,
-                hmin: self.hmin,
-            });
+            if !self.wp.sim.recovery {
+                return Err(EngineError::TimestepTooSmall {
+                    time: self.hw.t(),
+                    step: self.h,
+                    hmin: self.hmin,
+                });
+            }
+            // The ladder is inherently sequential work on the lead lane.
+            let mut rstats = SimStats::new();
+            let rescued = self.lead.rescue_point(
+                &self.hw,
+                h_attempt,
+                self.hmin,
+                failed_iters,
+                &mut rstats,
+            )?;
+            self.account_sequential(&rstats);
+            self.accept(&rescued);
+            self.hw.mark_discontinuity();
+            self.lte_reject_streak = 0;
+            self.h = self.hmin;
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Packages the run into a report.

@@ -146,9 +146,13 @@ pub fn dc_operating_point(
                 step /= 4.0;
                 failures += 1;
                 if failures > 20 || step < 1e-5 {
+                    // `x` is the last converged continuation stage; the
+                    // residual against the workspace's final stamp names
+                    // where the next stage refused to close.
                     return Err(EngineError::NoConvergence {
                         time: 0.0,
                         iterations: stats.newton_iterations,
+                        report: Box::new(crate::recovery::residual_report(sys, ws, &x)),
                     });
                 }
             }

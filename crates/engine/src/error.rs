@@ -4,6 +4,66 @@ use std::fmt;
 use std::time::Duration;
 use wavepipe_sparse::SparseError;
 
+/// One rung of the transient convergence recovery ladder (see
+/// `crate::recovery`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryRung {
+    /// Rung 1: retry with the solver caches invalidated and disabled
+    /// (bypass masks, chord LU key, companion cache).
+    CacheRollback,
+    /// Rung 2: cut the step below the LTE controller's floor.
+    DeepCut,
+    /// Rung 3: local gmin/gshunt continuation ramp at the failing point.
+    GminRamp,
+}
+
+impl RecoveryRung {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryRung::CacheRollback => "cache_rollback",
+            RecoveryRung::DeepCut => "deep_cut",
+            RecoveryRung::GminRamp => "gmin_ramp",
+        }
+    }
+}
+
+/// Forensic detail attached to [`EngineError::NoConvergence`]: where the
+/// residual was worst when Newton gave up, how the iteration budget was
+/// spent, and which recovery rungs were tried before the error escaped.
+///
+/// Boxed inside the error so the happy path never pays for its size.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvergenceReport {
+    /// Name of the unknown with the largest final residual magnitude.
+    pub worst_node: Option<String>,
+    /// Final residual infinity norm at that unknown.
+    pub residual: Option<f64>,
+    /// Newton iterations spent per attempt: the original failing solve
+    /// first, then one entry per recovery-ladder solve.
+    pub iterations_history: Vec<usize>,
+    /// Recovery rungs tried before giving up, in order.
+    pub rungs_tried: Vec<RecoveryRung>,
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.worst_node, self.residual) {
+            (Some(node), Some(r)) => write!(f, "worst residual {r:.3e} at node {node}")?,
+            (Some(node), None) => write!(f, "worst residual at node {node}")?,
+            (None, Some(r)) => write!(f, "worst residual {r:.3e}")?,
+            (None, None) => write!(f, "no residual detail")?,
+        }
+        if !self.rungs_tried.is_empty() {
+            write!(f, "; rungs tried:")?;
+            for rung in &self.rungs_tried {
+                write!(f, " {}", rung.name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Error produced by DC or transient analysis.
 ///
 /// Marked `#[non_exhaustive]`: downstream matches must carry a fallthrough
@@ -21,6 +81,9 @@ pub enum EngineError {
         time: f64,
         /// Iterations spent in the final attempt.
         iterations: usize,
+        /// Forensic detail: worst-residual node, iteration history, and the
+        /// recovery rungs tried before the error escaped.
+        report: Box<ConvergenceReport>,
     },
     /// The transient step size collapsed below the minimum: the local
     /// truncation error could not be controlled.
@@ -104,8 +167,15 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Linear(e) => write!(f, "linear solve failed: {e}"),
-            EngineError::NoConvergence { time, iterations } => {
-                write!(f, "newton failed to converge at t={time:.3e} after {iterations} iterations")
+            EngineError::NoConvergence { time, iterations, report } => {
+                write!(
+                    f,
+                    "newton failed to converge at t={time:.3e} after {iterations} iterations"
+                )?;
+                if report.worst_node.is_some() || report.residual.is_some() {
+                    write!(f, " ({report})")?;
+                }
+                Ok(())
             }
             EngineError::TimestepTooSmall { time, step, hmin } => {
                 write!(f, "timestep {step:.3e} below minimum {hmin:.3e} at t={time:.3e}")
@@ -170,8 +240,28 @@ mod tests {
 
     #[test]
     fn display_mentions_time() {
-        let e = EngineError::NoConvergence { time: 1e-9, iterations: 50 };
+        let e = EngineError::NoConvergence { time: 1e-9, iterations: 50, report: Box::default() };
         assert!(e.to_string().contains("1.000e-9"));
+    }
+
+    #[test]
+    fn convergence_report_enriches_display() {
+        let report = ConvergenceReport {
+            worst_node: Some("out".to_string()),
+            residual: Some(2.5e-3),
+            iterations_history: vec![40, 40],
+            rungs_tried: vec![RecoveryRung::CacheRollback, RecoveryRung::GminRamp],
+        };
+        let e = EngineError::NoConvergence { time: 1e-9, iterations: 40, report: Box::new(report) };
+        let msg = e.to_string();
+        assert!(msg.contains("node out"), "{msg}");
+        assert!(msg.contains("2.500e-3"), "{msg}");
+        assert!(msg.contains("cache_rollback"), "{msg}");
+        assert!(msg.contains("gmin_ramp"), "{msg}");
+        // An empty report leaves the classic message untouched.
+        let bare =
+            EngineError::NoConvergence { time: 1e-9, iterations: 40, report: Box::default() };
+        assert!(!bare.to_string().contains('('), "{bare}");
     }
 
     #[test]

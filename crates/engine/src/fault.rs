@@ -43,6 +43,12 @@ pub enum FaultKind {
         /// Artificial delay in milliseconds.
         millis: u64,
     },
+    /// Report the solve as unconverged regardless of the actual Newton
+    /// outcome (exercises the convergence recovery ladder: step shrink down
+    /// to the floor, then cache rollback / deep cut / gmin ramp). Recovery
+    /// solves are exempt from fault injection, so a rescue always succeeds
+    /// under this fault.
+    ForceNonConvergence,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +69,9 @@ struct StampRule {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     seed: Option<u64>,
+    /// When set, seeded chaos also draws [`FaultKind::ForceNonConvergence`]
+    /// (opt-in: the classic chaos legs pin soft singular/NaN faults only).
+    nc_chaos: bool,
     solve_rules: Vec<SolveRule>,
     stamp_rules: Vec<StampRule>,
 }
@@ -92,11 +101,27 @@ impl FaultPlan {
         FaultPlan { seed: Some(seed), ..FaultPlan::default() }
     }
 
+    /// A chaos plan that additionally draws
+    /// [`FaultKind::ForceNonConvergence`]: the convergence-fault leg that
+    /// exercises the recovery ladder across the whole suite.
+    pub fn seeded_with_nonconvergence(seed: u64) -> Self {
+        FaultPlan { seed: Some(seed), nc_chaos: true, ..FaultPlan::default() }
+    }
+
     /// Reads `WAVEPIPE_FAULT_SEED` and builds the corresponding chaos plan,
-    /// or `None` when the variable is unset or unparsable.
+    /// or `None` when the variable is unset or unparsable. A truthy
+    /// `WAVEPIPE_FAULT_NC` additionally enables forced-non-convergence
+    /// chaos draws (the recovery-ladder CI leg).
     pub fn from_env() -> Option<Self> {
         let seed = std::env::var("WAVEPIPE_FAULT_SEED").ok()?.parse().ok()?;
-        Some(FaultPlan::seeded(seed))
+        let nc = std::env::var("WAVEPIPE_FAULT_NC")
+            .map(|v| !matches!(v.trim(), "" | "0" | "false" | "off" | "no"))
+            .unwrap_or(false);
+        if nc {
+            Some(FaultPlan::seeded_with_nonconvergence(seed))
+        } else {
+            Some(FaultPlan::seeded(seed))
+        }
     }
 
     /// Builder: injects `kind` on `lane` at the solver's `solve`-th call
@@ -133,7 +158,12 @@ impl FaultPlan {
             return None;
         }
         // Soft faults only (see module docs): singular anywhere; NaN only on
-        // speculative lanes, where a discarded solution costs nothing.
+        // speculative lanes, where a discarded solution costs nothing. With
+        // nc_chaos, a third of the draws force a non-converged outcome
+        // instead, sending the solve through the recovery ladder.
+        if self.nc_chaos && (h >> 33) & 3 == 1 {
+            return Some(FaultKind::ForceNonConvergence);
+        }
         if lane >= 1 && (h >> 32) & 1 == 1 {
             Some(FaultKind::NanSolution)
         } else {
@@ -288,6 +318,27 @@ mod tests {
         assert!(fired > 0, "chaos never fired in 16000 draws");
         assert!(fired < 160, "chaos fired implausibly often: {fired}");
         assert!(!a.stamp_panic(0, 0), "chaos must not panic stamp workers");
+    }
+
+    #[test]
+    fn nonconvergence_chaos_is_opt_in_and_deterministic() {
+        let plain = FaultPlan::seeded(42);
+        let nc = FaultPlan::seeded_with_nonconvergence(42);
+        let nc2 = FaultPlan::seeded_with_nonconvergence(42);
+        let mut forced = 0u32;
+        for lane in 0..4u32 {
+            for solve in 0..4000u64 {
+                let f = nc.solve_fault(lane, solve);
+                assert_eq!(f, nc2.solve_fault(lane, solve), "determinism");
+                if f == Some(FaultKind::ForceNonConvergence) {
+                    forced += 1;
+                    // The plain chaos plan never draws this kind.
+                    assert_ne!(plain.solve_fault(lane, solve), f);
+                }
+            }
+        }
+        assert!(forced > 0, "nc chaos never fired in 16000 draws");
+        assert!(forced < 160, "nc chaos fired implausibly often: {forced}");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod newton;
 mod options;
 pub mod parstamp;
 pub mod rawfile;
+pub mod recovery;
 mod result;
 pub mod sensitivity;
 pub mod solver;
@@ -72,7 +73,7 @@ pub mod transient;
 pub use ac::{run_ac, AcResult, Phasor};
 pub use cancel::CancelToken;
 pub use dcsweep::{run_dc_sweep, DcSweepResult};
-pub use error::{EngineError, Result};
+pub use error::{ConvergenceReport, EngineError, RecoveryRung, Result};
 pub use fault::{FaultHandle, FaultKind, FaultPlan};
 pub use integrate::{IntegCoeffs, Method};
 pub use mna::{MnaSystem, MnaWorkspace, StampInput, StampResult};

@@ -268,6 +268,19 @@ pub struct MnaWorkspace {
     pub(crate) caches: StampCaches,
 }
 
+impl MnaWorkspace {
+    /// Invalidates every solver cache in this workspace: per-device bypass
+    /// state, the current bypass mask, and the companion (linear-matrix)
+    /// cache. The cache-poisoning rollback rung of the recovery ladder calls
+    /// this so the retry solve cannot replay any possibly-corrupt cached
+    /// stamp.
+    pub(crate) fn reset_caches(&mut self) {
+        self.caches.valid.fill(false);
+        self.caches.mask.fill(false);
+        self.caches.lin_key = None;
+    }
+}
+
 /// Key identifying which assembled *linear* matrix (node shunts, resistors,
 /// sources, reactive companion conductances) a cached copy corresponds to.
 /// Everything else a linear stamp's matrix entries depend on is compile-time

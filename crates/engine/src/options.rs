@@ -126,6 +126,18 @@ pub struct SimOptions {
     /// across sweep instances. Both are bit-identical to each other — see
     /// [`crate::solver`] for the determinism contract.
     pub solver: SolverHandle,
+    /// Transient convergence recovery ladder: when Newton fails at a
+    /// timepoint and the step has already collapsed to the floor, try —
+    /// in order — a cache-poisoning rollback (solver caches invalidated and
+    /// disabled), bounded deep step cuts below the LTE floor, and a local
+    /// gmin/gshunt continuation ramp, before surfacing a typed
+    /// [`EngineError::NoConvergence`]. The ladder only runs on the error
+    /// path, so clean runs are bit-identical with it on or off. The default
+    /// honours `WAVEPIPE_RECOVERY` (`0`/`false` disables); on otherwise.
+    pub recovery: bool,
+    /// Deep-cut budget of recovery rung 2: how many quartering cuts below
+    /// `hmin` are attempted. Default `3` (down to `hmin / 64`).
+    pub recovery_deep_cuts: usize,
 }
 
 /// Per-stamp control block for the solver caches, derived from
@@ -194,6 +206,8 @@ impl Default for SimOptions {
             chord_theta: 0.5,
             companion_cache: true,
             solver: SolverHandle::direct(),
+            recovery: env_flag("WAVEPIPE_RECOVERY"),
+            recovery_deep_cuts: 3,
         }
     }
 }
@@ -311,6 +325,22 @@ impl SimOptions {
     #[must_use]
     pub fn with_solver(mut self, solver: SolverHandle) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Builder: enables or disables the transient convergence recovery
+    /// ladder (pins the run against the `WAVEPIPE_RECOVERY` environment
+    /// override).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: bool) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Builder: sets the deep-cut budget of recovery rung 2.
+    #[must_use]
+    pub fn with_recovery_deep_cuts(mut self, cuts: usize) -> Self {
+        self.recovery_deep_cuts = cuts;
         self
     }
 
@@ -441,6 +471,16 @@ mod tests {
         o.arm_deadline();
         let err = o.check_budget(2e-9).unwrap_err();
         assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn recovery_knobs_pin_against_env() {
+        let o = SimOptions::default().with_recovery(false);
+        assert!(!o.recovery);
+        let o = o.with_recovery(true).with_recovery_deep_cuts(5);
+        assert!(o.recovery);
+        assert_eq!(o.recovery_deep_cuts, 5);
+        assert_eq!(SimOptions::default().recovery_deep_cuts, 3);
     }
 
     #[test]

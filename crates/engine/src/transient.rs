@@ -37,7 +37,7 @@ const WINDOW: usize = 4;
 /// states are instead estimated by a variable-step BDF2 divided-difference
 /// derivative of the node voltages — O(h^2) accurate, hence consistent with
 /// every second-order companion, and free of recursion.
-fn state_coeffs(hw: &HistoryWindow, t_new: f64) -> IntegCoeffs {
+pub(crate) fn state_coeffs(hw: &HistoryWindow, t_new: f64) -> IntegCoeffs {
     let h = t_new - hw.times[0];
     if hw.times.len() >= 2 && hw.points_since_restart >= 1 {
         let h_prev = hw.times[0] - hw.times[1];
@@ -235,11 +235,11 @@ pub struct PointSolution {
 /// during every stamp, with bit-identical results to the serial path.
 #[derive(Debug)]
 pub struct PointSolver {
-    sys: Arc<MnaSystem>,
-    opts: SimOptions,
-    ws: MnaWorkspace,
-    cache: LinearCache,
-    exec: Option<StampExecutor>,
+    pub(crate) sys: Arc<MnaSystem>,
+    pub(crate) opts: SimOptions,
+    pub(crate) ws: MnaWorkspace,
+    pub(crate) cache: LinearCache,
+    pub(crate) exec: Option<StampExecutor>,
     /// Monotone per-solver solve counter — together with the fault handle's
     /// lane tag, the deterministic coordinate fault injection keys on.
     solve_seq: u64,
@@ -343,6 +343,7 @@ impl PointSolver {
             return Err(crate::error::EngineError::NoConvergence {
                 time: 0.0,
                 iterations: out.iterations,
+                report: Box::new(crate::recovery::residual_report(&self.sys, &self.ws, &out.x)),
             });
         }
         // The IC stamp pattern differs numerically from the transient one;
@@ -394,6 +395,31 @@ impl PointSolver {
             }
             Some(FaultKind::SlowSolve { millis }) => {
                 std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            Some(FaultKind::ForceNonConvergence) => {
+                // Report the point as unconverged no matter what Newton would
+                // have done, leaving the caches untouched (a genuinely stale
+                // cache is exactly what the recovery ladder's rollback rung
+                // exists to clear). The step controller shrinks to the floor
+                // and then enters the ladder; rescue solves are fault-exempt,
+                // so the rescue always lands.
+                let mut stats = SimStats::new();
+                stats.wall_ns += start.elapsed().as_nanos();
+                self.opts.probe.emit(
+                    t_new,
+                    EventKind::SolveEnd { iterations: max_iters as u32, converged: false },
+                );
+                self.publish_solve_metrics(max_iters, start);
+                return Ok(PointSolution {
+                    t: t_new,
+                    x: hw.xs[0].clone(),
+                    method,
+                    coeffs,
+                    converged: false,
+                    iterations: max_iters,
+                    cap_currents: Vec::new(),
+                    stats,
+                });
             }
             Some(FaultKind::SingularMatrix) => {
                 // Behave exactly like a genuinely singular companion matrix
@@ -707,7 +733,30 @@ pub fn run_transient_recoverable_compiled(
                 opts.metrics.inc(Counter::NewtonRejects);
                 h = h_attempt * opts.nr_shrink;
                 if h < hmin {
-                    return Err(EngineError::TimestepTooSmall { time: hw.t(), step: h, hmin });
+                    if !opts.recovery {
+                        return Err(EngineError::TimestepTooSmall { time: hw.t(), step: h, hmin });
+                    }
+                    // The step collapsed below the floor: enter the recovery
+                    // ladder instead of giving up. A rescued point is a fully
+                    // converged true-system solution; accept it like any
+                    // other (LTE cannot reject a step at or below `hmin`)
+                    // and restart integration cautiously from the floor.
+                    let rescued =
+                        solver.rescue_point(&hw, h_attempt, hmin, sol.iterations, &mut stats)?;
+                    if !wavepipe_sparse::vector::all_finite(&rescued.x) {
+                        return Err(EngineError::NumericalBlowup { time: rescued.t });
+                    }
+                    let t_rescued = rescued.t;
+                    opts.probe.emit(t_rescued, EventKind::PointAccepted { h: rescued.coeffs.h });
+                    if opts.metrics.enabled() {
+                        publish_accept_metrics(&opts.metrics, rescued.coeffs.h, hmin);
+                    }
+                    hw.accept(&rescued);
+                    result.push(t_rescued, &rescued.x);
+                    stats.steps_accepted += 1;
+                    hw.mark_discontinuity();
+                    lte_reject_streak = 0;
+                    h = hmin;
                 }
                 continue;
             }

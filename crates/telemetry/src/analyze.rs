@@ -78,6 +78,12 @@ pub struct Counts {
     pub serial_fallbacks: u64,
     /// Wall-clock budget expirations.
     pub deadline_hits: u64,
+    /// Convergence recovery ladders engaged.
+    pub recovery_attempts: u64,
+    /// Recovery rungs that produced a converged point.
+    pub recovery_rescues: u64,
+    /// Solver-cache invalidations forced by the recovery ladder.
+    pub cache_rollbacks: u64,
 }
 
 impl Counts {
@@ -191,6 +197,9 @@ pub fn analyze(events: &[Event]) -> TraceAnalysis {
         workers_lost: 0,
         serial_fallbacks: 0,
         deadline_hits: 0,
+        recovery_attempts: 0,
+        recovery_rescues: 0,
+        cache_rollbacks: 0,
     };
     let mut lane_solves: HashMap<u32, u64> = HashMap::new();
     let mut reasons: HashMap<&'static str, u64> = HashMap::new();
@@ -287,6 +296,13 @@ pub fn analyze(events: &[Event]) -> TraceAnalysis {
             EventKind::WorkerLost { .. } => c.workers_lost += 1,
             EventKind::FallbackSerial => c.serial_fallbacks += 1,
             EventKind::DeadlineHit => c.deadline_hits += 1,
+            EventKind::RecoveryAttempt { .. } => c.recovery_attempts += 1,
+            EventKind::RecoveryRung { success, .. } => {
+                if success {
+                    c.recovery_rescues += 1;
+                }
+            }
+            EventKind::CachePoisonRollback => c.cache_rollbacks += 1,
         }
     }
 
@@ -434,6 +450,13 @@ impl TraceAnalysis {
                 c.workers_lost, c.serial_fallbacks, c.deadline_hits
             );
         }
+        if c.recovery_attempts + c.cache_rollbacks > 0 {
+            let _ = writeln!(
+                out,
+                "  recovery                  {:>10}  ladders / {} rescued / {} cache rollbacks",
+                c.recovery_attempts, c.recovery_rescues, c.cache_rollbacks
+            );
+        }
         out
     }
 
@@ -502,7 +525,7 @@ impl TraceAnalysis {
     pub fn to_json(&self, stable_only: bool) -> String {
         let c = &self.counts;
         let mut out = String::from("{\"stable\":{");
-        let scalars: [(&str, u64); 18] = [
+        let scalars: [(&str, u64); 21] = [
             ("rounds", c.rounds),
             ("points_accepted", c.points_accepted),
             ("solves", c.solves),
@@ -521,6 +544,9 @@ impl TraceAnalysis {
             ("stamp_color_groups", c.stamp_color_groups),
             ("workers_lost", c.workers_lost),
             ("deadline_hits", c.deadline_hits),
+            ("recovery_attempts", c.recovery_attempts),
+            ("recovery_rescues", c.recovery_rescues),
+            ("cache_rollbacks", c.cache_rollbacks),
         ];
         for (i, (name, v)) in scalars.iter().enumerate() {
             if i > 0 {

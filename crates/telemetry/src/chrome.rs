@@ -222,6 +222,18 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
             EventKind::DeadlineHit => {
                 instant(&mut objs, ROUNDS_TID, "deadline_hit", ev.ts_ns, "");
             }
+            EventKind::RecoveryAttempt { h } => {
+                let args =
+                    format!("\"t_sim\":{},\"h\":{}", json::fmt_f64(ev.t_sim), json::fmt_f64(h));
+                instant(&mut objs, ev.lane, "recovery_attempt", ev.ts_ns, &args);
+            }
+            EventKind::RecoveryRung { rung, success } => {
+                let args = format!("\"rung\":{rung},\"success\":{success}");
+                instant(&mut objs, ev.lane, "recovery_rung", ev.ts_ns, &args);
+            }
+            EventKind::CachePoisonRollback => {
+                instant(&mut objs, ev.lane, "cache_poison_rollback", ev.ts_ns, "");
+            }
             EventKind::BypassedDevices { devices } => {
                 // No span — just the hit-rate counter. The largest batch seen
                 // so far stands in for the circuit's nonlinear device count
@@ -398,6 +410,9 @@ mod tests {
             ev(10, 1, 2, EventKind::WorkerLost { lane: 2 }),
             ev(15, 1, 0, EventKind::FallbackSerial),
             ev(20, 1, 0, EventKind::DeadlineHit),
+            ev(25, 1, 0, EventKind::RecoveryAttempt { h: 1e-15 }),
+            ev(26, 1, 0, EventKind::CachePoisonRollback),
+            ev(30, 1, 0, EventKind::RecoveryRung { rung: 1, success: true }),
         ];
         let text = chrome_trace_string(&events);
         let doc = crate::json::parse(&text).expect("valid JSON");
@@ -409,10 +424,13 @@ mod tests {
             .iter()
             .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("i"))
             .collect();
-        assert_eq!(instants.len(), 3);
+        assert_eq!(instants.len(), 6);
         assert!(text.contains("worker_lost"));
         assert!(text.contains("fallback_serial"));
         assert!(text.contains("deadline_hit"));
+        assert!(text.contains("recovery_attempt"));
+        assert!(text.contains("recovery_rung"));
+        assert!(text.contains("cache_poison_rollback"));
     }
 
     fn counters<'a>(doc: &'a JsonValue, name: &str) -> Vec<&'a JsonValue> {

@@ -159,6 +159,23 @@ pub enum EventKind {
     /// The wall-clock budget expired; the run is stopping at the accepted
     /// prefix.
     DeadlineHit,
+    /// Newton failed at a timepoint below the step floor; the convergence
+    /// recovery ladder engaged instead of aborting the run.
+    RecoveryAttempt {
+        /// The stride of the failing attempt.
+        h: f64,
+    },
+    /// One rung of the recovery ladder finished.
+    RecoveryRung {
+        /// 1-based rung index (1 = cache rollback, 2 = deep step cut,
+        /// 3 = local gmin ramp).
+        rung: u32,
+        /// Whether the rung produced a converged point.
+        success: bool,
+    },
+    /// The recovery ladder invalidated the solver caches (bypass masks,
+    /// chord LU key, companion cache) suspecting a poisoned entry.
+    CachePoisonRollback,
 }
 
 impl EventKind {
@@ -188,6 +205,9 @@ impl EventKind {
             EventKind::WorkerLost { .. } => "worker_lost",
             EventKind::FallbackSerial => "fallback_serial",
             EventKind::DeadlineHit => "deadline_hit",
+            EventKind::RecoveryAttempt { .. } => "recovery_attempt",
+            EventKind::RecoveryRung { .. } => "recovery_rung",
+            EventKind::CachePoisonRollback => "cache_poison_rollback",
         }
     }
 }
@@ -243,6 +263,9 @@ mod tests {
             EventKind::WorkerLost { lane: 1 },
             EventKind::FallbackSerial,
             EventKind::DeadlineHit,
+            EventKind::RecoveryAttempt { h: 1e-12 },
+            EventKind::RecoveryRung { rung: 1, success: false },
+            EventKind::CachePoisonRollback,
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -74,7 +74,13 @@ pub fn event_to_json(ev: &Event) -> String {
         EventKind::WorkerLost { lane } => {
             let _ = write!(s, ",\"lost_lane\":{lane}");
         }
-        EventKind::FallbackSerial | EventKind::DeadlineHit => {}
+        EventKind::FallbackSerial | EventKind::DeadlineHit | EventKind::CachePoisonRollback => {}
+        EventKind::RecoveryAttempt { h } => {
+            let _ = write!(s, ",\"h\":{}", json::fmt_f64(h));
+        }
+        EventKind::RecoveryRung { rung, success } => {
+            let _ = write!(s, ",\"rung\":{rung},\"success\":{success}");
+        }
     }
     s.push('}');
     s
@@ -189,6 +195,15 @@ pub fn event_from_json(text: &str, line: usize) -> Result<Event, JsonlError> {
         "worker_lost" => EventKind::WorkerLost { lane: field_u64(&v, "lost_lane", line)? as u32 },
         "fallback_serial" => EventKind::FallbackSerial,
         "deadline_hit" => EventKind::DeadlineHit,
+        "recovery_attempt" => EventKind::RecoveryAttempt { h: field_f64(&v, "h", line)? },
+        "recovery_rung" => EventKind::RecoveryRung {
+            rung: field_u64(&v, "rung", line)? as u32,
+            success: v
+                .get("success")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| JsonlError { line, msg: "missing `success`".to_string() })?,
+        },
+        "cache_poison_rollback" => EventKind::CachePoisonRollback,
         other => return Err(JsonlError { line, msg: format!("unknown kind `{other}`") }),
     };
     Ok(Event {
@@ -244,6 +259,9 @@ mod tests {
             EventKind::WorkerLost { lane: 2 },
             EventKind::FallbackSerial,
             EventKind::DeadlineHit,
+            EventKind::RecoveryAttempt { h: 3.2e-15 },
+            EventKind::RecoveryRung { rung: 3, success: true },
+            EventKind::CachePoisonRollback,
             EventKind::RoundEnd { committed: 2 },
         ];
         kinds
@@ -274,7 +292,7 @@ mod tests {
     fn every_kind_reserializes_to_identical_bytes() {
         // Stronger than value equality: serialize -> parse -> serialize must
         // reproduce every byte, so archived traces can be re-emitted (e.g.
-        // by a filter tool) without spurious diffs. Covers all 23 variants
+        // by a filter tool) without spurious diffs. Covers all 26 variants
         // plus awkward float shapes (negative, subnormal-ish, integral).
         let mut events = sample_events();
         events.push(Event {

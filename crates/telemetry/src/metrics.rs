@@ -53,11 +53,14 @@ pub enum Counter {
     WorkersLost,
     SerialFallbacks,
     DeadlineHits,
+    RecoveryAttempts,
+    RecoveryRescues,
+    CacheRollbacks,
 }
 
 impl Counter {
     /// Every counter, in stable exposition order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Rounds,
         Counter::PointsAccepted,
         Counter::LteRejects,
@@ -77,6 +80,9 @@ impl Counter {
         Counter::WorkersLost,
         Counter::SerialFallbacks,
         Counter::DeadlineHits,
+        Counter::RecoveryAttempts,
+        Counter::RecoveryRescues,
+        Counter::CacheRollbacks,
     ];
 
     /// Stable machine-readable name (also the Prometheus metric stem).
@@ -101,6 +107,9 @@ impl Counter {
             Counter::WorkersLost => "workers_lost",
             Counter::SerialFallbacks => "serial_fallbacks",
             Counter::DeadlineHits => "deadline_hits",
+            Counter::RecoveryAttempts => "recovery_attempts",
+            Counter::RecoveryRescues => "recovery_rescues",
+            Counter::CacheRollbacks => "cache_rollbacks",
         }
     }
 }

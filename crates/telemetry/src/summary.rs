@@ -63,6 +63,12 @@ pub struct TelemetrySummary {
     pub serial_fallbacks: u64,
     /// Wall-clock budget expirations observed.
     pub deadline_hits: u64,
+    /// Convergence recovery ladders engaged.
+    pub recovery_attempts: u64,
+    /// Recovery rungs that produced a converged point.
+    pub recovery_rescues: u64,
+    /// Solver-cache invalidations forced by the recovery ladder.
+    pub cache_rollbacks: u64,
 }
 
 impl TelemetrySummary {
@@ -94,6 +100,9 @@ impl TelemetrySummary {
             workers_lost: 0,
             serial_fallbacks: 0,
             deadline_hits: 0,
+            recovery_attempts: 0,
+            recovery_rescues: 0,
+            cache_rollbacks: 0,
         };
         // Open solve span per lane, open round start, per-round (max, sum).
         let mut open_solve: HashMap<u32, u64> = HashMap::new();
@@ -170,6 +179,13 @@ impl TelemetrySummary {
                 EventKind::WorkerLost { .. } => s.workers_lost += 1,
                 EventKind::FallbackSerial => s.serial_fallbacks += 1,
                 EventKind::DeadlineHit => s.deadline_hits += 1,
+                EventKind::RecoveryAttempt { .. } => s.recovery_attempts += 1,
+                EventKind::RecoveryRung { success, .. } => {
+                    if success {
+                        s.recovery_rescues += 1;
+                    }
+                }
+                EventKind::CachePoisonRollback => s.cache_rollbacks += 1,
             }
         }
         for (mx, sum) in round_spans.values() {
@@ -241,6 +257,13 @@ impl fmt::Display for TelemetrySummary {
                 f,
                 "  faults: {} workers lost, {} serial fallbacks, {} deadline hits",
                 self.workers_lost, self.serial_fallbacks, self.deadline_hits
+            )?;
+        }
+        if self.recovery_attempts > 0 || self.cache_rollbacks > 0 {
+            writeln!(
+                f,
+                "  recovery: {} ladders engaged, {} points rescued, {} cache rollbacks",
+                self.recovery_attempts, self.recovery_rescues, self.cache_rollbacks
             )?;
         }
         if !self.discard_reasons.is_empty() {
@@ -347,6 +370,24 @@ mod tests {
         // A cache-free stream prints no solver-cache line.
         let clean = TelemetrySummary::from_events(&[]);
         assert!(!clean.to_string().contains("solver caches"));
+    }
+
+    #[test]
+    fn recovery_events_aggregate_and_print() {
+        let events = vec![
+            ev(5, 1, 0, EventKind::RecoveryAttempt { h: 1e-15 }),
+            ev(6, 1, 0, EventKind::CachePoisonRollback),
+            ev(7, 1, 0, EventKind::RecoveryRung { rung: 1, success: false }),
+            ev(8, 1, 0, EventKind::RecoveryRung { rung: 2, success: true }),
+        ];
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.recovery_attempts, 1);
+        assert_eq!(s.recovery_rescues, 1);
+        assert_eq!(s.cache_rollbacks, 1);
+        assert!(s.to_string().contains("1 ladders engaged"));
+        // A recovery-free stream prints no recovery line.
+        let clean = TelemetrySummary::from_events(&[]);
+        assert!(!clean.to_string().contains("recovery:"));
     }
 
     #[test]

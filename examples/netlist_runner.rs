@@ -26,15 +26,49 @@
 //! exposition (`prom`). `--metrics-every <ms>` additionally starts a sampler
 //! thread that prints the counter *deltas* of each interval while the
 //! simulation runs — a live progress ticker driven by the same registry.
+//!
+//! On failure the process exits with a cause-specific code so scripted
+//! sweeps can branch without parsing stderr: `2` Newton no-convergence
+//! (with the solver's forensic report on stderr), `3` timestep underflow,
+//! `4` numerical blowup, `5` singular matrix, `6` deadline/cancellation,
+//! `7` lost worker, `1` everything else.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use wavepipe::circuit::parse_netlist;
 use wavepipe::core::{run_wavepipe, Scheme, WavePipeOptions};
-use wavepipe::engine::{run_ac, run_dc_sweep, spectrum};
+use wavepipe::engine::{run_ac, run_dc_sweep, spectrum, EngineError};
 use wavepipe::telemetry::{
     chrome, jsonl, MetricsHandle, MetricsRegistry, ProbeHandle, RecordingProbe,
 };
+
+/// Cause-specific process exit code, so scripted sweeps can tell a
+/// convergence failure from a timestep underflow or an expired budget
+/// without parsing stderr.
+fn exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
+    let Some(e) = e.downcast_ref::<EngineError>() else { return 1 };
+    match e {
+        EngineError::NoConvergence { .. } => 2,
+        EngineError::TimestepTooSmall { .. } => 3,
+        EngineError::NumericalBlowup { .. } => 4,
+        EngineError::Linear(_) => 5,
+        EngineError::DeadlineExceeded { .. } | EngineError::Cancelled { .. } => 6,
+        EngineError::WorkerLost { .. } => 7,
+        _ => 1,
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error   : {e}");
+        // Convergence failures carry solver forensics (worst-residual node,
+        // iteration history, recovery rungs tried) — print them in full.
+        if let Some(EngineError::NoConvergence { report, .. }) = e.downcast_ref::<EngineError>() {
+            eprintln!("detail  : {report}");
+        }
+        std::process::exit(exit_code(e.as_ref()));
+    }
+}
 
 const DEMO_DECK: &str = "\
 diode clipper demo
@@ -61,7 +95,7 @@ enum MetricsFormat {
     Prom,
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // Split flag arguments (`--trace <path>`, `--trace-format <fmt>`,
     // `--metrics <fmt>`, `--metrics-every <ms>`) from the positional
     // deck/scheme/threads arguments.

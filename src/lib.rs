@@ -75,8 +75,9 @@ pub use wavepipe_telemetry as telemetry;
 /// accepted waveform prefix on deadline/cancellation
 /// ([`run_transient_recoverable`], [`run_wavepipe_recoverable`],
 /// [`CancelToken`], [`FaultPlan`]), and batched many-scenario sweeps over a
-/// pluggable solver backend ([`BatchSim`], [`BatchRun`], [`ParamKind`],
-/// [`SolverBackend`], [`SolverHandle`]).
+/// pluggable solver backend with per-instance fault isolation
+/// ([`BatchSim`], [`BatchRun`], [`BatchOutcome`], [`QuarantineReport`],
+/// [`ParamKind`], [`SolverBackend`], [`SolverHandle`]).
 ///
 /// [`Circuit`]: prelude::Circuit
 /// [`Waveform`]: prelude::Waveform
@@ -92,11 +93,15 @@ pub use wavepipe_telemetry as telemetry;
 /// [`FaultPlan`]: prelude::FaultPlan
 /// [`BatchSim`]: prelude::BatchSim
 /// [`BatchRun`]: prelude::BatchRun
+/// [`BatchOutcome`]: prelude::BatchOutcome
+/// [`QuarantineReport`]: prelude::QuarantineReport
 /// [`ParamKind`]: prelude::ParamKind
 /// [`SolverBackend`]: prelude::SolverBackend
 /// [`SolverHandle`]: prelude::SolverHandle
 pub mod prelude {
-    pub use wavepipe_batch::{BatchError, BatchRun, BatchSim, ParamKind};
+    pub use wavepipe_batch::{
+        BatchError, BatchOutcome, BatchRun, BatchSim, ParamKind, QuarantineReport,
+    };
     pub use wavepipe_circuit::{Circuit, Waveform};
     pub use wavepipe_core::{
         run_wavepipe, run_wavepipe_recoverable, RunOutcome, Scheme, WavePipeOptions,

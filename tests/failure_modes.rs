@@ -289,7 +289,7 @@ fn chaos_seed_runs_complete_and_stay_accurate() {
 #[test]
 fn errors_format_usefully() {
     let samples: Vec<EngineError> = vec![
-        EngineError::NoConvergence { time: 1e-9, iterations: 40 },
+        EngineError::NoConvergence { time: 1e-9, iterations: 40, report: Box::default() },
         EngineError::TimestepTooSmall { time: 2e-9, step: 1e-20, hmin: 1e-18 },
         EngineError::BadParameter { name: "tstop", value: -1.0 },
         EngineError::NumericalBlowup { time: 3e-9 },
@@ -301,4 +301,24 @@ fn errors_format_usefully() {
         assert_eq!(msg, msg.trim(), "no stray whitespace: {msg:?}");
         assert!(msg.chars().next().unwrap().is_lowercase(), "lowercase start: {msg}");
     }
+}
+
+#[test]
+fn no_convergence_report_carries_forensics() {
+    use wavepipe::engine::{ConvergenceReport, RecoveryRung};
+    let report = ConvergenceReport {
+        worst_node: Some("out".into()),
+        residual: Some(3.2e-4),
+        iterations_history: vec![40, 12, 12],
+        rungs_tried: vec![RecoveryRung::CacheRollback, RecoveryRung::DeepCut],
+    };
+    let err = EngineError::NoConvergence { time: 1e-9, iterations: 40, report: Box::new(report) };
+    let msg = err.to_string();
+    assert!(msg.contains("worst residual"), "{msg}");
+    assert!(msg.contains("out"), "{msg}");
+    assert!(msg.contains("cache_rollback"), "{msg}");
+    assert!(msg.contains("deep_cut"), "{msg}");
+    // A report with no detail stays out of the headline message.
+    let bare = EngineError::NoConvergence { time: 1e-9, iterations: 40, report: Box::default() };
+    assert!(!bare.to_string().contains("residual"), "{bare}");
 }
