@@ -845,8 +845,11 @@ mod tests {
             if let Some(Element::Capacitor { capacitance, .. }) = ckt.element_mut("C1") {
                 *capacitance = *c;
             }
-            let want =
-                wavepipe_engine::run_transient(&ckt, 1e-8, 2e-6, &SimOptions::default()).unwrap();
+            // The batch engine always solves through `SolverHandle::batched`
+            // (direct LU); pin the reference to direct too so the bitwise
+            // cross-check holds on the `WAVEPIPE_SOLVER=gmres` CI leg.
+            let opts = SimOptions::default().with_solver(SolverHandle::direct());
+            let want = wavepipe_engine::run_transient(&ckt, 1e-8, 2e-6, &opts).unwrap();
             assert_eq!(got.times(), want.times(), "time grids diverged at R={r} C={c}");
             for k in 0..want.len() {
                 assert_eq!(got.solution(k), want.solution(k), "solutions diverged at point {k}");
@@ -934,8 +937,9 @@ mod tests {
             if let Some(Element::Resistor { resistance, .. }) = ckt.element_mut("R1") {
                 *resistance = 0.5e3 + 10.0 * i as f64;
             }
-            let want =
-                wavepipe_engine::run_transient(&ckt, 1e-8, 1e-6, &SimOptions::default()).unwrap();
+            // Direct-pinned reference: see `batch_matches_single_runs`.
+            let opts = SimOptions::default().with_solver(SolverHandle::direct());
+            let want = wavepipe_engine::run_transient(&ckt, 1e-8, 1e-6, &opts).unwrap();
             let got = out.results()[i].as_ref().expect("clean instance completed");
             assert_eq!(got.times(), want.times(), "time grids diverged at instance {i}");
             for k in 0..want.len() {

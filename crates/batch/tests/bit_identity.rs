@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use wavepipe_batch::{BatchSim, ParamKind};
 use wavepipe_circuit::{Circuit, Element, MosModel, Waveform};
-use wavepipe_engine::{run_transient, SimOptions};
+use wavepipe_engine::{run_transient, SimOptions, SolverHandle};
 
 const VDD: f64 = 3.3;
 const TSTEP: f64 = 0.02e-9;
@@ -64,13 +64,17 @@ fn corner() -> impl Strategy<Value = Corner> {
 }
 
 /// Every determinism-sensitive cache pinned ON, independent of the
-/// `WAVEPIPE_*` environment overrides a CI leg may set.
+/// `WAVEPIPE_*` environment overrides a CI leg may set. The solver is
+/// pinned to direct LU: the batch engine always solves through the shared
+/// batched direct backend, so the single-run reference must not drift onto
+/// the iterative path under `WAVEPIPE_SOLVER=gmres`.
 fn pinned_opts() -> SimOptions {
     SimOptions::default()
         .with_bypass(true)
         .with_chord_newton(true)
         .with_companion_cache(true)
         .with_stamp_workers(0)
+        .with_solver(SolverHandle::direct())
 }
 
 /// Classic single-run reference: patch the circuit by hand, recompile from

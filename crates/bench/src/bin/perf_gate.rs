@@ -9,7 +9,8 @@
 //! perf-gate --newton-baseline <file>   --newton-fresh <file> \
 //!           --stamp-baseline <file>    --stamp-fresh <file> \
 //!           --sweep-baseline <file>    --sweep-fresh <file> \
-//!           --overhead-baseline <file> --overhead-fresh <file> [--tolerance 0.15]
+//!           --overhead-baseline <file> --overhead-fresh <file> \
+//!           --solver-baseline <file>   --solver-fresh <file> [--tolerance 0.15]
 //! ```
 
 use wavepipe_bench::perfgate::{gate, DEFAULT_TOLERANCE};
@@ -31,6 +32,8 @@ fn main() {
     let mut sweep_fresh = None;
     let mut overhead_baseline = None;
     let mut overhead_fresh = None;
+    let mut solver_baseline = None;
+    let mut solver_fresh = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,6 +45,8 @@ fn main() {
             "--sweep-fresh" => sweep_fresh = args.next(),
             "--overhead-baseline" => overhead_baseline = args.next(),
             "--overhead-fresh" => overhead_fresh = args.next(),
+            "--solver-baseline" => solver_baseline = args.next(),
+            "--solver-fresh" => solver_fresh = args.next(),
             "--tolerance" => {
                 let t = args.next().and_then(|v| v.parse::<f64>().ok());
                 tolerance = t.unwrap_or_else(|| {
@@ -69,8 +74,10 @@ fn main() {
     let wf = read("sweep fresh", required("--sweep-fresh", sweep_fresh));
     let ob = read("overhead baseline", required("--overhead-baseline", overhead_baseline));
     let of = read("overhead fresh", required("--overhead-fresh", overhead_fresh));
+    let vb = read("solver baseline", required("--solver-baseline", solver_baseline));
+    let vf = read("solver fresh", required("--solver-fresh", solver_fresh));
 
-    match gate(&nb, &nf, &sb, &sf, &wb, &wf, &ob, &of, tolerance) {
+    match gate(&nb, &nf, &sb, &sf, &wb, &wf, &ob, &of, &vb, &vf, tolerance) {
         Ok(report) => {
             print!("{}", report.table());
             if report.passed() {

@@ -1,0 +1,146 @@
+//! Solver bake-off: direct sparse LU versus preconditioned GMRES on the
+//! 2-D power-grid mesh family, plus the RCM versus min-degree ordering
+//! fill comparison, swept over grid sizes.
+//!
+//! Each row times a *fresh-linearization* solve — the cost the transient
+//! loop pays whenever chord Newton must refactor — for both paths:
+//!
+//! * **direct**: Gilbert–Peierls LU factorization (min-degree ordering)
+//!   plus one triangular solve;
+//! * **gmres**: ILU(0) factorization plus one restarted-GMRES solve to
+//!   the backend's default relative tolerance (1e-10).
+//!
+//! Ladder/line matrices are banded and the direct path is unbeatable
+//! there; on the 2-D mesh fill-in grows superlinearly with grid size and
+//! the iterative path crosses over. The emitted `BENCH_solver.json` records
+//! `gmres_speedup` (direct/gmres wall ratio, >1 past the crossover) and
+//! `mindeg_over_rcm_fill` (min-degree fill ÷ RCM fill, deterministic) per
+//! size; both are gated by `perf-gate` against the committed baseline.
+//!
+//! Usage: `cargo run --release -p wavepipe-bench --bin solver_bakeoff [-- --small]`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use wavepipe_sparse::{
+    gmres, CooMatrix, CscMatrix, GmresOptions, Ilu0, LuOptions, OrderingKind, SparseLu,
+};
+
+const REPS: usize = 9;
+
+/// Conductance matrix of an `n × n` resistive power-delivery mesh: unit
+/// branch conductances to the four neighbours plus a small load/leak term
+/// on the diagonal — the same structure `generators::power_grid` stamps,
+/// without the source rows.
+fn mesh(n: usize) -> CscMatrix {
+    let id = |i: usize, j: usize| i * n + j;
+    let mut t = CooMatrix::new(n * n, n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut diag = 0.1; // via/load conductance to the supply
+            let mut couple = |a: usize, b: usize| {
+                t.push_unchecked(a, b, -1.0);
+                t.push_unchecked(b, a, -1.0);
+            };
+            if i + 1 < n {
+                couple(id(i, j), id(i + 1, j));
+            }
+            if j + 1 < n {
+                couple(id(i, j), id(i, j + 1));
+            }
+            diag += [i > 0, i + 1 < n, j > 0, j + 1 < n].iter().filter(|&&x| x).count() as f64;
+            t.push_unchecked(id(i, j), id(i, j), diag);
+        }
+    }
+    t.to_csc()
+}
+
+fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 11) as f64) * 0.25 - 1.0).collect()
+}
+
+fn fill_nnz(a: &CscMatrix, ordering: OrderingKind) -> usize {
+    let lu = SparseLu::factor(a, &LuOptions { ordering, ..LuOptions::default() })
+        .expect("mesh matrices are nonsingular");
+    lu.nnz_l() + lu.nnz_u()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let sizes: &[usize] = if small { &[4, 8] } else { &[2, 4, 8, 16, 24, 32, 48] };
+
+    let mut doc = String::from("[");
+    let mut first = true;
+    for &n in sizes {
+        let a = mesh(n);
+        let dim = a.ncols();
+        let b = rhs(dim);
+
+        let mindeg_nnz = fill_nnz(&a, OrderingKind::MinDegree);
+        let rcm_nnz = fill_nnz(&a, OrderingKind::ReverseCuthillMcKee);
+        let fill_ratio = mindeg_nnz as f64 / rcm_nnz as f64;
+
+        // Warm-up both paths once, then best-of-REPS each.
+        let direct_opts = LuOptions::default();
+        black_box(SparseLu::factor(&a, &direct_opts)?.solve(&b)?);
+        let mut direct_ns = u128::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let lu = SparseLu::factor(&a, &direct_opts)?;
+            black_box(lu.solve(&b)?);
+            direct_ns = direct_ns.min(t0.elapsed().as_nanos());
+        }
+
+        let gopts = GmresOptions::default();
+        let mut x = vec![0.0; dim];
+        let mut iterations = 0usize;
+        black_box(Ilu0::factor(&a)?);
+        let mut gmres_ns = u128::MAX;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let ilu = Ilu0::factor(&a)?;
+            x.fill(0.0);
+            let out = gmres(&a, &ilu, &b, &mut x, &gopts)?;
+            gmres_ns = gmres_ns.min(t0.elapsed().as_nanos());
+            assert!(out.converged, "GMRES must converge on the mesh family (n={n})");
+            iterations = out.iterations;
+            black_box(&x);
+        }
+
+        let direct_us = direct_ns as f64 / 1e3;
+        let gmres_us = gmres_ns as f64 / 1e3;
+        let speedup = direct_us / gmres_us;
+        let name = format!("power_grid({n},{n})");
+        println!(
+            "{name}: unknowns {dim} direct {direct_us:.1}us gmres {gmres_us:.1}us \
+             ({iterations} iters) speedup {speedup:.2}{} | fill mindeg {mindeg_nnz} \
+             rcm {rcm_nnz} (mindeg/rcm {fill_ratio:.3})",
+            if speedup >= 1.0 { " <- crossover" } else { "" },
+        );
+
+        if !first {
+            doc.push(',');
+        }
+        first = false;
+        let _ = write!(
+            doc,
+            "\n  {{\"circuit\":\"{}\",\"unknowns\":{dim},\"nnz\":{},\
+             \"mindeg_fill_nnz\":{mindeg_nnz},\"rcm_fill_nnz\":{rcm_nnz},\
+             \"mindeg_over_rcm_fill\":{},\"direct_us\":{},\"gmres_us\":{},\
+             \"gmres_iterations\":{iterations},\"gmres_speedup\":{},\
+             \"crossover\":{}}}",
+            wavepipe_telemetry::json::escape(&name),
+            a.nnz(),
+            wavepipe_telemetry::json::fmt_f64(fill_ratio),
+            wavepipe_telemetry::json::fmt_f64(direct_us),
+            wavepipe_telemetry::json::fmt_f64(gmres_us),
+            wavepipe_telemetry::json::fmt_f64(speedup),
+            speedup >= 1.0,
+        );
+    }
+    doc.push_str("\n]\n");
+    std::fs::write("BENCH_solver.json", doc)?;
+    println!("wrote BENCH_solver.json");
+    Ok(())
+}

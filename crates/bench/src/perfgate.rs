@@ -166,6 +166,46 @@ pub fn overhead_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Extracts the ratio-type metrics from a `BENCH_solver.json` document (an
+/// array of per-grid-size rows from the `solver_bakeoff` binary): the
+/// min-degree/RCM fill ratio (deterministic — orderings don't depend on the
+/// host) for every row, and the direct/GMRES wall-time ratio for rows at or
+/// past the crossover scale (64 unknowns and up; the sub-64 rows time
+/// single-digit-microsecond solves, which is noise, not signal).
+///
+/// # Errors
+///
+/// Returns a message when the document does not parse or lacks the
+/// expected fields.
+pub fn solver_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = json::parse(doc).map_err(|e| format!("BENCH_solver.json: {e}"))?;
+    let rows = v.as_array().ok_or("BENCH_solver.json: expected a top-level array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let circuit = row
+            .get("circuit")
+            .and_then(JsonValue::as_str)
+            .ok_or("BENCH_solver.json: row without circuit")?;
+        let unknowns = row
+            .get("unknowns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_solver.json: {circuit} lacks unknowns"))?;
+        let fill = row
+            .get("mindeg_over_rcm_fill")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_solver.json: {circuit} lacks mindeg_over_rcm_fill"))?;
+        let speedup = row
+            .get("gmres_speedup")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_solver.json: {circuit} lacks gmres_speedup"))?;
+        out.push((format!("solver/{circuit}/mindeg_over_rcm_fill"), fill));
+        if unknowns >= 64.0 {
+            out.push((format!("solver/{circuit}/gmres_speedup"), speedup));
+        }
+    }
+    Ok(out)
+}
+
 /// Pairs baseline and fresh metric lists by key. Keys present on only one
 /// side are reported (a renamed circuit must fail loudly, not vanish).
 ///
@@ -277,16 +317,20 @@ pub fn gate(
     sweep_fresh: &str,
     overhead_baseline: &str,
     overhead_fresh: &str,
+    solver_baseline: &str,
+    solver_fresh: &str,
     tolerance: f64,
 ) -> Result<GateReport, String> {
     let mut base = newton_metrics(newton_baseline)?;
     base.extend(stamp_metrics(stamp_baseline)?);
     base.extend(sweep_metrics(sweep_baseline)?);
     base.extend(overhead_metrics(overhead_baseline)?);
+    base.extend(solver_metrics(solver_baseline)?);
     let mut fresh = newton_metrics(newton_fresh)?;
     fresh.extend(stamp_metrics(stamp_fresh)?);
     fresh.extend(sweep_metrics(sweep_fresh)?);
     fresh.extend(overhead_metrics(overhead_fresh)?);
+    fresh.extend(solver_metrics(solver_fresh)?);
     Ok(GateReport::new(pair(&base, &fresh)?, tolerance))
 }
 
@@ -314,6 +358,16 @@ mod tests {
        "off_on_ratio":0.9945,"recovery_attempts":0,"recovery_rescues":0,
        "cache_rollbacks":0,"rescue_free_fraction":1.0}
     ]"#;
+    const SOLVER: &str = r#"[
+      {"circuit":"power_grid(4,4)","unknowns":16,"nnz":64,
+       "mindeg_fill_nnz":100,"rcm_fill_nnz":108,"mindeg_over_rcm_fill":0.926,
+       "direct_us":6.0,"gmres_us":8.0,"gmres_iterations":12,
+       "gmres_speedup":0.75,"crossover":false},
+      {"circuit":"power_grid(16,16)","unknowns":256,"nnz":1216,
+       "mindeg_fill_nnz":4102,"rcm_fill_nnz":5936,"mindeg_over_rcm_fill":0.691,
+       "direct_us":610.0,"gmres_us":200.0,"gmres_iterations":24,
+       "gmres_speedup":3.05,"crossover":true}
+    ]"#;
 
     fn scaled_newton(factor: f64) -> String {
         format!(
@@ -326,20 +380,44 @@ mod tests {
 
     #[test]
     fn identical_runs_pass() {
-        let r =
-            gate(NEWTON, NEWTON, STAMP, STAMP, SWEEP, SWEEP, OVERHEAD, OVERHEAD, DEFAULT_TOLERANCE)
-                .unwrap();
+        let r = gate(
+            NEWTON,
+            NEWTON,
+            STAMP,
+            STAMP,
+            SWEEP,
+            SWEEP,
+            OVERHEAD,
+            OVERHEAD,
+            SOLVER,
+            SOLVER,
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
         assert!(r.passed(), "{}", r.table());
-        assert_eq!(r.metrics.len(), 7); // 2 newton + 1 non-serial stamp + 2 sweep + 2 recovery
+        // 2 newton + 1 non-serial stamp + 2 sweep + 2 recovery
+        // + 2 solver fill + 1 crossover-scale solver speedup
+        assert_eq!(r.metrics.len(), 10);
     }
 
     #[test]
     fn injected_twenty_percent_slowdown_fails() {
         // The acceptance scenario: a 20% speedup loss must trip a 15% gate.
         let slow = scaled_newton(0.8);
-        let r =
-            gate(NEWTON, &slow, STAMP, STAMP, SWEEP, SWEEP, OVERHEAD, OVERHEAD, DEFAULT_TOLERANCE)
-                .unwrap();
+        let r = gate(
+            NEWTON,
+            &slow,
+            STAMP,
+            STAMP,
+            SWEEP,
+            SWEEP,
+            OVERHEAD,
+            OVERHEAD,
+            SOLVER,
+            SOLVER,
+            DEFAULT_TOLERANCE,
+        )
+        .unwrap();
         assert!(!r.passed());
         assert_eq!(r.failures().len(), 2);
         let table = r.table();
@@ -360,6 +438,8 @@ mod tests {
             SWEEP,
             OVERHEAD,
             OVERHEAD,
+            SOLVER,
+            SOLVER,
             DEFAULT_TOLERANCE,
         )
         .unwrap();
@@ -378,6 +458,8 @@ mod tests {
             SWEEP,
             OVERHEAD,
             OVERHEAD,
+            SOLVER,
+            SOLVER,
             DEFAULT_TOLERANCE,
         )
         .unwrap();
@@ -397,6 +479,8 @@ mod tests {
             SWEEP,
             OVERHEAD,
             OVERHEAD,
+            SOLVER,
+            SOLVER,
             DEFAULT_TOLERANCE,
         )
         .unwrap_err();
@@ -412,6 +496,8 @@ mod tests {
         assert!(newton_metrics(r#"[{"name":"x"}]"#).is_err());
         assert!(sweep_metrics("{}").is_err());
         assert!(sweep_metrics(r#"[{"circuit":"x","work_ratio":1.0}]"#).is_err());
+        assert!(solver_metrics("{}").is_err());
+        assert!(solver_metrics(r#"[{"circuit":"x","unknowns":16}]"#).is_err());
     }
 
     #[test]
@@ -419,5 +505,21 @@ mod tests {
         let ms = stamp_metrics(STAMP).unwrap();
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].0, "stamp/a/w2/newton_speedup");
+    }
+
+    #[test]
+    fn sub_crossover_solver_timings_are_skipped() {
+        // Fill ratios gate on every row; the noisy microsecond-scale
+        // speedup of the 16-unknown grid does not.
+        let ms = solver_metrics(SOLVER).unwrap();
+        let keys: Vec<&str> = ms.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "solver/power_grid(4,4)/mindeg_over_rcm_fill",
+                "solver/power_grid(16,16)/mindeg_over_rcm_fill",
+                "solver/power_grid(16,16)/gmres_speedup",
+            ]
+        );
     }
 }

@@ -28,7 +28,7 @@ use std::time::Instant;
 use wavepipe_batch::{BatchSim, ParamKind};
 use wavepipe_circuit::generators::Benchmark;
 use wavepipe_circuit::{Circuit, Element};
-use wavepipe_engine::{run_transient, SimOptions};
+use wavepipe_engine::{run_transient, SimOptions, SolverHandle};
 use wavepipe_telemetry::json;
 
 /// One measured sweep configuration — a row of `BENCH_sweep.json`.
@@ -135,7 +135,11 @@ pub fn fig_sweep(b: &Benchmark, instances: usize, workers: usize) -> (String, Sw
     let mut corners = Corners::new(0x5eed_cafe);
     let rows: Vec<Vec<f64>> =
         (0..instances).map(|_| noms.iter().map(|&v| v * corners.next_mult()).collect()).collect();
-    let opts = SimOptions::default().with_stamp_workers(0);
+    // Direct LU pinned on both sides: the batch engine always solves
+    // through its shared batched direct backend, so the independent loop
+    // must match it for the time-grid cross-check (and for the work-ratio
+    // comparison to be solver-for-solver) even under `WAVEPIPE_SOLVER`.
+    let opts = SimOptions::default().with_stamp_workers(0).with_solver(SolverHandle::direct());
 
     // Independent loop: rebuild + recompile + solve per instance, each
     // timed individually.

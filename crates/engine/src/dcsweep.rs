@@ -192,7 +192,11 @@ mod tests {
         ckt.add_mosfet("Mp", out, inp, vdd, MosModel::pmos()).unwrap();
         ckt.add_mosfet("Mn", out, inp, Circuit::GROUND, MosModel::nmos()).unwrap();
         let vals = linspace(0.0, 3.3, 34);
-        let res = run_dc_sweep(&ckt, "Vin", &vals, &SimOptions::default()).unwrap();
+        // Direct LU pinned: the monotonicity window below is 1e-6 wide, and
+        // at the flat 3.3 V rail an iterative solve's residual-level wiggle
+        // (~1e-6 under `WAVEPIPE_SOLVER=gmres`) is enough to break it.
+        let opts = SimOptions::default().with_solver(crate::SolverHandle::direct());
+        let res = run_dc_sweep(&ckt, "Vin", &vals, &opts).unwrap();
         let oi = res.unknown_of("out").unwrap();
         let vtc = res.trace(oi);
         assert!(vtc.first().unwrap().1 > 3.2, "output high at vin=0");

@@ -55,6 +55,7 @@ pub mod devices;
 mod error;
 pub mod fault;
 pub mod integrate;
+pub mod krylov;
 pub mod lte;
 pub mod measure;
 pub mod mna;
@@ -76,6 +77,7 @@ pub use dcsweep::{run_dc_sweep, DcSweepResult};
 pub use error::{ConvergenceReport, EngineError, RecoveryRung, Result};
 pub use fault::{FaultHandle, FaultKind, FaultPlan};
 pub use integrate::{IntegCoeffs, Method};
+pub use krylov::{parse_ordering, GmresBackend, GmresConfig, KrylovStats};
 pub use mna::{MnaSystem, MnaWorkspace, StampInput, StampResult};
 pub use options::{CacheCtl, SimOptions};
 pub use parstamp::StampExecutor;

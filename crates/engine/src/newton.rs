@@ -62,16 +62,6 @@ impl Clone for LinearCache {
 }
 
 impl LinearCache {
-    /// Fresh cache with no factors and the default [`DirectLu`] backend.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct via `LinearCache::for_options` (or `with_backend`) so the \
-                solver backend stays injectable"
-    )]
-    pub fn new() -> Self {
-        LinearCache::default()
-    }
-
     /// Fresh cache whose backend is chosen by the options' solver handle
     /// (the injectable path every analysis entry point uses).
     pub fn for_options(opts: &SimOptions) -> Self {
@@ -121,6 +111,45 @@ impl LinearCache {
     /// produce a trustworthy solution — the caller should treat the iterate
     /// as non-convergent.
     fn factor_and_solve(
+        &mut self,
+        ws: &MnaWorkspace,
+        input: &StampInput<'_>,
+        x: &[f64],
+        opts: &SimOptions,
+        stats: &mut SimStats,
+    ) -> Result<bool> {
+        // Snapshot the backend's Krylov counters (None on direct backends)
+        // so the iterative path's work is charged per linear solve — even
+        // when the inner call errors out.
+        let before = self.backend.krylov_stats();
+        let out = self.factor_and_solve_inner(ws, input, x, opts, stats);
+        if let (Some(b), Some(a)) = (before, self.backend.krylov_stats()) {
+            let iters = a.iterations - b.iterations;
+            let restarts = a.restarts - b.restarts;
+            let refreshes = a.precond_refreshes - b.precond_refreshes;
+            let fallbacks = a.fallbacks - b.fallbacks;
+            if iters + restarts + refreshes + fallbacks > 0 {
+                stats.krylov_iterations += iters as usize;
+                stats.precond_refreshes += refreshes as usize;
+                stats.solver_fallbacks += fallbacks as usize;
+                opts.probe.emit(
+                    input.time,
+                    EventKind::KrylovSolve {
+                        iterations: iters as u32,
+                        restarts: restarts as u32,
+                        precond_refreshes: refreshes as u32,
+                        fallback: fallbacks > 0,
+                    },
+                );
+                if opts.metrics.enabled() {
+                    publish_krylov_metrics(opts, iters, refreshes, fallbacks);
+                }
+            }
+        }
+        out
+    }
+
+    fn factor_and_solve_inner(
         &mut self,
         ws: &MnaWorkspace,
         input: &StampInput<'_>,
@@ -394,6 +423,17 @@ fn publish_linear_metrics(opts: &SimOptions, factored: u64, refactored: u64, reu
     if factored > 0 {
         opts.metrics.add_labeled(Family::CacheMisses, "chord", factored);
     }
+}
+
+/// Mirrors one Krylov-path solve's counter deltas (GMRES iterations,
+/// preconditioner refreshes, direct fallbacks) into the registry.
+/// `#[cold]`/out-of-line for the same reason as [`publish_stamp_metrics`].
+#[cold]
+#[inline(never)]
+fn publish_krylov_metrics(opts: &SimOptions, iters: u64, refreshes: u64, fallbacks: u64) {
+    opts.metrics.add(Counter::KrylovIterations, iters);
+    opts.metrics.add(Counter::PrecondRefreshes, refreshes);
+    opts.metrics.add(Counter::SolverFallbacks, fallbacks);
 }
 
 #[cfg(test)]

@@ -123,8 +123,13 @@ pub struct SimOptions {
     /// Linear-solver backend selection for every Newton solve of the run.
     /// The default ([`SolverHandle::direct`]) is the classic per-solver
     /// `SparseLu`; [`SolverHandle::batched`] shares one symbolic ordering
-    /// across sweep instances. Both are bit-identical to each other — see
-    /// [`crate::solver`] for the determinism contract.
+    /// across sweep instances (both bit-identical to each other — see
+    /// [`crate::solver`] for the determinism contract);
+    /// [`SolverHandle::gmres`] is the iterative path for grid-scale
+    /// circuits ([`crate::krylov`]). The default honours `WAVEPIPE_SOLVER`
+    /// (`gmres` selects the Krylov backend, tuned by `WAVEPIPE_GMRES_RESTART`
+    /// / `WAVEPIPE_GMRES_TOL` / `WAVEPIPE_GMRES_MAXITERS`) and
+    /// `WAVEPIPE_ORDERING` (`natural`/`mindeg`/`rcm`).
     pub solver: SolverHandle,
     /// Transient convergence recovery ladder: when Newton fails at a
     /// timepoint and the step has already collapsed to the floor, try —
@@ -176,6 +181,38 @@ fn env_flag(name: &str) -> bool {
     }
 }
 
+/// A non-empty environment value, trimmed; `None` when unset or blank.
+/// Shared by the solver-selection knobs (`WAVEPIPE_SOLVER`,
+/// `WAVEPIPE_GMRES_*`, `WAVEPIPE_ORDERING`).
+pub(crate) fn env_flag_value(name: &str) -> Option<String> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.to_string())
+    }
+}
+
+/// Default solver selection: `WAVEPIPE_SOLVER=gmres` switches every analysis
+/// of the process to the Krylov backend (tuned by the `WAVEPIPE_GMRES_*`
+/// knobs); otherwise direct LU, through `WAVEPIPE_ORDERING` when that names
+/// a non-default fill-reducing ordering.
+fn default_solver() -> SolverHandle {
+    use wavepipe_sparse::LuOptions;
+    if let Some(v) = env_flag_value("WAVEPIPE_SOLVER") {
+        if v.eq_ignore_ascii_case("gmres") {
+            return SolverHandle::gmres(crate::krylov::GmresConfig::from_env());
+        }
+    }
+    match env_flag_value("WAVEPIPE_ORDERING").and_then(|s| crate::krylov::parse_ordering(&s)) {
+        Some(kind) if kind != LuOptions::default().ordering => {
+            SolverHandle::direct_with_options(LuOptions { ordering: kind, ..LuOptions::default() })
+        }
+        _ => SolverHandle::direct(),
+    }
+}
+
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
@@ -205,7 +242,7 @@ impl Default for SimOptions {
             chord_newton: env_flag("WAVEPIPE_CHORD"),
             chord_theta: 0.5,
             companion_cache: true,
-            solver: SolverHandle::direct(),
+            solver: default_solver(),
             recovery: env_flag("WAVEPIPE_RECOVERY"),
             recovery_deep_cuts: 3,
         }

@@ -79,6 +79,16 @@ pub trait SolverBackend: fmt::Debug + Send {
     /// Clones the backend, factors and all (backends are per-solver state;
     /// WavePipe lanes clone their point solvers).
     fn clone_box(&self) -> Box<dyn SolverBackend>;
+
+    /// Cumulative Krylov statistics, for backends with an iterative path.
+    ///
+    /// Direct backends return `None` (the default); the Newton cache uses
+    /// the before/after delta of this snapshot to charge iteration counts,
+    /// preconditioner refreshes, and direct-solve fallbacks to
+    /// [`crate::SimStats`] and telemetry.
+    fn krylov_stats(&self) -> Option<crate::krylov::KrylovStats> {
+        None
+    }
 }
 
 /// The solve-layer error for operating on an unfactored backend.
@@ -105,6 +115,16 @@ impl DirectLu {
     /// A fresh backend with explicit LU options.
     pub fn with_options(opts: LuOptions) -> Self {
         DirectLu { lu: None, opts }
+    }
+
+    /// The current factorization, if one is held.
+    ///
+    /// [`crate::krylov::GmresBackend`] uses this to reuse frozen
+    /// chord-Newton LU factors as a Krylov preconditioner (a complete —
+    /// possibly stale — factorization satisfies
+    /// [`wavepipe_sparse::Preconditioner`]).
+    pub fn factors(&self) -> Option<&SparseLu> {
+        self.lu.as_ref()
     }
 }
 
@@ -210,6 +230,17 @@ impl SolverFactory for BatchedFactory {
     }
 }
 
+#[derive(Debug)]
+struct DirectFactory {
+    opts: LuOptions,
+}
+
+impl SolverFactory for DirectFactory {
+    fn make(&self) -> Box<dyn SolverBackend> {
+        Box::new(DirectLu::with_options(self.opts.clone()))
+    }
+}
+
 /// Handle selecting the linear-solver backend for an analysis, carried by
 /// [`crate::SimOptions`] like the probe/metrics/fault handles.
 ///
@@ -234,6 +265,13 @@ impl SolverHandle {
     /// batched-sweep path; see [`BatchedDirectLu`]).
     pub fn batched(ordering: Arc<Permutation>) -> Self {
         SolverHandle { factory: Some(Arc::new(BatchedFactory { ordering })) }
+    }
+
+    /// [`DirectLu`] backends with explicit [`LuOptions`] — the hook behind
+    /// the `WAVEPIPE_ORDERING` knob (direct solves through a non-default
+    /// fill-reducing ordering).
+    pub fn direct_with_options(opts: LuOptions) -> Self {
+        SolverHandle { factory: Some(Arc::new(DirectFactory { opts })) }
     }
 
     /// A handle around a custom factory.

@@ -40,6 +40,15 @@ pub struct SimStats {
     /// Linear-stamp assemblies skipped because the step-size-keyed
     /// companion cache matched.
     pub companion_hits: usize,
+    /// GMRES iterations (Arnoldi steps) on the Krylov solver path. Zero on
+    /// direct backends.
+    pub krylov_iterations: usize,
+    /// Preconditioner (re)builds on the Krylov path — ILU(0) factorizations
+    /// or frozen-LU adoptions.
+    pub precond_refreshes: usize,
+    /// Krylov solves that fell back to direct LU (stagnation, iteration
+    /// budget exhaustion, or forced fallback).
+    pub solver_fallbacks: usize,
     /// Wall-clock time spent, nanoseconds.
     pub wall_ns: u128,
     /// Wall-clock time spent inside `MnaSystem::stamp` (serial or parallel
@@ -113,6 +122,9 @@ impl Add for SimStats {
             bypass_hits: self.bypass_hits + rhs.bypass_hits,
             jacobian_reuses: self.jacobian_reuses + rhs.jacobian_reuses,
             companion_hits: self.companion_hits + rhs.companion_hits,
+            krylov_iterations: self.krylov_iterations + rhs.krylov_iterations,
+            precond_refreshes: self.precond_refreshes + rhs.precond_refreshes,
+            solver_fallbacks: self.solver_fallbacks + rhs.solver_fallbacks,
             wall_ns: self.wall_ns + rhs.wall_ns,
             stamp_ns: self.stamp_ns + rhs.stamp_ns,
             stamp_modeled_ns: self.stamp_modeled_ns + rhs.stamp_modeled_ns,
@@ -187,6 +199,21 @@ mod tests {
         assert_eq!(c.bypass_hits, 6);
         assert_eq!(c.jacobian_reuses, 5);
         assert_eq!(c.companion_hits, 5);
+    }
+
+    #[test]
+    fn krylov_counters_accumulate() {
+        let a = SimStats {
+            krylov_iterations: 7,
+            precond_refreshes: 2,
+            solver_fallbacks: 1,
+            ..SimStats::new()
+        };
+        let b = SimStats { krylov_iterations: 3, precond_refreshes: 1, ..SimStats::new() };
+        let c = a + b;
+        assert_eq!(c.krylov_iterations, 10);
+        assert_eq!(c.precond_refreshes, 3);
+        assert_eq!(c.solver_fallbacks, 1);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   recorded pivot order and elimination pattern.
 //! * [`ordering`] — minimum-degree and reverse Cuthill–McKee fill-reducing
 //!   orderings.
+//! * [`operator`] — the matrix-free [`SparseOperator`] / [`Preconditioner`]
+//!   abstractions Krylov methods iterate against.
+//! * [`gmres()`](fn@crate::gmres) — restarted GMRES(m) with Givens-rotation least-squares and
+//!   right preconditioning.
+//! * [`ilu`] — the zero-fill ILU(0) preconditioner.
 //! * [`DenseMatrix`] — dense LU used as a correctness oracle and for tiny
 //!   systems.
 //! * [`vector`] — dense vector kernels including the weighted-RMS error norm
@@ -51,7 +56,10 @@ mod coo;
 mod csc;
 mod dense;
 mod error;
+pub mod gmres;
+pub mod ilu;
 mod lu;
+pub mod operator;
 pub mod ordering;
 pub mod vector;
 
@@ -59,5 +67,8 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
+pub use gmres::{gmres, GmresOptions, GmresOutcome};
+pub use ilu::Ilu0;
 pub use lu::{LuOptions, SparseLu};
+pub use operator::{IdentityPrecond, Preconditioner, SparseOperator};
 pub use ordering::{OrderingKind, Permutation};

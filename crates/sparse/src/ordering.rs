@@ -294,6 +294,37 @@ mod tests {
     }
 
     #[test]
+    fn rcm_restores_unit_bandwidth_on_scrambled_path_graph() {
+        // A path graph 0-1-2-...-(n-1) whose vertex labels were scrambled:
+        // the natural bandwidth is large, but RCM must renumber it back to
+        // a chain (bandwidth exactly 1 — BFS from a degree-1 endpoint).
+        let n = 16;
+        // Deterministic scramble: multiply by 5 mod 16 (coprime with 16).
+        let label = |i: usize| (i * 5) % n;
+        let mut t = CooMatrix::new(n, n);
+        for i in 0..n {
+            t.push(label(i), label(i), 2.0).unwrap();
+        }
+        for i in 0..n - 1 {
+            t.push(label(i), label(i + 1), -1.0).unwrap();
+            t.push(label(i + 1), label(i), -1.0).unwrap();
+        }
+        let a = t.to_csc();
+        let bandwidth = |p: &Permutation| {
+            let inv = p.inv();
+            let mut bw = 0usize;
+            for (r, c, _) in a.iter() {
+                bw = bw.max(inv[r].abs_diff(inv[c]));
+            }
+            bw
+        };
+        let natural = bandwidth(&Permutation::identity(n));
+        assert!(natural > 1, "scramble failed to spread the path: bandwidth {natural}");
+        let rcm = bandwidth(&reverse_cuthill_mckee(&a).unwrap());
+        assert_eq!(rcm, 1, "RCM must recover the chain numbering, got bandwidth {rcm}");
+    }
+
+    #[test]
     fn order_dispatches_natural() {
         let a = tridiag(5);
         let p = order(&a, OrderingKind::Natural).unwrap();

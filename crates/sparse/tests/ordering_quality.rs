@@ -99,6 +99,48 @@ fn tail_arrow_is_fine_for_everyone() {
     }
 }
 
+/// A band whose width alternates between wide and narrow runs — cascaded
+/// circuit sections with locally denser coupling. Min-degree's greedy
+/// choice eliminates the narrow-run vertices first, splitting the band and
+/// paying fill at the seams; RCM keeps the elimination front contiguous.
+fn lumpy_band(n: usize) -> CscMatrix {
+    let mut t = CooMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 10.0).unwrap();
+        let w = if (i / 8) % 2 == 0 { 4 } else { 1 };
+        for d in 1..=w {
+            if i + d < n {
+                let v = if d == 1 { -1.0 } else { -0.3 };
+                t.push(i, i + d, v).unwrap();
+                t.push(i + d, i, v).unwrap();
+            }
+        }
+    }
+    t.to_csc()
+}
+
+#[test]
+fn rcm_beats_min_degree_on_alternating_band_structures() {
+    // The band-structure advantage the ordering bake-off banks on: on
+    // matrices that *are* bands (ladder/line cascades), the band-preserving
+    // ordering must win the fill count outright, not just tie. Fill counts
+    // are deterministic, so the pinned inequalities cannot flake.
+    for (n, a) in [(64, lumpy_band(64)), (96, lumpy_band(96))] {
+        let mindeg = fill_of(&a, OrderingKind::MinDegree);
+        let rcm = fill_of(&a, OrderingKind::ReverseCuthillMcKee);
+        assert!(
+            rcm < mindeg,
+            "lumpy_band({n}): RCM fill {rcm} must beat min-degree {mindeg} on a band structure"
+        );
+    }
+    // Recorded fill counts, pinned exactly: a change to either ordering's
+    // tie-breaking shows up here first, with the numbers in the assert.
+    let a = lumpy_band(64);
+    let (mindeg, rcm) =
+        (fill_of(&a, OrderingKind::MinDegree), fill_of(&a, OrderingKind::ReverseCuthillMcKee));
+    assert_eq!((mindeg, rcm), (418, 414), "lumpy_band(64) fill counts moved");
+}
+
 #[test]
 fn refactor_preserves_ordering_benefits() {
     // The recorded pattern of a min-degree factorization must keep its size

@@ -84,6 +84,14 @@ pub struct Counts {
     pub recovery_rescues: u64,
     /// Solver-cache invalidations forced by the recovery ladder.
     pub cache_rollbacks: u64,
+    /// Linear solves through the Krylov (GMRES) path.
+    pub krylov_solves: u64,
+    /// GMRES iterations summed over those solves.
+    pub krylov_iterations: u64,
+    /// Preconditioner (re)builds on the Krylov path.
+    pub precond_refreshes: u64,
+    /// Krylov solves completed by the direct-LU fallback.
+    pub solver_fallbacks: u64,
 }
 
 impl Counts {
@@ -200,6 +208,10 @@ pub fn analyze(events: &[Event]) -> TraceAnalysis {
         recovery_attempts: 0,
         recovery_rescues: 0,
         cache_rollbacks: 0,
+        krylov_solves: 0,
+        krylov_iterations: 0,
+        precond_refreshes: 0,
+        solver_fallbacks: 0,
     };
     let mut lane_solves: HashMap<u32, u64> = HashMap::new();
     let mut reasons: HashMap<&'static str, u64> = HashMap::new();
@@ -303,6 +315,14 @@ pub fn analyze(events: &[Event]) -> TraceAnalysis {
                 }
             }
             EventKind::CachePoisonRollback => c.cache_rollbacks += 1,
+            EventKind::KrylovSolve { iterations, precond_refreshes, fallback, .. } => {
+                c.krylov_solves += 1;
+                c.krylov_iterations += u64::from(iterations);
+                c.precond_refreshes += u64::from(precond_refreshes);
+                if fallback {
+                    c.solver_fallbacks += 1;
+                }
+            }
         }
     }
 
@@ -440,6 +460,19 @@ impl TraceAnalysis {
             c.companion_hits
         );
         let _ = writeln!(out, "  bypassed device evals     {:>10}", c.bypassed_devices);
+        if c.krylov_solves > 0 {
+            let _ = writeln!(
+                out,
+                "  krylov solves             {:>10}  ({} iterations / {} precond refreshes)",
+                c.krylov_solves, c.krylov_iterations, c.precond_refreshes
+            );
+            let _ = writeln!(
+                out,
+                "  krylov direct fallback    {:>10}  of krylov solves ({} fallbacks)",
+                pct(c.solver_fallbacks, c.krylov_solves),
+                c.solver_fallbacks
+            );
+        }
         if c.stamp_color_groups > 0 {
             let _ = writeln!(out, "  stamp color groups        {:>10}", c.stamp_color_groups);
         }
@@ -525,7 +558,7 @@ impl TraceAnalysis {
     pub fn to_json(&self, stable_only: bool) -> String {
         let c = &self.counts;
         let mut out = String::from("{\"stable\":{");
-        let scalars: [(&str, u64); 21] = [
+        let scalars: [(&str, u64); 25] = [
             ("rounds", c.rounds),
             ("points_accepted", c.points_accepted),
             ("solves", c.solves),
@@ -547,6 +580,10 @@ impl TraceAnalysis {
             ("recovery_attempts", c.recovery_attempts),
             ("recovery_rescues", c.recovery_rescues),
             ("cache_rollbacks", c.cache_rollbacks),
+            ("krylov_solves", c.krylov_solves),
+            ("krylov_iterations", c.krylov_iterations),
+            ("precond_refreshes", c.precond_refreshes),
+            ("solver_fallbacks", c.solver_fallbacks),
         ];
         for (i, (name, v)) in scalars.iter().enumerate() {
             if i > 0 {

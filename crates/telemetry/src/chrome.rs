@@ -234,6 +234,13 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], out: &mut W) -> io::Result
             EventKind::CachePoisonRollback => {
                 instant(&mut objs, ev.lane, "cache_poison_rollback", ev.ts_ns, "");
             }
+            EventKind::KrylovSolve { iterations, restarts, precond_refreshes, fallback } => {
+                let args = format!(
+                    "\"iterations\":{iterations},\"restarts\":{restarts},\
+                     \"precond_refreshes\":{precond_refreshes},\"fallback\":{fallback}"
+                );
+                instant(&mut objs, ev.lane, "krylov_solve", ev.ts_ns, &args);
+            }
             EventKind::BypassedDevices { devices } => {
                 // No span — just the hit-rate counter. The largest batch seen
                 // so far stands in for the circuit's nonlinear device count

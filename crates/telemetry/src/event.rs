@@ -176,6 +176,17 @@ pub enum EventKind {
     /// The recovery ladder invalidated the solver caches (bypass masks,
     /// chord LU key, companion cache) suspecting a poisoned entry.
     CachePoisonRollback,
+    /// One linear solve went through the iterative (Krylov) solver path.
+    KrylovSolve {
+        /// GMRES iterations (Arnoldi steps) spent on the solve.
+        iterations: u32,
+        /// Restart cycles beyond the first.
+        restarts: u32,
+        /// Preconditioner (re)builds charged to the solve.
+        precond_refreshes: u32,
+        /// Whether the solve completed on the direct-LU fallback.
+        fallback: bool,
+    },
 }
 
 impl EventKind {
@@ -208,6 +219,7 @@ impl EventKind {
             EventKind::RecoveryAttempt { .. } => "recovery_attempt",
             EventKind::RecoveryRung { .. } => "recovery_rung",
             EventKind::CachePoisonRollback => "cache_poison_rollback",
+            EventKind::KrylovSolve { .. } => "krylov_solve",
         }
     }
 }
@@ -266,6 +278,12 @@ mod tests {
             EventKind::RecoveryAttempt { h: 1e-12 },
             EventKind::RecoveryRung { rung: 1, success: false },
             EventKind::CachePoisonRollback,
+            EventKind::KrylovSolve {
+                iterations: 4,
+                restarts: 0,
+                precond_refreshes: 1,
+                fallback: false,
+            },
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

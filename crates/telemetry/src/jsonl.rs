@@ -81,6 +81,13 @@ pub fn event_to_json(ev: &Event) -> String {
         EventKind::RecoveryRung { rung, success } => {
             let _ = write!(s, ",\"rung\":{rung},\"success\":{success}");
         }
+        EventKind::KrylovSolve { iterations, restarts, precond_refreshes, fallback } => {
+            let _ = write!(
+                s,
+                ",\"iterations\":{iterations},\"restarts\":{restarts},\
+                 \"precond_refreshes\":{precond_refreshes},\"fallback\":{fallback}"
+            );
+        }
     }
     s.push('}');
     s
@@ -204,6 +211,15 @@ pub fn event_from_json(text: &str, line: usize) -> Result<Event, JsonlError> {
                 .ok_or_else(|| JsonlError { line, msg: "missing `success`".to_string() })?,
         },
         "cache_poison_rollback" => EventKind::CachePoisonRollback,
+        "krylov_solve" => EventKind::KrylovSolve {
+            iterations: field_u64(&v, "iterations", line)? as u32,
+            restarts: field_u64(&v, "restarts", line)? as u32,
+            precond_refreshes: field_u64(&v, "precond_refreshes", line)? as u32,
+            fallback: v
+                .get("fallback")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| JsonlError { line, msg: "missing `fallback`".to_string() })?,
+        },
         other => return Err(JsonlError { line, msg: format!("unknown kind `{other}`") }),
     };
     Ok(Event {
@@ -262,6 +278,12 @@ mod tests {
             EventKind::RecoveryAttempt { h: 3.2e-15 },
             EventKind::RecoveryRung { rung: 3, success: true },
             EventKind::CachePoisonRollback,
+            EventKind::KrylovSolve {
+                iterations: 12,
+                restarts: 1,
+                precond_refreshes: 1,
+                fallback: false,
+            },
             EventKind::RoundEnd { committed: 2 },
         ];
         kinds
@@ -292,7 +314,7 @@ mod tests {
     fn every_kind_reserializes_to_identical_bytes() {
         // Stronger than value equality: serialize -> parse -> serialize must
         // reproduce every byte, so archived traces can be re-emitted (e.g.
-        // by a filter tool) without spurious diffs. Covers all 26 variants
+        // by a filter tool) without spurious diffs. Covers all 27 variants
         // plus awkward float shapes (negative, subnormal-ish, integral).
         let mut events = sample_events();
         events.push(Event {

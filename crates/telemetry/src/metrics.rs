@@ -56,11 +56,14 @@ pub enum Counter {
     RecoveryAttempts,
     RecoveryRescues,
     CacheRollbacks,
+    KrylovIterations,
+    PrecondRefreshes,
+    SolverFallbacks,
 }
 
 impl Counter {
     /// Every counter, in stable exposition order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::Rounds,
         Counter::PointsAccepted,
         Counter::LteRejects,
@@ -83,6 +86,9 @@ impl Counter {
         Counter::RecoveryAttempts,
         Counter::RecoveryRescues,
         Counter::CacheRollbacks,
+        Counter::KrylovIterations,
+        Counter::PrecondRefreshes,
+        Counter::SolverFallbacks,
     ];
 
     /// Stable machine-readable name (also the Prometheus metric stem).
@@ -110,6 +116,9 @@ impl Counter {
             Counter::RecoveryAttempts => "recovery_attempts",
             Counter::RecoveryRescues => "recovery_rescues",
             Counter::CacheRollbacks => "cache_rollbacks",
+            Counter::KrylovIterations => "krylov_iterations",
+            Counter::PrecondRefreshes => "precond_refreshes",
+            Counter::SolverFallbacks => "solver_fallbacks",
         }
     }
 }

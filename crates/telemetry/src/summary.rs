@@ -69,6 +69,14 @@ pub struct TelemetrySummary {
     pub recovery_rescues: u64,
     /// Solver-cache invalidations forced by the recovery ladder.
     pub cache_rollbacks: u64,
+    /// Linear solves that went through the Krylov (GMRES) path.
+    pub krylov_solves: u64,
+    /// GMRES iterations summed over those solves.
+    pub krylov_iterations: u64,
+    /// Preconditioner (re)builds on the Krylov path.
+    pub precond_refreshes: u64,
+    /// Krylov solves completed by the direct-LU fallback.
+    pub solver_fallbacks: u64,
 }
 
 impl TelemetrySummary {
@@ -103,6 +111,10 @@ impl TelemetrySummary {
             recovery_attempts: 0,
             recovery_rescues: 0,
             cache_rollbacks: 0,
+            krylov_solves: 0,
+            krylov_iterations: 0,
+            precond_refreshes: 0,
+            solver_fallbacks: 0,
         };
         // Open solve span per lane, open round start, per-round (max, sum).
         let mut open_solve: HashMap<u32, u64> = HashMap::new();
@@ -186,6 +198,14 @@ impl TelemetrySummary {
                     }
                 }
                 EventKind::CachePoisonRollback => s.cache_rollbacks += 1,
+                EventKind::KrylovSolve { iterations, precond_refreshes, fallback, .. } => {
+                    s.krylov_solves += 1;
+                    s.krylov_iterations += u64::from(iterations);
+                    s.precond_refreshes += u64::from(precond_refreshes);
+                    if fallback {
+                        s.solver_fallbacks += 1;
+                    }
+                }
             }
         }
         for (mx, sum) in round_spans.values() {
@@ -257,6 +277,16 @@ impl fmt::Display for TelemetrySummary {
                 f,
                 "  faults: {} workers lost, {} serial fallbacks, {} deadline hits",
                 self.workers_lost, self.serial_fallbacks, self.deadline_hits
+            )?;
+        }
+        if self.krylov_solves > 0 {
+            writeln!(
+                f,
+                "  krylov: {} solves, {} iterations, {} precond refreshes, {} fallbacks",
+                self.krylov_solves,
+                self.krylov_iterations,
+                self.precond_refreshes,
+                self.solver_fallbacks
             )?;
         }
         if self.recovery_attempts > 0 || self.cache_rollbacks > 0 {
@@ -388,6 +418,43 @@ mod tests {
         // A recovery-free stream prints no recovery line.
         let clean = TelemetrySummary::from_events(&[]);
         assert!(!clean.to_string().contains("recovery:"));
+    }
+
+    #[test]
+    fn krylov_events_aggregate_and_print() {
+        let events = vec![
+            ev(
+                1,
+                1,
+                0,
+                EventKind::KrylovSolve {
+                    iterations: 12,
+                    restarts: 1,
+                    precond_refreshes: 1,
+                    fallback: false,
+                },
+            ),
+            ev(
+                2,
+                1,
+                0,
+                EventKind::KrylovSolve {
+                    iterations: 30,
+                    restarts: 3,
+                    precond_refreshes: 0,
+                    fallback: true,
+                },
+            ),
+        ];
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.krylov_solves, 2);
+        assert_eq!(s.krylov_iterations, 42);
+        assert_eq!(s.precond_refreshes, 1);
+        assert_eq!(s.solver_fallbacks, 1);
+        assert!(s.to_string().contains("krylov: 2 solves, 42 iterations"));
+        // A direct-solver stream prints no krylov line.
+        let clean = TelemetrySummary::from_events(&[]);
+        assert!(!clean.to_string().contains("krylov:"));
     }
 
     #[test]

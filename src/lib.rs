@@ -77,7 +77,8 @@ pub use wavepipe_telemetry as telemetry;
 /// [`CancelToken`], [`FaultPlan`]), and batched many-scenario sweeps over a
 /// pluggable solver backend with per-instance fault isolation
 /// ([`BatchSim`], [`BatchRun`], [`BatchOutcome`], [`QuarantineReport`],
-/// [`ParamKind`], [`SolverBackend`], [`SolverHandle`]).
+/// [`ParamKind`], [`SolverBackend`], [`SolverHandle`]), plus the iterative
+/// Krylov solver path ([`GmresBackend`], [`GmresConfig`]).
 ///
 /// [`Circuit`]: prelude::Circuit
 /// [`Waveform`]: prelude::Waveform
@@ -98,6 +99,8 @@ pub use wavepipe_telemetry as telemetry;
 /// [`ParamKind`]: prelude::ParamKind
 /// [`SolverBackend`]: prelude::SolverBackend
 /// [`SolverHandle`]: prelude::SolverHandle
+/// [`GmresBackend`]: prelude::GmresBackend
+/// [`GmresConfig`]: prelude::GmresConfig
 pub mod prelude {
     pub use wavepipe_batch::{
         BatchError, BatchOutcome, BatchRun, BatchSim, ParamKind, QuarantineReport,
@@ -107,7 +110,8 @@ pub mod prelude {
         run_wavepipe, run_wavepipe_recoverable, RunOutcome, Scheme, WavePipeOptions,
     };
     pub use wavepipe_engine::{
-        run_transient, run_transient_recoverable, CancelToken, EngineError, FaultPlan, SimOptions,
-        SolverBackend, SolverHandle, TransientOutcome,
+        run_transient, run_transient_recoverable, CancelToken, EngineError, FaultPlan,
+        GmresBackend, GmresConfig, KrylovStats, SimOptions, SolverBackend, SolverHandle,
+        TransientOutcome,
     };
 }

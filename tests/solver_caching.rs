@@ -5,12 +5,15 @@
 //! to serial stamping bit-identically.
 
 use wavepipe::circuit::generators;
-use wavepipe::engine::{run_transient, FaultPlan, SimOptions, TransientResult};
+use wavepipe::engine::{run_transient, FaultPlan, SimOptions, SolverHandle, TransientResult};
 
 /// Knobs pinned explicitly: the CI caches-off leg flips the env defaults,
 /// and these tests must assert the same thing on every leg. The empty fault
 /// plan overrides `WAVEPIPE_FAULT_SEED`, keeping counter and bit-identity
-/// assertions deterministic on the chaos leg too.
+/// assertions deterministic on the chaos leg too. The solver is pinned to
+/// direct LU for the same reason (the `WAVEPIPE_SOLVER=gmres` leg would
+/// otherwise widen the off-vs-on grid drift this suite bounds); iterative
+/// -vs-direct agreement has its own suite, `tests/solver_equivalence.rs`.
 fn caches_off() -> SimOptions {
     SimOptions::default()
         .with_bypass(false)
@@ -18,6 +21,7 @@ fn caches_off() -> SimOptions {
         .with_companion_cache(false)
         .with_stamp_workers(0)
         .with_faults(FaultPlan::new())
+        .with_solver(SolverHandle::direct())
 }
 
 fn caches_on() -> SimOptions {
@@ -27,6 +31,7 @@ fn caches_on() -> SimOptions {
         .with_companion_cache(true)
         .with_stamp_workers(0)
         .with_faults(FaultPlan::new())
+        .with_solver(SolverHandle::direct())
 }
 
 #[test]
