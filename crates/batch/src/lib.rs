@@ -26,6 +26,17 @@
 //!   over `threads / stamp_workers` batch workers (the same two-level
 //!   split as `wavepipe-core`), so intra-step stamp parallelism and
 //!   across-instance parallelism share one budget.
+//! * **Lane-packed SIMD tier.** When eligible (serial stamping, no
+//!   deadline/cancel/faults/probe/UIC), instances run in lane groups of up
+//!   to [`wavepipe_sparse::lanes::MAX_LANES`]: each group shares one pass
+//!   over the LU index structure per numeric factorization and triangular
+//!   solve while every instance keeps its own Newton/timestep controller,
+//!   so every result stays bit-identical to the classic path (instances
+//!   the tier cannot finish are transparently re-run classically). Off
+//!   switch: [`BatchSim::with_simd`] or `WAVEPIPE_SIMD=0`.
+//! * **Streaming.** [`BatchSim::run_each`] delivers each instance's result
+//!   through a callback as it completes; `run`/`run_outcome` are collecting
+//!   wrappers over it.
 //! * **Fault isolation.** Every instance runs under panic containment with
 //!   one degraded-cache retry; a failure quarantines that instance only.
 //!   [`BatchSim::run_outcome`] returns the completed waveforms alongside
@@ -78,9 +89,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use wavepipe_circuit::{Circuit, Element, Waveform};
+use wavepipe_engine::lane::{run_lane_group, LaneOutcome};
 use wavepipe_engine::transient::run_transient_recoverable_compiled;
 use wavepipe_engine::{EngineError, MnaSystem, SimOptions, SolverHandle, TransientResult};
-use wavepipe_sparse::LuOptions;
+use wavepipe_sparse::lanes::MAX_LANES;
+use wavepipe_sparse::{LuOptions, Permutation};
 
 /// Which value of a named element a batch parameter column drives.
 ///
@@ -103,8 +116,29 @@ pub enum ParamKind {
     MosVt0,
     /// Transconductance parameter `KP` of a `Mosfet` model, in A/V².
     MosKp,
+    /// Channel width `W` of a `Mosfet` model, in meters.
+    MosW,
+    /// Channel length `L` of a `Mosfet` model, in meters.
+    MosL,
     /// Saturation current `IS` of a `Diode` model, in amperes.
     DiodeIs,
+    /// Junction temperature of a `Diode` model, in °C (scales the thermal
+    /// voltage; see `DiodeModel::temp_c`).
+    Temperature,
+    /// Delay `TD` of a source's `PULSE` waveform, in seconds. The source
+    /// must already carry a [`Waveform::Pulse`].
+    PulseDelay,
+    /// Rise time `TR` of a source's `PULSE` waveform, in seconds.
+    PulseRise,
+    /// Fall time `TF` of a source's `PULSE` waveform, in seconds.
+    PulseFall,
+    /// Time coordinate of the `i`-th point of a source's `PWL` waveform, in
+    /// seconds. The index is validated against the waveform's point count at
+    /// registration; keeping the swept times strictly increasing across
+    /// instances is the caller's responsibility (the waveform evaluates
+    /// deterministically either way, but out-of-order points follow
+    /// last-segment-wins semantics rather than erroring).
+    PwlTime(usize),
 }
 
 impl fmt::Display for ParamKind {
@@ -116,7 +150,14 @@ impl fmt::Display for ParamKind {
             ParamKind::SourceDc => "source DC value",
             ParamKind::MosVt0 => "MOSFET vt0",
             ParamKind::MosKp => "MOSFET kp",
+            ParamKind::MosW => "MOSFET width",
+            ParamKind::MosL => "MOSFET length",
             ParamKind::DiodeIs => "diode is",
+            ParamKind::Temperature => "junction temperature",
+            ParamKind::PulseDelay => "pulse delay",
+            ParamKind::PulseRise => "pulse rise time",
+            ParamKind::PulseFall => "pulse fall time",
+            ParamKind::PwlTime(k) => return write!(f, "PWL point {k} time"),
         };
         f.write_str(s)
     }
@@ -125,17 +166,28 @@ impl fmt::Display for ParamKind {
 impl ParamKind {
     /// Whether this kind can drive the given element.
     fn accepts(self, elem: &Element) -> bool {
-        matches!(
-            (self, elem),
+        match (self, elem) {
             (ParamKind::Resistance, Element::Resistor { .. })
-                | (ParamKind::Capacitance, Element::Capacitor { .. })
-                | (ParamKind::Inductance, Element::Inductor { .. })
-                | (ParamKind::SourceDc, Element::VoltageSource { .. })
-                | (ParamKind::SourceDc, Element::CurrentSource { .. })
-                | (ParamKind::MosVt0, Element::Mosfet { .. })
-                | (ParamKind::MosKp, Element::Mosfet { .. })
-                | (ParamKind::DiodeIs, Element::Diode { .. })
-        )
+            | (ParamKind::Capacitance, Element::Capacitor { .. })
+            | (ParamKind::Inductance, Element::Inductor { .. })
+            | (ParamKind::SourceDc, Element::VoltageSource { .. })
+            | (ParamKind::SourceDc, Element::CurrentSource { .. })
+            | (ParamKind::MosVt0, Element::Mosfet { .. })
+            | (ParamKind::MosKp, Element::Mosfet { .. })
+            | (ParamKind::MosW, Element::Mosfet { .. })
+            | (ParamKind::MosL, Element::Mosfet { .. })
+            | (ParamKind::DiodeIs, Element::Diode { .. })
+            | (ParamKind::Temperature, Element::Diode { .. }) => true,
+            (
+                ParamKind::PulseDelay | ParamKind::PulseRise | ParamKind::PulseFall,
+                Element::VoltageSource { waveform, .. } | Element::CurrentSource { waveform, .. },
+            ) => matches!(waveform, Waveform::Pulse { .. }),
+            (
+                ParamKind::PwlTime(k),
+                Element::VoltageSource { waveform, .. } | Element::CurrentSource { waveform, .. },
+            ) => matches!(waveform, Waveform::Pwl(pts) if k < pts.len()),
+            _ => false,
+        }
     }
 
     /// Write `value` into the element. Caller has already validated the
@@ -153,7 +205,30 @@ impl ParamKind {
             }
             (ParamKind::MosVt0, Element::Mosfet { model, .. }) => model.vt0 = value,
             (ParamKind::MosKp, Element::Mosfet { model, .. }) => model.kp = value,
+            (ParamKind::MosW, Element::Mosfet { model, .. }) => model.w = value,
+            (ParamKind::MosL, Element::Mosfet { model, .. }) => model.l = value,
             (ParamKind::DiodeIs, Element::Diode { model, .. }) => model.is = value,
+            (ParamKind::Temperature, Element::Diode { model, .. }) => model.temp_c = value,
+            (
+                ParamKind::PulseDelay,
+                Element::VoltageSource { waveform: Waveform::Pulse { td, .. }, .. }
+                | Element::CurrentSource { waveform: Waveform::Pulse { td, .. }, .. },
+            ) => *td = value,
+            (
+                ParamKind::PulseRise,
+                Element::VoltageSource { waveform: Waveform::Pulse { tr, .. }, .. }
+                | Element::CurrentSource { waveform: Waveform::Pulse { tr, .. }, .. },
+            ) => *tr = value,
+            (
+                ParamKind::PulseFall,
+                Element::VoltageSource { waveform: Waveform::Pulse { tf, .. }, .. }
+                | Element::CurrentSource { waveform: Waveform::Pulse { tf, .. }, .. },
+            ) => *tf = value,
+            (
+                ParamKind::PwlTime(k),
+                Element::VoltageSource { waveform: Waveform::Pwl(pts), .. }
+                | Element::CurrentSource { waveform: Waveform::Pwl(pts), .. },
+            ) => pts[k].0 = value,
             _ => unreachable!("param kind validated at registration"),
         }
     }
@@ -267,6 +342,8 @@ pub struct BatchSim {
     tstop: f64,
     sim: SimOptions,
     threads: usize,
+    simd: bool,
+    lane_width: usize,
     params: Vec<ParamSpec>,
     /// SoA storage: `columns[p][i]` is the value of parameter column `p`
     /// for instance `i`. All columns always have the same length.
@@ -290,6 +367,8 @@ impl BatchSim {
             tstop,
             sim: SimOptions::default(),
             threads: 1,
+            simd: true,
+            lane_width: MAX_LANES,
             params: Vec::new(),
             columns: Vec::new(),
             n_instances: 0,
@@ -323,6 +402,50 @@ impl BatchSim {
     pub fn with_stamp_workers(mut self, stamp_workers: usize) -> Self {
         self.sim = self.sim.with_stamp_workers(stamp_workers);
         self
+    }
+
+    /// Whether the lane-packed (SIMD) batch tier may run (default `true`).
+    /// `WAVEPIPE_SIMD=0` forces it off process-wide regardless of this
+    /// setting — that is the forced-scalar CI leg. The tier is only *used*
+    /// when the run is eligible for it; see [`BatchSim::lane_width_in_use`].
+    #[must_use]
+    pub fn with_simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Instances packed per lane group in the SIMD tier, clamped to
+    /// `1..=MAX_LANES` (default `MAX_LANES` = 4). Width 1 still exercises
+    /// the lane-tier code path (useful for pinning its bit-identity), it
+    /// just packs nothing.
+    #[must_use]
+    pub fn with_lane_width(mut self, lane_width: usize) -> Self {
+        self.lane_width = lane_width.clamp(1, MAX_LANES);
+        self
+    }
+
+    /// The lane width the next run will actually use: `0` when the SIMD
+    /// tier is disabled ([`BatchSim::with_simd`], `WAVEPIPE_SIMD=0`) or the
+    /// configuration is ineligible for it, else the configured width.
+    ///
+    /// Eligibility: serial stamping, no deadline or cancel token, no fault
+    /// injection, no trace probe, no UIC start. Each of those features is
+    /// mirrored only by the classic per-instance path; metrics are
+    /// supported in both tiers.
+    pub fn lane_width_in_use(&self) -> usize {
+        let eligible = self.simd
+            && env_flag("WAVEPIPE_SIMD")
+            && self.sim.stamp_workers == 0
+            && self.sim.deadline.is_none()
+            && self.sim.cancel.is_none()
+            && !self.sim.faults.enabled()
+            && !self.sim.probe.enabled()
+            && !self.sim.use_ic;
+        if eligible {
+            self.lane_width
+        } else {
+            0
+        }
     }
 
     /// Register a parameter column driving `kind` of the named element
@@ -495,51 +618,14 @@ impl BatchSim {
     /// Per-instance failures never error here — they are data, in the
     /// returned [`BatchOutcome`].
     pub fn run_outcome(&self) -> Result<BatchOutcome, BatchError> {
-        if self.n_instances == 0 {
-            return Err(BatchError::NoInstances);
-        }
-        let start = Instant::now();
-        let ordering = Arc::new(
-            wavepipe_sparse::ordering::order(self.sys.pattern(), LuOptions::default().ordering)
-                .map_err(|e| BatchError::Engine(EngineError::Linear(e)))?,
-        );
-        let opts = self.sim.clone().with_solver(SolverHandle::batched(ordering));
-        let workers = self.workers().min(self.n_instances);
-        let prep_ns = start.elapsed().as_nanos();
-
         let mut slots: Vec<Option<Result<TransientResult, QuarantineReport>>> =
             (0..self.n_instances).map(|_| None).collect();
-        if workers <= 1 {
-            for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_instance_isolated(i, &opts));
-            }
-        } else {
-            let shared = Mutex::new(&mut slots);
-            std::thread::scope(|scope| {
-                for w in 0..workers {
-                    let shared = &shared;
-                    let opts = &opts;
-                    scope.spawn(move || {
-                        let mut mine: Vec<(usize, Result<TransientResult, QuarantineReport>)> =
-                            Vec::new();
-                        let mut i = w;
-                        while i < self.n_instances {
-                            mine.push((i, self.run_instance_isolated(i, opts)));
-                            i += workers;
-                        }
-                        let mut guard = shared.lock().expect("result mutex poisoned");
-                        for (i, r) in mine {
-                            guard[i] = Some(r);
-                        }
-                    });
-                }
-            });
-        }
+        let dispatch = self.run_each(|i, r| slots[i] = Some(r))?;
 
         let mut results = Vec::with_capacity(self.n_instances);
         let mut quarantined = Vec::new();
         for slot in slots {
-            match slot.expect("every stride covers its instances") {
+            match slot.expect("every unit covers its instances") {
                 Ok(r) => results.push(Some(r)),
                 Err(q) => {
                     results.push(None);
@@ -550,10 +636,145 @@ impl BatchSim {
         Ok(BatchOutcome {
             results,
             quarantined,
-            workers,
-            prep_ns,
-            wall_ns: start.elapsed().as_nanos(),
+            workers: dispatch.workers,
+            prep_ns: dispatch.prep_ns,
+            wall_ns: dispatch.wall_ns,
         })
+    }
+
+    /// Run every instance, **streaming** each per-instance result through
+    /// `on_result` as it completes instead of collecting the whole batch in
+    /// memory first. This is the execution core; [`BatchSim::run_outcome`]
+    /// and [`BatchSim::run`] are collecting wrappers over it.
+    ///
+    /// `on_result` receives `(instance_index, result)` exactly once per
+    /// instance, in **completion order** (not index order) — workers race.
+    /// Calls are serialized (the callback is behind a mutex), so it may
+    /// mutate captured state freely; keep it cheap, since a slow callback
+    /// backpressures every worker.
+    ///
+    /// When the batch is eligible for the lane-packed SIMD tier
+    /// ([`BatchSim::lane_width_in_use`]), instances are executed in lane
+    /// groups of up to that width: one group shares each pass over the LU
+    /// index structure while every instance keeps its own step controller,
+    /// so each result stays bit-identical to the classic path. An instance
+    /// the lane tier cannot finish (failed DC, recovery-ladder entry,
+    /// numerical blowup, a panic anywhere in the group) is transparently
+    /// re-run through the classic fault-isolated path, which reproduces the
+    /// classic behaviour — including its quarantine semantics — exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::NoInstances`] for an empty batch, or
+    /// [`BatchError::Engine`] when the shared symbolic preparation fails.
+    /// Per-instance failures are streamed as `Err(QuarantineReport)`.
+    pub fn run_each<F>(&self, on_result: F) -> Result<BatchDispatch, BatchError>
+    where
+        F: FnMut(usize, Result<TransientResult, QuarantineReport>) + Send,
+    {
+        if self.n_instances == 0 {
+            return Err(BatchError::NoInstances);
+        }
+        let start = Instant::now();
+        let ordering = Arc::new(
+            wavepipe_sparse::ordering::order(self.sys.pattern(), LuOptions::default().ordering)
+                .map_err(|e| BatchError::Engine(EngineError::Linear(e)))?,
+        );
+        let opts = self.sim.clone().with_solver(SolverHandle::batched(Arc::clone(&ordering)));
+        let lane_width = self.lane_width_in_use();
+        // A unit of work is one instance (classic) or one lane group (SIMD).
+        let n_units =
+            if lane_width > 0 { self.n_instances.div_ceil(lane_width) } else { self.n_instances };
+        let workers = self.workers().min(n_units);
+        let prep_ns = start.elapsed().as_nanos();
+
+        let sink = Mutex::new(on_result);
+        let run_unit = |u: usize| {
+            if lane_width > 0 {
+                self.run_lane_unit(u, lane_width, &opts, &ordering, &sink);
+            } else {
+                let r = self.run_instance_isolated(u, &opts);
+                (sink.lock().expect("result sink poisoned"))(u, r);
+            }
+        };
+        if workers <= 1 {
+            for u in 0..n_units {
+                run_unit(u);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let run_unit = &run_unit;
+                    scope.spawn(move || {
+                        let mut u = w;
+                        while u < n_units {
+                            run_unit(u);
+                            u += workers;
+                        }
+                    });
+                }
+            });
+        }
+        Ok(BatchDispatch { workers, lane_width, prep_ns, wall_ns: start.elapsed().as_nanos() })
+    }
+
+    /// One SIMD-tier unit: derive the group's instance systems, run them as
+    /// a lane group, and stream the results. Every path the lane tier does
+    /// not cover falls back to [`BatchSim::run_instance_isolated`], which
+    /// reproduces classic behaviour exactly (see the lane-group docs).
+    fn run_lane_unit<F>(
+        &self,
+        unit: usize,
+        lane_width: usize,
+        opts: &SimOptions,
+        ordering: &Arc<Permutation>,
+        sink: &Mutex<F>,
+    ) where
+        F: FnMut(usize, Result<TransientResult, QuarantineReport>) + Send,
+    {
+        let emit = |i: usize, r: Result<TransientResult, QuarantineReport>| {
+            (sink.lock().expect("result sink poisoned"))(i, r);
+        };
+        let lo = unit * lane_width;
+        let hi = (lo + lane_width).min(self.n_instances);
+        let mut systems: Vec<Arc<MnaSystem>> = Vec::with_capacity(hi - lo);
+        let mut packed: Vec<usize> = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let ckt = self.instance_circuit(i);
+            match self.sys.with_values_from(&ckt) {
+                Ok(sys) => {
+                    systems.push(Arc::new(sys));
+                    packed.push(i);
+                }
+                // Derivation failed: the classic path owns this error (and
+                // its retry/quarantine semantics).
+                Err(_) => emit(i, self.run_instance_isolated(i, opts)),
+            }
+        }
+        if systems.is_empty() {
+            return;
+        }
+        let group = catch_unwind(AssertUnwindSafe(|| {
+            run_lane_group(&systems, self.tstep, self.tstop, opts, ordering)
+        }));
+        match group {
+            Ok(outcomes) => {
+                for (outcome, &i) in outcomes.into_iter().zip(&packed) {
+                    match outcome {
+                        LaneOutcome::Completed(r) => emit(i, Ok(*r)),
+                        LaneOutcome::Ejected => emit(i, self.run_instance_isolated(i, opts)),
+                    }
+                }
+            }
+            // A panic inside the shared tick loop cannot be attributed to
+            // one lane; rerun the whole group classically, where panic
+            // containment is per instance.
+            Err(_) => {
+                for &i in &packed {
+                    emit(i, self.run_instance_isolated(i, opts));
+                }
+            }
+        }
     }
 
     /// Run every instance and collect the results in instance order,
@@ -578,6 +799,34 @@ impl BatchSim {
     /// `threads / max(stamp_workers, 1)`, at least 1.
     pub fn workers(&self) -> usize {
         (self.threads / self.sim.stamp_workers.max(1)).max(1)
+    }
+}
+
+/// How a [`BatchSim::run_each`] dispatch was executed: worker count, the
+/// lane width actually used, and the shared-preparation / total wall times.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct BatchDispatch {
+    /// Batch workers that executed the run.
+    pub workers: usize,
+    /// Lane width of the SIMD tier, or `0` when the classic per-instance
+    /// path ran (disabled or ineligible — see
+    /// [`BatchSim::lane_width_in_use`]).
+    pub lane_width: usize,
+    /// Wall nanoseconds spent on shared preparation (the symbolic ordering)
+    /// before any instance ran.
+    pub prep_ns: u128,
+    /// Total wall nanoseconds for the whole batch, preparation included.
+    pub wall_ns: u128,
+}
+
+/// `WAVEPIPE_SIMD=0`/`false`/`off`/`no` forces the lane-packed batch tier
+/// off for the whole process (the forced-scalar CI leg); anything else —
+/// including unset — leaves it available. Mirrors the engine's cache knobs.
+fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
     }
 }
 
@@ -836,7 +1085,11 @@ mod tests {
         }
         let run = batch.run().unwrap();
         assert_eq!(run.results().len(), 3);
-        assert_eq!(run.workers(), 2);
+        // Workers stripe over work units: one lane group packing all three
+        // instances when the SIMD tier is live, three single instances on
+        // the forced-scalar leg (`WAVEPIPE_SIMD=0`).
+        let expect_workers = if batch.lane_width_in_use() > 0 { 1 } else { 2 };
+        assert_eq!(run.workers(), expect_workers);
         for ((r, c), got) in corners.iter().zip(run.results()) {
             let mut ckt = rc_circuit();
             if let Some(Element::Resistor { resistance, .. }) = ckt.element_mut("R1") {

@@ -101,8 +101,9 @@ pub fn stamp_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 /// Extracts the ratio-type metrics from a `BENCH_sweep.json` document (an
-/// array of per-configuration rows): the modeled batch throughput gain and
-/// the real single-core work ratio. Wall-millisecond columns are skipped
+/// array of per-configuration rows): the modeled batch throughput gain,
+/// the real single-core work ratio, and the measured SIMD-tier speedup
+/// over the classic batched path. Wall-millisecond columns are skipped
 /// for the usual reason — they vary with host load, ratios do not.
 ///
 /// # Errors
@@ -126,8 +127,13 @@ pub fn sweep_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
             .get("work_ratio")
             .and_then(JsonValue::as_f64)
             .ok_or_else(|| format!("BENCH_sweep.json: {circuit} lacks work_ratio"))?;
+        let simd = row
+            .get("simd_speedup")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("BENCH_sweep.json: {circuit} lacks simd_speedup"))?;
         out.push((format!("sweep/{circuit}/modeled_speedup"), speedup));
         out.push((format!("sweep/{circuit}/work_ratio"), work));
+        out.push((format!("sweep/{circuit}/simd_speedup"), simd));
     }
     Ok(out)
 }
@@ -351,7 +357,7 @@ mod tests {
     const SWEEP: &str = r#"[
       {"circuit":"c","instances":100,"workers":8,"independent_ms":500.0,
        "batched_cpu_ms":450.0,"batched_makespan_ms":65.0,
-       "work_ratio":1.11,"modeled_speedup":7.7}
+       "work_ratio":1.11,"modeled_speedup":7.7,"simd_speedup":1.55}
     ]"#;
     const OVERHEAD: &str = r#"[
       {"circuit":"g","serial_off_us":900,"serial_on_us":905,"backward2_us":600,
@@ -395,9 +401,9 @@ mod tests {
         )
         .unwrap();
         assert!(r.passed(), "{}", r.table());
-        // 2 newton + 1 non-serial stamp + 2 sweep + 2 recovery
+        // 2 newton + 1 non-serial stamp + 3 sweep + 2 recovery
         // + 2 solver fill + 1 crossover-scale solver speedup
-        assert_eq!(r.metrics.len(), 10);
+        assert_eq!(r.metrics.len(), 11);
     }
 
     #[test]
@@ -496,6 +502,9 @@ mod tests {
         assert!(newton_metrics(r#"[{"name":"x"}]"#).is_err());
         assert!(sweep_metrics("{}").is_err());
         assert!(sweep_metrics(r#"[{"circuit":"x","work_ratio":1.0}]"#).is_err());
+        assert!(
+            sweep_metrics(r#"[{"circuit":"x","work_ratio":1.0,"modeled_speedup":7.0}]"#).is_err()
+        );
         assert!(solver_metrics("{}").is_err());
         assert!(solver_metrics(r#"[{"circuit":"x","unknowns":16}]"#).is_err());
     }

@@ -55,11 +55,17 @@ pub struct DiodeModel {
     pub m: f64,
     /// Forward-bias depletion-capacitance coefficient `FC`. Default `0.5`.
     pub fc: f64,
+    /// Junction temperature in °C. Scales the thermal voltage
+    /// `Vt = n·k·T/q` linearly with absolute temperature relative to the
+    /// nominal 27 °C (saturation-current temperature dependence is not
+    /// modeled). Default `27.0` — at the default the lowered device is
+    /// bit-identical to the pre-temperature model.
+    pub temp_c: f64,
 }
 
 impl Default for DiodeModel {
     fn default() -> Self {
-        DiodeModel { is: 1e-14, n: 1.0, cj0: 0.0, vj: 1.0, m: 0.5, fc: 0.5 }
+        DiodeModel { is: 1e-14, n: 1.0, cj0: 0.0, vj: 1.0, m: 0.5, fc: 0.5, temp_c: 27.0 }
     }
 }
 

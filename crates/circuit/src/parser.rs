@@ -392,6 +392,7 @@ fn parse_model(line: usize, toks: &[String]) -> Result<(String, ModelCard), Pars
             vj: get("vj", 1.0),
             m: get("m", 0.5),
             fc: get("fc", 0.5),
+            temp_c: get("temp", 27.0),
         }),
         "nmos" | "pmos" => {
             let polarity = if kind == "nmos" { MosPolarity::Nmos } else { MosPolarity::Pmos };

@@ -1,0 +1,864 @@
+//! The lane-packed batch execution tier: up to [`MAX_LANES`] transient
+//! instances advanced together, sharing one pass over the LU index structure
+//! per linear solve while every instance keeps its **own** scalar controller.
+//!
+//! # How it stays bit-identical
+//!
+//! The classic per-instance path is `run_transient_recoverable_compiled`:
+//! DC solve, then a step loop of predict → stamp → factor/solve → converge →
+//! LTE-accept. This module re-implements only the *orchestration* of that
+//! loop; every numeric kernel is either the identical function
+//! ([`MnaSystem::stamp_lane`] — the monomorphized, bitwise-identical twin of
+//! [`MnaSystem::stamp_with`] — [`lte_step_control`], [`HistoryWindow`]
+//! predict/accept, [`MnaSystem::cap_currents_after`]) or a lane-packed kernel
+//! proven bit-equal to its scalar counterpart
+//! ([`LanePackedLu::refactor_lanes`] / [`LanePackedLu::solve_lanes`] vs
+//! [`SparseLu::refactor`] / `solve_with_scratch` — see
+//! [`wavepipe_sparse::lanes`]). Each lane keeps private step size, history
+//! window, Newton iterate, chord key, and LTE streak, so control flow per
+//! lane replays the classic loop decision-for-decision; lanes only
+//! *synchronize* on bulk kernels, never on decisions.
+//!
+//! Two escape hatches preserve identity on the paths this module does not
+//! mirror:
+//!
+//! * a lane whose frozen pivot *structure* diverges from the pack (threshold
+//!   pivoting is value-dependent) runs its linear algebra through a private
+//!   [`SparseLu`] inside the same tick loop — packed stamping, scalar
+//!   solves;
+//! * a lane that reaches any unmirrored path — the recovery ladder
+//!   (`h < hmin`), numerical blowup, a failed DC solve — is **ejected**: the
+//!   batch layer reruns it through the classic path from scratch, which *is*
+//!   the reference. Ejection can cost wall-clock, never bits.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wavepipe_sparse::lanes::{LanePackedLu, LaneSolve, MAX_LANES};
+use wavepipe_sparse::vector::{all_finite, norm_inf};
+use wavepipe_sparse::{CscMatrix, LuOptions, Permutation, SparseError, SparseLu};
+use wavepipe_telemetry::Counter;
+
+use crate::integrate::{IntegCoeffs, Method};
+use crate::lte::lte_step_control;
+use crate::mna::{LinKey, MnaSystem, MnaWorkspace, StampInput};
+use crate::options::{CacheCtl, SimOptions};
+use crate::result::TransientResult;
+use crate::stats::SimStats;
+use crate::transient::{state_coeffs, HistoryWindow, PointSolution, PointSolver};
+
+/// Engine-facing name for the lane-packed direct backend: K instances'
+/// numeric LU factors interleaved over one shared symbolic structure, with
+/// the factorization and triangular-solve inner loops shared across lanes.
+/// See [`wavepipe_sparse::lanes`] for the kernel and its bit-identity
+/// contract; [`run_lane_group`] is the driver that feeds it.
+pub use wavepipe_sparse::lanes::LanePackedLu as SimdBatchedLu;
+
+/// Per-instance outcome of [`run_lane_group`].
+#[derive(Debug)]
+pub enum LaneOutcome {
+    /// The lane ran cleanly to `tstop`; the result is bit-identical to the
+    /// classic single-instance run.
+    Completed(Box<TransientResult>),
+    /// The lane hit a path the packed tier does not mirror (failed DC,
+    /// recovery-ladder entry, numerical blowup). The caller must rerun the
+    /// instance through the classic path, which reproduces the exact classic
+    /// behaviour — including its error.
+    Ejected,
+}
+
+/// Where a lane's current LU factors live.
+enum Factors {
+    /// Values adopted into the shared [`LanePackedLu`] at this lane's slot.
+    Packed,
+    /// Private factors (pivot structure diverged from the pack).
+    Scalar(Box<SparseLu>),
+    /// Unfactored (mirror of an invalidated backend).
+    None,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Propose the next time point (or finish).
+    Begin,
+    /// Mid-Newton on the current point.
+    Iter,
+    /// Clean run to `tstop`.
+    Finished,
+    /// Handed back to the classic path.
+    Ejected,
+}
+
+/// Per-tick role in the shared linear phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Off,
+    /// Stamped, waiting for the linear phase.
+    Stamped,
+    /// Chord-eligible, factors in the pack.
+    ChordPacked,
+    /// Chord-eligible, private factors.
+    ChordScalar,
+    /// Needs a (re)factorization this iteration.
+    Refactor,
+    /// Packed refactor succeeded; solve through the pack.
+    PackedRefOk,
+    /// Scalar refactor / fresh factor succeeded; solve through `Scalar`.
+    ScalarRefOk,
+    /// Linear phase finished for this tick (`x_new` valid iff solved).
+    Done {
+        solved: bool,
+    },
+}
+
+struct Lane {
+    sys: Arc<MnaSystem>,
+    ws: MnaWorkspace,
+    hw: HistoryWindow,
+    result: TransientResult,
+    stats: SimStats,
+    /// Stats snapshot taken after DC: the classic DC path publishes its own
+    /// live metrics, so the group-end aggregate publishes only the delta.
+    dc_stats: SimStats,
+    factors: Factors,
+    key: Option<LinKey>,
+    last_dx: Option<f64>,
+    /// Current Newton iterate.
+    x: Vec<f64>,
+    x_new: Vec<f64>,
+    scratch: Vec<f64>,
+    resid: Vec<f64>,
+    rowsum: Vec<f64>,
+    bps: Vec<f64>,
+    next_bp: usize,
+    h: f64,
+    lte_streak: usize,
+    phase: Phase,
+    // Current point.
+    t_new: f64,
+    hit_bp: bool,
+    method: Method,
+    coeffs: IntegCoeffs,
+    it: usize,
+    tick_key: LinKey,
+    /// Whether the current iteration's factorization was fresh (pivot
+    /// re-search) — controls the verify-retry, mirroring `factor_and_solve`.
+    fresh: bool,
+}
+
+impl Lane {
+    fn factored(&self) -> bool {
+        !matches!(self.factors, Factors::None)
+    }
+
+    /// Mirror of the classic `EngineError::Linear` arm of `solve_point`:
+    /// drop the (possibly poisoned) factorization and report the point
+    /// unconverged so the step controller backs off.
+    fn linear_error(&mut self, pack: &mut Option<LanePackedLu>, idx: usize) {
+        if matches!(self.factors, Factors::Packed) {
+            if let Some(p) = pack.as_mut() {
+                p.evict(idx);
+            }
+        }
+        self.factors = Factors::None;
+        self.key = None;
+        self.last_dx = None;
+    }
+
+    /// Installs freshly pivoted factors: back into the pack when the
+    /// structure still matches, else as private scalar factors.
+    fn install_fresh(&mut self, lu: SparseLu, pack: &mut Option<LanePackedLu>, idx: usize) {
+        let adopted = pack.as_mut().is_some_and(|p| p.adopt(idx, &lu));
+        self.factors = if adopted { Factors::Packed } else { Factors::Scalar(Box::new(lu)) };
+    }
+}
+
+/// Shared per-group context (identical across lanes by construction — the
+/// batch layer hands every instance the same options).
+struct GroupCtx {
+    opts: SimOptions,
+    ctl: CacheCtl,
+    lu_opts: LuOptions,
+    ordering: Arc<Permutation>,
+    tstep: f64,
+    tstop: f64,
+    hmin: f64,
+    hmax: f64,
+}
+
+/// Runs up to [`MAX_LANES`] compiled instances to `tstop` through the
+/// lane-packed tier. `systems` share one MNA pattern (the batch compile
+/// guarantees this); `ordering` is the shared fill-reducing ordering the
+/// batched solver handle was built from.
+///
+/// Returns one [`LaneOutcome`] per instance, in order. Completed lanes are
+/// bit-identical to the classic single run; ejected lanes must be rerun
+/// classically by the caller (see the [module docs](self)).
+///
+/// The caller is responsible for eligibility: no probe, no fault injection,
+/// no deadline/cancel token, no UIC, serial stamping. Metrics are supported
+/// (scalar counters are published as exact aggregates at group end; series,
+/// gauges, and labeled families are not mirrored by this tier).
+///
+/// # Panics
+///
+/// Panics if `systems` is empty or holds more than [`MAX_LANES`] entries.
+pub fn run_lane_group(
+    systems: &[Arc<MnaSystem>],
+    tstep: f64,
+    tstop: f64,
+    opts: &SimOptions,
+    ordering: &Arc<Permutation>,
+) -> Vec<LaneOutcome> {
+    let k = systems.len();
+    assert!((1..=MAX_LANES).contains(&k), "lane group of {k} outside 1..={MAX_LANES}");
+    debug_assert!(!opts.probe.enabled(), "lane tier does not mirror probe events");
+    debug_assert!(!opts.faults.enabled(), "lane tier does not mirror fault injection");
+    debug_assert_eq!(opts.stamp_workers, 0, "lane tier stamps serially");
+    if !(tstop > 0.0 && tstop.is_finite() && tstep > 0.0 && tstep.is_finite()) {
+        // The classic path rejects these with `BadParameter`; let the rerun
+        // produce that exact error.
+        return (0..k).map(|_| LaneOutcome::Ejected).collect();
+    }
+    let group_start = Instant::now();
+    let g = GroupCtx {
+        opts: opts.clone(),
+        ctl: opts.cache_ctl(),
+        lu_opts: LuOptions::default(),
+        ordering: Arc::clone(ordering),
+        tstep,
+        tstop,
+        hmin: opts.hmin(tstop),
+        hmax: opts.hmax(tstop),
+    };
+
+    // --- DC phase: the classic solver IS the DC path (bit-identity for
+    // free); afterwards each lane inherits its workspace, factors, chord
+    // key, and buffers, exactly as the classic loop would have.
+    let mut lanes: Vec<Option<Lane>> = Vec::with_capacity(k);
+    let mut pack: Option<LanePackedLu> = None;
+    let mut ejected = 0u64;
+    let mut packed_solves = 0u64;
+    for sys in systems {
+        let mut stats = SimStats::new();
+        let mut solver = PointSolver::new(Arc::clone(sys), g.opts.clone());
+        let x0 = match solver.initial_state(&mut stats) {
+            Ok(x0) => x0,
+            Err(_) => {
+                lanes.push(None);
+                ejected += 1;
+                continue;
+            }
+        };
+        let (ws, cache) = solver.into_lane_parts();
+        let (lu, key, last_dx, x_new, scratch, resid) = cache.into_lane_seed();
+        let Some(lu) = lu else {
+            // Backend without extractable direct factors: not lane-packable.
+            lanes.push(None);
+            ejected += 1;
+            continue;
+        };
+        let node_names: Vec<String> =
+            (0..sys.n_nodes()).map(|i| sys.node_name_of(i).to_string()).collect();
+        let mut result = TransientResult::new(sys.n_unknowns(), node_names);
+        result.set_branch_names(sys.branch_names().to_vec());
+        result.push(0.0, &x0);
+        let n = sys.n_unknowns();
+        let hw = HistoryWindow::start(x0, sys.cap_state_count());
+        let h = tstep.min(g.hmax).min(tstop / 100.0).max(g.hmin);
+        let mut lane = Lane {
+            sys: Arc::clone(sys),
+            ws,
+            hw,
+            result,
+            stats,
+            dc_stats: SimStats::new(),
+            factors: Factors::Scalar(Box::new(lu)),
+            key,
+            last_dx,
+            x: Vec::new(),
+            x_new,
+            scratch,
+            resid,
+            rowsum: Vec::new(),
+            bps: sys.breakpoints(tstop),
+            next_bp: 0,
+            h,
+            lte_streak: 0,
+            phase: Phase::Begin,
+            t_new: 0.0,
+            hit_bp: false,
+            method: g.opts.method,
+            coeffs: IntegCoeffs::new(g.opts.method, h, h),
+            it: 0,
+            tick_key: LinKey::of(&StampInput {
+                time: 0.0,
+                coeffs: None,
+                x_prev: &[],
+                x_prev2: &[],
+                cap_currents: &[],
+                gmin: 0.0,
+                gshunt: 0.0,
+                source_scale: 1.0,
+                ic_mode: false,
+            }),
+            fresh: false,
+        };
+        lane.x_new.resize(n, 0.0);
+        lane.scratch.resize(n, 0.0);
+        lane.resid.resize(n, 0.0);
+        lane.dc_stats = lane.stats;
+        lanes.push(Some(lane));
+    }
+    // Seed the pack from the first live lane's DC factors; lanes whose pivot
+    // structure diverged stay scalar.
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        let Factors::Scalar(lu) = std::mem::replace(&mut lane.factors, Factors::None) else {
+            continue;
+        };
+        if pack.is_none() {
+            pack = Some(LanePackedLu::from_structure(k, &lu));
+        }
+        lane.install_fresh(*lu, &mut pack, i);
+    }
+
+    // --- The tick loop: one Newton iteration per live lane per tick.
+    while lanes.iter().flatten().any(|l| matches!(l.phase, Phase::Begin | Phase::Iter)) {
+        packed_solves += tick(&mut lanes, &mut pack, &g);
+    }
+
+    // --- Metrics: exact scalar-counter aggregates for completed lanes plus
+    // the lane-occupancy counters (ejected lanes are republished in full by
+    // their classic rerun, so their transient portion is not counted here).
+    let wall = group_start.elapsed().as_nanos();
+    for slot in lanes.iter().flatten() {
+        if slot.phase == Phase::Ejected {
+            ejected += 1;
+        }
+    }
+    if g.opts.metrics.enabled() {
+        let m = &g.opts.metrics;
+        m.inc(Counter::LaneGroups);
+        m.add(Counter::LanePackedSolves, packed_solves);
+        m.add(Counter::LaneEjections, ejected);
+        for slot in lanes.iter().flatten() {
+            if slot.phase != Phase::Finished {
+                continue;
+            }
+            let (s, b) = (&slot.stats, &slot.dc_stats);
+            let d = |tot: usize, base: usize| (tot - base) as u64;
+            m.add(Counter::NewtonIterations, d(s.newton_iterations, b.newton_iterations));
+            m.add(Counter::DeviceEvals, d(s.device_evals, b.device_evals));
+            m.add(Counter::BypassedDevices, d(s.bypass_hits, b.bypass_hits));
+            m.add(Counter::CompanionHits, d(s.companion_hits, b.companion_hits));
+            m.add(Counter::Factorizations, d(s.factorizations, b.factorizations));
+            m.add(Counter::Refactorizations, d(s.refactorizations, b.refactorizations));
+            m.add(Counter::JacobianReuses, d(s.jacobian_reuses, b.jacobian_reuses));
+            m.add(Counter::PointsAccepted, d(s.steps_accepted, b.steps_accepted));
+            m.add(Counter::LteRejects, d(s.steps_rejected_lte, b.steps_rejected_lte));
+            m.add(Counter::NewtonRejects, d(s.steps_rejected_newton, b.steps_rejected_newton));
+            // One classic point-solve per accepted or rejected step.
+            m.add(
+                Counter::Solves,
+                d(s.steps_accepted, b.steps_accepted)
+                    + d(s.steps_rejected_lte, b.steps_rejected_lte)
+                    + d(s.steps_rejected_newton, b.steps_rejected_newton),
+            );
+        }
+    }
+
+    lanes
+        .into_iter()
+        .map(|slot| match slot {
+            Some(mut lane) if lane.phase == Phase::Finished => {
+                // Lanes run interleaved, so per-lane wall clock is the group
+                // wall clock; stamp_ns stays 0 (no timers in the hot path).
+                lane.stats.wall_ns = wall;
+                lane.result.set_stats(lane.stats);
+                LaneOutcome::Completed(Box::new(lane.result))
+            }
+            _ => LaneOutcome::Ejected,
+        })
+        .collect()
+}
+
+/// One tick: every live lane advances exactly one Newton iteration (lanes in
+/// `Begin` first propose their next point, mirroring the classic loop head).
+/// Returns the number of lane-solves served by packed sweeps this tick.
+fn tick(lanes: &mut [Option<Lane>], pack: &mut Option<LanePackedLu>, g: &GroupCtx) -> u64 {
+    let mut packed_solves = 0u64;
+    let mut role = [Role::Off; MAX_LANES];
+
+    // Phase 0: point proposal (classic loop head + solve_point head).
+    for lane in lanes.iter_mut().flatten() {
+        if lane.phase == Phase::Begin {
+            begin_point(lane, g);
+        }
+    }
+
+    // Phase 1: stamp one Newton iteration per iterating lane.
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        if lane.phase != Phase::Iter {
+            continue;
+        }
+        lane.it += 1;
+        lane.stats.newton_iterations += 1;
+        let x_prev2: &[f64] = if lane.hw.solutions().len() >= 2 {
+            &lane.hw.solutions()[1]
+        } else {
+            &lane.hw.solutions()[0]
+        };
+        let input = StampInput {
+            time: lane.t_new,
+            coeffs: Some(lane.coeffs),
+            x_prev: lane.hw.x(),
+            x_prev2,
+            cap_currents: lane.hw.cap_currents(),
+            gmin: g.opts.gmin,
+            gshunt: 0.0,
+            source_scale: 1.0,
+            ic_mode: false,
+        };
+        lane.tick_key = LinKey::of(&input);
+        let sres = lane.sys.stamp_lane(&mut lane.ws, &input, &lane.x, &g.ctl, lane.it == 1);
+        lane.stats.device_evals += sres.evals;
+        lane.stats.bypass_hits += sres.bypassed;
+        if sres.companion_hit {
+            lane.stats.companion_hits += 1;
+        }
+        role[i] = if all_finite(&lane.ws.rhs) {
+            Role::Stamped
+        } else {
+            // Non-finite excitation: give up on this point (classic Newton
+            // returns unconverged before touching the matrix).
+            Role::Done { solved: false }
+        };
+    }
+
+    // Phase 2: chord attempt (factor_and_solve's reuse path). Eligibility
+    // and the residual are per lane; the triangular solve is packed for
+    // pack-resident lanes.
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        if role[i] != Role::Stamped {
+            continue;
+        }
+        let eligible = g.opts.chord_newton
+            && !lane.ws.limited
+            && lane.factored()
+            && lane.key == Some(lane.tick_key);
+        if !eligible {
+            role[i] = Role::Refactor;
+            continue;
+        }
+        if lane.ws.matrix.residual_into(&lane.x, &lane.ws.rhs, &mut lane.resid).is_err() {
+            lane.linear_error(pack, i);
+            role[i] = Role::Done { solved: false };
+            continue;
+        }
+        role[i] = match lane.factors {
+            Factors::Packed => Role::ChordPacked,
+            Factors::Scalar(_) => Role::ChordScalar,
+            Factors::None => unreachable!("factored() checked"),
+        };
+    }
+    if role.contains(&Role::ChordPacked) {
+        let p = pack.as_mut().expect("packed lanes imply a pack");
+        let kk = p.lane_count();
+        let mut reqs: [Option<LaneSolve<'_>>; MAX_LANES] = core::array::from_fn(|_| None);
+        for (i, slot) in lanes.iter_mut().enumerate() {
+            if let Some(lane) = slot {
+                if role[i] == Role::ChordPacked {
+                    reqs[i] = Some(LaneSolve { b: &lane.resid, x: &mut lane.x_new });
+                }
+            }
+        }
+        packed_solves += reqs.iter().flatten().count() as u64;
+        p.solve_lanes(&mut reqs[..kk]);
+    }
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        if role[i] == Role::ChordScalar {
+            let Factors::Scalar(lu) = &lane.factors else { unreachable!() };
+            if lu.solve_with_scratch(&lane.resid, &mut lane.x_new, &mut lane.scratch).is_err() {
+                lane.linear_error(pack, i);
+                role[i] = Role::Done { solved: false };
+                continue;
+            }
+        }
+        if matches!(role[i], Role::ChordPacked | Role::ChordScalar) {
+            lane.stats.solves += 1;
+            let dxn = norm_inf(&lane.x_new);
+            let contracting = match lane.last_dx {
+                None => true,
+                Some(prev) => dxn <= g.opts.chord_theta * prev,
+            };
+            if dxn.is_finite() && contracting {
+                for (xn, &xi) in lane.x_new.iter_mut().zip(&lane.x) {
+                    *xn += xi;
+                }
+                lane.last_dx = Some(dxn);
+                lane.stats.jacobian_reuses += 1;
+                role[i] = Role::Done { solved: true };
+            } else {
+                // Contraction stalled: pay for a factorization this tick.
+                role[i] = Role::Refactor;
+            }
+        }
+    }
+
+    // Phase 3: (re)factorization attempt 0. Pack-resident lanes refactor in
+    // one packed sweep; scalar and unfactored lanes go through their own
+    // factors. Per-lane fallout (degraded pivots → fresh pivot search,
+    // other errors → the classic Linear arm) is handled individually.
+    let any_packed_ref = lanes.iter().enumerate().any(|(i, slot)| {
+        matches!(slot, Some(lane) if role[i] == Role::Refactor && matches!(lane.factors, Factors::Packed))
+    });
+    let mut ref_errs: [Option<SparseError>; MAX_LANES] = core::array::from_fn(|_| None);
+    if any_packed_ref {
+        let p = pack.as_mut().expect("packed lanes imply a pack");
+        let kk = p.lane_count();
+        let mut mats: [Option<&CscMatrix>; MAX_LANES] = [None; MAX_LANES];
+        for (i, slot) in lanes.iter().enumerate() {
+            if let Some(lane) = slot {
+                if role[i] == Role::Refactor && matches!(lane.factors, Factors::Packed) {
+                    mats[i] = Some(&lane.ws.matrix);
+                }
+            }
+        }
+        p.refactor_lanes(&mats[..kk], &mut ref_errs[..kk]);
+    }
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        if role[i] != Role::Refactor {
+            continue;
+        }
+        lane.fresh = false;
+        match &mut lane.factors {
+            Factors::Packed => match ref_errs[i].take() {
+                None => {
+                    lane.stats.factorizations += 1;
+                    lane.stats.refactorizations += 1;
+                    role[i] = Role::PackedRefOk;
+                }
+                Some(SparseError::PivotDegraded { .. }) => {
+                    // refactor_lanes already evicted the lane.
+                    lane.factors = Factors::None;
+                    role[i] = fresh_factor(lane, pack, i, g);
+                }
+                Some(_) => {
+                    lane.factors = Factors::None;
+                    lane.linear_error(pack, i);
+                    role[i] = Role::Done { solved: false };
+                }
+            },
+            Factors::Scalar(lu) => match lu.refactor(&lane.ws.matrix) {
+                Ok(()) => {
+                    lane.stats.factorizations += 1;
+                    lane.stats.refactorizations += 1;
+                    role[i] = Role::ScalarRefOk;
+                }
+                Err(SparseError::PivotDegraded { .. }) => {
+                    role[i] = fresh_factor(lane, pack, i, g);
+                }
+                Err(_) => {
+                    lane.linear_error(pack, i);
+                    role[i] = Role::Done { solved: false };
+                }
+            },
+            Factors::None => {
+                role[i] = fresh_factor(lane, pack, i, g);
+            }
+        }
+    }
+    // Packed solve sweep for the lanes whose packed refactor succeeded.
+    if role.contains(&Role::PackedRefOk) {
+        let p = pack.as_mut().expect("packed lanes imply a pack");
+        let kk = p.lane_count();
+        let mut reqs: [Option<LaneSolve<'_>>; MAX_LANES] = core::array::from_fn(|_| None);
+        for (i, slot) in lanes.iter_mut().enumerate() {
+            if let Some(lane) = slot {
+                if role[i] == Role::PackedRefOk {
+                    reqs[i] = Some(LaneSolve { b: &lane.ws.rhs, x: &mut lane.x_new });
+                }
+            }
+        }
+        packed_solves += reqs.iter().flatten().count() as u64;
+        p.solve_lanes(&mut reqs[..kk]);
+    }
+    // Scalar solves, verification, and the verify-fail retry.
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        match role[i] {
+            Role::ScalarRefOk => {
+                let Factors::Scalar(lu) = &lane.factors else { unreachable!() };
+                if lu.solve_with_scratch(&lane.ws.rhs, &mut lane.x_new, &mut lane.scratch).is_err()
+                {
+                    lane.linear_error(pack, i);
+                    role[i] = Role::Done { solved: false };
+                    continue;
+                }
+            }
+            Role::PackedRefOk => {}
+            _ => continue,
+        }
+        lane.stats.solves += 1;
+        role[i] = Role::Done { solved: verify_or_retry(lane, pack, i, g) };
+    }
+
+    // Phase 4: Newton convergence test and point tail.
+    for (i, slot) in lanes.iter_mut().enumerate() {
+        let Some(lane) = slot else { continue };
+        let solved = match role[i] {
+            Role::Done { solved } => solved,
+            Role::Off => continue,
+            other => unreachable!("unresolved lane role {other:?}"),
+        };
+        let mut point_done: Option<bool> = None;
+        if !solved || !all_finite(&lane.x_new) {
+            point_done = Some(false);
+        } else {
+            let n_nodes = lane.sys.n_nodes();
+            let mut converged = !lane.ws.limited;
+            for (kk, (&xn, &xo)) in lane.x_new.iter().zip(&lane.x).enumerate() {
+                if !converged {
+                    break;
+                }
+                let tol = if kk < n_nodes {
+                    g.opts.vntol + g.opts.reltol * xn.abs().max(xo.abs())
+                } else {
+                    g.opts.abstol + g.opts.reltol * xn.abs().max(xo.abs())
+                };
+                if (xn - xo).abs() > tol {
+                    converged = false;
+                    break;
+                }
+            }
+            lane.x.copy_from_slice(&lane.x_new);
+            if converged {
+                point_done = Some(true);
+            } else if lane.it >= g.opts.max_newton_iters {
+                point_done = Some(false);
+            }
+        }
+        if let Some(converged) = point_done {
+            finish_point(lane, converged, g);
+        }
+    }
+    packed_solves
+}
+
+/// Fresh pivot search for one lane (the classic `backend.factor` fallback),
+/// mirroring `BatchedDirectLu::factor`. On success the factors are
+/// re-adopted into the pack when the new structure matches, else kept
+/// scalar. Returns the lane's next role.
+fn fresh_factor(
+    lane: &mut Lane,
+    pack: &mut Option<LanePackedLu>,
+    idx: usize,
+    g: &GroupCtx,
+) -> Role {
+    lane.fresh = true;
+    match SparseLu::factor_with_ordering(&lane.ws.matrix, &g.lu_opts, (*g.ordering).clone()) {
+        Ok(lu) => {
+            lane.stats.factorizations += 1;
+            lane.install_fresh(lu, pack, idx);
+            match lane.factors {
+                Factors::Packed => Role::PackedRefOk,
+                _ => Role::ScalarRefOk,
+            }
+        }
+        Err(_) => {
+            lane.linear_error(pack, idx);
+            Role::Done { solved: false }
+        }
+    }
+}
+
+/// Backward-error verification of `x_new`, with the classic one-shot retry:
+/// a failed verify after a frozen-pivot refactor pays for a fresh pivot
+/// search and re-verifies; a failed verify after a fresh factorization is
+/// final (`Ok(false)` in the classic code — point unconverged).
+fn verify_or_retry(
+    lane: &mut Lane,
+    pack: &mut Option<LanePackedLu>,
+    idx: usize,
+    g: &GroupCtx,
+) -> bool {
+    for attempt in 0..2 {
+        if lane.ws.matrix.residual_into(&lane.x_new, &lane.ws.rhs, &mut lane.resid).is_err() {
+            lane.linear_error(pack, idx);
+            return false;
+        }
+        let scale = lane.ws.matrix.norm_inf_with_scratch(&mut lane.rowsum) * norm_inf(&lane.x_new)
+            + norm_inf(&lane.ws.rhs);
+        let r = norm_inf(&lane.resid);
+        if r.is_finite() && r <= 1e-8 * scale.max(f64::MIN_POSITIVE) {
+            lane.key = Some(lane.tick_key);
+            let mut dxn = 0.0f64;
+            for (&xn, &xi) in lane.x_new.iter().zip(&lane.x) {
+                dxn = dxn.max((xn - xi).abs());
+            }
+            lane.last_dx = dxn.is_finite().then_some(dxn);
+            return true;
+        }
+        if lane.fresh || attempt > 0 {
+            lane.key = None;
+            return false;
+        }
+        // Retry with a fresh factorization (classic attempt 1). Solve
+        // through the local factors before installing them — the packed and
+        // scalar solves are bit-identical, so placement doesn't matter.
+        match SparseLu::factor_with_ordering(&lane.ws.matrix, &g.lu_opts, (*g.ordering).clone()) {
+            Ok(lu) => {
+                lane.stats.factorizations += 1;
+                if lu.solve_with_scratch(&lane.ws.rhs, &mut lane.x_new, &mut lane.scratch).is_err()
+                {
+                    lane.linear_error(pack, idx);
+                    return false;
+                }
+                lane.stats.solves += 1;
+                lane.fresh = true;
+                lane.install_fresh(lu, pack, idx);
+            }
+            Err(_) => {
+                lane.linear_error(pack, idx);
+                return false;
+            }
+        }
+    }
+    lane.key = None;
+    false
+}
+
+/// Classic step-loop head + `solve_point` head: finish/eject checks, step
+/// clamping, breakpoint snapping, integration coefficients, predictor.
+fn begin_point(lane: &mut Lane, g: &GroupCtx) {
+    // Written as the negation of the classic loop-head guard
+    // (`while t < tstop - hmin/2`) so the two agree on every input,
+    // NaN included.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(lane.hw.t() < g.tstop - 0.5 * g.hmin) {
+        lane.phase = Phase::Finished;
+        return;
+    }
+    if !lane.h.is_finite() {
+        // Classic: NumericalBlowup — not mirrored; rerun classically.
+        lane.phase = Phase::Ejected;
+        return;
+    }
+    lane.h = lane.h.clamp(g.hmin, g.hmax);
+    let mut t_new = lane.hw.t() + lane.h;
+    let mut hit_bp = false;
+    while lane.next_bp < lane.bps.len() && lane.bps[lane.next_bp] <= lane.hw.t() + 0.5 * g.hmin {
+        lane.next_bp += 1;
+    }
+    if lane.next_bp < lane.bps.len() && t_new >= lane.bps[lane.next_bp] - 0.5 * g.hmin {
+        t_new = lane.bps[lane.next_bp];
+        hit_bp = true;
+    }
+    if t_new > g.tstop {
+        t_new = g.tstop;
+    }
+    let h = t_new - lane.hw.t();
+    let method = lane.hw.effective_method(g.opts.method);
+    let h_prev = lane.hw.h_prev().unwrap_or(h);
+    lane.coeffs = IntegCoeffs::new(method, h, h_prev);
+    lane.method = method;
+    lane.t_new = t_new;
+    lane.hit_bp = hit_bp;
+    lane.x = lane.hw.predict(t_new);
+    lane.it = 0;
+    lane.last_dx = None; // begin_solve()
+    lane.phase = Phase::Iter;
+}
+
+/// Classic `solve_point` tail + step-loop tail: cap-current propagation,
+/// rejection bookkeeping, LTE control, accept, breakpoint restart.
+fn finish_point(lane: &mut Lane, converged: bool, g: &GroupCtx) {
+    let t_new = lane.t_new;
+    let h_attempt = t_new - lane.hw.t();
+    if !converged {
+        // note_rejection(): chord reuse must re-qualify.
+        lane.key = None;
+        lane.last_dx = None;
+        lane.stats.steps_rejected_newton += 1;
+        lane.h = h_attempt * g.opts.nr_shrink;
+        if lane.h < g.hmin {
+            // Classic: recovery ladder (or TimestepTooSmall) — not
+            // mirrored; the classic rerun reproduces it exactly.
+            lane.phase = Phase::Ejected;
+            return;
+        }
+        lane.phase = Phase::Begin;
+        return;
+    }
+    let x_prev2: &[f64] = if lane.hw.solutions().len() >= 2 {
+        &lane.hw.solutions()[1]
+    } else {
+        &lane.hw.solutions()[0]
+    };
+    let sc = state_coeffs(&lane.hw, t_new);
+    let cap_currents =
+        lane.sys.cap_currents_after(&sc, &lane.x, lane.hw.x(), x_prev2, lane.hw.cap_currents());
+    if !all_finite(&lane.x) {
+        // Classic: NumericalBlowup.
+        lane.phase = Phase::Ejected;
+        return;
+    }
+    let needed = lane.method.order() + 1;
+    if lane.hw.usable_for_lte() >= needed {
+        let refs: Vec<&[f64]> =
+            lane.hw.solutions()[..needed].iter().map(|v| v.as_slice()).collect();
+        let d = lte_step_control(
+            lane.method,
+            t_new,
+            &lane.x,
+            h_attempt,
+            &lane.hw.times()[..needed],
+            &refs,
+            &g.opts,
+        );
+        if !d.accept && h_attempt > g.hmin * 1.01 {
+            lane.stats.steps_rejected_lte += 1;
+            lane.lte_streak += 1;
+            let crawling = h_attempt < g.hmin * 1e3;
+            if lane.lte_streak >= 3 || crawling {
+                lane.hw.mark_discontinuity();
+                lane.lte_streak = 0;
+                lane.h = h_attempt;
+            } else {
+                lane.h = d.h_new;
+            }
+            lane.phase = Phase::Begin;
+            return;
+        }
+        lane.lte_streak = 0;
+        lane.h = d.h_new;
+    } else {
+        lane.h = h_attempt * g.opts.rmax;
+    }
+    let sol = PointSolution {
+        t: t_new,
+        x: lane.x.clone(),
+        method: lane.method,
+        coeffs: lane.coeffs,
+        converged: true,
+        iterations: lane.it,
+        cap_currents,
+        stats: SimStats::new(),
+    };
+    lane.hw.accept(&sol);
+    lane.result.push(t_new, &sol.x);
+    lane.stats.steps_accepted += 1;
+    if lane.hit_bp {
+        lane.next_bp += 1;
+        lane.hw.mark_discontinuity();
+        let to_next =
+            lane.bps.get(lane.next_bp).map_or(g.tstop - lane.hw.t(), |&b| b - lane.hw.t());
+        lane.h = lane.h.min(g.tstep * 0.25).min((to_next * 0.25).max(g.hmin));
+    }
+    lane.phase = Phase::Begin;
+}

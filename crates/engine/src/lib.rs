@@ -56,6 +56,7 @@ mod error;
 pub mod fault;
 pub mod integrate;
 pub mod krylov;
+pub mod lane;
 pub mod lte;
 pub mod measure;
 pub mod mna;
@@ -78,6 +79,7 @@ pub use error::{ConvergenceReport, EngineError, RecoveryRung, Result};
 pub use fault::{FaultHandle, FaultKind, FaultPlan};
 pub use integrate::{IntegCoeffs, Method};
 pub use krylov::{parse_ordering, GmresBackend, GmresConfig, KrylovStats};
+pub use lane::{run_lane_group, LaneOutcome, SimdBatchedLu};
 pub use mna::{MnaSystem, MnaWorkspace, StampInput, StampResult};
 pub use options::{CacheCtl, SimOptions};
 pub use parstamp::StampExecutor;

@@ -343,6 +343,13 @@ pub(crate) struct StampCaches {
     /// Matrix values snapshot taken after the prologue + linear phase
     /// (nonlinear slots still zero), replayed on a key hit.
     lin_mat: Vec<f64>,
+    /// RHS snapshot taken after the linear phase of the most recent
+    /// [`MnaSystem::stamp_lane`] pass. Linear-device RHS contributions
+    /// depend only on the companion key's inputs plus the previous-point
+    /// solutions and capacitor currents — never on the Newton iterate — so
+    /// within one Newton point the lane tier replays this snapshot on
+    /// iterations after the first instead of re-walking the linear devices.
+    lin_rhs: Vec<f64>,
 }
 
 /// What one stamping pass did, for work accounting.
@@ -447,7 +454,18 @@ pub(crate) enum Sink<'a> {
     RhsOnly { rhs: &'a mut [f64] },
 }
 
-impl Sink<'_> {
+/// Emission target for [`MnaSystem::emit_device`]. Every implementation
+/// applies the same ground-skip rule, so the emission *sequence* (and hence
+/// the slot table and the per-device spans) is identical across sinks. The
+/// [`Sink`] enum serves the classic paths; the lane-packed stamp passes
+/// dedicated concrete sinks instead, monomorphizing the whole device
+/// evaluation so no per-emission variant dispatch survives inlining.
+pub(crate) trait EmitSink {
+    fn mat(&mut self, r: usize, c: usize, v: f64);
+    fn rhs(&mut self, u: usize, v: f64);
+}
+
+impl EmitSink for Sink<'_> {
     #[inline]
     fn mat(&mut self, r: usize, c: usize, v: f64) {
         if r == GND || c == GND {
@@ -481,6 +499,93 @@ impl Sink<'_> {
             }
             Sink::RhsOnly { rhs } => rhs[u] += v,
         }
+    }
+}
+
+/// Monomorphized [`Sink::RhsOnly`]: companion-hit linear re-emission on the
+/// lane path. Matrix emissions are dropped (the memcpy already restored
+/// them), RHS adds land directly.
+struct RhsOnlySink<'a> {
+    rhs: &'a mut [f64],
+}
+
+impl EmitSink for RhsOnlySink<'_> {
+    #[inline]
+    fn mat(&mut self, _r: usize, _c: usize, _v: f64) {}
+
+    #[inline]
+    fn rhs(&mut self, u: usize, v: f64) {
+        if u == GND {
+            return;
+        }
+        self.rhs[u] += v;
+    }
+}
+
+/// Monomorphized [`Sink::Write`]: full linear restamp on the lane path,
+/// scattering through the slot table in emission-cursor order.
+struct WriteSink<'a> {
+    values: &'a mut [f64],
+    slots: &'a [usize],
+    cursor: usize,
+    rhs: &'a mut [f64],
+}
+
+impl EmitSink for WriteSink<'_> {
+    #[inline]
+    fn mat(&mut self, r: usize, c: usize, v: f64) {
+        if r == GND || c == GND {
+            return;
+        }
+        self.values[self.slots[self.cursor]] += v;
+        self.cursor += 1;
+    }
+
+    #[inline]
+    fn rhs(&mut self, u: usize, v: f64) {
+        if u == GND {
+            return;
+        }
+        self.rhs[u] += v;
+    }
+}
+
+/// Fresh nonlinear evaluation on the lane path: stores each emission into
+/// the device's bypass-cache span (replay on a later bypass hit needs it)
+/// and scatters it into the matrix/RHS in the same pass — fusing the
+/// classic buffer-then-scatter into one sweep. The per-slot addition order
+/// is unchanged because the classic scatter replays the cache span in
+/// emission order; `slots`/`cmat` are pre-sliced to the device's span so
+/// the cursor is span-relative.
+struct FusedNlSink<'a> {
+    cmat: &'a mut [f64],
+    crhs: &'a mut [f64],
+    slots: &'a [usize],
+    values: &'a mut [f64],
+    rhs: &'a mut [f64],
+    mc: usize,
+    rc: usize,
+}
+
+impl EmitSink for FusedNlSink<'_> {
+    #[inline]
+    fn mat(&mut self, r: usize, c: usize, v: f64) {
+        if r == GND || c == GND {
+            return;
+        }
+        self.cmat[self.mc] = v;
+        self.values[self.slots[self.mc]] += v;
+        self.mc += 1;
+    }
+
+    #[inline]
+    fn rhs(&mut self, u: usize, v: f64) {
+        if u == GND {
+            return;
+        }
+        self.crhs[self.rc] = v;
+        self.rhs[u] += v;
+        self.rc += 1;
     }
 }
 
@@ -646,7 +751,14 @@ impl MnaSystem {
                     });
                 }
                 Element::Diode { p, n, model, .. } => {
-                    let nvt = model.n * VT;
+                    // Thermal voltage scales linearly with absolute
+                    // temperature. The literal `1.0` branch (not a computed
+                    // ratio that happens to equal one) keeps the default
+                    // 27 °C lowering bit-identical to the pre-temperature
+                    // model: `273.15 + 27.0` need not round to `300.15`.
+                    let t_ratio =
+                        if model.temp_c == 27.0 { 1.0 } else { (273.15 + model.temp_c) / 300.15 };
+                    let nvt = model.n * VT * t_ratio;
                     devices.push(Dev::Diode {
                         p: unknown_of(*p),
                         n: unknown_of(*n),
@@ -1010,6 +1122,7 @@ impl MnaSystem {
                 gmin: 0.0,
                 lin_key: None,
                 lin_mat: vec![0.0; self.pattern.nnz()],
+                lin_rhs: vec![0.0; self.n_unknowns],
             },
         }
     }
@@ -1317,6 +1430,218 @@ impl MnaSystem {
         (evals, bypassed)
     }
 
+    /// Lane-tier stamp: same cache decisions, device order, and emission
+    /// sequence as [`MnaSystem::stamp_with`] — bitwise-identical results —
+    /// with the emission plumbing monomorphized. The classic path routes
+    /// every emission through the `Sink` enum (a variant dispatch per
+    /// matrix entry) and buffers nonlinear stamps before a separate scatter
+    /// pass; here each sink is a concrete type the compiler inlines whole,
+    /// and fresh nonlinear evaluations scatter as they emit. With ~40
+    /// linear companion re-emissions and ~16 device evaluations per Newton
+    /// iteration on digital workloads, stamping dominates the serial
+    /// profile, so the lane-packed batch tier calls this instead of
+    /// `stamp_with` to buy its throughput edge on the stamp side as well
+    /// as the solve side.
+    /// `first_iter` marks the first Newton iteration of the current time
+    /// point. On later iterations of the same point every input of the
+    /// linear phase other than the iterate — time, integration
+    /// coefficients, previous-point solutions, capacitor currents — is
+    /// unchanged, and linear devices never read the iterate, so the linear
+    /// RHS snapshot taken on the first iteration is replayed by `memcpy`
+    /// (the exact bits the device walk would reproduce).
+    pub fn stamp_lane(
+        &self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x_iter: &[f64],
+        ctl: &CacheCtl,
+        first_iter: bool,
+    ) -> StampResult {
+        // The `gmin` prologue of `compute_bypass_mask`, at the same point in
+        // the call sequence. The per-device tolerance checks themselves are
+        // folded into the fused nonlinear pass below: they are pure
+        // predicates of state that pass never mutates before reading, so
+        // deciding each device at its own turn reproduces the mask bit for
+        // bit without a separate traversal (or the mask array itself).
+        if input.gmin != ws.caches.gmin {
+            ws.caches.valid.fill(false);
+            ws.caches.gmin = input.gmin;
+        }
+        let companion_hit = self.stamp_linear_phase_lane(ws, input, x_iter, ctl, first_iter);
+        let (nl_evals, bypassed) = self.stamp_nonlinear_fused(ws, input, x_iter, ctl);
+        StampResult { evals: self.lin_elem.len() + nl_evals, bypassed, companion_hit }
+    }
+
+    /// [`MnaSystem::stamp_linear_phase`] with monomorphized sinks: identical
+    /// control flow, cache updates, and emission order.
+    fn stamp_linear_phase_lane(
+        &self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x: &[f64],
+        ctl: &CacheCtl,
+        first_iter: bool,
+    ) -> bool {
+        ws.limited = false;
+        let key = LinKey::of(input);
+        let MnaWorkspace { matrix, rhs, junction_state, limited, caches } = ws;
+        let hit = ctl.companion && caches.lin_key == Some(key);
+        if hit && !first_iter {
+            // Same point, same key: both the linear matrix and the linear
+            // RHS are replays of the first iteration's snapshots. Linear
+            // devices never touch `limited` or the junction state, so
+            // skipping their walk leaves every other output of this phase
+            // exactly as the walk would.
+            matrix.values_mut().copy_from_slice(&caches.lin_mat);
+            rhs.copy_from_slice(&caches.lin_rhs);
+            return true;
+        }
+        rhs.fill(0.0);
+        let mut jct = Junction::InPlace(junction_state);
+        if hit {
+            matrix.values_mut().copy_from_slice(&caches.lin_mat);
+            let (a1, a2, b1) = match input.coeffs {
+                Some(c) => (c.a1, c.a2, c.b1),
+                None => (0.0, 0.0, 0.0),
+            };
+            let transient = input.coeffs.is_some() && !input.ic_mode;
+            let mut sink = RhsOnlySink { rhs };
+            for &d in &self.lin_elem {
+                // Capacitors dominate the linear re-emission on MOS
+                // circuits (two parasitic caps per FET plus loads), so the
+                // common transient case gets a dedicated body: `ieq` is the
+                // identical expression as `emit_device`'s Cap arm (same op
+                // order, same bits), and `geq` is skipped outright — it
+                // only feeds matrix emissions the hit path drops.
+                if let Dev::Cap { p, n, c, state, .. } = self.devices[d as usize] {
+                    if transient {
+                        let u_prev = volt(input.x_prev, p) - volt(input.x_prev, n);
+                        let u_prev2 = volt(input.x_prev2, p) - volt(input.x_prev2, n);
+                        let ieq = c * (a1 * u_prev + a2 * u_prev2) + b1 * input.cap_currents[state];
+                        sink.rhs(p, -ieq);
+                        sink.rhs(n, ieq);
+                        continue;
+                    }
+                }
+                Self::emit_device(
+                    &self.devices[d as usize],
+                    input,
+                    x,
+                    &mut jct,
+                    limited,
+                    &mut sink,
+                );
+            }
+        } else {
+            matrix.set_values_zero();
+            {
+                let values = matrix.values_mut();
+                for i in 0..self.n_nodes {
+                    values[self.slots[i]] += input.gshunt;
+                }
+                let mut sink = WriteSink { values, slots: &self.slots, cursor: self.n_nodes, rhs };
+                for &d in &self.lin_elem {
+                    Self::emit_device(
+                        &self.devices[d as usize],
+                        input,
+                        x,
+                        &mut jct,
+                        limited,
+                        &mut sink,
+                    );
+                }
+            }
+            caches.lin_mat.copy_from_slice(matrix.values());
+            caches.lin_key = if ctl.companion { Some(key) } else { None };
+        }
+        caches.lin_rhs.copy_from_slice(rhs);
+        hit
+    }
+
+    /// [`MnaSystem::stamp_nonlinear_serial`] with the buffer-then-scatter
+    /// split fused into one pass for fresh evaluations: each emission is
+    /// stored into the bypass-cache span *and* scattered immediately. The
+    /// per-slot addition order is exactly the classic scatter's (the cache
+    /// span is written and replayed in emission order), so results stay
+    /// bitwise identical.
+    fn stamp_nonlinear_fused(
+        &self,
+        ws: &mut MnaWorkspace,
+        input: &StampInput<'_>,
+        x: &[f64],
+        ctl: &CacheCtl,
+    ) -> (usize, usize) {
+        let MnaWorkspace { matrix, rhs, junction_state, limited, caches } = ws;
+        let StampCaches { valid, ctrl, mat: cmat, rhs: crhs, .. } = caches;
+        let values = matrix.values_mut();
+        let mut jct = Junction::InPlace(junction_state);
+        let (mut evals, mut bypassed) = (0usize, 0usize);
+        for &d in &self.nl_elem {
+            let du = d as usize;
+            let (m0, m1) = self.plan.mat_span[du];
+            let (r0, r1) = self.plan.rhs_span[du];
+            let (m0, m1, r0, r1) = (m0 as usize, m1 as usize, r0 as usize, r1 as usize);
+            // Inline bypass decision — the same predicate
+            // `compute_bypass_mask` evaluates for this device, decided at
+            // the device's own turn (nothing this loop writes is read by a
+            // later device's predicate).
+            let (c0, c1) = self.ctrl_span[du];
+            let mut bypass_ok = ctl.bypass && valid[du] && c0 != c1;
+            for k in c0..c1 {
+                if !bypass_ok {
+                    break;
+                }
+                let t = self.ctrl_nodes[k as usize];
+                let v = if t == u32::MAX { 0.0 } else { x[t as usize] };
+                let vref = ctrl[k as usize];
+                let tol = ctl.bypass_vabs + ctl.bypass_vrel * v.abs().max(vref.abs());
+                // NaN-safe: a non-finite iterate never bypasses.
+                bypass_ok = (v - vref).abs() <= tol;
+            }
+            if bypass_ok {
+                bypassed += 1;
+                // Bypass replay: scatter the cached stamp, same as classic.
+                for (k, &slot) in self.slots[m0..m1].iter().enumerate() {
+                    values[slot] += cmat[m0 + k];
+                }
+                for (k, &u) in self.plan.rhs_targets[r0..r1].iter().enumerate() {
+                    rhs[u as usize] += crhs[r0 + k];
+                }
+            } else {
+                let mut dev_limited = false;
+                {
+                    let mut sink = FusedNlSink {
+                        cmat: &mut cmat[m0..m1],
+                        crhs: &mut crhs[r0..r1],
+                        slots: &self.slots[m0..m1],
+                        values: &mut *values,
+                        rhs: rhs.as_mut_slice(),
+                        mc: 0,
+                        rc: 0,
+                    };
+                    Self::emit_device(
+                        &self.devices[du],
+                        input,
+                        x,
+                        &mut jct,
+                        &mut dev_limited,
+                        &mut sink,
+                    );
+                }
+                *limited |= dev_limited;
+                if c0 != c1 {
+                    valid[du] = !dev_limited;
+                    for k in c0..c1 {
+                        let t = self.ctrl_nodes[k as usize];
+                        ctrl[k as usize] = if t == u32::MAX { 0.0 } else { x[t as usize] };
+                    }
+                }
+                evals += 1;
+            }
+        }
+        (evals, bypassed)
+    }
+
     /// The compile-time parallel-stamp plan (spans, coloring, replay order).
     pub(crate) fn plan(&self) -> &StampPlan {
         &self.plan
@@ -1516,13 +1841,13 @@ impl MnaSystem {
     /// Evaluates and emits one device. Emission order and count are
     /// value-independent, which is what keeps the slot table and the
     /// per-device spans valid across the serial and parallel paths.
-    fn emit_device(
+    fn emit_device<S: EmitSink>(
         dev: &Dev,
         input: &StampInput<'_>,
         x: &[f64],
         junction: &mut Junction<'_>,
         limited: &mut bool,
-        sink: &mut Sink<'_>,
+        sink: &mut S,
     ) {
         let (a0, a1, a2, b1) = match input.coeffs {
             Some(c) => (c.a0, c.a1, c.a2, c.b1),

@@ -94,6 +94,26 @@ impl LinearCache {
         self.last_dx = None;
     }
 
+    /// Dismantles the cache into the seed state a lane of the packed batch
+    /// tier continues from: the direct LU factors (if the backend can
+    /// surrender them — see [`SolverBackend::take_lu`]), the linear-stamp
+    /// key and chord contraction-rate those factors were computed under, and
+    /// the reusable solve buffers.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_lane_seed(
+        self,
+    ) -> (
+        Option<wavepipe_sparse::SparseLu>,
+        Option<LinKey>,
+        Option<f64>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<f64>,
+    ) {
+        let LinearCache { mut backend, x_new, scratch, resid, key, last_dx } = self;
+        (backend.take_lu(), key, last_dx, x_new, scratch, resid)
+    }
+
     /// Produces the next Newton iterate in `self.x_new` for the freshly
     /// stamped system, preferring the cheapest path that can be trusted:
     ///

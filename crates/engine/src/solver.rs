@@ -89,6 +89,15 @@ pub trait SolverBackend: fmt::Debug + Send {
     fn krylov_stats(&self) -> Option<crate::krylov::KrylovStats> {
         None
     }
+
+    /// Takes the current [`SparseLu`] factors out of the backend, leaving it
+    /// unfactored — the hand-off that seeds a lane of the packed batch tier
+    /// (see [`crate::lane`]) from a scalar solve. Backends without extractable
+    /// direct factors return `None` (the default); such backends simply make
+    /// their instances ineligible for lane packing.
+    fn take_lu(&mut self) -> Option<SparseLu> {
+        None
+    }
 }
 
 /// The solve-layer error for operating on an unfactored backend.
@@ -156,6 +165,10 @@ impl SolverBackend for DirectLu {
     fn clone_box(&self) -> Box<dyn SolverBackend> {
         Box::new(self.clone())
     }
+
+    fn take_lu(&mut self) -> Option<SparseLu> {
+        self.lu.take()
+    }
 }
 
 /// The batched-sweep backend: like [`DirectLu`] but factoring through a
@@ -210,6 +223,10 @@ impl SolverBackend for BatchedDirectLu {
 
     fn clone_box(&self) -> Box<dyn SolverBackend> {
         Box::new(self.clone())
+    }
+
+    fn take_lu(&mut self) -> Option<SparseLu> {
+        self.lu.take()
     }
 }
 

@@ -330,6 +330,18 @@ impl CscMatrix {
         rowsum.into_iter().fold(0.0, f64::max)
     }
 
+    /// Infinity norm using a caller-provided row-sum buffer — same
+    /// accumulation and reduction order as [`CscMatrix::norm_inf`] (so the
+    /// result is bit-identical), without the per-call allocation.
+    pub fn norm_inf_with_scratch(&self, rowsum: &mut Vec<f64>) -> f64 {
+        rowsum.clear();
+        rowsum.resize(self.nrows, 0.0);
+        for p in 0..self.nnz() {
+            rowsum[self.row_idx[p]] += self.values[p].abs();
+        }
+        rowsum.iter().copied().fold(0.0, f64::max)
+    }
+
     /// Iterates over all stored entries as `(row, col, value)` in column-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.ncols).flat_map(move |j| {

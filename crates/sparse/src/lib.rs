@@ -58,6 +58,7 @@ mod dense;
 mod error;
 pub mod gmres;
 pub mod ilu;
+pub mod lanes;
 mod lu;
 pub mod operator;
 pub mod ordering;
@@ -69,6 +70,7 @@ pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use gmres::{gmres, GmresOptions, GmresOutcome};
 pub use ilu::Ilu0;
+pub use lanes::{LanePackedLu, LaneSolve, MAX_LANES};
 pub use lu::{LuOptions, SparseLu};
 pub use operator::{IdentityPrecond, Preconditioner, SparseOperator};
 pub use ordering::{OrderingKind, Permutation};

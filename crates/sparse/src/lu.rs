@@ -64,30 +64,30 @@ impl Default for LuOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseLu {
-    n: usize,
-    opts: LuOptions,
+    pub(crate) n: usize,
+    pub(crate) opts: LuOptions,
     /// Column permutation (fill ordering), new-to-old.
-    q: Permutation,
+    pub(crate) q: Permutation,
     /// Pivot-position -> original-row.
-    p: Vec<usize>,
+    pub(crate) p: Vec<usize>,
     /// Original-row -> pivot-position.
-    pinv: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
     // L: unit lower triangular, stored by factorization column; row indices
     // are ORIGINAL row ids (mapped through pinv when solving).
-    l_colptr: Vec<usize>,
-    l_rows: Vec<usize>,
-    l_vals: Vec<f64>,
+    pub(crate) l_colptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
+    pub(crate) l_vals: Vec<f64>,
     // U: strictly upper part stored by column; row indices are PIVOT
     // POSITIONS (< column index), recorded in elimination (topological)
     // order so refactorization can replay updates directly.
-    u_colptr: Vec<usize>,
-    u_rows: Vec<usize>,
-    u_vals: Vec<f64>,
+    pub(crate) u_colptr: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
+    pub(crate) u_vals: Vec<f64>,
     /// U diagonal (the pivots) by column.
-    u_diag: Vec<f64>,
+    pub(crate) u_diag: Vec<f64>,
     /// nnz of the matrix this factorization was computed from (cheap pattern
     /// compatibility check for `refactor`).
-    a_nnz: usize,
+    pub(crate) a_nnz: usize,
 }
 
 const UNASSIGNED: usize = usize::MAX;

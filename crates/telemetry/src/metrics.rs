@@ -59,11 +59,14 @@ pub enum Counter {
     KrylovIterations,
     PrecondRefreshes,
     SolverFallbacks,
+    LaneGroups,
+    LanePackedSolves,
+    LaneEjections,
 }
 
 impl Counter {
     /// Every counter, in stable exposition order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 28] = [
         Counter::Rounds,
         Counter::PointsAccepted,
         Counter::LteRejects,
@@ -89,6 +92,9 @@ impl Counter {
         Counter::KrylovIterations,
         Counter::PrecondRefreshes,
         Counter::SolverFallbacks,
+        Counter::LaneGroups,
+        Counter::LanePackedSolves,
+        Counter::LaneEjections,
     ];
 
     /// Stable machine-readable name (also the Prometheus metric stem).
@@ -119,6 +125,9 @@ impl Counter {
             Counter::KrylovIterations => "krylov_iterations",
             Counter::PrecondRefreshes => "precond_refreshes",
             Counter::SolverFallbacks => "solver_fallbacks",
+            Counter::LaneGroups => "lane_groups",
+            Counter::LanePackedSolves => "lane_packed_solves",
+            Counter::LaneEjections => "lane_ejections",
         }
     }
 }
